@@ -1,0 +1,127 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper (a table, a figure, or
+an ablation the text argues for) on the synthetic CIFAR-10 / ImageNet
+substitutes.  The configurations below pick dataset difficulty and model
+widths such that
+
+* CPU runtimes stay in the minutes range,
+* ANN accuracies land well below 100 % (so conversion loss is measurable), and
+* the activation distributions retain the heavy tails that differentiate the
+  norm-factor strategies — the property the paper's argument rests on.
+
+The expensive work (training + conversion + latency sweeps) happens once per
+module in session-scoped fixtures defined in the individual benchmark files;
+the pytest-benchmark timers then measure representative steady-state kernels
+(single simulation timesteps, conversions, sweeps at small T) so that
+``--benchmark-only`` runs remain informative without re-training per round.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import pytest
+
+from repro.core import ExperimentConfig
+from repro.training import TrainingConfig
+
+# Difficulty settings shared by every CIFAR-like benchmark: 10 classes, wide
+# activation tails, enough noise that the reduced models land at 85-97 % ANN
+# accuracy instead of saturating at 100 %.
+CIFAR_DATASET_KWARGS: Dict = {
+    "noise_std": 0.45,
+    "contrast_sigma": 0.5,
+    "shift_pixels": 3,
+    "prototype_bumps": 3,
+}
+
+# The ImageNet substitute is harder still: more classes, heavier tails, more
+# outliers — which is what widens the gap between TCL and the baselines in the
+# paper's ImageNet rows.
+IMAGENET_DATASET_KWARGS: Dict = {
+    "noise_std": 0.5,
+    "contrast_sigma": 0.65,
+    "shift_pixels": 3,
+    "prototype_bumps": 5,
+    "outlier_fraction": 0.05,
+    "outlier_scale": 5.0,
+}
+
+
+def cifar_config(
+    model: str,
+    model_kwargs: Optional[Dict] = None,
+    epochs: int = 8,
+    learning_rate: float = 0.05,
+    timesteps: int = 200,
+    checkpoints=(10, 25, 50, 100, 150, 200),
+    strategies=("tcl", "percentile", "max"),
+    num_classes: int = 10,
+    image_size: int = 16,
+    train_per_class: int = 40,
+    test_per_class: int = 12,
+    batch_size: int = 32,
+    seed: int = 3,
+) -> ExperimentConfig:
+    """A Table-1-style CIFAR experiment configuration at benchmark scale."""
+
+    return ExperimentConfig(
+        model=model,
+        dataset="cifar",
+        model_kwargs=model_kwargs or {},
+        training=TrainingConfig(epochs=epochs, learning_rate=learning_rate, milestones=(int(epochs * 0.75),)),
+        strategies=strategies,
+        timesteps=timesteps,
+        checkpoints=checkpoints,
+        batch_size=batch_size,
+        train_per_class=train_per_class,
+        test_per_class=test_per_class,
+        num_classes=num_classes,
+        image_size=image_size,
+        dataset_kwargs=dict(CIFAR_DATASET_KWARGS),
+        seed=seed,
+    )
+
+
+def imagenet_config(
+    model: str,
+    model_kwargs: Optional[Dict] = None,
+    epochs: int = 8,
+    learning_rate: float = 0.05,
+    timesteps: int = 250,
+    checkpoints=(50, 100, 150, 200, 250),
+    strategies=("tcl", "percentile", "max"),
+    num_classes: int = 12,
+    image_size: int = 16,
+    train_per_class: int = 30,
+    test_per_class: int = 10,
+    batch_size: int = 32,
+    seed: int = 5,
+) -> ExperimentConfig:
+    """An ImageNet-row experiment configuration at benchmark scale."""
+
+    return ExperimentConfig(
+        model=model,
+        dataset="imagenet",
+        model_kwargs=model_kwargs or {},
+        training=TrainingConfig(epochs=epochs, learning_rate=learning_rate, milestones=(int(epochs * 0.75),)),
+        strategies=strategies,
+        timesteps=timesteps,
+        checkpoints=checkpoints,
+        batch_size=batch_size,
+        train_per_class=train_per_class,
+        test_per_class=test_per_class,
+        num_classes=num_classes,
+        image_size=image_size,
+        dataset_kwargs=dict(IMAGENET_DATASET_KWARGS),
+        initial_lambda=4.0,
+        seed=seed,
+    )
+
+
+def print_benchmark_header(title: str) -> None:
+    """Uniform section header in benchmark output (visible with ``-s``)."""
+
+    bar = "=" * len(title)
+    print(f"\n{bar}\n{title}\n{bar}")

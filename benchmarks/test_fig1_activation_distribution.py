@@ -1,0 +1,112 @@
+"""Figure 1 — activation distribution of an early VGG layer and the norm-factors.
+
+The paper's Figure 1 plots the (log-scale) distribution of activations in the
+2nd layer of VGG-16 over the CIFAR-10 test set for the original and the
+clipped (TCL-trained) models, and marks the 99.9 % norm-factor.  The point of
+the figure: the maximum activation sits far out in a sparse tail, the 99.9 %
+percentile much lower, and the trained clipping bound λ lower still while the
+ANN accuracy is essentially unchanged.
+
+This benchmark trains a width-reduced VGG-11 twice (plain and TCL), collects
+the activation statistics of every site on the test set, prints the ASCII
+version of the figure for the 2nd activation site, and asserts the ordering
+that makes the TCL conversion fast:
+
+    trained λ  <  max activation of the original network
+    99.9 %     <  max activation of the original network
+    |ANN(TCL) − ANN(original)| small
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_activation_report, render_table
+from repro.core import analyze_activation_sites
+from repro.core.pipeline import prepare_data, train_ann
+
+from bench_utils import cifar_config, print_benchmark_header
+
+
+@pytest.fixture(scope="module")
+def fig1_setup():
+    """Train the plain and TCL VGG twins once and collect their site reports."""
+
+    config = cifar_config(
+        model="vgg11",
+        model_kwargs={"width_multiplier": 0.25, "classifier_width": 64},
+        epochs=8,
+        batch_size=16,
+    )
+    data = prepare_data(config)
+    train_images, train_labels, test_images, test_labels = data
+
+    tcl_model, tcl_accuracy, _ = train_ann(config, *data, clip_enabled=True)
+    plain_model, plain_accuracy, _ = train_ann(config, *data, clip_enabled=False)
+
+    tcl_reports = analyze_activation_sites(tcl_model, test_images, bins=40)
+    plain_reports = analyze_activation_sites(plain_model, test_images, bins=40)
+    return {
+        "config": config,
+        "test_images": test_images,
+        "tcl_model": tcl_model,
+        "plain_model": plain_model,
+        "tcl_accuracy": tcl_accuracy,
+        "plain_accuracy": plain_accuracy,
+        "tcl_reports": tcl_reports,
+        "plain_reports": plain_reports,
+    }
+
+
+class TestFig1ActivationDistribution:
+    def test_benchmark_activation_analysis(self, benchmark, fig1_setup):
+        """Time the activation-statistics pass over the test set (one site sweep)."""
+
+        model = fig1_setup["tcl_model"]
+        images = fig1_setup["test_images"][:32]
+        reports = benchmark.pedantic(analyze_activation_sites, args=(model, images), kwargs={"bins": 20},
+                                     rounds=3, iterations=1)
+        assert len(reports) == len(fig1_setup["tcl_reports"])
+
+    def test_benchmark_figure1_shape(self, benchmark, fig1_setup):
+        """Reproduce the figure's qualitative content and print the ASCII version."""
+
+        tcl_reports = fig1_setup["tcl_reports"]
+        plain_reports = fig1_setup["plain_reports"]
+
+        def summarise():
+            rows = []
+            for plain, tcl in zip(plain_reports, tcl_reports):
+                rows.append(
+                    (
+                        plain.site_name,
+                        plain.maximum,
+                        plain.p999,
+                        tcl.trained_lambda,
+                    )
+                )
+            return rows
+
+        rows = benchmark(summarise)
+
+        print_benchmark_header("Figure 1: norm-factor candidates per activation site")
+        print(f"original ANN accuracy: {fig1_setup['plain_accuracy']:.2%}   "
+              f"TCL ANN accuracy: {fig1_setup['tcl_accuracy']:.2%}")
+        print(render_table(
+            ["site", "max (original)", "p99.9 (original)", "trained λ (TCL)"],
+            [[name, f"{mx:.3f}", f"{p:.3f}", f"{lam:.3f}"] for name, mx, p, lam in rows],
+        ))
+        print("\nASCII histogram of the 2nd activation site (original network):\n")
+        print(render_activation_report(plain_reports[1], width=45))
+
+        # (i) Clipping during training does not break the ANN (paper: "hardly affected").
+        assert fig1_setup["tcl_accuracy"] >= fig1_setup["plain_accuracy"] - 0.1
+        # (ii) The percentile factor never exceeds the maximum.
+        assert all(p <= mx + 1e-9 for _, mx, p, _ in rows)
+        # (iii) Averaged over sites, the trained λ is below the original network's
+        #       maximum activation — the source of the latency advantage.
+        mean_lambda = float(np.mean([lam for *_ , lam in rows]))
+        mean_max = float(np.mean([mx for _, mx, _, _ in rows]))
+        assert mean_lambda < mean_max
+        # (iv) The TCL-trained network's activations never exceed their λ bound.
+        for report in fig1_setup["tcl_reports"]:
+            assert report.maximum <= report.trained_lambda + 1e-6

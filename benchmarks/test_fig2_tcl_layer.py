@@ -1,0 +1,99 @@
+"""Figure 2 — the trainable clipping layer itself.
+
+Figure 2 of the paper is the architecture sketch of the clipping layer that
+follows every ReLU.  The benchmark (a) times the TCL forward+backward pass
+against a plain ReLU to show the clipping layer adds negligible overhead
+during ANN training, and (b) re-checks the Eq. 8 / Eq. 9 semantics on large
+random activations, and (c) demonstrates the training effect the figure
+implies: λ adapts to the activation distribution it sees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import ClippedReLU, TrainableClip
+from repro.optim import SGD
+
+from bench_utils import print_benchmark_header
+
+
+@pytest.fixture(scope="module")
+def activation_batch():
+    rng = np.random.default_rng(0)
+    # A realistic post-conv activation tensor: batch 32, 64 channels, 16x16.
+    return rng.standard_normal((32, 64, 16, 16)) * 1.5
+
+
+class TestFig2TCLLayer:
+    def test_benchmark_tcl_forward_backward(self, benchmark, activation_batch):
+        """Time one forward+backward of ReLU→clip on a realistic activation tensor."""
+
+        module = ClippedReLU(initial_lambda=2.0)
+
+        def run():
+            x = Tensor(activation_batch, requires_grad=True)
+            module(x).sum().backward()
+            return module.clip.lam.grad
+
+        grad = benchmark(run)
+        assert grad is not None and grad > 0
+
+    def test_benchmark_plain_relu_reference(self, benchmark, activation_batch):
+        """Reference cost without the clipping layer (the overhead comparison)."""
+
+        module = ClippedReLU(clip_enabled=False)
+
+        def run():
+            x = Tensor(activation_batch, requires_grad=True)
+            module(x).sum().backward()
+            return x.grad
+
+        grad = benchmark(run)
+        assert grad is not None
+
+    def test_benchmark_eq8_eq9_semantics(self, benchmark, activation_batch):
+        """Eq. 8/9 hold on every element of a large random batch."""
+
+        clip = TrainableClip(initial_lambda=1.0)
+
+        def check():
+            x = Tensor(np.abs(activation_batch), requires_grad=True)
+            out = clip(x)
+            out.sum().backward()
+            return x.grad, out.data
+
+        grad, out = benchmark(check)
+        values = np.abs(activation_batch)
+        clipped_mask = values >= 1.0
+        assert np.allclose(out, np.where(clipped_mask, 1.0, values))
+        assert np.allclose(grad, (~clipped_mask).astype(float))
+
+    def test_benchmark_lambda_adapts_to_distribution(self, benchmark):
+        """Training pulls λ toward the scale of the activations it clips.
+
+        A crude stand-in for the full training dynamics: minimising an MSE
+        against targets that live below the initial λ drags λ down, because
+        the gradient of Eq. 9 funnels the clipped elements' error into λ.
+        """
+
+        rng = np.random.default_rng(1)
+        activations = rng.uniform(0.0, 3.0, size=(256,))
+        targets = np.clip(activations, 0.0, 1.2)
+
+        def train_lambda():
+            clip = TrainableClip(initial_lambda=2.5)
+            optimizer = SGD([clip.lam], lr=0.05)
+            for _ in range(60):
+                optimizer.zero_grad()
+                out = clip(Tensor(activations))
+                diff = out - Tensor(targets)
+                (diff * diff).mean().backward()
+                optimizer.step()
+            return clip.lambda_value
+
+        final_lambda = benchmark(train_lambda)
+        print_benchmark_header("Figure 2: trained clipping bound")
+        print(f"initial λ = 2.5, target clip = 1.2, trained λ = {final_lambda:.3f}")
+        assert final_lambda < 1.6
+        assert final_lambda > 0.8

@@ -1,0 +1,103 @@
+"""Figure 3 — conversion of a residual block into NS + OS spiking layers.
+
+The benchmark builds both residual-block flavours (type A with an identity
+shortcut and type B with a projection shortcut), converts them with the
+Section-5 equations, and measures:
+
+* the cost of one conversion (weight algebra only, no simulation),
+* the cost of one spiking timestep of the converted block, and
+* the rate-equivalence error: how closely the spiking block's output rate
+  matches the analog block's activation divided by λ_out, as a function of T.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.core import TCLNormFactor, convert_basic_block
+from repro.core.tcl import ClippedReLU
+from repro.nn import BasicBlock
+
+from bench_utils import print_benchmark_header
+
+
+def _make_block(in_channels, out_channels, stride, seed, lam=1.3):
+    rng = np.random.default_rng(seed)
+    block = BasicBlock(
+        in_channels,
+        out_channels,
+        stride=stride,
+        batch_norm=True,
+        activation_factory=lambda: ClippedReLU(initial_lambda=lam),
+        rng=rng,
+    )
+    # Keep activations in a healthy range so both paths contribute.
+    for conv in (block.conv1, block.conv2):
+        conv.weight.data[...] = rng.uniform(-0.05, 0.12, conv.weight.data.shape)
+    if block.is_projection:
+        block.shortcut_conv.weight.data[...] = rng.uniform(-0.05, 0.12, block.shortcut_conv.weight.data.shape)
+    block.eval()
+    return block
+
+
+@pytest.fixture(scope="module")
+def type_a_block():
+    return _make_block(8, 8, stride=1, seed=0)
+
+
+@pytest.fixture(scope="module")
+def type_b_block():
+    return _make_block(8, 16, stride=2, seed=1)
+
+
+class TestFig3ResidualConversion:
+    def test_benchmark_type_a_conversion(self, benchmark, type_a_block):
+        spiking, lambda_out, factors = benchmark(
+            convert_basic_block, type_a_block, 1.0, TCLNormFactor()
+        )
+        assert spiking.block_type == "A"
+        assert lambda_out > 0
+
+    def test_benchmark_type_b_conversion(self, benchmark, type_b_block):
+        spiking, lambda_out, factors = benchmark(
+            convert_basic_block, type_b_block, 1.0, TCLNormFactor()
+        )
+        assert spiking.block_type == "B"
+        assert spiking.osi_weight.shape == (16, 8, 1, 1)
+
+    def test_benchmark_spiking_block_timestep(self, benchmark, type_b_block):
+        spiking, _, _ = convert_basic_block(type_b_block, 1.0, TCLNormFactor())
+        rng = np.random.default_rng(2)
+        spikes_in = (rng.random((8, 8, 12, 12)) < 0.4).astype(float)
+
+        out = benchmark(spiking.step, spikes_in)
+        assert out.shape == (8, 16, 6, 6)
+
+    def test_benchmark_rate_equivalence_curve(self, benchmark, type_a_block):
+        """Mean |SNN rate − ANN activation / λ_out| shrinks as T grows."""
+
+        rng = np.random.default_rng(3)
+        rate_in = rng.uniform(0.0, 1.0, size=(1, 8, 10, 10))
+        with no_grad():
+            ann_out = type_a_block(Tensor(rate_in)).data
+        spiking, lambda_out, _ = convert_basic_block(type_a_block, 1.0, TCLNormFactor())
+        expected = np.clip(ann_out / lambda_out, 0.0, 1.0)
+
+        def error_at(timesteps: int) -> float:
+            spiking.reset_state()
+            counts = np.zeros_like(expected)
+            spike_rng = np.random.default_rng(4)
+            for _ in range(timesteps):
+                spikes = (spike_rng.random(rate_in.shape) < rate_in).astype(float)
+                counts += spiking.step(spikes)
+            return float(np.abs(counts / timesteps - expected).mean())
+
+        # The timed kernel is the short simulation; the curve is computed once.
+        benchmark.pedantic(error_at, args=(50,), rounds=3, iterations=1)
+
+        errors = {t: error_at(t) for t in (25, 100, 400)}
+        print_benchmark_header("Figure 3: residual-block rate-equivalence error vs latency")
+        for t, err in errors.items():
+            print(f"T={t:4d}: mean |rate - clipped activation / λ_out| = {err:.4f}")
+        assert errors[400] < errors[25]
+        assert errors[400] < 0.06

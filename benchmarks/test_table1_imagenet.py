@@ -1,0 +1,120 @@
+"""Table 1 (ImageNet rows) — VGG-16 and RESNET-34 at T up to 250.
+
+The paper's ImageNet rows are where TCL's advantage is largest: prior
+conversions either need T > 300 and still lose several points (Rueckauer,
+Sengupta) or lose 4–9 points at T = 250 (Rathi), while TCL converts VGG-16 and
+RESNET-34 with ≲ 0.1 point of loss at T = 250.
+
+The substitute experiment uses the harder synthetic ImageNet-like dataset
+(more classes, heavier activation tails) with width-reduced VGG-16 and
+RESNET-34 models.  Two deliberate deviations from the paper's Section 6 keep
+the CPU-scale run meaningful: the class count / sample budget is far smaller
+than ImageNet's, and λ is initialised to 2.0 rather than 4.0 — the substitute's
+batch-normalised activations have roughly CIFAR-scale magnitudes (unlike real
+ImageNet VGG activations), and the λ-initialisation ablation
+(``test_ablation_lambda_init.py``) covers the 4.0 setting.  The asserted
+shape, robust at this scale:
+
+* the TCL SNN recovers most of its ANN's accuracy at the final latency,
+* the max-norm baseline is behind TCL both at the shortest and at the final
+  recorded latency (the gap the paper's ImageNet rows highlight),
+* the trained λ values stay bounded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_published_comparison, render_table1
+from repro.core import published_results_for, run_experiment
+
+from bench_utils import imagenet_config, print_benchmark_header
+
+def _imagenet_row_config(model, **overrides):
+    config = imagenet_config(model, **overrides)
+    # See the module docstring: the substitute's activations are CIFAR-scale,
+    # so the CIFAR λ-initialisation is used here; 4.0 is covered by the
+    # λ-initialisation ablation.
+    config.initial_lambda = 2.0
+    # Soften the hardest dataset settings so the width-reduced models train to
+    # a useful accuracy within the CPU budget.
+    config.dataset_kwargs.update({"noise_std": 0.4, "contrast_sigma": 0.55})
+    return config
+
+
+TABLE1_IMAGENET_MODELS = {
+    "VGG-16": _imagenet_row_config(
+        "vgg16",
+        model_kwargs={"width_multiplier": 0.125, "classifier_width": 64},
+        strategies=("tcl", "max"),
+        epochs=10,
+        batch_size=16,
+        num_classes=8,
+        test_per_class=8,
+    ),
+    "RESNET-34": _imagenet_row_config(
+        "resnet34",
+        model_kwargs={"width_multiplier": 0.0625},
+        strategies=("tcl", "max"),
+        epochs=8,
+        learning_rate=0.02,
+        batch_size=16,
+        timesteps=250,
+        checkpoints=(50, 150, 250),
+        num_classes=8,
+        test_per_class=8,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def imagenet_results():
+    return {name: run_experiment(config) for name, config in TABLE1_IMAGENET_MODELS.items()}
+
+
+class TestTable1Imagenet:
+    def test_benchmark_resnet_snn_timestep(self, benchmark, imagenet_results):
+        """Per-cycle cost of the converted RESNET-34 substitute."""
+
+        result = imagenet_results["RESNET-34"]
+        conversion = result.outcome("tcl").conversion
+        size = result.config.image_size
+        images = np.random.default_rng(1).uniform(0.0, 1.0, (4, 3, size, size))
+        conversion.snn.reset_state()
+
+        spikes = benchmark(conversion.snn.step, images)
+        assert spikes.shape[0] == 4
+
+    def test_benchmark_table1_imagenet_shape(self, benchmark, imagenet_results):
+        def collect():
+            return {
+                name: result.outcome("tcl").sweep.final_accuracy
+                for name, result in imagenet_results.items()
+            }
+
+        finals = benchmark(collect)
+
+        print_benchmark_header("Table 1 (ImageNet rows), synthetic substitute")
+        for name, result in imagenet_results.items():
+            print()
+            print(render_table1(result, title=f"{name} (reduced scale, ImageNet-like data)"))
+        print()
+        print(render_published_comparison(published_results_for("imagenet"),
+                                          title="Paper Table 1 rows (ImageNet, published numbers)"))
+
+        for name, result in imagenet_results.items():
+            tcl_sweep = result.outcome("tcl").sweep
+            max_sweep = result.outcome("max").sweep
+            latencies = sorted(tcl_sweep.accuracy_by_latency)
+            short, final = latencies[0], latencies[-1]
+
+            # Training on the reduced substitute reaches a useful accuracy.
+            assert result.ann_accuracy > 1.5 / result.config.num_classes, name
+            # TCL recovers most of its ANN's accuracy by the final latency.
+            assert tcl_sweep.final_accuracy >= result.ann_accuracy - 0.15, name
+            # TCL dominates max-norm both at the shortest and the final latency
+            # (the widened gap the paper's ImageNet rows highlight).
+            assert tcl_sweep.accuracy_by_latency[short] >= max_sweep.accuracy_by_latency[short] - 1e-9, name
+            assert tcl_sweep.accuracy_by_latency[final] >= max_sweep.accuracy_by_latency[final] - 0.02, name
+            # Trained λ values stay bounded (they adapt, they do not explode).
+            assert all(0.0 < lam <= 8.0 for lam in result.lambdas.values()), name
+            assert finals[name] == pytest.approx(tcl_sweep.final_accuracy)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Accuracy-versus-latency sweep: the trade-off the TCL paper targets.
+
+ANN-to-SNN conversions trade latency (simulation timesteps T) for accuracy.
+This example trains one TCL network and plots — as an ASCII curve — how the
+converted SNN's accuracy climbs toward the ANN reference as T grows, under
+three different norm-factor choices.  It also reports the smallest latency at
+which each conversion comes within 0.5 % of its ANN (the paper's notion of a
+"negligible" conversion loss) and the mean firing rate, the proxy for the
+energy cost of running the SNN.
+
+Run with::
+
+    python examples/latency_sweep.py
+"""
+
+from repro.analysis import ascii_curve
+from repro.core import ExperimentConfig, latency_to_match_ann, run_experiment
+from repro.snn import mean_firing_rate
+from repro.training import TrainingConfig
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        model="convnet4",
+        dataset="cifar",
+        model_kwargs={"channels": (16, 16, 32, 32), "hidden_features": 64},
+        training=TrainingConfig(epochs=8, learning_rate=0.05, milestones=(6,)),
+        strategies=("tcl", "percentile", "max"),
+        timesteps=300,
+        checkpoints=(10, 25, 50, 100, 150, 200, 250, 300),
+        train_per_class=40,
+        test_per_class=16,
+        num_classes=6,
+        image_size=16,
+        seed=3,
+    )
+
+    print("Training and converting (TCL model + plain twin for the baselines) ...")
+    result = run_experiment(config)
+    print(f"\nTCL ANN accuracy: {result.ann_accuracy:.2%}"
+          f"   original ANN accuracy: {result.original_ann_accuracy:.2%}\n")
+
+    for outcome in result.outcomes:
+        sweep = outcome.sweep
+        latency_needed = latency_to_match_ann(sweep, tolerance=0.005)
+        latency_text = f"T={latency_needed}" if latency_needed > 0 else f"not reached by T={config.timesteps}"
+        print(f"=== {outcome.strategy_name} (from the {outcome.source_model} ANN, "
+              f"reference {sweep.ann_accuracy:.2%}) ===")
+        print(ascii_curve(sweep.accuracy_by_latency, label="accuracy"))
+        print(f"latency to reach ANN-0.5%: {latency_text}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Figure-1 style activation analysis: why the trained λ is a better norm-factor.
+
+The paper's Figure 1 plots the activation distribution of an early VGG layer
+and marks where the candidate norm-factors fall: the maximum activation
+(Diehl et al. 2015), the 99.9th percentile (Rueckauer et al. 2017) and the
+trained clipping bound λ (TCL).  The maximum sits far out in the tail, the
+percentile lower, and the trained λ lower still — which is exactly what makes
+the TCL-converted SNN fast.
+
+This example trains a small VGG twice (with and without TCL), collects
+activation statistics at every ClippedReLU site over the test set, prints the
+ASCII histogram of one early layer with all three markers, and tabulates
+max / p99.9 / λ for every site.
+
+Run with::
+
+    python examples/norm_strategy_comparison.py
+"""
+
+from repro.analysis import render_activation_report, render_table
+from repro.core import ExperimentConfig, analyze_activation_sites
+from repro.core.pipeline import prepare_data, train_ann
+from repro.training import TrainingConfig
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        model="vgg11",
+        dataset="cifar",
+        model_kwargs={"width_multiplier": 0.25, "classifier_width": 64},
+        training=TrainingConfig(epochs=8, learning_rate=0.05, milestones=(6,)),
+        batch_size=16,
+        train_per_class=32,
+        test_per_class=12,
+        num_classes=6,
+        image_size=16,
+        seed=4,
+    )
+
+    train_images, train_labels, test_images, test_labels = prepare_data(config)
+
+    print("Training VGG-11 with TCL clipping layers ...")
+    tcl_model, tcl_accuracy, _ = train_ann(config, train_images, train_labels, test_images, test_labels,
+                                           clip_enabled=True)
+    print(f"  TCL ANN accuracy: {tcl_accuracy:.2%}")
+    print("Training the original (plain ReLU) VGG-11 ...")
+    plain_model, plain_accuracy, _ = train_ann(config, train_images, train_labels, test_images, test_labels,
+                                               clip_enabled=False)
+    print(f"  original ANN accuracy: {plain_accuracy:.2%}")
+
+    print("\nActivation distribution of the 2nd activation site of the original network")
+    print("(the norm-factor candidates are marked; compare with the paper's Figure 1):\n")
+    plain_reports = analyze_activation_sites(plain_model, test_images, bins=40)
+    print(render_activation_report(plain_reports[1], width=45))
+
+    print("\nPer-site norm-factor candidates (TCL-trained network):")
+    tcl_reports = analyze_activation_sites(tcl_model, test_images, bins=40)
+    rows = []
+    for report in tcl_reports:
+        rows.append([
+            report.site_name,
+            f"{report.maximum:.3f}",
+            f"{report.p999:.3f}",
+            f"{report.trained_lambda:.3f}" if report.trained_lambda is not None else "-",
+        ])
+    print(render_table(["site", "max activation", "99.9% percentile", "trained λ"], rows))
+
+    print("\nInterpretation: the conversion divides weights by these values, so the")
+    print("smaller the norm-factor, the higher the firing rates and the lower the")
+    print("latency needed for the SNN to reach its ANN's accuracy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — a from-scratch reproduction of
+"TCL: an ANN-to-SNN Conversion with Trainable Clipping Layers" (DAC 2021).
+
+The package is organised bottom-up:
+
+* :mod:`repro.autograd` — numpy reverse-mode autodiff (the PyTorch substitute),
+* :mod:`repro.nn` — layers, containers, residual blocks,
+* :mod:`repro.optim` — SGD / Adam and LR schedules,
+* :mod:`repro.data` — synthetic CIFAR / ImageNet substitutes and loaders,
+* :mod:`repro.models` — ConvNet4, VGG and ResNet architectures with TCL sites,
+* :mod:`repro.training` — the ANN training harness,
+* :mod:`repro.snn` — IF neurons, spiking layers and the time-stepped simulator,
+* :mod:`repro.core` — the paper's contribution: trainable clipping layers,
+  norm-factor strategies, batch-norm folding and the ANN-to-SNN converter,
+* :mod:`repro.analysis` — tables, ASCII plots and the experiment registry.
+
+Quickstart::
+
+    from repro.core import ExperimentConfig, run_experiment
+    from repro.analysis import render_table1
+
+    result = run_experiment(ExperimentConfig(model="convnet4", dataset="cifar"))
+    print(render_table1(result))
+"""
+
+from . import autograd, nn, optim, data, models, training, snn, core, analysis
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autograd",
+    "nn",
+    "optim",
+    "data",
+    "models",
+    "training",
+    "snn",
+    "core",
+    "analysis",
+    "__version__",
+]

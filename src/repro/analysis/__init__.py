@@ -1,0 +1,22 @@
+"""Analysis and reporting: ASCII tables / plots and the experiment registry."""
+
+from .tables import render_table, render_table1, render_published_comparison, format_percent
+from .plots import ascii_histogram, ascii_curve, render_activation_report
+from .registry import ExperimentSpec, EXPERIMENTS, experiment_ids, get_experiment
+from .report import experiment_section, write_report_section
+
+__all__ = [
+    "render_table",
+    "render_table1",
+    "render_published_comparison",
+    "format_percent",
+    "ascii_histogram",
+    "ascii_curve",
+    "render_activation_report",
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "experiment_ids",
+    "get_experiment",
+    "experiment_section",
+    "write_report_section",
+]

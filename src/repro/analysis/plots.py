@@ -1,0 +1,84 @@
+"""ASCII plots: activation histograms (Figure 1) and accuracy-latency curves.
+
+The original paper shows Figure 1 as a log-scale histogram of one layer's
+activations annotated with the 99.9 % percentile and the trained λ.  Without a
+graphics backend the same information is rendered as a fixed-width ASCII bar
+chart, which the Figure-1 benchmark prints and stores in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.evaluation import ActivationSiteReport
+
+__all__ = ["ascii_histogram", "ascii_curve", "render_activation_report"]
+
+
+def ascii_histogram(
+    counts: np.ndarray,
+    edges: np.ndarray,
+    width: int = 50,
+    log_scale: bool = True,
+    markers: Optional[Dict[str, float]] = None,
+) -> str:
+    """Render a histogram as horizontal ASCII bars.
+
+    Parameters
+    ----------
+    counts, edges:
+        Output of ``numpy.histogram``.
+    width:
+        Maximum bar width in characters.
+    log_scale:
+        Plot ``log10(1 + count)`` (the paper's Figure 1 is log-scale).
+    markers:
+        Optional ``{label: value}`` annotations; a marker is printed on the
+        bin containing its value.
+    """
+
+    counts = np.asarray(counts, dtype=np.float64)
+    edges = np.asarray(edges, dtype=np.float64)
+    values = np.log10(1.0 + counts) if log_scale else counts
+    peak = values.max() if values.size and values.max() > 0 else 1.0
+    markers = markers or {}
+
+    lines = []
+    for index, value in enumerate(values):
+        lo, hi = edges[index], edges[index + 1]
+        bar = "#" * int(round(width * value / peak))
+        annotations = [label for label, mark in markers.items() if lo <= mark < hi]
+        suffix = ("   <-- " + ", ".join(annotations)) if annotations else ""
+        lines.append(f"[{lo:8.3f}, {hi:8.3f}) {bar}{suffix}")
+    return "\n".join(lines)
+
+
+def ascii_curve(points: Dict[int, float], width: int = 50, label: str = "accuracy") -> str:
+    """Render ``{x: y}`` points as a simple horizontal bar chart keyed by x."""
+
+    if not points:
+        return "(no data)"
+    peak = max(points.values()) or 1.0
+    lines = [f"{label} vs latency"]
+    for x in sorted(points):
+        y = points[x]
+        bar = "#" * int(round(width * y / peak)) if peak > 0 else ""
+        lines.append(f"T={x:>5d} | {bar} {y:.4f}")
+    return "\n".join(lines)
+
+
+def render_activation_report(report: ActivationSiteReport, width: int = 50) -> str:
+    """Figure-1 style rendering of one activation site."""
+
+    markers = {"max": report.maximum, "p99.9": report.p999}
+    if report.trained_lambda is not None:
+        markers["trained λ"] = report.trained_lambda
+    header = (
+        f"site {report.site_name}: max={report.maximum:.3f} p99.9={report.p999:.3f} "
+        + (f"λ={report.trained_lambda:.3f}" if report.trained_lambda is not None else "(no clip)")
+    )
+    histogram = ascii_histogram(report.histogram_counts, report.histogram_edges, width=width, markers=markers)
+    return header + "\n" + histogram

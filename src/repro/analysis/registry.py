@@ -1,0 +1,99 @@
+"""Experiment registry: one entry per table / figure of the paper.
+
+Maps each experiment id to a short description, the paper artefact it
+reproduces and the benchmark module that regenerates it, so DESIGN.md,
+EXPERIMENTS.md and the benchmark harness stay consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "experiment_ids", "get_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Description of one reproducible experiment."""
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    benchmark: str
+    modules: tuple
+
+
+EXPERIMENTS: List[ExperimentSpec] = [
+    ExperimentSpec(
+        "fig1-activation-distribution",
+        "Figure 1",
+        "Activation distribution of an early VGG layer with max / 99.9% / trained-λ markers",
+        "benchmarks/test_fig1_activation_distribution.py",
+        ("repro.core.evaluation", "repro.analysis.plots"),
+    ),
+    ExperimentSpec(
+        "fig2-tcl-layer",
+        "Figure 2",
+        "Clipping-layer forward/backward behaviour (Eq. 8/9) and its training effect",
+        "benchmarks/test_fig2_tcl_layer.py",
+        ("repro.core.tcl",),
+    ),
+    ExperimentSpec(
+        "fig3-residual-conversion",
+        "Figure 3",
+        "Residual-block conversion: spiking NS/OS rates match the ANN block activations",
+        "benchmarks/test_fig3_residual_block.py",
+        ("repro.core.residual", "repro.snn.layers"),
+    ),
+    ExperimentSpec(
+        "table1-cifar",
+        "Table 1 (CIFAR-10 rows)",
+        "ANN vs SNN accuracy at T in {50,100,150,200} for ConvNet4 / VGG / ResNet with TCL and baselines",
+        "benchmarks/test_table1_cifar.py",
+        ("repro.core.pipeline", "repro.analysis.tables"),
+    ),
+    ExperimentSpec(
+        "table1-imagenet",
+        "Table 1 (ImageNet rows)",
+        "ANN vs SNN accuracy at T in {150,200,250} on the ImageNet-like substitute",
+        "benchmarks/test_table1_imagenet.py",
+        ("repro.core.pipeline", "repro.analysis.tables"),
+    ),
+    ExperimentSpec(
+        "ablation-lambda-init",
+        "Section 6 setup",
+        "Sweep of the initial λ (paper uses 2.0 CIFAR / 4.0 ImageNet)",
+        "benchmarks/test_ablation_lambda_init.py",
+        ("repro.core.tcl", "repro.core.pipeline"),
+    ),
+    ExperimentSpec(
+        "ablation-reset-mode",
+        "Section 2 claim",
+        "Reset-by-subtraction vs reset-to-zero accuracy at matched latency",
+        "benchmarks/test_ablation_reset_mode.py",
+        ("repro.snn.neuron",),
+    ),
+    ExperimentSpec(
+        "ablation-norm-strategy",
+        "Section 3.2 discussion",
+        "Conversion loss and latency-to-ANN-accuracy of max / percentile / TCL norm-factors",
+        "benchmarks/test_ablation_norm_strategy.py",
+        ("repro.core.normfactor", "repro.core.evaluation"),
+    ),
+]
+
+
+def experiment_ids() -> List[str]:
+    """All registered experiment ids."""
+
+    return [spec.experiment_id for spec in EXPERIMENTS]
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up one experiment spec by id."""
+
+    for spec in EXPERIMENTS:
+        if spec.experiment_id == experiment_id:
+            return spec
+    raise KeyError(f"unknown experiment {experiment_id!r}; known ids: {experiment_ids()}")

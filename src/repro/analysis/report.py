@@ -1,0 +1,58 @@
+"""Report assembly: turn experiment results into markdown sections.
+
+The benchmark harness uses these helpers to append paper-vs-measured sections
+to ``EXPERIMENTS.md`` so the reproduction record is regenerated together with
+the numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..core.baselines import PublishedResult, published_results_for
+from ..core.pipeline import ExperimentResult
+from .registry import get_experiment
+from .tables import render_published_comparison, render_table1
+
+__all__ = ["experiment_section", "write_report_section"]
+
+
+def experiment_section(
+    experiment_id: str,
+    result: Optional[ExperimentResult] = None,
+    extra_lines: Optional[Sequence[str]] = None,
+) -> str:
+    """Build one markdown section for ``experiment_id``."""
+
+    spec = get_experiment(experiment_id)
+    lines: List[str] = [f"## {spec.experiment_id} — {spec.paper_artifact}", "", spec.description, ""]
+    if result is not None:
+        lines.append("```")
+        lines.append(render_table1(result))
+        lines.append("```")
+        dataset = result.config.dataset
+        published = published_results_for("imagenet" if dataset.lower().startswith("imagenet") else "cifar10")
+        if published:
+            lines.append("")
+            lines.append("```")
+            lines.append(render_published_comparison(published))
+            lines.append("```")
+    if extra_lines:
+        lines.append("")
+        lines.extend(extra_lines)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_report_section(path: Union[str, Path], section: str, append: bool = True) -> Path:
+    """Write (or append) a markdown section to ``path``."""
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    mode = "a" if append and path.exists() else "w"
+    with open(path, mode, encoding="utf-8") as handle:
+        handle.write(section)
+        if not section.endswith("\n"):
+            handle.write("\n")
+    return path

@@ -1,0 +1,80 @@
+"""ASCII rendering of the paper's result tables.
+
+There is no plotting backend available offline, so the benchmark harness
+reports everything as plain-text tables (and the ASCII plots of
+:mod:`repro.analysis.plots`).  ``render_table`` is a generic fixed-width table
+formatter; ``render_table1`` lays out an
+:class:`~repro.core.pipeline.ExperimentResult` in the shape of the paper's
+Table 1 (rows = conversion strategy, columns = ANN accuracy and the SNN
+accuracy at each latency checkpoint).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.baselines import PublishedResult
+from ..core.pipeline import ExperimentResult
+
+__all__ = ["render_table", "render_table1", "render_published_comparison", "format_percent"]
+
+
+def format_percent(value: Optional[float]) -> str:
+    """Format a fraction as a percentage string, or ``-`` when missing."""
+
+    if value is None:
+        return "-"
+    return f"{100.0 * value:.2f}%"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[str]], title: Optional[str] = None) -> str:
+    """Render a fixed-width table with a header rule."""
+
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(format_row(row))
+    return "\n".join(lines)
+
+
+def render_table1(result: ExperimentResult, title: Optional[str] = None) -> str:
+    """Render an experiment result in the layout of the paper's Table 1."""
+
+    latencies = sorted({t for outcome in result.outcomes for t in outcome.accuracy_by_latency})
+    headers = ["strategy", "ANN"] + [f"T={t}" for t in latencies]
+    rows: List[List[str]] = []
+    for outcome in result.outcomes:
+        # Each row reports the accuracy of the ANN that was actually converted:
+        # the TCL-trained network for the TCL row, the plain-ReLU twin otherwise.
+        ann_reference = outcome.sweep.ann_accuracy if outcome.sweep.ann_accuracy is not None else result.ann_accuracy
+        row = [outcome.strategy_name, format_percent(ann_reference)]
+        for latency in latencies:
+            row.append(format_percent(outcome.accuracy_by_latency.get(latency)))
+        rows.append(row)
+    if result.original_ann_accuracy is not None:
+        rows.append(["original ANN (no clip)", format_percent(result.original_ann_accuracy)] + ["-"] * len(latencies))
+    caption = title or f"{result.config.model} on {result.config.dataset} (synthetic substitute)"
+    return render_table(headers, rows, title=caption)
+
+
+def render_published_comparison(published: Sequence[PublishedResult], title: Optional[str] = None) -> str:
+    """Render the literature rows of Table 1 (accuracies in paper percent)."""
+
+    headers = ["source", "network", "ANN", "SNN", "latency"]
+    rows = []
+    for entry in published:
+        latency = "T>300" if entry.latency is None else f"T={entry.latency}"
+        rows.append([entry.source, entry.network, f"{entry.ann_accuracy:.2f}%", f"{entry.snn_accuracy:.2f}%", latency])
+    return render_table(headers, rows, title=title or "Published Table 1 rows (for shape comparison)")

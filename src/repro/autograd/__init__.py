@@ -1,0 +1,53 @@
+"""Numpy-based reverse-mode autodiff substrate.
+
+This package replaces the PyTorch dependency of the original paper with a
+self-contained implementation of the primitives the TCL training and
+conversion pipeline requires: a tape-based :class:`~repro.autograd.Tensor`,
+convolution, pooling, batch normalisation, the classification losses, and
+gradient-checking helpers used by the test-suite.
+"""
+
+from .tensor import Tensor, no_grad, is_grad_enabled, as_tensor, zeros, ones, randn, arange
+from .conv import conv2d, conv_output_shape, im2col, col2im
+from .pooling import avg_pool2d, max_pool2d, global_avg_pool2d
+from .norm import batch_norm2d, batch_norm1d
+from .functional import (
+    linear,
+    softmax,
+    log_softmax,
+    cross_entropy,
+    mse_loss,
+    dropout,
+    accuracy,
+)
+from .gradcheck import check_gradients, numerical_gradient, GradcheckError
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "as_tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "arange",
+    "conv2d",
+    "conv_output_shape",
+    "im2col",
+    "col2im",
+    "avg_pool2d",
+    "max_pool2d",
+    "global_avg_pool2d",
+    "batch_norm2d",
+    "batch_norm1d",
+    "linear",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "mse_loss",
+    "dropout",
+    "accuracy",
+    "check_gradients",
+    "numerical_gradient",
+    "GradcheckError",
+]

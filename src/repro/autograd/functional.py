@@ -1,0 +1,120 @@
+"""Losses and miscellaneous differentiable functions.
+
+Training in the paper is plain classification with stochastic gradient
+descent, so a numerically stable softmax cross-entropy (with optional label
+smoothing) is the only loss required.  A mean-squared-error loss is provided
+for the regression-style unit tests, and ``linear`` implements the fully
+connected layer primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "linear",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "mse_loss",
+    "dropout",
+    "accuracy",
+]
+
+
+def linear(inputs: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``inputs @ weight.T + bias``.
+
+    ``weight`` has shape ``(out_features, in_features)`` matching the layout
+    used by the conversion equations (rows are post-synaptic neurons).
+    """
+
+    inputs = as_tensor(inputs)
+    out = inputs.matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+
+    logits = as_tensor(logits)
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+
+    logits = as_tensor(logits)
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, label_smoothing: float = 0.0) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer class ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(N, num_classes)``.
+    targets:
+        Integer array of shape ``(N,)``.
+    label_smoothing:
+        Optional smoothing factor in ``[0, 1)``; the target distribution
+        becomes ``(1 - s) * one_hot + s / num_classes``.
+    """
+
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    n, num_classes = logits.shape
+    log_probs = log_softmax(logits, axis=-1)
+
+    one_hot = np.zeros((n, num_classes), dtype=logits.data.dtype)
+    one_hot[np.arange(n), targets] = 1.0
+    if label_smoothing > 0.0:
+        one_hot = (1.0 - label_smoothing) * one_hot + label_smoothing / num_classes
+
+    loss = -(log_probs * Tensor(one_hot)).sum() * (1.0 / n)
+    return loss
+
+
+def mse_loss(predictions: Tensor, targets: Tensor) -> Tensor:
+    """Mean squared error between two tensors of identical shape."""
+
+    predictions = as_tensor(predictions)
+    targets = as_tensor(targets)
+    diff = predictions - targets
+    return (diff * diff).mean()
+
+
+def dropout(inputs: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: zero activations with probability ``p`` while training."""
+
+    if not training or p <= 0.0:
+        return as_tensor(inputs)
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    inputs = as_tensor(inputs)
+    generator = rng if rng is not None else np.random.default_rng()
+    mask = (generator.random(inputs.shape) >= p).astype(inputs.data.dtype) / (1.0 - p)
+
+    def backward() -> None:
+        inputs._accumulate(out.grad * mask)
+
+    out = Tensor._make(inputs.data * mask, (inputs,), "dropout", backward)
+    return out
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy of raw scores against integer labels."""
+
+    logits = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    predictions = logits.argmax(axis=-1)
+    return float((predictions == np.asarray(targets)).mean())

@@ -1,0 +1,81 @@
+"""Numerical gradient checking utilities.
+
+Every differentiable primitive in the substrate is validated against central
+finite differences in the test-suite.  The helpers here keep that machinery in
+one place so tests stay short and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients", "GradcheckError"]
+
+
+class GradcheckError(AssertionError):
+    """Raised when analytic and numerical gradients disagree."""
+
+
+def numerical_gradient(
+    func: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Central finite-difference gradient of ``func`` w.r.t. ``inputs[index]``.
+
+    ``func`` must return a scalar :class:`Tensor`.
+    """
+
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(func(inputs).data)
+        flat[i] = original - eps
+        minus = float(func(inputs).data)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    func: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-5,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+) -> None:
+    """Compare analytic gradients of ``func`` against finite differences.
+
+    Raises
+    ------
+    GradcheckError
+        If any input gradient deviates beyond the tolerances.
+    """
+
+    for tensor in inputs:
+        tensor.zero_grad()
+    output = func(inputs)
+    if output.size != 1:
+        raise ValueError("gradient checking requires a scalar-valued function")
+    output.backward()
+
+    for index, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(func, inputs, index, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            max_err = float(np.abs(analytic - numeric).max())
+            raise GradcheckError(
+                f"gradient mismatch for input {index}: max abs error {max_err:.3e} "
+                f"(atol={atol}, rtol={rtol})"
+            )

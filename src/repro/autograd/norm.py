@@ -1,0 +1,130 @@
+"""Differentiable batch normalisation.
+
+Batch-normalisation cannot be represented by spiking neurons, so the paper
+folds it into the preceding convolution's weights and bias after training
+(Eq. 7).  During ANN *training*, however, batch-norm is used as usual; this
+module provides the differentiable forward pass (training mode, with running
+statistics tracking) and the inference-mode affine transform that the folding
+procedure in :mod:`repro.core.conversion` later absorbs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = ["batch_norm2d", "batch_norm1d"]
+
+
+def batch_norm2d(
+    inputs: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Channelwise batch normalisation of an NCHW tensor (paper Eq. 6).
+
+    ``running_mean`` and ``running_var`` are plain numpy buffers updated
+    in-place when ``training`` is true, exactly like the PyTorch convention
+    (exponential moving average with the given ``momentum``).
+    """
+
+    inputs = as_tensor(inputs)
+    n, c, h, w = inputs.shape
+    axes: Tuple[int, ...] = (0, 2, 3)
+
+    if training:
+        mean = inputs.data.mean(axis=axes)
+        var = inputs.data.var(axis=axes)
+        count = n * h * w
+        unbiased_var = var * count / max(count - 1, 1)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased_var
+    else:
+        mean = running_mean
+        var = running_var
+
+    mean_b = mean.reshape(1, c, 1, 1)
+    std = np.sqrt(var + eps).reshape(1, c, 1, 1)
+    x_hat = (inputs.data - mean_b) / std
+    out_data = gamma.data.reshape(1, c, 1, 1) * x_hat + beta.data.reshape(1, c, 1, 1)
+
+    def backward() -> None:
+        g = out.grad
+        gamma_b = gamma.data.reshape(1, c, 1, 1)
+        if gamma.requires_grad:
+            gamma._accumulate((g * x_hat).sum(axis=axes))
+        if beta.requires_grad:
+            beta._accumulate(g.sum(axis=axes))
+        if inputs.requires_grad:
+            if training:
+                m = n * h * w
+                dxhat = g * gamma_b
+                term1 = dxhat
+                term2 = dxhat.mean(axis=axes, keepdims=True)
+                term3 = x_hat * (dxhat * x_hat).mean(axis=axes, keepdims=True)
+                grad_in = (term1 - term2 - term3) / std
+                inputs._accumulate(grad_in)
+            else:
+                inputs._accumulate(g * gamma_b / std)
+
+    out = Tensor._make(out_data, (inputs, gamma, beta), "batch_norm2d", backward)
+    return out
+
+
+def batch_norm1d(
+    inputs: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Featurewise batch normalisation of an ``(N, F)`` tensor."""
+
+    inputs = as_tensor(inputs)
+    n, f = inputs.shape
+
+    if training:
+        mean = inputs.data.mean(axis=0)
+        var = inputs.data.var(axis=0)
+        unbiased_var = var * n / max(n - 1, 1)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased_var
+    else:
+        mean = running_mean
+        var = running_var
+
+    std = np.sqrt(var + eps)
+    x_hat = (inputs.data - mean) / std
+    out_data = gamma.data * x_hat + beta.data
+
+    def backward() -> None:
+        g = out.grad
+        if gamma.requires_grad:
+            gamma._accumulate((g * x_hat).sum(axis=0))
+        if beta.requires_grad:
+            beta._accumulate(g.sum(axis=0))
+        if inputs.requires_grad:
+            if training:
+                dxhat = g * gamma.data
+                grad_in = (dxhat - dxhat.mean(axis=0) - x_hat * (dxhat * x_hat).mean(axis=0)) / std
+                inputs._accumulate(grad_in)
+            else:
+                inputs._accumulate(g * gamma.data / std)
+
+    out = Tensor._make(out_data, (inputs, gamma, beta), "batch_norm1d", backward)
+    return out

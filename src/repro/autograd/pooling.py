@@ -1,0 +1,95 @@
+"""Differentiable spatial pooling operations.
+
+The paper replaces max-pooling with average-pooling before the ANN-to-SNN
+conversion (Section 3.1), because an averaging layer is exactly representable
+by fixed synaptic weights in the spiking domain while a max is not.  Both
+pooling flavours are therefore needed: max-pooling to reproduce the "original"
+ANN baselines, average-pooling for the convertible networks, and a global
+average pool for the ResNet classifier heads.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from .conv import conv_output_shape, im2col, col2im
+from .tensor import Tensor, as_tensor
+
+__all__ = ["avg_pool2d", "max_pool2d", "global_avg_pool2d"]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (int(value), int(value))
+
+
+def avg_pool2d(inputs: Tensor, kernel_size: IntPair, stride: IntPair = None, padding: IntPair = 0) -> Tensor:
+    """Average pooling over non-overlapping (or strided) windows."""
+
+    inputs = as_tensor(inputs)
+    kh, kw = _pair(kernel_size)
+    stride = kernel_size if stride is None else stride
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    n, c, h, w = inputs.shape
+    out_h, out_w = conv_output_shape(h, w, (kh, kw), (sh, sw), (ph, pw))
+
+    cols = im2col(inputs.data, (kh, kw), (sh, sw), (ph, pw)).reshape(n, c, kh * kw, out_h * out_w)
+    out_data = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+
+    def backward() -> None:
+        grad = out.grad.reshape(n, c, 1, out_h * out_w) / (kh * kw)
+        grad_cols = np.broadcast_to(grad, (n, c, kh * kw, out_h * out_w)).reshape(n, c * kh * kw, out_h * out_w)
+        grad_in = col2im(grad_cols, (n, c, h, w), (kh, kw), (sh, sw), (ph, pw))
+        inputs._accumulate(grad_in)
+
+    out = Tensor._make(out_data, (inputs,), "avg_pool2d", backward)
+    return out
+
+
+def max_pool2d(inputs: Tensor, kernel_size: IntPair, stride: IntPair = None, padding: IntPair = 0) -> Tensor:
+    """Max pooling over windows, with gradient routed to the arg-max element."""
+
+    inputs = as_tensor(inputs)
+    kh, kw = _pair(kernel_size)
+    stride = kernel_size if stride is None else stride
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    n, c, h, w = inputs.shape
+    out_h, out_w = conv_output_shape(h, w, (kh, kw), (sh, sw), (ph, pw))
+
+    cols = im2col(inputs.data, (kh, kw), (sh, sw), (ph, pw)).reshape(n, c, kh * kw, out_h * out_w)
+    argmax = cols.argmax(axis=2)
+    out_data = np.take_along_axis(cols, argmax[:, :, None, :], axis=2).squeeze(2)
+    out_data = out_data.reshape(n, c, out_h, out_w)
+
+    def backward() -> None:
+        grad = out.grad.reshape(n, c, 1, out_h * out_w)
+        grad_cols = np.zeros((n, c, kh * kw, out_h * out_w), dtype=out.grad.dtype)
+        np.put_along_axis(grad_cols, argmax[:, :, None, :], grad, axis=2)
+        grad_cols = grad_cols.reshape(n, c * kh * kw, out_h * out_w)
+        grad_in = col2im(grad_cols, (n, c, h, w), (kh, kw), (sh, sw), (ph, pw))
+        inputs._accumulate(grad_in)
+
+    out = Tensor._make(out_data, (inputs,), "max_pool2d", backward)
+    return out
+
+
+def global_avg_pool2d(inputs: Tensor) -> Tensor:
+    """Average over the full spatial extent, returning ``(N, C, 1, 1)``."""
+
+    inputs = as_tensor(inputs)
+    n, c, h, w = inputs.shape
+    out_data = inputs.data.mean(axis=(2, 3), keepdims=True)
+
+    def backward() -> None:
+        grad = np.broadcast_to(out.grad / (h * w), inputs.shape)
+        inputs._accumulate(grad)
+
+    out = Tensor._make(out_data, (inputs,), "global_avg_pool2d", backward)
+    return out

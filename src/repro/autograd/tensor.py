@@ -1,0 +1,652 @@
+"""Reverse-mode automatic differentiation on top of numpy.
+
+The :class:`Tensor` class wraps a ``numpy.ndarray`` and records the operations
+applied to it on a dynamic tape.  Calling :meth:`Tensor.backward` walks the
+tape in reverse topological order and accumulates gradients into the ``grad``
+attribute of every tensor that participates in the computation and has
+``requires_grad=True``.
+
+This module is the substrate that replaces PyTorch in the reproduction of
+"TCL: an ANN-to-SNN Conversion with Trainable Clipping Layers".  Only the
+features the paper's training and conversion pipeline needs are implemented,
+but those features are implemented completely: broadcasting-aware elementwise
+arithmetic, matrix multiplication, reductions, indexing, shape manipulation
+and the comparison operators used for masking.
+
+Convolution, pooling, normalisation and the loss functions live in the sibling
+modules (:mod:`repro.autograd.conv`, :mod:`repro.autograd.pooling`,
+:mod:`repro.autograd.norm`, :mod:`repro.autograd.functional`) and build on the
+primitives defined here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor", "zeros", "ones", "randn", "arange"]
+
+
+# ---------------------------------------------------------------------------
+# Global gradient-mode switch
+# ---------------------------------------------------------------------------
+
+class _GradMode:
+    """Process-wide flag controlling whether operations are recorded."""
+
+    enabled: bool = True
+
+
+class no_grad:
+    """Context manager that disables gradient recording.
+
+    Used by the SNN simulator and by evaluation loops where building the tape
+    would only waste memory.  Mirrors the semantics of ``torch.no_grad``.
+    """
+
+    def __enter__(self) -> "no_grad":
+        self._previous = _GradMode.enabled
+        _GradMode.enabled = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        _GradMode.enabled = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` when operations record themselves on the tape."""
+
+    return _GradMode.enabled
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    Numpy broadcasting can expand operands along new leading axes and along
+    axes of size one.  The vector-Jacobian product of a broadcast is a sum
+    over the broadcast axes; this helper performs that sum.
+    """
+
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes that were added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum axes that were expanded from size one.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+def as_tensor(value: ArrayLike, requires_grad: bool = False) -> "Tensor":
+    """Coerce ``value`` into a :class:`Tensor` (no copy when already one)."""
+
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+# ---------------------------------------------------------------------------
+# Tensor
+# ---------------------------------------------------------------------------
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a ``numpy.ndarray`` of floats.
+    requires_grad:
+        When ``True`` the tensor accumulates gradients during
+        :meth:`backward`.
+    _children:
+        Internal — the tensors this one was computed from.
+    _op:
+        Internal — a short human-readable name of the producing operation,
+        useful when debugging tapes.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _children: Iterable["Tensor"] = (),
+        _op: str = "",
+    ) -> None:
+        self.data: np.ndarray = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._backward: Callable[[], None] = lambda: None
+        self._prev: Tuple[Tensor, ...] = tuple(_children)
+        self._op: str = _op
+
+    # -- basic introspection -------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag}, op={self._op or 'leaf'})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the tape."""
+
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a tensor with copied data, detached from the tape."""
+
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+
+        self.grad = None
+
+    # -- graph construction helpers ------------------------------------------
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        children: Sequence["Tensor"],
+        op: str,
+        backward: Optional[Callable[[], None]] = None,
+    ) -> "Tensor":
+        """Create a result tensor, wiring it into the tape when recording."""
+
+        recording = is_grad_enabled() and any(c.requires_grad for c in children)
+        out = Tensor(data, requires_grad=recording, _children=children if recording else (), _op=op)
+        if recording and backward is not None:
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's gradient buffer."""
+
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # -- backward -------------------------------------------------------------
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            The upstream gradient.  Defaults to ``1`` which is only valid for
+            scalar outputs (e.g. a loss value).
+        """
+
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    "backward() without an explicit gradient is only supported for scalar outputs; "
+                    f"got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        self.grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+
+        topo: List[Tensor] = []
+        visited = set()
+
+        def build(node: Tensor) -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for child in node._prev:
+                build(child)
+            topo.append(node)
+
+        build(self)
+        for node in reversed(topo):
+            node._backward()
+
+    # -- elementwise arithmetic ----------------------------------------------
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward() -> None:
+            self._accumulate(out.grad)
+            other._accumulate(out.grad)
+
+        out = Tensor._make(out_data, (self, other), "add", backward)
+        return out
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data - other.data
+
+        def backward() -> None:
+            self._accumulate(out.grad)
+            other._accumulate(-out.grad)
+
+        out = Tensor._make(out_data, (self, other), "sub", backward)
+        return out
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward() -> None:
+            self._accumulate(out.grad * other.data)
+            other._accumulate(out.grad * self.data)
+
+        out = Tensor._make(out_data, (self, other), "mul", backward)
+        return out
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward() -> None:
+            self._accumulate(out.grad / other.data)
+            other._accumulate(-out.grad * self.data / (other.data ** 2))
+
+        out = Tensor._make(out_data, (self, other), "div", backward)
+        return out
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward() -> None:
+            self._accumulate(-out.grad)
+
+        out = Tensor._make(out_data, (self,), "neg", backward)
+        return out
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward() -> None:
+            self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+
+        out = Tensor._make(out_data, (self,), f"pow{exponent}", backward)
+        return out
+
+    # -- comparisons (non-differentiable, return plain arrays) ----------------
+
+    def __gt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data > _as_array(other)
+
+    def __ge__(self, other: ArrayLike) -> np.ndarray:
+        return self.data >= _as_array(other)
+
+    def __lt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data < _as_array(other)
+
+    def __le__(self, other: ArrayLike) -> np.ndarray:
+        return self.data <= _as_array(other)
+
+    # -- linear algebra --------------------------------------------------------
+
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        """Matrix product ``self @ other`` (2-D by 2-D, or batched)."""
+
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                other._accumulate(np.swapaxes(self.data, -1, -2) @ out.grad)
+
+        out = Tensor._make(out_data, (self, other), "matmul", backward)
+        return out
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    # -- unary math -------------------------------------------------------------
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward() -> None:
+            self._accumulate(out.grad * out_data)
+
+        out = Tensor._make(out_data, (self,), "exp", backward)
+        return out
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward() -> None:
+            self._accumulate(out.grad / self.data)
+
+        out = Tensor._make(out_data, (self,), "log", backward)
+        return out
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward() -> None:
+            self._accumulate(out.grad * 0.5 / np.maximum(out_data, 1e-12))
+
+        out = Tensor._make(out_data, (self,), "sqrt", backward)
+        return out
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward() -> None:
+            self._accumulate(out.grad * np.sign(self.data))
+
+        out = Tensor._make(out_data, (self,), "abs", backward)
+        return out
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward() -> None:
+            self._accumulate(out.grad * (1.0 - out_data ** 2))
+
+        out = Tensor._make(out_data, (self,), "tanh", backward)
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward() -> None:
+            self._accumulate(out.grad * out_data * (1.0 - out_data))
+
+        out = Tensor._make(out_data, (self,), "sigmoid", backward)
+        return out
+
+    def relu(self) -> "Tensor":
+        """Rectified linear unit, Eq. 4 of the paper."""
+
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward() -> None:
+            self._accumulate(out.grad * mask)
+
+        out = Tensor._make(out_data, (self,), "relu", backward)
+        return out
+
+    def clip_upper(self, bound: "Tensor") -> "Tensor":
+        """Clip activations from above by a trainable bound (paper Eq. 8/9).
+
+        The forward pass returns ``min(self, bound)``.  The backward pass uses
+        the paper's gradient definition: the gradient flows to the input where
+        the activation is below the bound and to ``bound`` where the
+        activation reached it.
+
+        ``bound`` may be a scalar tensor (one λ per layer, as in the paper) or
+        broadcastable to the activation shape (e.g. one λ per channel).
+        """
+
+        bound = as_tensor(bound)
+        clipped = self.data >= bound.data
+        out_data = np.where(clipped, np.broadcast_to(bound.data, self.data.shape), self.data)
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * (~clipped))
+            if bound.requires_grad:
+                bound._accumulate(out.grad * clipped)
+
+        out = Tensor._make(out_data, (self, bound), "clip_upper", backward)
+        return out
+
+    def maximum(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        take_self = self.data >= other.data
+        out_data = np.where(take_self, self.data, other.data)
+
+        def backward() -> None:
+            self._accumulate(out.grad * take_self)
+            other._accumulate(out.grad * (~take_self))
+
+        out = Tensor._make(out_data, (self, other), "maximum", backward)
+        return out
+
+    def minimum(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        take_self = self.data <= other.data
+        out_data = np.where(take_self, self.data, other.data)
+
+        def backward() -> None:
+            self._accumulate(out.grad * take_self)
+            other._accumulate(out.grad * (~take_self))
+
+        out = Tensor._make(out_data, (self, other), "minimum", backward)
+        return out
+
+    # -- reductions --------------------------------------------------------------
+
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward() -> None:
+            grad = out.grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                axes = tuple(a % self.data.ndim for a in axes)
+                for a in sorted(axes):
+                    grad = np.expand_dims(grad, a)
+            self._accumulate(np.broadcast_to(grad, self.data.shape))
+
+        out = Tensor._make(out_data, (self,), "sum", backward)
+        return out
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a % self.data.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward() -> None:
+            grad = out.grad
+            if axis is None:
+                mask = (self.data == self.data.max()).astype(self.data.dtype)
+                mask /= mask.sum()
+                self._accumulate(mask * grad)
+            else:
+                expanded = out_data if keepdims else np.expand_dims(out_data, axis)
+                mask = (self.data == expanded).astype(self.data.dtype)
+                mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+                grad_e = grad if keepdims else np.expand_dims(grad, axis)
+                self._accumulate(mask * grad_e)
+
+        out = Tensor._make(out_data, (self,), "max", backward)
+        return out
+
+    # -- shape manipulation --------------------------------------------------------
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward() -> None:
+            self._accumulate(out.grad.reshape(self.data.shape))
+
+        out = Tensor._make(out_data, (self,), "reshape", backward)
+        return out
+
+    def flatten_batch(self) -> "Tensor":
+        """Flatten every axis but the first (the batch axis)."""
+
+        return self.reshape(self.data.shape[0], -1)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward() -> None:
+            self._accumulate(out.grad.transpose(inverse))
+
+        out = Tensor._make(out_data, (self,), "transpose", backward)
+        return out
+
+    def pad2d(self, padding: Tuple[int, int]) -> "Tensor":
+        """Zero-pad the two trailing spatial axes of an NCHW tensor."""
+
+        ph, pw = padding
+        if ph == 0 and pw == 0:
+            return self
+        out_data = np.pad(self.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+        def backward() -> None:
+            grad = out.grad[:, :, ph: ph + self.data.shape[2], pw: pw + self.data.shape[3]]
+            self._accumulate(grad)
+
+        out = Tensor._make(out_data, (self,), "pad2d", backward)
+        return out
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward() -> None:
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, index, out.grad)
+            self._accumulate(grad)
+
+        out = Tensor._make(out_data, (self,), "getitem", backward)
+        return out
+
+    # -- concatenation ----------------------------------------------------------------
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [as_tensor(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward() -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                slicer = [slice(None)] * out_data.ndim
+                slicer[axis] = slice(start, stop)
+                tensor._accumulate(out.grad[tuple(slicer)])
+
+        out = Tensor._make(out_data, tuple(tensors), "concat", backward)
+        return out
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [as_tensor(t) for t in tensors]
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward() -> None:
+            for i, tensor in enumerate(tensors):
+                slicer = [slice(None)] * out_data.ndim
+                slicer[axis] = i
+                tensor._accumulate(out.grad[tuple(slicer)])
+
+        out = Tensor._make(out_data, tuple(tensors), "stack", backward)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Constructors
+# ---------------------------------------------------------------------------
+
+def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
+    """Return a tensor of zeros with the given shape."""
+
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(*shape: int, requires_grad: bool = False) -> Tensor:
+    """Return a tensor of ones with the given shape."""
+
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def randn(*shape: int, requires_grad: bool = False, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Return a tensor of standard-normal samples with the given shape."""
+
+    generator = rng if rng is not None else np.random.default_rng()
+    return Tensor(generator.standard_normal(shape), requires_grad=requires_grad)
+
+
+def arange(stop: int, requires_grad: bool = False) -> Tensor:
+    """Return a 1-D tensor containing ``0 .. stop-1`` as floats."""
+
+    return Tensor(np.arange(stop, dtype=np.float64), requires_grad=requires_grad)

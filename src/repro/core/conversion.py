@@ -1,0 +1,331 @@
+"""End-to-end ANN-to-SNN conversion (paper Sections 3–5).
+
+The converter walks a trained convertible network (a
+:class:`~repro.nn.Sequential` of the layer types used by the model zoo),
+performs the three transformations the paper describes, and emits a
+:class:`~repro.snn.SpikingNetwork`:
+
+1. **Batch-norm folding** (Eq. 7) — every BN following a conv / linear layer
+   is absorbed into that layer's effective weights and bias.
+2. **Data-normalization** (Eq. 5) — each synaptic layer's weights are scaled
+   by ``λ_prev / λ_this`` and its bias by ``1 / λ_this``, where the λ values
+   come from the chosen :class:`~repro.core.normfactor.NormFactorStrategy`
+   (trained TCL bound, observed maximum, or observed percentile).
+3. **Residual-block conversion** (Section 5) — every
+   :class:`~repro.nn.BasicBlock` becomes a
+   :class:`~repro.snn.SpikingResidualBlock` with the NS/OS weight equations.
+
+Pooling: average pooling maps onto spiking average-pool layers (threshold 1,
+norm-factor transparent); max pooling is rejected with a
+:class:`ConversionError`, because it cannot be modelled by IF neurons — the
+model zoo builds convertible networks with average pooling, following the
+paper.
+
+The final linear layer (the classifier head, not followed by a ReLU) becomes a
+:class:`~repro.snn.SpikingOutputLayer`.  Its norm-factor is taken from the
+observed maximum of the logits on calibration data when available (spike-count
+readout needs a sensible output scale); for the membrane readout the scale is
+irrelevant to the arg-max and defaults to 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..nn.activation import ReLU
+from ..nn.container import Sequential
+from ..nn.conv import Conv2d
+from ..nn.layers import Dropout, Flatten, Identity, Linear
+from ..nn.module import Module
+from ..nn.norm import BatchNorm1d, BatchNorm2d
+from ..nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from ..nn.residual import BasicBlock
+from ..snn.encoding import InputEncoder, RealCoding
+from ..snn.layers import (
+    SpikingAvgPool2d,
+    SpikingConv2d,
+    SpikingFlatten,
+    SpikingGlobalAvgPool2d,
+    SpikingLayer,
+    SpikingLinear,
+    SpikingOutputLayer,
+)
+from ..snn.network import SpikingNetwork
+from ..snn.neuron import ResetMode
+from .folding import EffectiveWeights
+from .normfactor import NormFactorStrategy, TCLNormFactor
+from .observers import ActivationObserver, attach_observers, detach_observers
+from .residual import ResidualNormFactors, convert_basic_block
+from .tcl import ClippedReLU
+
+__all__ = ["ConversionError", "ConversionResult", "run_calibration", "convert_ann_to_snn"]
+
+
+class ConversionError(RuntimeError):
+    """Raised when a network contains a construct that cannot be converted."""
+
+
+@dataclass
+class ConversionResult:
+    """A converted spiking network plus the bookkeeping of the conversion."""
+
+    snn: SpikingNetwork
+    strategy_name: str
+    norm_factors: Dict[str, float] = field(default_factory=dict)
+    residual_factors: List[ResidualNormFactors] = field(default_factory=list)
+    output_norm_factor: float = 1.0
+
+    @property
+    def num_spiking_layers(self) -> int:
+        return len(self.snn.layers)
+
+
+def run_calibration(model: Module, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
+    """Run calibration images through the ANN (eval mode, no gradients).
+
+    Observers attached to the activation sites accumulate statistics as a side
+    effect; the concatenated output logits are returned so the converter can
+    derive the output-layer norm-factor.
+    """
+
+    model.eval()
+    outputs: List[np.ndarray] = []
+    with no_grad():
+        for start in range(0, len(images), batch_size):
+            batch = images[start: start + batch_size]
+            logits = model(Tensor(batch))
+            outputs.append(np.array(logits.data, copy=True))
+    return np.concatenate(outputs, axis=0)
+
+
+def _output_norm_from_logits(logits: Optional[np.ndarray]) -> float:
+    """Output-layer norm-factor: the largest positive logit seen (≥ 1)."""
+
+    if logits is None or logits.size == 0:
+        return 1.0
+    peak = float(np.max(logits))
+    return max(peak, 1.0)
+
+
+def convert_ann_to_snn(
+    model: Sequential,
+    strategy: Optional[NormFactorStrategy] = None,
+    calibration_images: Optional[np.ndarray] = None,
+    reset_mode: ResetMode = ResetMode.SUBTRACT,
+    readout: str = "spike_count",
+    encoder: Optional[InputEncoder] = None,
+    input_norm_factor: float = 1.0,
+    calibration_batch_size: int = 64,
+) -> ConversionResult:
+    """Convert a trained convertible ANN into a spiking network.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.nn.Sequential` network built from the supported layer
+        types (the model zoo's ConvNet4 / VGG / ResNet instances).
+    strategy:
+        Norm-factor strategy; defaults to :class:`TCLNormFactor` (the paper's
+        method).
+    calibration_images:
+        Analog images used (a) to gather activation statistics when the
+        strategy requires observation and (b) to scale the output layer for
+        the spike-count readout.  Mandatory for max / percentile strategies.
+    reset_mode:
+        IF reset rule (paper default: reset-by-subtraction).
+    readout:
+        ``"spike_count"`` (paper) or ``"membrane"``.
+    encoder:
+        Input coding; defaults to the paper's real (constant-current) coding.
+    input_norm_factor:
+        λ of the network input (1.0 when images are fed in their natural
+        scale, as the paper does).
+    """
+
+    strategy = strategy if strategy is not None else TCLNormFactor()
+    model.eval()
+
+    logits: Optional[np.ndarray] = None
+    attached = False
+    try:
+        if strategy.requires_observers:
+            if calibration_images is None:
+                raise ConversionError(
+                    f"strategy {strategy.name!r} analyses activations and therefore needs calibration_images"
+                )
+            attach_observers(model)
+            attached = True
+        if calibration_images is not None:
+            logits = run_calibration(model, calibration_images, batch_size=calibration_batch_size)
+
+        builder = _ConversionWalk(
+            strategy=strategy,
+            reset_mode=reset_mode,
+            readout=readout,
+            input_norm_factor=input_norm_factor,
+            output_norm_factor=_output_norm_from_logits(logits) if readout == "spike_count" else 1.0,
+        )
+        spiking_layers = builder.walk(model)
+    finally:
+        if attached:
+            detach_observers(model)
+
+    snn = SpikingNetwork(spiking_layers, encoder=encoder if encoder is not None else RealCoding())
+    return ConversionResult(
+        snn=snn,
+        strategy_name=strategy.name,
+        norm_factors=builder.norm_factors,
+        residual_factors=builder.residual_factors,
+        output_norm_factor=builder.output_norm_factor,
+    )
+
+
+class _ConversionWalk:
+    """Stateful walk over a Sequential model emitting spiking layers."""
+
+    def __init__(
+        self,
+        strategy: NormFactorStrategy,
+        reset_mode: ResetMode,
+        readout: str,
+        input_norm_factor: float,
+        output_norm_factor: float,
+    ) -> None:
+        self.strategy = strategy
+        self.reset_mode = reset_mode
+        self.readout = readout
+        self.lambda_prev = float(input_norm_factor)
+        self.output_norm_factor = float(output_norm_factor)
+        self.norm_factors: Dict[str, float] = {"input": self.lambda_prev}
+        self.residual_factors: List[ResidualNormFactors] = []
+
+        self._pending: Optional[EffectiveWeights] = None
+        self._pending_meta: Dict[str, object] = {}
+        self._layers: List[SpikingLayer] = []
+        self._site_index = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _require_no_pending(self, context: str) -> None:
+        if self._pending is not None:
+            raise ConversionError(
+                f"synaptic layer without a following activation before {context}; "
+                "convertible networks must follow every conv/linear (except the classifier head) "
+                "with a ReLU/ClippedReLU"
+            )
+
+    def _emit_pending_as_spiking(self, site_name: str, activation: ClippedReLU) -> None:
+        """Close the pending synaptic layer at an activation site."""
+
+        if self._pending is None:
+            raise ConversionError(f"activation site {site_name!r} has no preceding conv/linear layer")
+        lambda_this = self.strategy.site_norm_factor(site_name, activation)
+        weight = self._pending.weight * (self.lambda_prev / lambda_this)
+        bias = self._pending.bias / lambda_this
+        kind = self._pending_meta["kind"]
+        if kind == "conv":
+            layer: SpikingLayer = SpikingConv2d(
+                weight,
+                bias,
+                stride=self._pending_meta["stride"],
+                padding=self._pending_meta["padding"],
+                reset_mode=self.reset_mode,
+            )
+        else:
+            layer = SpikingLinear(weight, bias, reset_mode=self.reset_mode)
+        self._layers.append(layer)
+        self.norm_factors[site_name] = lambda_this
+        self.lambda_prev = lambda_this
+        self._pending = None
+        self._pending_meta = {}
+
+    # -- the walk ---------------------------------------------------------------
+
+    def walk(self, model: Sequential) -> List[SpikingLayer]:
+        if not isinstance(model, Sequential):
+            raise ConversionError(
+                f"convert_ann_to_snn expects a Sequential-style model, got {type(model).__name__}"
+            )
+        for index, module in enumerate(model):
+            self._visit(module, index)
+        self._finalise_output()
+        return self._layers
+
+    def _visit(self, module: Module, index: int) -> None:
+        if isinstance(module, Conv2d):
+            self._require_no_pending(f"module {index} (Conv2d)")
+            bias = None if module.bias is None else module.bias.data
+            self._pending = EffectiveWeights(module.weight.data, bias)
+            self._pending_meta = {"kind": "conv", "stride": module.stride, "padding": module.padding}
+        elif isinstance(module, Linear):
+            self._require_no_pending(f"module {index} (Linear)")
+            bias = None if module.bias is None else module.bias.data
+            self._pending = EffectiveWeights(module.weight.data, bias)
+            self._pending_meta = {"kind": "linear"}
+        elif isinstance(module, (BatchNorm2d, BatchNorm1d)):
+            if self._pending is None:
+                raise ConversionError(f"module {index}: batch-norm without a preceding conv/linear layer")
+            self._pending.fold_batchnorm(module)
+        elif isinstance(module, ClippedReLU):
+            self._site_index += 1
+            self._emit_pending_as_spiking(f"site{self._site_index}", module)
+        elif isinstance(module, ReLU):
+            raise ConversionError(
+                f"module {index}: plain nn.ReLU activations are not observable; convertible models "
+                "must use ClippedReLU (with clip_enabled=False for the non-TCL baseline)"
+            )
+        elif isinstance(module, BasicBlock):
+            self._require_no_pending(f"module {index} (BasicBlock)")
+            self._site_index += 1
+            spiking_block, lambda_out, factors = convert_basic_block(
+                module,
+                lambda_pre=self.lambda_prev,
+                strategy=self.strategy,
+                site_prefix=f"block{self._site_index}.",
+                reset_mode=self.reset_mode,
+            )
+            self._layers.append(spiking_block)
+            self.norm_factors[f"block{self._site_index}.c1"] = factors.lambda_c1
+            self.norm_factors[f"block{self._site_index}.out"] = factors.lambda_out
+            self.residual_factors.append(factors)
+            self.lambda_prev = lambda_out
+        elif isinstance(module, AvgPool2d):
+            self._require_no_pending(f"module {index} (AvgPool2d)")
+            self._layers.append(
+                SpikingAvgPool2d(module.kernel_size, module.stride, reset_mode=self.reset_mode)
+            )
+        elif isinstance(module, GlobalAvgPool2d):
+            self._require_no_pending(f"module {index} (GlobalAvgPool2d)")
+            self._layers.append(SpikingGlobalAvgPool2d(reset_mode=self.reset_mode))
+        elif isinstance(module, MaxPool2d):
+            raise ConversionError(
+                f"module {index}: max-pooling cannot be modelled by IF neurons; "
+                "build the network with average pooling (convertible=True) as the paper prescribes"
+            )
+        elif isinstance(module, Flatten):
+            self._require_no_pending(f"module {index} (Flatten)")
+            self._layers.append(SpikingFlatten())
+        elif isinstance(module, (Dropout, Identity)):
+            pass  # inference no-ops
+        else:
+            raise ConversionError(f"module {index}: unsupported layer type {type(module).__name__}")
+
+    def _finalise_output(self) -> None:
+        """Turn the trailing (activation-less) linear layer into the output layer."""
+
+        if self._pending is None:
+            raise ConversionError("the network must end with a linear classifier head")
+        if self._pending_meta.get("kind") != "linear":
+            raise ConversionError("the classifier head must be a Linear layer")
+        lambda_out = self.output_norm_factor if self.readout == "spike_count" else 1.0
+        weight = self._pending.weight * (self.lambda_prev / lambda_out)
+        bias = self._pending.bias / lambda_out
+        self._layers.append(
+            SpikingOutputLayer(weight, bias, readout=self.readout, reset_mode=self.reset_mode)
+        )
+        self.norm_factors["output"] = lambda_out
+        self._pending = None

@@ -1,0 +1,187 @@
+"""Evaluation harness: accuracy-latency sweeps and activation analysis.
+
+This module produces the quantities the paper's evaluation section reports:
+
+* the accuracy of a converted SNN at a set of latencies T (Table 1 columns),
+* the accuracy loss relative to the ANN ("conversion loss"),
+* the latency needed to come within a tolerance of the ANN accuracy, and
+* the activation distribution of a chosen layer together with the norm-factor
+  each strategy would choose for it (Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..nn.container import Sequential
+from ..nn.module import Module
+from ..snn.network import SimulationResult, SpikingNetwork
+from .conversion import ConversionResult
+from .observers import ActivationObserver, attach_observers, detach_observers
+from .tcl import ClippedReLU, collect_lambdas
+
+__all__ = [
+    "LatencySweep",
+    "evaluate_snn",
+    "sweep_latencies",
+    "conversion_loss",
+    "latency_to_match_ann",
+    "ActivationSiteReport",
+    "analyze_activation_sites",
+]
+
+
+@dataclass
+class LatencySweep:
+    """Accuracy of one converted network at several latencies."""
+
+    strategy_name: str
+    accuracy_by_latency: Dict[int, float]
+    ann_accuracy: Optional[float] = None
+    total_spikes: float = 0.0
+
+    @property
+    def best_accuracy(self) -> float:
+        return max(self.accuracy_by_latency.values()) if self.accuracy_by_latency else 0.0
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.accuracy_by_latency:
+            return 0.0
+        return self.accuracy_by_latency[max(self.accuracy_by_latency)]
+
+    def loss_at(self, latency: int) -> Optional[float]:
+        """ANN accuracy minus SNN accuracy at ``latency`` (None when unknown)."""
+
+        if self.ann_accuracy is None or latency not in self.accuracy_by_latency:
+            return None
+        return self.ann_accuracy - self.accuracy_by_latency[latency]
+
+
+def evaluate_snn(
+    snn: SpikingNetwork,
+    images: np.ndarray,
+    labels: np.ndarray,
+    timesteps: int,
+    checkpoints: Optional[Sequence[int]] = None,
+    batch_size: int = 128,
+) -> Tuple[Dict[int, float], SimulationResult]:
+    """Simulate ``snn`` on an evaluation set and return its accuracy curve."""
+
+    result = snn.simulate_batched(images, timesteps, batch_size=batch_size, checkpoints=checkpoints)
+    return result.accuracy_curve(np.asarray(labels)), result
+
+
+def sweep_latencies(
+    conversion: ConversionResult,
+    images: np.ndarray,
+    labels: np.ndarray,
+    timesteps: int,
+    checkpoints: Optional[Sequence[int]] = None,
+    ann_accuracy: Optional[float] = None,
+    batch_size: int = 128,
+) -> LatencySweep:
+    """Accuracy-vs-latency curve of one conversion result."""
+
+    curve, result = evaluate_snn(conversion.snn, images, labels, timesteps, checkpoints, batch_size)
+    return LatencySweep(
+        strategy_name=conversion.strategy_name,
+        accuracy_by_latency=curve,
+        ann_accuracy=ann_accuracy,
+        total_spikes=result.total_spikes,
+    )
+
+
+def conversion_loss(ann_accuracy: float, snn_accuracy: float) -> float:
+    """Accuracy lost by converting (positive = the SNN is worse)."""
+
+    return ann_accuracy - snn_accuracy
+
+
+def latency_to_match_ann(sweep: LatencySweep, tolerance: float = 0.005) -> int:
+    """Smallest latency whose accuracy is within ``tolerance`` of the ANN.
+
+    Returns ``-1`` when no recorded latency reaches the target.
+    """
+
+    if sweep.ann_accuracy is None:
+        raise ValueError("the sweep has no ANN reference accuracy")
+    target = sweep.ann_accuracy - tolerance
+    for latency in sorted(sweep.accuracy_by_latency):
+        if sweep.accuracy_by_latency[latency] >= target:
+            return latency
+    return -1
+
+
+@dataclass
+class ActivationSiteReport:
+    """Figure-1 style analysis of one activation site.
+
+    Records the observed activation distribution on calibration data next to
+    the norm-factor each decision rule would pick: the maximum (Diehl), the
+    99.9th percentile (Rueckauer) and — when the site carries a trained
+    clipping layer — the TCL λ.
+    """
+
+    site_name: str
+    maximum: float
+    p99: float
+    p999: float
+    mean: float
+    trained_lambda: Optional[float]
+    histogram_counts: np.ndarray = field(repr=False, default_factory=lambda: np.zeros(0))
+    histogram_edges: np.ndarray = field(repr=False, default_factory=lambda: np.zeros(0))
+
+    @property
+    def lambda_vs_percentile_ratio(self) -> Optional[float]:
+        """Trained λ divided by the 99.9 % percentile (< 1 is the paper's claim)."""
+
+        if self.trained_lambda is None or self.p999 <= 0:
+            return None
+        return self.trained_lambda / self.p999
+
+
+def analyze_activation_sites(
+    model: Sequential,
+    images: np.ndarray,
+    bins: int = 60,
+    batch_size: int = 128,
+) -> List[ActivationSiteReport]:
+    """Collect activation distributions for every activation site of ``model``.
+
+    The model is run in evaluation mode over ``images`` with observers
+    attached; one report per :class:`~repro.core.tcl.ClippedReLU` site is
+    returned, in network order.
+    """
+
+    observers = attach_observers(model)
+    try:
+        model.eval()
+        with no_grad():
+            for start in range(0, len(images), batch_size):
+                model(Tensor(images[start: start + batch_size]))
+        reports: List[ActivationSiteReport] = []
+        for name, module in model.named_modules():
+            if not isinstance(module, ClippedReLU) or module.observer is None:
+                continue
+            observer: ActivationObserver = module.observer
+            counts, edges = observer.histogram(bins=bins)
+            reports.append(
+                ActivationSiteReport(
+                    site_name=name,
+                    maximum=observer.maximum,
+                    p99=observer.percentile(99.0),
+                    p999=observer.percentile(99.9),
+                    mean=observer.mean,
+                    trained_lambda=module.lambda_value,
+                    histogram_counts=counts,
+                    histogram_edges=edges,
+                )
+            )
+        return reports
+    finally:
+        detach_observers(model)

@@ -1,0 +1,81 @@
+"""Batch-normalisation folding (paper Eq. 7).
+
+Batch-norm layers cannot be realised with IF neurons, so before conversion the
+affine transform a trained BN applies at inference time is absorbed into the
+weights and bias of the synaptic layer that precedes it::
+
+    W̃_ij = (γ_i / σ_i) · W_ij
+    b̃_i  = (γ_i / σ_i) · (b_i − µ_i) + β_i
+
+where µ and σ are the BN running statistics and γ, β its learned scale and
+shift.  The helpers below operate on *copies* of the parameters — the trained
+ANN itself is never modified, so it can be converted repeatedly under
+different strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn.norm import BatchNorm1d, BatchNorm2d
+
+__all__ = ["bn_scale_shift", "fold_batchnorm", "EffectiveWeights"]
+
+
+class EffectiveWeights:
+    """Mutable (weight, bias) pair of one synaptic layer during conversion."""
+
+    def __init__(self, weight: np.ndarray, bias: Optional[np.ndarray]) -> None:
+        self.weight = np.array(weight, dtype=np.float64, copy=True)
+        if bias is None:
+            bias = np.zeros(weight.shape[0], dtype=np.float64)
+        self.bias = np.array(bias, dtype=np.float64, copy=True)
+
+    def fold_batchnorm(self, bn) -> "EffectiveWeights":
+        """Absorb a trained batch-norm layer (Eq. 7); returns ``self``."""
+
+        weight, bias = fold_batchnorm(self.weight, self.bias, bn)
+        self.weight = weight
+        self.bias = bias
+        return self
+
+
+def bn_scale_shift(bn) -> Tuple[np.ndarray, np.ndarray]:
+    """Return the per-channel ``(scale, shift)`` a BN applies at inference.
+
+    ``scale = γ / sqrt(running_var + eps)`` and
+    ``shift = β − scale · running_mean``, so that ``BN(x) = scale·x + shift``.
+    """
+
+    if not isinstance(bn, (BatchNorm1d, BatchNorm2d)):
+        raise TypeError(f"expected a BatchNorm layer, got {type(bn).__name__}")
+    sigma = np.sqrt(np.asarray(bn.running_var, dtype=np.float64) + bn.eps)
+    scale = bn.gamma.data / sigma
+    shift = bn.beta.data - scale * np.asarray(bn.running_mean, dtype=np.float64)
+    return scale, shift
+
+
+def fold_batchnorm(weight: np.ndarray, bias: Optional[np.ndarray], bn) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold a BN layer into the preceding layer's ``(weight, bias)`` (Eq. 7).
+
+    Works for convolutional weights ``(C_out, C_in, kh, kw)`` and linear
+    weights ``(out_features, in_features)``; the BN channel axis is the first
+    weight axis in both cases.
+    """
+
+    scale, shift = bn_scale_shift(bn)
+    weight = np.asarray(weight, dtype=np.float64)
+    if bias is None:
+        bias = np.zeros(weight.shape[0], dtype=np.float64)
+    bias = np.asarray(bias, dtype=np.float64)
+    if weight.shape[0] != scale.shape[0]:
+        raise ValueError(
+            f"cannot fold BN with {scale.shape[0]} channels into weight with "
+            f"{weight.shape[0]} output channels"
+        )
+    reshaped = scale.reshape((-1,) + (1,) * (weight.ndim - 1))
+    folded_weight = weight * reshaped
+    folded_bias = scale * bias + shift
+    return folded_weight, folded_bias

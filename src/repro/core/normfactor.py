@@ -1,0 +1,141 @@
+"""Norm-factor strategies (paper Section 3.2 and Section 4).
+
+The data-normalization of Eq. 5 needs a norm-factor λ_l per activation site.
+Three ways of choosing it are implemented, matching the paper's discussion:
+
+* :class:`MaxNormFactor` — Diehl et al. 2015: λ is the maximum activation
+  observed on calibration data.  Accurate but very slow SNNs (tiny firing
+  rates).
+* :class:`PercentileNormFactor` — Rueckauer et al. 2017: λ is a high
+  percentile (99.9 % by default) of the observed activations.  Faster, but
+  wide activation distributions make the residual clipping error significant
+  (the paper's explanation for the large ImageNet accuracy drop).
+* :class:`TCLNormFactor` — this paper: λ is the *trained* clipping bound of
+  the :class:`~repro.core.tcl.TrainableClip` layer that followed the ReLU
+  during ANN training.  No calibration pass is needed, the clipping error is
+  already accounted for by training, and the trained λ is typically smaller
+  than the 99.9 % percentile, which is what buys the latency reduction.
+
+Each strategy answers :meth:`NormFactorStrategy.site_norm_factor` for a given
+activation-site module; strategies that analyse activations declare
+``requires_observers = True`` so the converter knows to run calibration data
+through the ANN with observers attached first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .observers import ActivationObserver
+from .tcl import ClippedReLU
+
+__all__ = [
+    "NormFactorStrategy",
+    "TCLNormFactor",
+    "MaxNormFactor",
+    "PercentileNormFactor",
+    "FixedNormFactor",
+    "STRATEGY_REGISTRY",
+    "build_strategy",
+]
+
+_MIN_LAMBDA = 1e-6
+
+
+class NormFactorStrategy:
+    """Base class for norm-factor decisions."""
+
+    #: Whether the converter must run calibration batches with observers attached.
+    requires_observers: bool = False
+    #: Human-readable strategy name used in result tables.
+    name: str = "base"
+
+    def site_norm_factor(self, site_name: str, module: ClippedReLU) -> float:
+        """Return λ for one activation site."""
+
+        raise NotImplementedError
+
+    def _validated(self, value: float, site_name: str) -> float:
+        if not np.isfinite(value) or value <= 0:
+            return _MIN_LAMBDA
+        return float(value)
+
+
+class TCLNormFactor(NormFactorStrategy):
+    """Use the trained clipping bound λ of each TCL layer (the paper's method)."""
+
+    name = "tcl"
+    requires_observers = False
+
+    def site_norm_factor(self, site_name: str, module: ClippedReLU) -> float:
+        if not isinstance(module, ClippedReLU) or not module.clip_enabled:
+            raise ValueError(
+                f"site {site_name!r} has no trained clipping bound; "
+                "train the ANN with clip_enabled=True or use an observation-based strategy"
+            )
+        return self._validated(module.lambda_value, site_name)
+
+
+class MaxNormFactor(NormFactorStrategy):
+    """Diehl et al. 2015: λ = maximum observed activation."""
+
+    name = "max"
+    requires_observers = True
+
+    def site_norm_factor(self, site_name: str, module: ClippedReLU) -> float:
+        observer = module.observer
+        if observer is None or observer.count == 0:
+            raise ValueError(f"site {site_name!r} has no activation observations; run calibration data first")
+        return self._validated(observer.maximum, site_name)
+
+
+class PercentileNormFactor(NormFactorStrategy):
+    """Rueckauer et al. 2017: λ = a high percentile of observed activations."""
+
+    requires_observers = True
+
+    def __init__(self, percentile: float = 99.9) -> None:
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        self.percentile = percentile
+        self.name = f"percentile-{percentile:g}"
+
+    def site_norm_factor(self, site_name: str, module: ClippedReLU) -> float:
+        observer = module.observer
+        if observer is None or observer.count == 0:
+            raise ValueError(f"site {site_name!r} has no activation observations; run calibration data first")
+        return self._validated(observer.percentile(self.percentile), site_name)
+
+
+class FixedNormFactor(NormFactorStrategy):
+    """Use one fixed λ for every site (diagnostic / ablation baseline)."""
+
+    requires_observers = False
+
+    def __init__(self, value: float = 1.0) -> None:
+        if value <= 0:
+            raise ValueError(f"fixed norm-factor must be positive, got {value}")
+        self.value = float(value)
+        self.name = f"fixed-{value:g}"
+
+    def site_norm_factor(self, site_name: str, module: ClippedReLU) -> float:
+        return self.value
+
+
+STRATEGY_REGISTRY = {
+    "tcl": TCLNormFactor,
+    "max": MaxNormFactor,
+    "percentile": PercentileNormFactor,
+    "fixed": FixedNormFactor,
+}
+
+
+def build_strategy(name: str, **kwargs) -> NormFactorStrategy:
+    """Build a norm-factor strategy by registry name."""
+
+    key = name.lower()
+    if key not in STRATEGY_REGISTRY:
+        raise KeyError(f"unknown norm-factor strategy {name!r}; available: {sorted(STRATEGY_REGISTRY)}")
+    return STRATEGY_REGISTRY[key](**kwargs)

@@ -1,0 +1,137 @@
+"""Activation observers used to decide norm-factors from data.
+
+The baseline conversion strategies (Diehl et al. 2015 max-norm, Rueckauer et
+al. 2017 99.9 %-percentile norm) analyse the activations a trained ANN
+produces on calibration data.  An :class:`ActivationObserver` is attached to
+an activation site (a :class:`~repro.core.tcl.ClippedReLU`), accumulates
+streaming statistics over however many calibration batches are run, and then
+reports the maximum, arbitrary percentiles, mean and a histogram (the latter
+feeds the Figure-1 reproduction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ActivationObserver", "attach_observers", "detach_observers", "collect_observers"]
+
+
+class ActivationObserver:
+    """Streaming statistics over every activation value seen at one site.
+
+    A bounded reservoir sample (default 200k values) is kept for percentile
+    queries and histograms, which keeps memory constant regardless of how many
+    calibration batches are run, while max / mean / count are exact.
+    """
+
+    def __init__(self, reservoir_size: int = 200_000, seed: int = 0) -> None:
+        self.reservoir_size = reservoir_size
+        self._rng = np.random.default_rng(seed)
+        self.count = 0
+        self.maximum = 0.0
+        self.total = 0.0
+        self._reservoir: Optional[np.ndarray] = None
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold a batch of activation values into the running statistics."""
+
+        flat = np.asarray(values, dtype=np.float64).reshape(-1)
+        if flat.size == 0:
+            return
+        self.count += flat.size
+        self.total += float(flat.sum())
+        batch_max = float(flat.max())
+        if batch_max > self.maximum:
+            self.maximum = batch_max
+
+        if self._reservoir is None:
+            take = flat if flat.size <= self.reservoir_size else self._rng.choice(flat, self.reservoir_size, replace=False)
+            self._reservoir = take.copy()
+        elif self._reservoir.size < self.reservoir_size:
+            room = self.reservoir_size - self._reservoir.size
+            take = flat if flat.size <= room else self._rng.choice(flat, room, replace=False)
+            self._reservoir = np.concatenate([self._reservoir, take])
+        else:
+            # Uniform reservoir replacement keeps the sample unbiased enough
+            # for percentile estimation on smooth activation distributions.
+            replace_fraction = min(1.0, flat.size / max(self.count, 1))
+            n_replace = int(self.reservoir_size * replace_fraction)
+            if n_replace > 0:
+                idx = self._rng.choice(self.reservoir_size, n_replace, replace=False)
+                samples = self._rng.choice(flat, n_replace, replace=flat.size < n_replace)
+                self._reservoir[idx] = samples
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Return the ``q``-th percentile (0–100) of observed activations."""
+
+        if self._reservoir is None or self._reservoir.size == 0:
+            return 0.0
+        return float(np.percentile(self._reservoir, q))
+
+    def histogram(self, bins: int = 50, value_range: Optional[Tuple[float, float]] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Histogram of observed activations (counts, bin edges)."""
+
+        if self._reservoir is None or self._reservoir.size == 0:
+            edges = np.linspace(0.0, 1.0, bins + 1)
+            return np.zeros(bins), edges
+        return np.histogram(self._reservoir, bins=bins, range=value_range)
+
+    def summary(self) -> Dict[str, float]:
+        """Convenience dictionary with the statistics the strategies need."""
+
+        return {
+            "count": float(self.count),
+            "max": self.maximum,
+            "mean": self.mean,
+            "p99": self.percentile(99.0),
+            "p99.9": self.percentile(99.9),
+            "p99.99": self.percentile(99.99),
+        }
+
+
+def attach_observers(model, reservoir_size: int = 200_000, seed: int = 0) -> Dict[str, ActivationObserver]:
+    """Attach a fresh observer to every activation site of ``model``.
+
+    Returns ``{site_name: observer}`` keyed by the module path of each
+    :class:`~repro.core.tcl.ClippedReLU`.
+    """
+
+    from .tcl import ClippedReLU, TrainableClip  # local import avoids a cycle
+
+    observers: Dict[str, ActivationObserver] = {}
+    for name, module in model.named_modules():
+        if isinstance(module, ClippedReLU):
+            observer = ActivationObserver(reservoir_size=reservoir_size, seed=seed + len(observers))
+            module.observer = observer
+            observers[name] = observer
+    return observers
+
+
+def detach_observers(model) -> None:
+    """Remove observers from every activation site of ``model``."""
+
+    from .tcl import ClippedReLU, TrainableClip
+
+    for _, module in model.named_modules():
+        if isinstance(module, (ClippedReLU, TrainableClip)):
+            module.observer = None
+
+
+def collect_observers(model) -> Dict[str, ActivationObserver]:
+    """Return the currently attached observers keyed by site name."""
+
+    from .tcl import ClippedReLU
+
+    observers: Dict[str, ActivationObserver] = {}
+    for name, module in model.named_modules():
+        if isinstance(module, ClippedReLU) and module.observer is not None:
+            observers[name] = module.observer
+    return observers

@@ -1,0 +1,147 @@
+"""Conversion of residual blocks (paper Section 5).
+
+A residual block has two data paths; its conversion produces two spiking
+layers (paper Figure 3 C):
+
+* the **non-identity spiking layer (NS)** converted from the first
+  convolution of the main path, and
+* the **output spiking layer (OS)** whose input current is the sum of the
+  NS spikes weighted by the normalized Conv2 weights and the *block input*
+  spikes weighted by the normalized shortcut weights.
+
+For a type-A block (identity shortcut) the paper introduces a *virtual* 1×1
+convolution whose weight is fixed to one, so that the identity shortcut has
+the same algebraic form as a projection shortcut and the same conversion
+equations apply.  The norm-factor equations are::
+
+    Ŵ_ns  = W_c1 · λ_pre / λ_c1          b̂_ns = b_c1 / λ_c1
+    Ŵ_osn = W_c2 · λ_c1 / λ_out
+    Ŵ_osi = W_sh · λ_pre / λ_out         b̂_os = (b_c2 + b_sh) / λ_out
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn.layers import Identity
+from ..nn.residual import BasicBlock
+from ..snn.layers import SpikingResidualBlock
+from ..snn.neuron import ResetMode
+from .folding import EffectiveWeights
+from .normfactor import NormFactorStrategy
+from .tcl import ClippedReLU
+
+__all__ = ["identity_shortcut_kernel", "ResidualNormFactors", "convert_basic_block"]
+
+
+def identity_shortcut_kernel(in_channels: int, out_channels: int) -> np.ndarray:
+    """The virtual 1×1 convolution of a type-A block: weight fixed to one.
+
+    Returns an ``(out_channels, in_channels, 1, 1)`` kernel that copies each
+    input channel to the matching output channel.  Type-A blocks always have
+    ``in_channels == out_channels``; the general signature only exists so the
+    error message is informative when that invariant is violated.
+    """
+
+    if in_channels != out_channels:
+        raise ValueError(
+            "a type-A (identity-shortcut) block must preserve the channel count; "
+            f"got {in_channels} -> {out_channels}"
+        )
+    kernel = np.zeros((out_channels, in_channels, 1, 1))
+    for channel in range(out_channels):
+        kernel[channel, channel, 0, 0] = 1.0
+    return kernel
+
+
+@dataclass
+class ResidualNormFactors:
+    """The three norm-factors involved in converting one residual block."""
+
+    lambda_pre: float
+    lambda_c1: float
+    lambda_out: float
+
+
+def _effective_branch_weights(block: BasicBlock) -> Tuple[EffectiveWeights, EffectiveWeights, EffectiveWeights]:
+    """Return BN-folded (conv1, conv2, shortcut) weights of a residual block."""
+
+    conv1 = EffectiveWeights(block.conv1.weight.data, None if block.conv1.bias is None else block.conv1.bias.data)
+    if not isinstance(block.bn1, Identity):
+        conv1.fold_batchnorm(block.bn1)
+
+    conv2 = EffectiveWeights(block.conv2.weight.data, None if block.conv2.bias is None else block.conv2.bias.data)
+    if not isinstance(block.bn2, Identity):
+        conv2.fold_batchnorm(block.bn2)
+
+    if block.is_projection:
+        shortcut = EffectiveWeights(
+            block.shortcut_conv.weight.data,
+            None if block.shortcut_conv.bias is None else block.shortcut_conv.bias.data,
+        )
+        if not isinstance(block.shortcut_bn, Identity):
+            shortcut.fold_batchnorm(block.shortcut_bn)
+    else:
+        shortcut = EffectiveWeights(identity_shortcut_kernel(block.in_channels, block.out_channels), None)
+    return conv1, conv2, shortcut
+
+
+def convert_basic_block(
+    block: BasicBlock,
+    lambda_pre: float,
+    strategy: NormFactorStrategy,
+    site_prefix: str = "",
+    reset_mode: ResetMode = ResetMode.SUBTRACT,
+) -> Tuple[SpikingResidualBlock, float, ResidualNormFactors]:
+    """Convert one :class:`~repro.nn.BasicBlock` into a spiking residual block.
+
+    Parameters
+    ----------
+    block:
+        The trained residual block (in eval mode).
+    lambda_pre:
+        Norm-factor of the activation feeding this block (λ_pre).
+    strategy:
+        Norm-factor strategy that decides λ_c1 and λ_out from the block's two
+        activation sites.
+    site_prefix:
+        Name prefix used when asking the strategy for site norm-factors
+        (purely informational, appears in error messages and reports).
+
+    Returns
+    -------
+    (spiking_block, lambda_out, factors):
+        The converted spiking layer, the norm-factor the *next* layer must use
+        as its λ_pre, and the record of all three factors.
+    """
+
+    if not isinstance(block.activation1, ClippedReLU) or not isinstance(block.activation_out, ClippedReLU):
+        raise TypeError("convert_basic_block expects BasicBlock activations to be ClippedReLU modules")
+
+    lambda_c1 = strategy.site_norm_factor(f"{site_prefix}activation1", block.activation1)
+    lambda_out = strategy.site_norm_factor(f"{site_prefix}activation_out", block.activation_out)
+    factors = ResidualNormFactors(lambda_pre=lambda_pre, lambda_c1=lambda_c1, lambda_out=lambda_out)
+
+    conv1, conv2, shortcut = _effective_branch_weights(block)
+
+    ns_weight = conv1.weight * (lambda_pre / lambda_c1)
+    ns_bias = conv1.bias / lambda_c1
+    osn_weight = conv2.weight * (lambda_c1 / lambda_out)
+    osi_weight = shortcut.weight * (lambda_pre / lambda_out)
+    os_bias = (conv2.bias + shortcut.bias) / lambda_out
+
+    spiking_block = SpikingResidualBlock(
+        ns_weight=ns_weight,
+        ns_bias=ns_bias,
+        osn_weight=osn_weight,
+        osi_weight=osi_weight,
+        os_bias=os_bias,
+        ns_stride=block.stride,
+        osi_stride=block.stride,
+        reset_mode=reset_mode,
+        block_type=block.block_type,
+    )
+    return spiking_block, lambda_out, factors

@@ -1,0 +1,157 @@
+"""SpikeNorm — the Sengupta et al. 2019 threshold-balancing baseline.
+
+Table 1 of the TCL paper compares against "Going Deeper in Spiking Neural
+Networks" (Sengupta et al. 2019), whose conversion does not rescale weights at
+all: it keeps the trained ANN weights and instead *balances the firing
+thresholds* layer by layer.  For each spiking layer, in network order, the SNN
+is driven with calibration inputs while the layer's threshold is still
+unset; the maximum weighted input current the layer ever receives becomes its
+threshold.  Because the threshold equals the true maximum of the spiking
+pre-activation (not of the ANN activation), the conversion is very accurate —
+and very slow, which is exactly the behaviour the TCL paper contrasts itself
+against (the T > 300 column of Table 1).
+
+``convert_with_spikenorm`` builds on the existing converter: the network is
+first converted with a fixed norm-factor of 1 (weights untouched, thresholds
+1), then the thresholds are balanced sequentially with
+:func:`balance_thresholds`.
+
+Caveat (faithful to the original): threshold balancing assumes **bias-free**
+networks.  With per-layer thresholds θ_l ≠ 1, layer *l*'s firing rate encodes
+``a_l / (θ_1 ⋯ θ_l)``; that rescaling is consistent only when the layer map is
+positively homogeneous, which biases break.  The TCL paper makes exactly this
+point in Section 3.1 ("Cao et al., Diehl et al., and Sengupta et al. employed
+ANN models without biases ... this approach causes considerable accuracy loss
+for the large size dataset").  Use TCL / max / percentile data-normalization
+for networks trained with biases or batch-norm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.container import Sequential
+from ..snn.network import SpikingNetwork
+from ..snn.neuron import IFNeuronPool, ResetMode
+from .conversion import ConversionResult, convert_ann_to_snn
+from .normfactor import FixedNormFactor
+
+__all__ = ["SpikeNormResult", "balance_thresholds", "convert_with_spikenorm"]
+
+_MIN_THRESHOLD = 1e-6
+
+
+@dataclass
+class SpikeNormResult:
+    """A threshold-balanced conversion plus the balanced thresholds per pool."""
+
+    conversion: ConversionResult
+    thresholds: List[float] = field(default_factory=list)
+    balance_timesteps: int = 0
+
+    @property
+    def snn(self) -> SpikingNetwork:
+        return self.conversion.snn
+
+    @property
+    def strategy_name(self) -> str:
+        return self.conversion.strategy_name
+
+
+def _neuron_pools(snn: SpikingNetwork) -> List[IFNeuronPool]:
+    """All IF pools of the network in forward order (NS before OS for blocks)."""
+
+    pools: List[IFNeuronPool] = []
+    for layer in snn.layers:
+        pools.extend(layer.neuron_pools)
+    return pools
+
+
+def balance_thresholds(
+    snn: SpikingNetwork,
+    calibration_images: np.ndarray,
+    timesteps: int = 60,
+    batch_size: int = 64,
+) -> List[float]:
+    """Set every pool's threshold to the maximum input current it receives.
+
+    Pools are balanced in forward order: when pool *k* is being calibrated,
+    pools 1..k-1 already carry their balanced thresholds, so the spike trains
+    feeding pool *k* are the ones it will see at inference time — the defining
+    property of the SpikeNorm procedure.
+
+    Returns the list of balanced thresholds (one per pool, forward order).
+    """
+
+    if timesteps <= 0:
+        raise ValueError(f"timesteps must be positive, got {timesteps}")
+    calibration_images = np.asarray(calibration_images, dtype=np.float64)
+    pools = _neuron_pools(snn)
+    thresholds: List[float] = []
+
+    for pool in pools:
+        pool.track_input_stats = True
+        pool.max_input_current = 0.0
+        for start in range(0, len(calibration_images), batch_size):
+            batch = calibration_images[start: start + batch_size]
+            snn.reset_state()
+            snn.encoder.reset(batch)
+            for t in range(1, timesteps + 1):
+                snn.step(snn.encoder.step(t))
+        balanced = max(pool.max_input_current, _MIN_THRESHOLD)
+        pool.threshold = balanced
+        pool.track_input_stats = False
+        thresholds.append(balanced)
+
+    snn.reset_state()
+    return thresholds
+
+
+def convert_with_spikenorm(
+    model: Sequential,
+    calibration_images: np.ndarray,
+    balance_timesteps: int = 60,
+    balance_images: Optional[int] = 32,
+    reset_mode: ResetMode = ResetMode.SUBTRACT,
+    readout: str = "spike_count",
+    batch_size: int = 64,
+) -> SpikeNormResult:
+    """Convert ``model`` with Sengupta-style threshold balancing.
+
+    Parameters
+    ----------
+    model:
+        A trained convertible network (the plain-ReLU twin; no trained λ is
+        needed or used).
+    calibration_images:
+        Images driving the balancing simulation (and the output-layer scale).
+    balance_timesteps:
+        Simulation length used while balancing each layer.  Larger values find
+        larger (more conservative) thresholds — the source of SpikeNorm's
+        latency cost.
+    balance_images:
+        How many calibration images to use for balancing (None = all).  The
+        balancing loop simulates the network once per layer, so this bounds
+        its cost.
+    """
+
+    conversion = convert_ann_to_snn(
+        model,
+        FixedNormFactor(1.0),
+        calibration_images=calibration_images,
+        reset_mode=reset_mode,
+        readout=readout,
+    )
+    conversion.strategy_name = "spikenorm"
+    subset = calibration_images if balance_images is None else calibration_images[:balance_images]
+    thresholds = balance_thresholds(
+        conversion.snn, subset, timesteps=balance_timesteps, batch_size=batch_size
+    )
+    # Record the balanced thresholds in the conversion's norm-factor table so
+    # reports can show them next to the data-normalization factors.
+    for index, threshold in enumerate(thresholds):
+        conversion.norm_factors[f"threshold{index + 1}"] = threshold
+    return SpikeNormResult(conversion=conversion, thresholds=thresholds, balance_timesteps=balance_timesteps)

@@ -1,0 +1,211 @@
+"""TCL — the trainable clipping layer (the paper's primary contribution).
+
+During ANN training, every ReLU is followed by a clipping layer whose upper
+bound λ is itself a learnable parameter (paper Figure 2).  The forward pass is
+Eq. 8::
+
+    a_bar = clip(a, λ) = λ   if a ≥ λ
+                         a   otherwise
+
+and the gradients are Eq. 9::
+
+    ∂a_bar/∂a = 0 if a ≥ λ else 1
+    ∂a_bar/∂λ = 1 if a ≥ λ else 0
+
+After training, λ of each clipping layer becomes the *norm-factor* of the
+data-normalization (Eq. 5), giving a conversion whose latency is set by a
+bound the network itself chose during training instead of by the maximum or a
+fixed percentile of post-hoc activations.
+
+Two module flavours are provided:
+
+* :class:`TrainableClip` — just the clipping layer of Figure 2 (expects its
+  input to already be non-negative, i.e. placed right after a ReLU);
+* :class:`ClippedReLU` — the ReLU + clipping pair as a single activation
+  module, which is what the model zoo instantiates at every activation site.
+  With ``clip_enabled=False`` it degenerates to a plain ReLU so the same
+  architectures serve as the "original" (non-TCL) baselines.
+
+Both support an attached :class:`~repro.core.observers.ActivationObserver`
+used by the baseline norm-factor strategies (max / percentile) to analyse
+activations on calibration data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn.module import Module, Parameter
+
+__all__ = [
+    "TrainableClip",
+    "ClippedReLU",
+    "collect_lambdas",
+    "lambda_regularization",
+    "split_tcl_parameter_groups",
+    "DEFAULT_LAMBDA_CIFAR",
+    "DEFAULT_LAMBDA_IMAGENET",
+]
+
+# Initial λ values from Section 6 of the paper.
+DEFAULT_LAMBDA_CIFAR = 2.0
+DEFAULT_LAMBDA_IMAGENET = 4.0
+
+
+class TrainableClip(Module):
+    """The clipping layer of paper Figure 2 with trainable bound λ (Eq. 8/9).
+
+    Parameters
+    ----------
+    initial_lambda:
+        Initial value of the trainable bound.  The paper uses 2.0 for CIFAR-10
+        and 4.0 for ImageNet.
+    minimum:
+        Lower bound that λ is clamped to after every optimisation step is
+        *not* enforced here; it is only used by :meth:`clamp_lambda`, which the
+        training harness calls to keep λ strictly positive.
+    """
+
+    def __init__(self, initial_lambda: float = DEFAULT_LAMBDA_CIFAR, minimum: float = 1e-3) -> None:
+        super().__init__()
+        if initial_lambda <= 0:
+            raise ValueError(f"initial λ must be positive, got {initial_lambda}")
+        self.lam = Parameter(np.array(float(initial_lambda)), name="lambda")
+        self.minimum = minimum
+        self.observer = None
+
+    @property
+    def lambda_value(self) -> float:
+        """Current value of the trainable clipping bound."""
+
+        return float(self.lam.data)
+
+    def clamp_lambda(self) -> None:
+        """Clamp λ from below to keep it a valid norm-factor."""
+
+        if self.lam.data < self.minimum:
+            self.lam.data[...] = self.minimum
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        out = inputs.clip_upper(self.lam)
+        if self.observer is not None:
+            self.observer.update(out.data)
+        return out
+
+    def extra_repr(self) -> str:
+        return f"lambda={self.lambda_value:.4f}"
+
+
+class ClippedReLU(Module):
+    """ReLU followed by an optional :class:`TrainableClip` (one activation site).
+
+    Every convertible model in :mod:`repro.models` uses this module at every
+    activation site.  The ANN-to-SNN converter treats each ``ClippedReLU`` as
+    the boundary of one spiking layer and reads its norm-factor from either
+    the trained λ (TCL strategy) or an attached observer (baseline
+    strategies).
+
+    Parameters
+    ----------
+    initial_lambda:
+        Initial λ when clipping is enabled.
+    clip_enabled:
+        ``False`` recovers a plain ReLU (used for the "original" ANN
+        baselines of Table 1 / Figure 1).
+    """
+
+    def __init__(self, initial_lambda: float = DEFAULT_LAMBDA_CIFAR, clip_enabled: bool = True) -> None:
+        super().__init__()
+        self.clip_enabled = clip_enabled
+        self.clip = TrainableClip(initial_lambda) if clip_enabled else None
+        self.observer = None
+
+    @property
+    def lambda_value(self) -> Optional[float]:
+        """Trained λ, or ``None`` when clipping is disabled."""
+
+        return self.clip.lambda_value if self.clip_enabled else None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        out = inputs.relu()
+        if self.clip_enabled:
+            out = self.clip(out)
+        if self.observer is not None:
+            self.observer.update(out.data)
+        return out
+
+    def extra_repr(self) -> str:
+        if self.clip_enabled:
+            return f"clip_enabled=True, lambda={self.lambda_value:.4f}"
+        return "clip_enabled=False"
+
+
+def collect_lambdas(model: Module) -> Dict[str, float]:
+    """Return ``{module_name: λ}`` for every clipping layer in ``model``."""
+
+    lambdas: Dict[str, float] = {}
+    for name, module in model.named_modules():
+        if isinstance(module, ClippedReLU) and module.clip_enabled:
+            lambdas[name] = module.lambda_value
+        elif isinstance(module, TrainableClip):
+            # Skip clips owned by a ClippedReLU already recorded above.
+            owner = name[: -len(".clip")] if name.endswith(".clip") else None
+            if owner not in lambdas:
+                lambdas[name] = module.lambda_value
+    return lambdas
+
+
+def lambda_regularization(model: Module, strength: float = 0.0) -> Optional[Tensor]:
+    """L2 penalty ``strength * Σ λ²`` pulling clipping bounds down.
+
+    The paper does not regularise λ explicitly, but notes that a smaller λ
+    yields lower SNN latency; this optional penalty exposes that trade-off for
+    the ablation benchmarks.  Returns ``None`` when ``strength`` is zero or
+    the model has no clipping layers.
+    """
+
+    if strength <= 0.0:
+        return None
+    terms: List[Tensor] = []
+    for module in model.modules():
+        if isinstance(module, TrainableClip):
+            terms.append(module.lam * module.lam)
+    if not terms:
+        return None
+    total = terms[0]
+    for term in terms[1:]:
+        total = total + term
+    return total * strength
+
+
+def split_tcl_parameter_groups(model: Module) -> Tuple[List[Parameter], List[Parameter]]:
+    """Split parameters into ``(regular, lambda)`` groups.
+
+    Weight decay must not be applied to λ with the regular strength (it would
+    silently shrink the clipping bound and distort the accuracy/latency
+    trade-off), so the training harness builds separate optimiser groups from
+    this split.
+    """
+
+    lambda_ids = set()
+    lambda_params: List[Parameter] = []
+    for module in model.modules():
+        if isinstance(module, TrainableClip):
+            lambda_ids.add(id(module.lam))
+            lambda_params.append(module.lam)
+    regular = [p for p in model.parameters() if id(p) not in lambda_ids]
+    return regular, lambda_params
+
+
+def clamp_all_lambdas(model: Module) -> None:
+    """Clamp every λ in the model from below (called after each optimiser step)."""
+
+    for module in model.modules():
+        if isinstance(module, TrainableClip):
+            module.clamp_lambda()
+
+
+__all__.append("clamp_all_lambdas")

@@ -1,0 +1,35 @@
+"""Data substrate: datasets, synthetic CIFAR/ImageNet stand-ins, loaders, transforms."""
+
+from .dataset import Dataset, ArrayDataset, Subset, train_test_split
+from .synthetic import (
+    SyntheticImageConfig,
+    SyntheticCIFAR,
+    SyntheticImageNet,
+    make_cifar_like,
+    make_imagenet_like,
+    generate_synthetic_images,
+    make_class_prototypes,
+)
+from .loader import DataLoader
+from .transforms import Compose, Normalize, RandomHorizontalFlip, RandomCrop, ToFloat, compute_mean_std
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "Subset",
+    "train_test_split",
+    "SyntheticImageConfig",
+    "SyntheticCIFAR",
+    "SyntheticImageNet",
+    "make_cifar_like",
+    "make_imagenet_like",
+    "generate_synthetic_images",
+    "make_class_prototypes",
+    "DataLoader",
+    "Compose",
+    "Normalize",
+    "RandomHorizontalFlip",
+    "RandomCrop",
+    "ToFloat",
+    "compute_mean_std",
+]

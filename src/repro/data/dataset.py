@@ -1,0 +1,115 @@
+"""Dataset abstractions.
+
+The original paper uses CIFAR-10 and ImageNet.  Neither can be downloaded in
+this environment, so the :mod:`repro.data.synthetic` module generates
+class-structured image datasets with the statistical properties the paper's
+argument relies on (learnable class structure, wide-tailed ReLU activation
+distributions).  The abstractions here are dataset-agnostic: a
+:class:`Dataset` is an indexable collection of ``(image, label)`` pairs and
+:class:`ArrayDataset` wraps in-memory numpy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Dataset", "ArrayDataset", "Subset", "train_test_split"]
+
+
+class Dataset:
+    """Minimal dataset interface: ``__len__`` and ``__getitem__``."""
+
+    def __len__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct labels; subclasses should override when known."""
+
+        labels = {int(self[i][1]) for i in range(len(self))}
+        return len(labels)
+
+
+class ArrayDataset(Dataset):
+    """In-memory dataset over ``images`` (N, C, H, W) and integer ``labels`` (N,).
+
+    Parameters
+    ----------
+    images, labels:
+        Numpy arrays with matching leading dimension.
+    transform:
+        Optional callable applied to each image on access (e.g. augmentation).
+    """
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        transform: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> None:
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(images) != len(labels):
+            raise ValueError(f"images ({len(images)}) and labels ({len(labels)}) length mismatch")
+        if images.ndim != 4:
+            raise ValueError(f"images must be NCHW, got shape {images.shape}")
+        self.images = images
+        self.labels = labels
+        self.transform = transform
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        image = self.images[index]
+        if self.transform is not None:
+            image = self.transform(image)
+        return image, int(self.labels[index])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        """Return the ``(C, H, W)`` shape of a single image."""
+
+        return tuple(self.images.shape[1:])
+
+
+class Subset(Dataset):
+    """A view of another dataset restricted to the given indices."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]) -> None:
+        self.dataset = dataset
+        self.indices = list(indices)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.dataset[self.indices[index]]
+
+    @property
+    def num_classes(self) -> int:
+        return self.dataset.num_classes
+
+
+def train_test_split(
+    dataset: Dataset,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> Tuple[Subset, Subset]:
+    """Shuffle and split a dataset into train / test subsets."""
+
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    indices = rng.permutation(len(dataset))
+    split = int(round(len(dataset) * (1.0 - test_fraction)))
+    return Subset(dataset, indices[:split]), Subset(dataset, indices[split:])

@@ -1,0 +1,77 @@
+"""Mini-batch loading."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .dataset import Dataset
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate over a dataset in mini-batches of stacked numpy arrays.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to draw from.
+    batch_size:
+        Number of samples per batch.
+    shuffle:
+        Whether to reshuffle indices at the start of every epoch.
+    drop_last:
+        Whether to drop a trailing incomplete batch.
+    seed:
+        Seed of the shuffling generator (each epoch advances it) so runs are
+        reproducible.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_idx = indices[start: start + self.batch_size]
+            if self.drop_last and len(batch_idx) < self.batch_size:
+                break
+            images, labels = [], []
+            for i in batch_idx:
+                image, label = self.dataset[int(i)]
+                images.append(image)
+                labels.append(label)
+            yield np.stack(images), np.asarray(labels, dtype=np.int64)
+
+    def full_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Materialise the entire dataset as one batch (used for evaluation)."""
+
+        images, labels = [], []
+        for i in range(len(self.dataset)):
+            image, label = self.dataset[i]
+            images.append(image)
+            labels.append(label)
+        return np.stack(images), np.asarray(labels, dtype=np.int64)

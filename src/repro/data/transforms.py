@@ -1,0 +1,89 @@
+"""Image transforms (normalisation and light augmentation).
+
+The paper trains with standard CIFAR/ImageNet augmentation; for the synthetic
+stand-ins a light pipeline (normalise, random horizontal flip, random crop
+with padding) is sufficient and keeps CPU epochs fast.
+Transforms operate on single CHW numpy images and compose with
+:class:`Compose`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Compose", "Normalize", "RandomHorizontalFlip", "RandomCrop", "ToFloat", "compute_mean_std"]
+
+
+class Compose:
+    """Apply a sequence of transforms in order."""
+
+    def __init__(self, transforms: Sequence[Callable[[np.ndarray], np.ndarray]]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            image = transform(image)
+        return image
+
+
+class ToFloat:
+    """Cast to float64 (no-op for already-float synthetic data)."""
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        return np.asarray(image, dtype=np.float64)
+
+
+class Normalize:
+    """Channelwise standardisation ``(x - mean) / std``."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float64).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float64).reshape(-1, 1, 1)
+        if np.any(self.std <= 0):
+            raise ValueError("std values must be positive")
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        return (image - self.mean) / self.std
+
+
+class RandomHorizontalFlip:
+    """Flip the image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, seed: Optional[int] = None) -> None:
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self._rng.random() < self.p:
+            return image[:, :, ::-1].copy()
+        return image
+
+
+class RandomCrop:
+    """Pad by ``padding`` pixels then crop back to the original size at a random offset."""
+
+    def __init__(self, padding: int = 2, seed: Optional[int] = None) -> None:
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative, got {padding}")
+        self.padding = padding
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self.padding == 0:
+            return image
+        c, h, w = image.shape
+        padded = np.pad(image, ((0, 0), (self.padding, self.padding), (self.padding, self.padding)))
+        top = self._rng.integers(0, 2 * self.padding + 1)
+        left = self._rng.integers(0, 2 * self.padding + 1)
+        return padded[:, top: top + h, left: left + w]
+
+
+def compute_mean_std(images: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute channelwise mean and std of an NCHW image array."""
+
+    mean = images.mean(axis=(0, 2, 3))
+    std = images.std(axis=(0, 2, 3))
+    std = np.where(std < 1e-8, 1.0, std)
+    return mean, std

@@ -1,0 +1,24 @@
+"""Model zoo: the architectures evaluated in the paper's Table 1."""
+
+from .convnet import ConvNet4
+from .vgg import VGG, VGG_CONFIGS, vgg11, vgg13, vgg16, vgg19
+from .resnet import ResNet, RESNET_CONFIGS, resnet18, resnet20, resnet34
+from .registry import MODEL_REGISTRY, build_model, available_models
+
+__all__ = [
+    "ConvNet4",
+    "VGG",
+    "VGG_CONFIGS",
+    "vgg11",
+    "vgg13",
+    "vgg16",
+    "vgg19",
+    "ResNet",
+    "RESNET_CONFIGS",
+    "resnet18",
+    "resnet20",
+    "resnet34",
+    "MODEL_REGISTRY",
+    "build_model",
+    "available_models",
+]

@@ -1,0 +1,102 @@
+"""The "4Conv, 2Linear" network of Table 1.
+
+The paper's smallest CIFAR-10 model: four convolution layers followed by two
+fully connected layers.  Every activation site is a
+:class:`~repro.core.tcl.ClippedReLU`, so the same class serves both the TCL
+variant (``clip_enabled=True``) and the plain-ReLU baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.tcl import ClippedReLU, DEFAULT_LAMBDA_CIFAR
+from ..nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    Sequential,
+)
+
+__all__ = ["ConvNet4"]
+
+
+class ConvNet4(Sequential):
+    """Four convolutions + two linear layers ("4Conv, 2Linear" in Table 1).
+
+    Parameters
+    ----------
+    num_classes:
+        Number of output classes.
+    in_channels:
+        Input image channels.
+    image_size:
+        Input spatial resolution (square), needed to size the first linear
+        layer.
+    channels:
+        Output channels of the four convolutions.
+    hidden_features:
+        Width of the penultimate fully connected layer.
+    clip_enabled:
+        Whether activation sites carry a trainable clipping bound (TCL).
+    initial_lambda:
+        Initial λ of every clipping layer (paper Section 6: 2.0 for CIFAR).
+    batch_norm:
+        Whether convolutions are followed by batch normalisation (folded away
+        before conversion).
+    dropout:
+        Dropout probability applied before the classifier (0 disables it).
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 16,
+        channels: Sequence[int] = (32, 32, 64, 64),
+        hidden_features: int = 256,
+        clip_enabled: bool = True,
+        initial_lambda: float = DEFAULT_LAMBDA_CIFAR,
+        batch_norm: bool = True,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if len(channels) != 4:
+            raise ValueError(f"ConvNet4 needs exactly 4 channel counts, got {channels}")
+        super().__init__()
+        self.num_classes = num_classes
+        self.clip_enabled = clip_enabled
+        self.initial_lambda = initial_lambda
+
+        def activation() -> ClippedReLU:
+            return ClippedReLU(initial_lambda=initial_lambda, clip_enabled=clip_enabled)
+
+        size = image_size
+        prev = in_channels
+        # Two conv stages, each: conv, conv, pool.
+        for stage, (c1, c2) in enumerate(((channels[0], channels[1]), (channels[2], channels[3]))):
+            self.add(Conv2d(prev, c1, 3, padding=1, rng=rng))
+            if batch_norm:
+                self.add(BatchNorm2d(c1))
+            self.add(activation())
+            self.add(Conv2d(c1, c2, 3, padding=1, rng=rng))
+            if batch_norm:
+                self.add(BatchNorm2d(c2))
+            self.add(activation())
+            self.add(AvgPool2d(2))
+            size //= 2
+            prev = c2
+
+        self.add(Flatten())
+        if dropout > 0:
+            self.add(Dropout(dropout, rng=rng))
+        self.add(Linear(prev * size * size, hidden_features, rng=rng))
+        self.add(activation())
+        if dropout > 0:
+            self.add(Dropout(dropout, rng=rng))
+        self.add(Linear(hidden_features, num_classes, rng=rng))

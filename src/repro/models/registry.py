@@ -1,0 +1,51 @@
+"""Model registry: build any of the paper's architectures by name.
+
+The benchmark harness and the examples request models by the names used in
+Table 1 ("4Conv, 2Linear", VGG-16, RESNET-18, RESNET-34); this registry maps
+those names (and convenient aliases) to constructors with reproducible
+defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..nn import Module
+from .convnet import ConvNet4
+from .resnet import resnet18, resnet20, resnet34
+from .vgg import vgg11, vgg13, vgg16, vgg19
+
+__all__ = ["MODEL_REGISTRY", "build_model", "available_models"]
+
+MODEL_REGISTRY: Dict[str, Callable[..., Module]] = {
+    "convnet4": ConvNet4,
+    "4conv2linear": ConvNet4,
+    "vgg11": vgg11,
+    "vgg13": vgg13,
+    "vgg16": vgg16,
+    "vgg19": vgg19,
+    "resnet18": resnet18,
+    "resnet20": resnet20,
+    "resnet34": resnet34,
+}
+
+
+def available_models() -> List[str]:
+    """Sorted list of registered model names."""
+
+    return sorted(MODEL_REGISTRY)
+
+
+def build_model(name: str, **kwargs) -> Module:
+    """Construct a model by (case-insensitive) registry name.
+
+    Raises
+    ------
+    KeyError
+        If the name is not registered.
+    """
+
+    key = name.lower().replace("-", "").replace("_", "").replace(" ", "")
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return MODEL_REGISTRY[key](**kwargs)

@@ -1,0 +1,150 @@
+"""ResNet family (He et al. 2016) with TCL activation sites.
+
+The paper evaluates RESNET-18 (CIFAR-10), RESNET-20 (baseline comparisons)
+and RESNET-34 (ImageNet).  The residual blocks follow the layout of paper
+Figure 3: every activation (after the first convolution of a block and after
+the residual addition) is a ReLU followed by a trainable clipping layer, and
+shortcuts are either identity (type-A) or a 1×1 projection convolution
+(type-B).  Section 5's conversion rules consume exactly this structure.
+
+The network is expressed as a flat :class:`~repro.nn.Sequential` —
+stem convolution, a chain of :class:`~repro.nn.BasicBlock` modules, global
+average pooling and the final linear classifier — so the generic converter in
+:mod:`repro.core.conversion` can walk it without model-specific code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.tcl import ClippedReLU, DEFAULT_LAMBDA_CIFAR
+from ..nn import (
+    BasicBlock,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    Sequential,
+)
+
+__all__ = ["ResNet", "resnet18", "resnet20", "resnet34", "RESNET_CONFIGS"]
+
+# (blocks per stage, channels per stage, first-stage stride)
+RESNET_CONFIGS = {
+    "resnet18": ([2, 2, 2, 2], [64, 128, 256, 512]),
+    "resnet20": ([3, 3, 3], [16, 32, 64]),
+    "resnet34": ([3, 4, 6, 3], [64, 128, 256, 512]),
+}
+
+
+class ResNet(Sequential):
+    """Configurable ResNet built from :class:`~repro.nn.BasicBlock`.
+
+    Parameters
+    ----------
+    stage_blocks:
+        Number of residual blocks in each stage.
+    stage_channels:
+        Output channels of each stage (first stage keeps stride 1; later
+        stages downsample by 2 through their first block's projection
+        shortcut).
+    num_classes, in_channels, image_size:
+        Task geometry; ``image_size`` limits how many downsampling stages are
+        applied so small synthetic images never collapse below 2×2.
+    width_multiplier:
+        Scales every channel count (minimum 8).
+    clip_enabled, initial_lambda:
+        TCL configuration.
+    batch_norm:
+        Whether blocks use batch normalisation during ANN training.
+    """
+
+    def __init__(
+        self,
+        stage_blocks: Sequence[int],
+        stage_channels: Sequence[int],
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 32,
+        width_multiplier: float = 1.0,
+        clip_enabled: bool = True,
+        initial_lambda: float = DEFAULT_LAMBDA_CIFAR,
+        batch_norm: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if len(stage_blocks) != len(stage_channels):
+            raise ValueError("stage_blocks and stage_channels must have the same length")
+        super().__init__()
+        self.clip_enabled = clip_enabled
+        self.initial_lambda = initial_lambda
+        self.num_classes = num_classes
+        self.config = (list(stage_blocks), list(stage_channels))
+
+        def activation() -> ClippedReLU:
+            return ClippedReLU(initial_lambda=initial_lambda, clip_enabled=clip_enabled)
+
+        def scaled(channels: int) -> int:
+            return max(8, int(round(channels * width_multiplier)))
+
+        size = image_size
+        stem_channels = scaled(stage_channels[0])
+        self.add(Conv2d(in_channels, stem_channels, 3, stride=1, padding=1, rng=rng))
+        if batch_norm:
+            self.add(BatchNorm2d(stem_channels))
+        self.add(activation())
+
+        prev = stem_channels
+        for stage_index, (blocks, channels) in enumerate(zip(stage_blocks, stage_channels)):
+            out_channels = scaled(channels)
+            for block_index in range(blocks):
+                # The first block of every stage after the first downsamples,
+                # unless the feature map is already too small.
+                stride = 2 if (stage_index > 0 and block_index == 0 and size >= 4) else 1
+                if stride == 2:
+                    size //= 2
+                self.add(
+                    BasicBlock(
+                        prev,
+                        out_channels,
+                        stride=stride,
+                        batch_norm=batch_norm,
+                        activation_factory=activation,
+                        rng=rng,
+                    )
+                )
+                prev = out_channels
+
+        self.feature_channels = prev
+        self.feature_size = size
+        self.add(GlobalAvgPool2d())
+        self.add(Linear(prev, num_classes, rng=rng))
+
+    @property
+    def residual_blocks(self) -> List[BasicBlock]:
+        """All residual blocks of the network, in forward order."""
+
+        return [module for module in self if isinstance(module, BasicBlock)]
+
+
+def resnet18(**kwargs) -> ResNet:
+    """ResNet-18 constructor (the paper's CIFAR-10 residual network)."""
+
+    blocks, channels = RESNET_CONFIGS["resnet18"]
+    return ResNet(blocks, channels, **kwargs)
+
+
+def resnet20(**kwargs) -> ResNet:
+    """ResNet-20 constructor (CIFAR-style, used by the baseline comparisons)."""
+
+    blocks, channels = RESNET_CONFIGS["resnet20"]
+    return ResNet(blocks, channels, **kwargs)
+
+
+def resnet34(**kwargs) -> ResNet:
+    """ResNet-34 constructor (the paper's ImageNet residual network)."""
+
+    blocks, channels = RESNET_CONFIGS["resnet34"]
+    return ResNet(blocks, channels, **kwargs)

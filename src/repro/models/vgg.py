@@ -1,0 +1,160 @@
+"""VGG family (Simonyan & Zisserman) in a conversion-friendly layout.
+
+The paper trains VGG-16 on CIFAR-10 and on ImageNet.  This implementation
+keeps the canonical stage structure (channel doubling between pooling stages)
+but exposes two knobs that make CPU-scale reproduction possible:
+
+* ``width_multiplier`` scales every channel count;
+* pooling stages that would shrink the spatial size below 1 pixel for small
+  synthetic images are skipped automatically (and reported via
+  ``self.pool_stages``).
+
+Max pooling is replaced by average pooling whenever ``convertible=True``
+(the default), following Section 3.1 of the paper; ``convertible=False``
+recovers the conventional max-pool VGG for the ANN-only baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.tcl import ClippedReLU, DEFAULT_LAMBDA_CIFAR
+from ..nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Sequential,
+)
+
+__all__ = ["VGG", "VGG_CONFIGS", "vgg11", "vgg13", "vgg16", "vgg19"]
+
+# "M" marks a pooling stage.  Numbers are output channels of a 3x3 convolution.
+VGG_CONFIGS: Dict[str, List[Union[int, str]]] = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg13": [64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "M", 512, 512, 512, "M"],
+    "vgg19": [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M", 512, 512, 512, 512, "M", 512, 512, 512, 512, "M"],
+}
+
+
+class VGG(Sequential):
+    """Configurable VGG network with TCL activation sites.
+
+    Parameters
+    ----------
+    config:
+        Either the name of a standard configuration (``"vgg16"``) or an
+        explicit list mixing channel counts and ``"M"`` pooling markers.
+    num_classes, in_channels, image_size:
+        Task geometry.
+    width_multiplier:
+        Scales every convolutional channel count (minimum 8 channels).
+    classifier_width:
+        Width of the hidden fully connected layer(s); the canonical 4096 is
+        far too large for the synthetic tasks, so the default is 256.
+    clip_enabled, initial_lambda:
+        TCL configuration (see :class:`~repro.core.tcl.ClippedReLU`).
+    batch_norm:
+        Whether to train with batch normalisation.
+    convertible:
+        Use average pooling (True, conversion-compatible) or max pooling
+        (False, the conventional VGG used as an ANN-only baseline).
+    dropout:
+        Dropout probability in the classifier head.
+    """
+
+    def __init__(
+        self,
+        config: Union[str, Sequence[Union[int, str]]] = "vgg16",
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 32,
+        width_multiplier: float = 1.0,
+        classifier_width: int = 256,
+        clip_enabled: bool = True,
+        initial_lambda: float = DEFAULT_LAMBDA_CIFAR,
+        batch_norm: bool = True,
+        convertible: bool = True,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if isinstance(config, str):
+            if config not in VGG_CONFIGS:
+                raise ValueError(f"unknown VGG config {config!r}; choose from {sorted(VGG_CONFIGS)}")
+            plan = VGG_CONFIGS[config]
+            self.config_name = config
+        else:
+            plan = list(config)
+            self.config_name = "custom"
+
+        self.clip_enabled = clip_enabled
+        self.initial_lambda = initial_lambda
+        self.num_classes = num_classes
+        self.pool_stages = 0
+
+        def activation() -> ClippedReLU:
+            return ClippedReLU(initial_lambda=initial_lambda, clip_enabled=clip_enabled)
+
+        def scaled(channels: int) -> int:
+            return max(8, int(round(channels * width_multiplier)))
+
+        size = image_size
+        prev = in_channels
+        for item in plan:
+            if item == "M":
+                if size < 2:
+                    # The synthetic images are smaller than 224 px; skip pools
+                    # that would collapse the feature map entirely.
+                    continue
+                self.add(AvgPool2d(2) if convertible else MaxPool2d(2))
+                size //= 2
+                self.pool_stages += 1
+            else:
+                out_channels = scaled(int(item))
+                self.add(Conv2d(prev, out_channels, 3, padding=1, rng=rng))
+                if batch_norm:
+                    self.add(BatchNorm2d(out_channels))
+                self.add(activation())
+                prev = out_channels
+
+        self.feature_channels = prev
+        self.feature_size = size
+        self.add(Flatten())
+        if dropout > 0:
+            self.add(Dropout(dropout, rng=rng))
+        self.add(Linear(prev * size * size, classifier_width, rng=rng))
+        self.add(activation())
+        if dropout > 0:
+            self.add(Dropout(dropout, rng=rng))
+        self.add(Linear(classifier_width, num_classes, rng=rng))
+
+
+def vgg11(**kwargs) -> VGG:
+    """VGG-11 constructor."""
+
+    return VGG(config="vgg11", **kwargs)
+
+
+def vgg13(**kwargs) -> VGG:
+    """VGG-13 constructor."""
+
+    return VGG(config="vgg13", **kwargs)
+
+
+def vgg16(**kwargs) -> VGG:
+    """VGG-16 constructor (the paper's main feed-forward network)."""
+
+    return VGG(config="vgg16", **kwargs)
+
+
+def vgg19(**kwargs) -> VGG:
+    """VGG-19 constructor."""
+
+    return VGG(config="vgg19", **kwargs)

@@ -1,0 +1,38 @@
+"""Neural-network layer library built on :mod:`repro.autograd`.
+
+Provides the module system (:class:`Module`, :class:`Parameter`), the layers
+needed by the paper's models (convolution, linear, batch-norm, pooling, ReLU,
+dropout), containers, residual blocks and weight initialisers.
+"""
+
+from .module import Module, Parameter
+from .layers import Linear, Flatten, Dropout, Identity
+from .conv import Conv2d
+from .pooling import AvgPool2d, MaxPool2d, GlobalAvgPool2d
+from .norm import BatchNorm2d, BatchNorm1d
+from .activation import ReLU, Softmax
+from .container import Sequential, ModuleList
+from .residual import BasicBlock, make_activation
+from . import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Flatten",
+    "Dropout",
+    "Identity",
+    "Conv2d",
+    "AvgPool2d",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "BatchNorm2d",
+    "BatchNorm1d",
+    "ReLU",
+    "Softmax",
+    "Sequential",
+    "ModuleList",
+    "BasicBlock",
+    "make_activation",
+    "init",
+]

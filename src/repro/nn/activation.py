@@ -1,0 +1,38 @@
+"""Activation layer modules."""
+
+from __future__ import annotations
+
+from ..autograd import Tensor
+from ..autograd.functional import softmax
+from .module import Module
+
+__all__ = ["ReLU", "Softmax"]
+
+
+class ReLU(Module):
+    """Rectified linear unit (paper Eq. 4).
+
+    In the TCL scheme every ReLU in a convertible network is followed by a
+    :class:`repro.core.tcl.TrainableClip` layer; the pair maps onto one IF
+    spiking layer after conversion.
+    """
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.relu()
+
+
+class Softmax(Module):
+    """Softmax over the trailing axis.
+
+    The paper notes that soft-max is not representable in the spiking domain;
+    converted networks therefore end at the last affine layer and classify by
+    counting output spikes.  ``Softmax`` is provided only for ANN-side
+    probability reporting.
+    """
+
+    def __init__(self, axis: int = -1) -> None:
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return softmax(inputs, axis=self.axis)

@@ -1,0 +1,77 @@
+"""Container modules: ``Sequential`` and ``ModuleList``."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from ..autograd import Tensor
+from .module import Module
+
+__all__ = ["Sequential", "ModuleList"]
+
+
+class Sequential(Module):
+    """Run submodules in order, feeding each output into the next module.
+
+    The convertible feed-forward networks (ConvNet-4, VGG) are expressed as
+    ``Sequential`` chains, which the conversion pipeline walks to pair each
+    synaptic layer (conv / linear) with its ReLU + clipping layer.
+    """
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._ordered: List[Module] = []
+        for index, module in enumerate(modules):
+            self.add(module, name=str(index))
+
+    def add(self, module: Module, name: str = None) -> "Sequential":
+        """Append ``module``; returns ``self`` for chaining."""
+
+        if name is None:
+            name = str(len(self._ordered))
+        setattr(self, name, module)
+        self._ordered.append(module)
+        return self
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = inputs
+        for module in self._ordered:
+            output = module(output)
+        return output
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._ordered[index]
+
+
+class ModuleList(Module):
+    """A list of submodules that registers its contents for traversal."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        self._ordered: List[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        name = str(len(self._ordered))
+        setattr(self, name, module)
+        self._ordered.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._ordered[index]
+
+    def forward(self, *inputs):  # pragma: no cover - containers are not called directly
+        raise RuntimeError("ModuleList is not callable; iterate over it instead")

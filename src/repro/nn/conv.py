@@ -1,0 +1,54 @@
+"""Convolutional layer module."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..autograd.conv import conv2d
+from .init import kaiming_normal, zeros_
+from .module import Module, Parameter
+
+__all__ = ["Conv2d"]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW inputs with OIHW weights.
+
+    The layer is convertible to a spiking synaptic layer: its weight and bias
+    are exactly what Eq. 5 of the paper rescales during data-normalization.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntPair,
+        stride: IntPair = 1,
+        padding: IntPair = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size if isinstance(kernel_size, tuple) else (kernel_size, kernel_size)
+        self.stride = stride
+        self.padding = padding
+        weight_shape = (out_channels, in_channels, *self.kernel_size)
+        self.weight = Parameter(kaiming_normal(weight_shape, rng=rng), name="weight")
+        self.bias = Parameter(zeros_((out_channels,)), name="bias") if bias else None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return conv2d(inputs, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def extra_repr(self) -> str:
+        return (
+            f"in_channels={self.in_channels}, out_channels={self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}, "
+            f"bias={self.bias is not None}"
+        )

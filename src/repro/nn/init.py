@@ -1,0 +1,96 @@
+"""Weight initialisation schemes.
+
+The paper trains VGG and ResNet networks from scratch with SGD; the standard
+Kaiming (He) initialisation for ReLU networks is used throughout, with Xavier
+available for the linear classifier heads and unit tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_normal",
+    "xavier_uniform",
+    "zeros_",
+    "ones_",
+    "constant_",
+    "compute_fans",
+]
+
+
+def compute_fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight of the given shape.
+
+    Linear weights have shape ``(out_features, in_features)``; convolutional
+    weights have shape ``(out_channels, in_channels, kh, kw)``.
+    """
+
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        raise ValueError(f"unsupported weight shape {shape}")
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He-normal initialisation (gain for ReLU nonlinearities)."""
+
+    generator = rng if rng is not None else np.random.default_rng()
+    fan_in, _ = compute_fans(shape)
+    std = math.sqrt(2.0 / fan_in)
+    return generator.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He-uniform initialisation."""
+
+    generator = rng if rng is not None else np.random.default_rng()
+    fan_in, _ = compute_fans(shape)
+    bound = math.sqrt(6.0 / fan_in)
+    return generator.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot-normal initialisation."""
+
+    generator = rng if rng is not None else np.random.default_rng()
+    fan_in, fan_out = compute_fans(shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return generator.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot-uniform initialisation."""
+
+    generator = rng if rng is not None else np.random.default_rng()
+    fan_in, fan_out = compute_fans(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return generator.uniform(-bound, bound, size=shape)
+
+
+def zeros_(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases, batch-norm shift)."""
+
+    return np.zeros(shape)
+
+
+def ones_(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-one initialisation (batch-norm scale)."""
+
+    return np.ones(shape)
+
+
+def constant_(shape: Tuple[int, ...], value: float) -> np.ndarray:
+    """Constant initialisation (used for the TCL λ initial value)."""
+
+    return np.full(shape, float(value))

@@ -1,0 +1,80 @@
+"""Fully connected, flattening and dropout layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..autograd.functional import dropout as dropout_fn, linear as linear_fn
+from .init import kaiming_normal, zeros_
+from .module import Module, Parameter
+
+__all__ = ["Linear", "Flatten", "Dropout", "Identity"]
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionalities.
+    bias:
+        Whether to learn an additive bias.  The TCL conversion supports
+        biases through the data-normalization of Eq. 5, so biases are enabled
+        by default just as in the paper's models.
+    rng:
+        Optional generator for reproducible initialisation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(kaiming_normal((out_features, in_features), rng=rng), name="weight")
+        self.bias = Parameter(zeros_((out_features,)), name="bias") if bias else None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return linear_fn(inputs, self.weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return f"in_features={self.in_features}, out_features={self.out_features}, bias={self.bias is not None}"
+
+
+class Flatten(Module):
+    """Flatten all axes except the batch axis."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.flatten_batch()
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in evaluation mode."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return dropout_fn(inputs, self.p, training=self.training, rng=self._rng)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"
+
+
+class Identity(Module):
+    """Pass-through layer, useful as a placeholder when rewriting networks."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs

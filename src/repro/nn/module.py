@@ -1,0 +1,185 @@
+"""Module and parameter abstractions, mirroring the familiar ``torch.nn`` API.
+
+The ANN-to-SNN conversion walks a trained network layer by layer, reading
+weights, biases, batch-norm statistics and the trained clipping bounds λ.  A
+uniform module system with named parameters, buffers and submodules makes that
+walk — and checkpointing, weight decay filtering, and parameter counting —
+straightforward.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor that is a learnable parameter of a :class:`Module`.
+
+    Parameters always require gradients.  They are discovered automatically
+    when assigned as attributes of a module.
+    """
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True)
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter(shape={self.shape}, name={self.name!r})"
+
+
+class Module:
+    """Base class for every network component.
+
+    Subclasses implement :meth:`forward`.  Assigning a :class:`Parameter`,
+    another :class:`Module` or (via :meth:`register_buffer`) a numpy array to
+    an attribute registers it so that it shows up in
+    :meth:`named_parameters`, :meth:`state_dict` and friends.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # -- attribute registration ------------------------------------------------
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-learnable persistent array (e.g. running statistics)."""
+
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- forward ---------------------------------------------------------------
+
+    def forward(self, *inputs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *inputs):
+        return self.forward(*inputs)
+
+    # -- traversal ---------------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for module_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{module_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def children(self) -> Iterator["Module"]:
+        return iter(self._modules.values())
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buffer in self._buffers.items():
+            yield (f"{prefix}{name}", buffer)
+        for module_name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{module_name}.")
+
+    # -- train / eval ------------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        """Switch the module (and all submodules) to training mode."""
+
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch the module (and all submodules) to inference mode."""
+
+        return self.train(False)
+
+    # -- gradients ------------------------------------------------------------------
+
+    def zero_grad(self) -> None:
+        """Clear the gradient buffers of every parameter."""
+
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def num_parameters(self, trainable_only: bool = True) -> int:
+        """Return the total number of scalar parameters in the module."""
+
+        total = 0
+        for parameter in self.parameters():
+            if trainable_only and not parameter.requires_grad:
+                continue
+            total += parameter.size
+        return total
+
+    # -- state dict ---------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat name → array mapping of parameters and buffers."""
+
+        state: Dict[str, np.ndarray] = OrderedDict()
+        for name, parameter in self.named_parameters():
+            state[name] = parameter.data.copy()
+        for name, buffer in self.named_buffers():
+            state[name] = np.array(buffer, copy=True)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameters and buffers from :meth:`state_dict` output."""
+
+        own_params = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
+        missing = []
+        for name, parameter in own_params.items():
+            if name in state:
+                if parameter.data.shape != state[name].shape:
+                    raise ValueError(
+                        f"shape mismatch for parameter {name!r}: "
+                        f"module has {parameter.data.shape}, state has {state[name].shape}"
+                    )
+                parameter.data[...] = state[name]
+            else:
+                missing.append(name)
+        for name, buffer in own_buffers.items():
+            if name in state:
+                np.asarray(buffer)[...] = state[name]
+            elif strict:
+                missing.append(name)
+        unexpected = [k for k in state if k not in own_params and k not in own_buffers]
+        if strict and (missing or unexpected):
+            raise KeyError(f"state dict mismatch: missing={missing}, unexpected={unexpected}")
+
+    # -- representation ---------------------------------------------------------------------
+
+    def extra_repr(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:
+        lines = [f"{type(self).__name__}({self.extra_repr()}"]
+        for name, module in self._modules.items():
+            child_repr = repr(module).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child_repr}")
+        lines.append(")")
+        return "\n".join(lines) if len(lines) > 2 else f"{type(self).__name__}({self.extra_repr()})"

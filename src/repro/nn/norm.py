@@ -1,0 +1,76 @@
+"""Batch-normalisation layer modules.
+
+Batch-norm (paper Eq. 6) is used while training the ANNs and removed before
+the SNN conversion by folding its affine transform into the preceding layer's
+weights and bias (paper Eq. 7).  The folding itself lives in
+:mod:`repro.core.conversion`; these modules expose the learned ``gamma``,
+``beta`` and running statistics it needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..autograd.norm import batch_norm1d, batch_norm2d
+from .module import Module, Parameter
+
+__all__ = ["BatchNorm2d", "BatchNorm1d"]
+
+
+class BatchNorm2d(Module):
+    """Channelwise batch normalisation for NCHW activations."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features), name="gamma")
+        self.beta = Parameter(np.zeros(num_features), name="beta")
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return batch_norm2d(
+            inputs,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def extra_repr(self) -> str:
+        return f"num_features={self.num_features}, momentum={self.momentum}, eps={self.eps}"
+
+
+class BatchNorm1d(Module):
+    """Featurewise batch normalisation for ``(N, F)`` activations."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features), name="gamma")
+        self.beta = Parameter(np.zeros(num_features), name="beta")
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return batch_norm1d(
+            inputs,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def extra_repr(self) -> str:
+        return f"num_features={self.num_features}, momentum={self.momentum}, eps={self.eps}"

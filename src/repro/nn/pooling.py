@@ -1,0 +1,66 @@
+"""Pooling layer modules.
+
+The paper requires average pooling in convertible networks (Section 3.1):
+an average pool is a fixed linear map and therefore directly realisable with
+spiking synapses, while max pooling is not.  ``MaxPool2d`` is nonetheless
+provided so that the "original" (non-convertible) ANN baselines of Figure 1
+and Table 1 can be trained for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from ..autograd import Tensor
+from ..autograd.pooling import avg_pool2d, global_avg_pool2d, max_pool2d
+from .module import Module
+
+__all__ = ["AvgPool2d", "MaxPool2d", "GlobalAvgPool2d"]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class AvgPool2d(Module):
+    """Average pooling — the SNN-compatible pooling used by convertible nets."""
+
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None, padding: IntPair = 0) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return avg_pool2d(inputs, self.kernel_size, self.stride, self.padding)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+
+
+class MaxPool2d(Module):
+    """Max pooling — not convertible to SNN; used only by ANN-only baselines."""
+
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None, padding: IntPair = 0) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return max_pool2d(inputs, self.kernel_size, self.stride, self.padding)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+
+
+class GlobalAvgPool2d(Module):
+    """Global average pooling used by the ResNet classifier heads."""
+
+    def __init__(self, keepdims: bool = False) -> None:
+        super().__init__()
+        self.keepdims = keepdims
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        pooled = global_avg_pool2d(inputs)
+        if self.keepdims:
+            return pooled
+        return pooled.reshape(pooled.shape[0], pooled.shape[1])

@@ -1,0 +1,127 @@
+"""Residual building blocks (He et al. 2016) in a conversion-friendly form.
+
+Section 5 of the TCL paper distinguishes two residual-block flavours:
+
+* **type-A** — identity shortcut: the block input is added directly to the
+  output of the second convolution.  For conversion, the paper inserts a
+  *virtual* 1×1 convolution with weight fixed to one on the shortcut so the
+  block has the same structure as type-B.
+* **type-B** — projection shortcut: a 1×1 convolution (``ConvSh``) matches the
+  channel count / stride of the main path.
+
+The blocks below follow the layer order the paper's Figure 3 shows:
+
+    input ──(already activated: ReLU + clip, bound λ_pre)
+      ├── Conv1 → [BN] → ReLU → clip(λ_c1) → Conv2 → [BN] ──┐
+      └── shortcut (identity or ConvSh → [BN]) ─────────────┴─ add → ReLU → clip(λ_out)
+
+The activation (ReLU followed by an optional clipping layer) is produced by a
+caller-supplied ``activation_factory`` so that the same block class serves the
+plain-ReLU baselines and the TCL-trained networks without this module having
+to depend on :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..autograd import Tensor
+from .activation import ReLU
+from .conv import Conv2d
+from .container import Sequential
+from .layers import Identity
+from .module import Module
+from .norm import BatchNorm2d
+
+__all__ = ["BasicBlock", "make_activation"]
+
+ActivationFactory = Callable[[], Module]
+
+
+def make_activation() -> Module:
+    """Default activation factory: a plain ReLU (no clipping layer)."""
+
+    return ReLU()
+
+
+class BasicBlock(Module):
+    """A two-convolution residual block with optional projection shortcut.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts; when they differ (or ``stride != 1``) a projection
+        shortcut (type-B) is created, otherwise an identity shortcut (type-A).
+    stride:
+        Stride of the first convolution (and the projection shortcut).
+    batch_norm:
+        Whether to insert :class:`BatchNorm2d` after each convolution, as the
+        paper's ResNets do during ANN training.
+    activation_factory:
+        Zero-argument callable returning the activation module to apply after
+        the first convolution and after the residual addition.  The TCL models
+        pass a factory producing ``ReLU → TrainableClip``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        batch_norm: bool = True,
+        activation_factory: ActivationFactory = make_activation,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.stride = stride
+        self.batch_norm = batch_norm
+
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=bias, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels) if batch_norm else Identity()
+        self.activation1 = activation_factory()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=bias, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels) if batch_norm else Identity()
+
+        self.is_projection = stride != 1 or in_channels != out_channels
+        if self.is_projection:
+            self.shortcut_conv = Conv2d(in_channels, out_channels, 1, stride=stride, padding=0, bias=bias, rng=rng)
+            self.shortcut_bn = BatchNorm2d(out_channels) if batch_norm else Identity()
+        else:
+            self.shortcut_conv = None
+            self.shortcut_bn = None
+
+        self.activation_out = activation_factory()
+
+    @property
+    def block_type(self) -> str:
+        """Return ``"B"`` for a projection shortcut, ``"A"`` for identity."""
+
+        return "B" if self.is_projection else "A"
+
+    def shortcut(self, inputs: Tensor) -> Tensor:
+        """Apply the shortcut path (identity or projection)."""
+
+        if not self.is_projection:
+            return inputs
+        out = self.shortcut_conv(inputs)
+        return self.shortcut_bn(out)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        main = self.conv1(inputs)
+        main = self.bn1(main)
+        main = self.activation1(main)
+        main = self.conv2(main)
+        main = self.bn2(main)
+        residual = self.shortcut(inputs)
+        return self.activation_out(main + residual)
+
+    def extra_repr(self) -> str:
+        return (
+            f"in_channels={self.in_channels}, out_channels={self.out_channels}, "
+            f"stride={self.stride}, type={self.block_type}"
+        )

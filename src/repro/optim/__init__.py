@@ -1,0 +1,19 @@
+"""Optimisers and learning-rate schedules used to train the ANNs."""
+
+from .base import Optimizer
+from .sgd import SGD
+from .adam import Adam
+from .lr_scheduler import LRScheduler, MultiStepLR, StepLR, CosineAnnealingLR
+from .clip import clip_grad_norm, clip_grad_value
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "MultiStepLR",
+    "StepLR",
+    "CosineAnnealingLR",
+    "clip_grad_norm",
+    "clip_grad_value",
+]

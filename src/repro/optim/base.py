@@ -1,0 +1,71 @@
+"""Optimizer base class with parameter groups.
+
+Parameter groups let the training harness give the clipping bounds λ a
+dedicated learning rate / weight decay, which is how a practitioner tunes the
+accuracy-latency trade-off the paper discusses (a small weight decay on λ
+pushes clipping bounds down and therefore reduces SNN latency).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from ..nn.module import Parameter
+
+__all__ = ["Optimizer", "ParamGroup"]
+
+ParamGroup = Dict[str, Any]
+
+
+class Optimizer:
+    """Base class shared by :class:`~repro.optim.SGD` and :class:`~repro.optim.Adam`."""
+
+    def __init__(self, params: Union[Sequence[Parameter], Sequence[Dict]], defaults: Dict[str, Any]) -> None:
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer received an empty parameter list")
+        self.defaults = dict(defaults)
+        self.param_groups: List[ParamGroup] = []
+        self.state: Dict[int, Dict[str, Any]] = {}
+
+        if isinstance(params[0], dict):
+            for group in params:
+                self.add_param_group(dict(group))
+        else:
+            self.add_param_group({"params": params})
+
+    def add_param_group(self, group: ParamGroup) -> None:
+        """Add a parameter group, filling missing hyperparameters from defaults."""
+
+        if "params" not in group:
+            raise ValueError("param group must contain a 'params' entry")
+        group_params = list(group["params"])
+        for param in group_params:
+            if not isinstance(param, Parameter):
+                raise TypeError(f"optimizer can only handle Parameter objects, got {type(param).__name__}")
+        merged = dict(self.defaults)
+        merged.update(group)
+        merged["params"] = group_params
+        self.param_groups.append(merged)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+
+        for group in self.param_groups:
+            for param in group["params"]:
+                param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def learning_rate(self) -> float:
+        """Learning rate of the first parameter group (for logging)."""
+
+        return float(self.param_groups[0]["lr"])
+
+    def set_learning_rate(self, lr: float) -> None:
+        """Set the learning rate of every group (used by LR schedulers)."""
+
+        for group in self.param_groups:
+            group["lr"] = lr

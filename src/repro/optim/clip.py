@@ -1,0 +1,43 @@
+"""Gradient clipping utilities."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+__all__ = ["clip_grad_norm", "clip_grad_value"]
+
+
+def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm does not exceed ``max_norm``.
+
+    Returns the norm before clipping, which the training harness logs to
+    detect divergence early.
+    """
+
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total_sq = sum(float(np.sum(g * g)) for g in grads)
+    total_norm = math.sqrt(total_sq)
+    if total_norm > max_norm:
+        scale = max_norm / (total_norm + 1e-12)
+        for grad in grads:
+            grad *= scale
+    return total_norm
+
+
+def clip_grad_value(parameters: Sequence[Parameter], clip_value: float) -> None:
+    """Clamp every gradient element into ``[-clip_value, clip_value]``."""
+
+    if clip_value <= 0:
+        raise ValueError(f"clip_value must be positive, got {clip_value}")
+    for param in parameters:
+        if param.grad is not None:
+            np.clip(param.grad, -clip_value, clip_value, out=param.grad)

@@ -1,0 +1,81 @@
+"""Learning-rate schedules.
+
+The paper decays the learning rate by 0.1 at epochs [100, 150] for CIFAR-10
+and [30, 60, 90] for ImageNet — exactly what :class:`MultiStepLR` implements.
+Step and cosine schedules are included for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .base import Optimizer
+
+__all__ = ["LRScheduler", "MultiStepLR", "StepLR", "CosineAnnealingLR"]
+
+
+class LRScheduler:
+    """Base class: tracks the epoch counter and applies :meth:`get_lr`."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.learning_rate
+        self.last_epoch = 0
+
+    def get_lr(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and update the optimizer's learning rate."""
+
+        self.last_epoch += 1
+        lr = self.get_lr()
+        self.optimizer.set_learning_rate(lr)
+        return lr
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.learning_rate
+
+
+class MultiStepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` at each listed milestone epoch."""
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        self.milestones = sorted(int(m) for m in milestones)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        passed = sum(1 for milestone in self.milestones if self.last_epoch >= milestone)
+        return self.base_lr * (self.gamma ** passed)
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * (self.gamma ** (self.last_epoch // self.step_size))
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base learning rate to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.last_epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1.0 + math.cos(math.pi * progress))

@@ -1,0 +1,72 @@
+"""Stochastic gradient descent with momentum, the optimiser used by the paper.
+
+Section 6 of the paper: "We trained ANNs by using the stochastic gradient
+descent (SGD) algorithm" with an initial learning rate of 0.1 and step decays.
+This implementation follows the standard (PyTorch-style) momentum update
+
+    v ← μ v + (g + wd * p)
+    p ← p - lr * v            (or Nesterov: p ← p - lr * (g + μ v))
+
+and supports per-parameter-group hyperparameters so that, for example, the
+TCL λ parameters can receive a different weight decay than the weights (λ
+regularisation pulls clipping bounds down, trading latency for accuracy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .base import Optimizer, ParamGroup
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """SGD with momentum, weight decay and optional Nesterov acceleration."""
+
+    def __init__(
+        self,
+        params: Union[Sequence[Parameter], Sequence[Dict]],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        if lr <= 0.0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if momentum < 0.0:
+            raise ValueError(f"momentum must be non-negative, got {momentum}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("Nesterov momentum requires momentum > 0")
+        defaults = dict(lr=lr, momentum=momentum, weight_decay=weight_decay, nesterov=nesterov)
+        super().__init__(params, defaults)
+
+    def step(self) -> None:
+        """Apply one update to every parameter that has a gradient."""
+
+        for group in self.param_groups:
+            lr = group["lr"]
+            momentum = group["momentum"]
+            weight_decay = group["weight_decay"]
+            nesterov = group["nesterov"]
+            for param in group["params"]:
+                if param.grad is None:
+                    continue
+                grad = param.grad
+                if weight_decay:
+                    grad = grad + weight_decay * param.data
+                if momentum:
+                    state = self.state.setdefault(id(param), {})
+                    velocity = state.get("velocity")
+                    if velocity is None:
+                        velocity = np.zeros_like(param.data)
+                    velocity = momentum * velocity + grad
+                    state["velocity"] = velocity
+                    if nesterov:
+                        grad = grad + momentum * velocity
+                    else:
+                        grad = velocity
+                param.data -= lr * grad

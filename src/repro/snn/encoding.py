@@ -1,0 +1,61 @@
+"""Input coding schemes for the first SNN layer.
+
+The paper feeds the first spiking layer with the analog input values at every
+timestep ("real coding", Section 3.1), exactly as Rueckauer et al. 2017 do:
+the pixel intensities act as constant input currents and the first layer's IF
+neurons turn them into spike trains.  Poisson rate coding is provided as an
+alternative for the ablation study; it converts each (non-negative, scaled)
+pixel into an independent Bernoulli spike train.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["InputEncoder", "RealCoding", "PoissonCoding"]
+
+
+class InputEncoder:
+    """Base class: produce the input tensor presented at one timestep."""
+
+    def reset(self, images: np.ndarray) -> None:
+        """Prepare the encoder for a new batch of analog images."""
+
+        self.images = np.asarray(images, dtype=np.float64)
+
+    def step(self, t: int) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class RealCoding(InputEncoder):
+    """Constant-current (analog) input coding — the paper's choice."""
+
+    def step(self, t: int) -> np.ndarray:
+        return self.images
+
+
+class PoissonCoding(InputEncoder):
+    """Poisson rate coding: each pixel spikes with probability ∝ its intensity.
+
+    Intensities are shifted/scaled into ``[0, 1]`` per batch before being
+    interpreted as firing probabilities; the ``gain`` factor rescales the
+    resulting rates.
+    """
+
+    def __init__(self, gain: float = 1.0, seed: int = 0) -> None:
+        if gain <= 0:
+            raise ValueError(f"gain must be positive, got {gain}")
+        self.gain = gain
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self, images: np.ndarray) -> None:
+        super().reset(images)
+        lo = self.images.min()
+        hi = self.images.max()
+        span = hi - lo if hi > lo else 1.0
+        self._probabilities = np.clip(self.gain * (self.images - lo) / span, 0.0, 1.0)
+
+    def step(self, t: int) -> np.ndarray:
+        return (self._rng.random(self._probabilities.shape) < self._probabilities).astype(np.float64)

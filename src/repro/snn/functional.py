@@ -1,0 +1,68 @@
+"""Raw (non-autograd) numeric kernels used by the spiking layers.
+
+The SNN simulation never needs gradients, so its layers operate directly on
+numpy arrays with the same im2col machinery the autograd convolution uses.
+Keeping these thin wrappers here avoids building an autograd tape during the
+(long) time-stepped simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..autograd.conv import conv_output_shape, im2col
+
+__all__ = ["conv2d_raw", "linear_raw", "avg_pool2d_raw", "global_avg_pool2d_raw"]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def conv2d_raw(
+    inputs: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> np.ndarray:
+    """Plain-numpy 2-D convolution (NCHW inputs, OIHW weights)."""
+
+    n, c_in, h, w = inputs.shape
+    c_out = weight.shape[0]
+    kh, kw = weight.shape[2], weight.shape[3]
+    out_h, out_w = conv_output_shape(h, w, (kh, kw), stride, padding)
+    cols = im2col(inputs, (kh, kw), stride, padding)
+    w_mat = weight.reshape(c_out, -1)
+    out = np.einsum("ok,nkl->nol", w_mat, cols, optimize=True).reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out += bias.reshape(1, c_out, 1, 1)
+    return out
+
+
+def linear_raw(inputs: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray] = None) -> np.ndarray:
+    """Plain-numpy affine map with ``(out_features, in_features)`` weights."""
+
+    out = inputs @ weight.T
+    if bias is not None:
+        out += bias
+    return out
+
+
+def avg_pool2d_raw(inputs: np.ndarray, kernel_size: IntPair, stride: Optional[IntPair] = None) -> np.ndarray:
+    """Plain-numpy average pooling over NCHW inputs."""
+
+    if isinstance(kernel_size, int):
+        kernel_size = (kernel_size, kernel_size)
+    stride = kernel_size if stride is None else stride
+    n, c, h, w = inputs.shape
+    kh, kw = kernel_size
+    out_h, out_w = conv_output_shape(h, w, (kh, kw), stride, 0)
+    cols = im2col(inputs, (kh, kw), stride, 0).reshape(n, c, kh * kw, out_h * out_w)
+    return cols.mean(axis=2).reshape(n, c, out_h, out_w)
+
+
+def global_avg_pool2d_raw(inputs: np.ndarray) -> np.ndarray:
+    """Plain-numpy global average pooling returning ``(N, C)``."""
+
+    return inputs.mean(axis=(2, 3))

@@ -1,0 +1,305 @@
+"""Spiking layers: synaptic transforms followed by IF neuron pools.
+
+Each spiking layer owns the *already data-normalized* weights (Ŵ, b̂ of
+paper Eq. 5) and a pool of IF neurons with threshold 1.  Every timestep the
+layer computes its weighted spike input ``z`` (Eq. 1) from the incoming spike
+tensor and advances its neuron pool (Eq. 2/3).
+
+``SpikingResidualBlock`` implements the Section-5 conversion of a residual
+block: a non-identity spiking layer (NS) fed by the block input and an output
+spiking layer (OS) fed both by NS spikes (weights Ŵ_osn) and by the block
+input (weights Ŵ_osi — the projection convolution for type-B blocks, a
+virtual 1×1 identity convolution for type-A blocks).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from .functional import avg_pool2d_raw, conv2d_raw, global_avg_pool2d_raw, linear_raw
+from .neuron import IFNeuronPool, ResetMode
+
+__all__ = [
+    "SpikingLayer",
+    "SpikingConv2d",
+    "SpikingLinear",
+    "SpikingAvgPool2d",
+    "SpikingGlobalAvgPool2d",
+    "SpikingFlatten",
+    "SpikingResidualBlock",
+    "SpikingOutputLayer",
+]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class SpikingLayer:
+    """Base class: a stateful layer advanced one timestep at a time."""
+
+    name: str = "spiking"
+
+    def reset_state(self) -> None:
+        """Clear membrane potentials / counters before a new stimulus."""
+
+    def step(self, inputs: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def neuron_pools(self) -> List[IFNeuronPool]:
+        """IF pools owned by this layer (empty for stateless reshaping layers)."""
+
+        return []
+
+
+class SpikingConv2d(SpikingLayer):
+    """Convolutional synapses + IF neurons."""
+
+    name = "spiking_conv2d"
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        stride: IntPair = 1,
+        padding: IntPair = 0,
+        threshold: float = 1.0,
+        reset_mode: ResetMode = ResetMode.SUBTRACT,
+    ) -> None:
+        self.weight = np.asarray(weight, dtype=np.float64)
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.stride = stride
+        self.padding = padding
+        self.neurons = IFNeuronPool(threshold=threshold, reset_mode=reset_mode)
+
+    def reset_state(self) -> None:
+        self.neurons.reset_state()
+
+    def step(self, inputs: np.ndarray) -> np.ndarray:
+        current = conv2d_raw(inputs, self.weight, self.bias, self.stride, self.padding)
+        return self.neurons.step(current)
+
+    @property
+    def neuron_pools(self) -> List[IFNeuronPool]:
+        return [self.neurons]
+
+
+class SpikingLinear(SpikingLayer):
+    """Fully connected synapses + IF neurons."""
+
+    name = "spiking_linear"
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        threshold: float = 1.0,
+        reset_mode: ResetMode = ResetMode.SUBTRACT,
+    ) -> None:
+        self.weight = np.asarray(weight, dtype=np.float64)
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.neurons = IFNeuronPool(threshold=threshold, reset_mode=reset_mode)
+
+    def reset_state(self) -> None:
+        self.neurons.reset_state()
+
+    def step(self, inputs: np.ndarray) -> np.ndarray:
+        current = linear_raw(inputs, self.weight, self.bias)
+        return self.neurons.step(current)
+
+    @property
+    def neuron_pools(self) -> List[IFNeuronPool]:
+        return [self.neurons]
+
+
+class SpikingAvgPool2d(SpikingLayer):
+    """Average pooling realised as fixed ``1/(kh*kw)`` synapses + IF neurons.
+
+    The paper replaces max-pooling by average-pooling precisely because the
+    average is a fixed linear map representable by spiking synapses
+    (Section 3.1).  The pooling layer does not change the activation scale, so
+    its norm-factor equals that of the preceding layer and its threshold stays
+    at 1.
+    """
+
+    name = "spiking_avg_pool2d"
+
+    def __init__(
+        self,
+        kernel_size: IntPair,
+        stride: Optional[IntPair] = None,
+        threshold: float = 1.0,
+        reset_mode: ResetMode = ResetMode.SUBTRACT,
+    ) -> None:
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.neurons = IFNeuronPool(threshold=threshold, reset_mode=reset_mode)
+
+    def reset_state(self) -> None:
+        self.neurons.reset_state()
+
+    def step(self, inputs: np.ndarray) -> np.ndarray:
+        current = avg_pool2d_raw(inputs, self.kernel_size, self.stride)
+        return self.neurons.step(current)
+
+    @property
+    def neuron_pools(self) -> List[IFNeuronPool]:
+        return [self.neurons]
+
+
+class SpikingGlobalAvgPool2d(SpikingLayer):
+    """Global average pooling + IF neurons (used by the ResNet heads)."""
+
+    name = "spiking_global_avg_pool2d"
+
+    def __init__(self, threshold: float = 1.0, reset_mode: ResetMode = ResetMode.SUBTRACT) -> None:
+        self.neurons = IFNeuronPool(threshold=threshold, reset_mode=reset_mode)
+
+    def reset_state(self) -> None:
+        self.neurons.reset_state()
+
+    def step(self, inputs: np.ndarray) -> np.ndarray:
+        current = global_avg_pool2d_raw(inputs)
+        return self.neurons.step(current)
+
+    @property
+    def neuron_pools(self) -> List[IFNeuronPool]:
+        return [self.neurons]
+
+
+class SpikingFlatten(SpikingLayer):
+    """Stateless reshaping layer: spike tensors are flattened per sample."""
+
+    name = "spiking_flatten"
+
+    def step(self, inputs: np.ndarray) -> np.ndarray:
+        return inputs.reshape(inputs.shape[0], -1)
+
+
+class SpikingResidualBlock(SpikingLayer):
+    """The spiking residual block of paper Figure 3 C.
+
+    Parameters
+    ----------
+    ns_weight, ns_bias, ns_stride:
+        Normalized weights of the non-identity spiking layer (from Conv1):
+        ``Ŵ_ns = W_c1 * λ_pre / λ_c1`` and ``b̂_ns = b_c1 / λ_c1``.
+    osn_weight:
+        Normalized weights from NS spikes to OS (from Conv2):
+        ``Ŵ_osn = W_c2 * λ_c1 / λ_out``.
+    osi_weight, osi_stride:
+        Normalized weights from the block input to OS (from the shortcut
+        convolution; the virtual identity 1×1 kernel for type-A blocks):
+        ``Ŵ_osi = W_sh * λ_pre / λ_out``.
+    os_bias:
+        ``b̂_os = (b_c2 + b_sh) / λ_out``.
+    """
+
+    name = "spiking_residual_block"
+
+    def __init__(
+        self,
+        ns_weight: np.ndarray,
+        ns_bias: Optional[np.ndarray],
+        osn_weight: np.ndarray,
+        osi_weight: np.ndarray,
+        os_bias: Optional[np.ndarray],
+        ns_stride: IntPair = 1,
+        osi_stride: IntPair = 1,
+        threshold: float = 1.0,
+        reset_mode: ResetMode = ResetMode.SUBTRACT,
+        block_type: str = "A",
+    ) -> None:
+        self.ns_weight = np.asarray(ns_weight, dtype=np.float64)
+        self.ns_bias = None if ns_bias is None else np.asarray(ns_bias, dtype=np.float64)
+        self.osn_weight = np.asarray(osn_weight, dtype=np.float64)
+        self.osi_weight = np.asarray(osi_weight, dtype=np.float64)
+        self.os_bias = None if os_bias is None else np.asarray(os_bias, dtype=np.float64)
+        self.ns_stride = ns_stride
+        self.osi_stride = osi_stride
+        self.block_type = block_type
+        self.ns_neurons = IFNeuronPool(threshold=threshold, reset_mode=reset_mode)
+        self.os_neurons = IFNeuronPool(threshold=threshold, reset_mode=reset_mode)
+
+    def reset_state(self) -> None:
+        self.ns_neurons.reset_state()
+        self.os_neurons.reset_state()
+
+    def step(self, inputs: np.ndarray) -> np.ndarray:
+        # Non-identity spiking layer (from Conv1), 3x3 with padding 1.
+        ns_current = conv2d_raw(inputs, self.ns_weight, self.ns_bias, self.ns_stride, 1)
+        ns_spikes = self.ns_neurons.step(ns_current)
+        # Output spiking layer: input from NS (Conv2 path, 3x3 pad 1, stride 1)
+        # plus input from the previous layer through the shortcut (1x1, no pad).
+        os_current = conv2d_raw(ns_spikes, self.osn_weight, None, 1, 1)
+        os_current += conv2d_raw(inputs, self.osi_weight, None, self.osi_stride, 0)
+        if self.os_bias is not None:
+            os_current += self.os_bias.reshape(1, -1, 1, 1)
+        return self.os_neurons.step(os_current)
+
+    @property
+    def neuron_pools(self) -> List[IFNeuronPool]:
+        return [self.ns_neurons, self.os_neurons]
+
+
+class SpikingOutputLayer(SpikingLayer):
+    """The classifier head of a converted network.
+
+    Two readout modes are supported:
+
+    * ``"spike_count"`` — the head is an ordinary spiking layer and the
+      classification is the arg-max of accumulated output spikes.  This is the
+      readout the paper describes ("we simply count the number of spiking
+      signals and take the maximum").
+    * ``"membrane"`` — the head integrates its input current without firing
+      and the classification is the arg-max of the membrane potential.  This
+      avoids saturation when several logits exceed the output norm-factor and
+      is provided for the ablation benchmarks.
+    """
+
+    name = "spiking_output"
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        readout: str = "spike_count",
+        threshold: float = 1.0,
+        reset_mode: ResetMode = ResetMode.SUBTRACT,
+    ) -> None:
+        if readout not in ("spike_count", "membrane"):
+            raise ValueError(f"unknown readout {readout!r}")
+        self.weight = np.asarray(weight, dtype=np.float64)
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.readout = readout
+        self.neurons = IFNeuronPool(threshold=threshold, reset_mode=reset_mode)
+        self.accumulated: Optional[np.ndarray] = None
+
+    def reset_state(self) -> None:
+        self.neurons.reset_state()
+        self.accumulated = None
+
+    def step(self, inputs: np.ndarray) -> np.ndarray:
+        current = linear_raw(inputs, self.weight, self.bias)
+        if self.readout == "membrane":
+            if self.accumulated is None:
+                self.accumulated = np.zeros_like(current)
+            self.accumulated += current
+            return np.zeros_like(current)
+        return self.neurons.step(current)
+
+    def scores(self) -> np.ndarray:
+        """Class scores accumulated so far (spike counts or membrane potential)."""
+
+        if self.readout == "membrane":
+            if self.accumulated is None:
+                raise RuntimeError("output layer has not been stepped yet")
+            return self.accumulated
+        if self.neurons.spike_count is None:
+            raise RuntimeError("output layer has not been stepped yet")
+        return self.neurons.spike_count
+
+    @property
+    def neuron_pools(self) -> List[IFNeuronPool]:
+        return [self.neurons] if self.readout == "spike_count" else []

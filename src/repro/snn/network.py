@@ -1,0 +1,173 @@
+"""Time-stepped simulation of a converted spiking network.
+
+A :class:`SpikingNetwork` is an ordered list of spiking layers ending in a
+:class:`~repro.snn.layers.SpikingOutputLayer`.  :meth:`SpikingNetwork.simulate`
+presents a batch of analog images for ``timesteps`` cycles and returns the
+accumulated class scores — optionally at several intermediate latencies in a
+single pass, which is how the Table-1 benchmarks sweep T ∈ {50, 100, 150, …}
+without re-simulating from scratch for every latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .encoding import InputEncoder, RealCoding
+from .layers import SpikingLayer, SpikingOutputLayer
+from .statistics import LayerSpikeStats, collect_spike_stats
+
+__all__ = ["SimulationResult", "SpikingNetwork"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    Attributes
+    ----------
+    scores:
+        ``{timesteps: class-score array of shape (N, num_classes)}`` for every
+        requested checkpoint (always includes the final timestep).
+    timesteps:
+        The total number of simulated cycles.
+    spike_stats:
+        Per-layer spike statistics collected at the end of the run.
+    """
+
+    scores: Dict[int, np.ndarray]
+    timesteps: int
+    spike_stats: List[LayerSpikeStats] = field(default_factory=list)
+
+    def predictions(self, at: Optional[int] = None) -> np.ndarray:
+        """Arg-max class predictions at a given checkpoint (default: final)."""
+
+        key = self.timesteps if at is None else at
+        if key not in self.scores:
+            raise KeyError(f"no checkpoint recorded at T={key}; available: {sorted(self.scores)}")
+        return self.scores[key].argmax(axis=1)
+
+    def accuracy(self, labels: np.ndarray, at: Optional[int] = None) -> float:
+        """Classification accuracy at a given checkpoint (default: final)."""
+
+        labels = np.asarray(labels)
+        return float((self.predictions(at) == labels).mean())
+
+    def accuracy_curve(self, labels: np.ndarray) -> Dict[int, float]:
+        """Accuracy at every recorded checkpoint, keyed by latency."""
+
+        return {t: self.accuracy(labels, at=t) for t in sorted(self.scores)}
+
+    @property
+    def total_spikes(self) -> float:
+        return float(sum(stat.total_spikes for stat in self.spike_stats))
+
+
+class SpikingNetwork:
+    """An ordered stack of spiking layers driven by an input encoder."""
+
+    def __init__(
+        self,
+        layers: Sequence[SpikingLayer],
+        encoder: Optional[InputEncoder] = None,
+        name: str = "snn",
+    ) -> None:
+        layers = list(layers)
+        if not layers:
+            raise ValueError("a spiking network needs at least one layer")
+        if not isinstance(layers[-1], SpikingOutputLayer):
+            raise TypeError("the last layer of a SpikingNetwork must be a SpikingOutputLayer")
+        self.layers = layers
+        self.encoder = encoder if encoder is not None else RealCoding()
+        self.name = name
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def reset_state(self) -> None:
+        """Reset every layer's membrane state (new stimulus)."""
+
+        for layer in self.layers:
+            layer.reset_state()
+
+    @property
+    def output_layer(self) -> SpikingOutputLayer:
+        return self.layers[-1]  # type: ignore[return-value]
+
+    @property
+    def num_neurons(self) -> int:
+        """Total number of IF neurons (known only after at least one step)."""
+
+        return sum(pool.num_neurons for layer in self.layers for pool in layer.neuron_pools)
+
+    # -- simulation --------------------------------------------------------------
+
+    def step(self, analog_input: np.ndarray) -> np.ndarray:
+        """Advance the whole stack one timestep; returns the head's spike output."""
+
+        signal = analog_input
+        for layer in self.layers:
+            signal = layer.step(signal)
+        return signal
+
+    def simulate(
+        self,
+        images: np.ndarray,
+        timesteps: int,
+        checkpoints: Optional[Iterable[int]] = None,
+        collect_statistics: bool = True,
+    ) -> SimulationResult:
+        """Present ``images`` for ``timesteps`` cycles.
+
+        Parameters
+        ----------
+        images:
+            Analog input batch of shape ``(N, C, H, W)`` (already normalised
+            exactly as the ANN's evaluation inputs were).
+        timesteps:
+            Total number of simulation cycles (the paper's "latency" T).
+        checkpoints:
+            Optional intermediate latencies at which to snapshot the class
+            scores; the final latency is always included.
+        collect_statistics:
+            Whether to gather per-layer spike statistics at the end.
+        """
+
+        if timesteps <= 0:
+            raise ValueError(f"timesteps must be positive, got {timesteps}")
+        images = np.asarray(images, dtype=np.float64)
+        checkpoint_set = {int(t) for t in (checkpoints or []) if 0 < int(t) <= timesteps}
+        checkpoint_set.add(timesteps)
+
+        self.reset_state()
+        self.encoder.reset(images)
+        scores: Dict[int, np.ndarray] = {}
+        for t in range(1, timesteps + 1):
+            self.step(self.encoder.step(t))
+            if t in checkpoint_set:
+                scores[t] = self.output_layer.scores().copy()
+
+        stats = collect_spike_stats(self.layers, timesteps) if collect_statistics else []
+        return SimulationResult(scores=scores, timesteps=timesteps, spike_stats=stats)
+
+    def simulate_batched(
+        self,
+        images: np.ndarray,
+        timesteps: int,
+        batch_size: int = 64,
+        checkpoints: Optional[Iterable[int]] = None,
+    ) -> SimulationResult:
+        """Simulate a large evaluation set in smaller batches and merge scores."""
+
+        images = np.asarray(images, dtype=np.float64)
+        merged: Dict[int, List[np.ndarray]] = {}
+        all_stats: List[LayerSpikeStats] = []
+        for start in range(0, len(images), batch_size):
+            batch = images[start: start + batch_size]
+            result = self.simulate(batch, timesteps, checkpoints=checkpoints)
+            for t, score in result.scores.items():
+                merged.setdefault(t, []).append(score)
+            all_stats.extend(result.spike_stats)
+        scores = {t: np.concatenate(parts, axis=0) for t, parts in merged.items()}
+        return SimulationResult(scores=scores, timesteps=timesteps, spike_stats=all_stats)

@@ -1,0 +1,142 @@
+"""Integrate-and-fire neuron dynamics (paper Section 2).
+
+The paper converts ANNs onto the IF model: neuron *i* of layer *l* integrates
+its weighted spike input ``z`` into a membrane potential ``V`` (Eq. 1), emits
+a spike when ``V`` reaches the threshold ``V_thr`` (Eq. 2) and is then reset.
+Two reset rules exist; reset-to-zero discards the residual charge above the
+threshold while reset-by-subtraction (Eq. 3) keeps it:
+
+    V(t) = V(t-1) + z(t) - V_thr * Θ(t)        (reset-by-subtraction)
+    V(t) = (V(t-1) + z(t)) * (1 - Θ(t))        (reset-to-zero)
+
+The paper uses reset-by-subtraction because reset-to-zero "suffers from
+considerable information loss" — the ablation benchmark
+``benchmarks/test_ablation_reset_mode.py`` reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ResetMode", "IFNeuronPool"]
+
+
+class ResetMode(str, Enum):
+    """Membrane reset rule applied after a spike."""
+
+    SUBTRACT = "subtract"
+    ZERO = "zero"
+
+
+class IFNeuronPool:
+    """A pool of integrate-and-fire neurons sharing threshold and reset rule.
+
+    The pool is shape-agnostic: it lazily allocates its membrane state the
+    first time :meth:`step` is called, matching whatever (batched) activation
+    shape the owning spiking layer produces.
+
+    Parameters
+    ----------
+    threshold:
+        Firing threshold ``V_thr``.  Data-normalized conversions use 1.0 for
+        every layer (the norm-factors are folded into the weights instead).
+    reset_mode:
+        :class:`ResetMode` — reset-by-subtraction (paper default) or
+        reset-to-zero.
+    record_spikes:
+        When true, the pool accumulates the total number of emitted spikes,
+        which the statistics module turns into firing rates and energy
+        proxies.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 1.0,
+        reset_mode: ResetMode = ResetMode.SUBTRACT,
+        record_spikes: bool = True,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        self.threshold = float(threshold)
+        self.reset_mode = ResetMode(reset_mode)
+        self.record_spikes = record_spikes
+        self.membrane: Optional[np.ndarray] = None
+        self.spike_count: Optional[np.ndarray] = None
+        self.steps = 0
+        # When enabled (SpikeNorm-style threshold balancing), the pool tracks
+        # the largest weighted input current it has ever received.
+        self.track_input_stats = False
+        self.max_input_current = 0.0
+
+    def reset_state(self) -> None:
+        """Forget membrane potential and spike counts (start of a new stimulus)."""
+
+        self.membrane = None
+        self.spike_count = None
+        self.steps = 0
+
+    def _ensure_state(self, shape: Tuple[int, ...]) -> None:
+        if self.membrane is None or self.membrane.shape != shape:
+            self.membrane = np.zeros(shape)
+            self.spike_count = np.zeros(shape) if self.record_spikes else None
+            self.steps = 0
+
+    def step(self, input_current: np.ndarray) -> np.ndarray:
+        """Advance one timestep with the given input current ``z``.
+
+        Returns the binary spike output Θ (same shape as the input current).
+        """
+
+        input_current = np.asarray(input_current, dtype=np.float64)
+        self._ensure_state(input_current.shape)
+        if self.track_input_stats and input_current.size:
+            batch_max = float(input_current.max())
+            if batch_max > self.max_input_current:
+                self.max_input_current = batch_max
+        self.membrane += input_current
+        spikes = (self.membrane >= self.threshold).astype(np.float64)
+        if self.reset_mode is ResetMode.SUBTRACT:
+            self.membrane -= self.threshold * spikes
+        else:
+            self.membrane *= 1.0 - spikes
+        if self.record_spikes:
+            self.spike_count += spikes
+        self.steps += 1
+        return spikes
+
+    # -- statistics ----------------------------------------------------------------
+
+    @property
+    def total_spikes(self) -> float:
+        """Total number of spikes emitted since the last reset."""
+
+        if self.spike_count is None:
+            return 0.0
+        return float(self.spike_count.sum())
+
+    @property
+    def num_neurons(self) -> int:
+        """Number of neurons in the pool (0 before the first step)."""
+
+        if self.membrane is None:
+            return 0
+        # The leading axis is the batch; neurons are everything after it.
+        return int(np.prod(self.membrane.shape[1:]))
+
+    @property
+    def batch_size(self) -> int:
+        """Batch size of the current stimulus (0 before the first step)."""
+
+        if self.membrane is None:
+            return 0
+        return int(self.membrane.shape[0])
+
+    def firing_rates(self) -> np.ndarray:
+        """Per-neuron firing rate (spikes per timestep) since the last reset."""
+
+        if self.spike_count is None or self.steps == 0:
+            raise RuntimeError("no simulation steps recorded")
+        return self.spike_count / self.steps

@@ -1,0 +1,37 @@
+"""Classification readout helpers for simulated spiking networks."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .network import SimulationResult
+
+__all__ = ["predict", "accuracy_at", "latency_to_accuracy"]
+
+
+def predict(result: SimulationResult, at: int = None) -> np.ndarray:
+    """Class predictions from a simulation result (arg-max of spike counts)."""
+
+    return result.predictions(at=at)
+
+
+def accuracy_at(result: SimulationResult, labels: np.ndarray, at: int = None) -> float:
+    """Accuracy at a specific latency checkpoint."""
+
+    return result.accuracy(labels, at=at)
+
+
+def latency_to_accuracy(result: SimulationResult, labels: np.ndarray, target_accuracy: float) -> int:
+    """Smallest recorded latency whose accuracy reaches ``target_accuracy``.
+
+    Returns ``-1`` when no recorded checkpoint reaches the target — the
+    caller decides whether to extend the simulation.
+    """
+
+    curve = result.accuracy_curve(labels)
+    for latency in sorted(curve):
+        if curve[latency] >= target_accuracy:
+            return latency
+    return -1

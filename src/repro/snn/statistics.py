@@ -1,0 +1,68 @@
+"""Spike statistics and energy proxies.
+
+SNNs are attractive because their event-driven operation consumes energy only
+when spikes occur; the standard proxy is the number of synaptic operations
+(spikes × fan-out).  The statistics here quantify that for converted
+networks, which the latency/efficiency benchmarks report alongside accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["LayerSpikeStats", "collect_spike_stats", "total_synaptic_operations", "mean_firing_rate"]
+
+
+@dataclass
+class LayerSpikeStats:
+    """Spike statistics of one IF pool over one simulation run."""
+
+    layer_name: str
+    total_spikes: float
+    num_neurons: int
+    timesteps: int
+    batch_size: int = 1
+
+    @property
+    def mean_rate(self) -> float:
+        """Average spikes per neuron per timestep (per stimulus)."""
+
+        denominator = self.num_neurons * self.timesteps * max(self.batch_size, 1)
+        return self.total_spikes / denominator if denominator else 0.0
+
+
+def collect_spike_stats(layers: Sequence, timesteps: int) -> List[LayerSpikeStats]:
+    """Collect :class:`LayerSpikeStats` from every pool of every layer."""
+
+    stats: List[LayerSpikeStats] = []
+    for index, layer in enumerate(layers):
+        for pool_index, pool in enumerate(layer.neuron_pools):
+            name = f"{index}:{layer.name}" + (f".{pool_index}" if len(layer.neuron_pools) > 1 else "")
+            stats.append(
+                LayerSpikeStats(
+                    layer_name=name,
+                    total_spikes=pool.total_spikes,
+                    num_neurons=pool.num_neurons,
+                    timesteps=timesteps,
+                    batch_size=pool.batch_size,
+                )
+            )
+    return stats
+
+
+def mean_firing_rate(stats: Sequence[LayerSpikeStats]) -> float:
+    """Network-wide average firing rate (spikes / neuron / timestep / stimulus)."""
+
+    units = sum(s.num_neurons * max(s.batch_size, 1) for s in stats)
+    spikes = sum(s.total_spikes for s in stats)
+    steps = max((s.timesteps for s in stats), default=0)
+    return spikes / (units * steps) if units and steps else 0.0
+
+
+def total_synaptic_operations(stats: Sequence[LayerSpikeStats], fanout: float = 100.0) -> float:
+    """Crude synaptic-operation count: total spikes × an assumed mean fan-out."""
+
+    return sum(s.total_spikes for s in stats) * fanout

@@ -1,0 +1,20 @@
+"""Training harness: trainer, metrics, history and checkpointing."""
+
+from .trainer import Trainer, TrainingConfig, evaluate_ann
+from .metrics import top_k_accuracy, confusion_matrix, classification_report, RunningAverage
+from .history import History, EpochRecord
+from .checkpoint import save_checkpoint, load_checkpoint
+
+__all__ = [
+    "Trainer",
+    "TrainingConfig",
+    "evaluate_ann",
+    "top_k_accuracy",
+    "confusion_matrix",
+    "classification_report",
+    "RunningAverage",
+    "History",
+    "EpochRecord",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,50 @@
+"""Checkpointing of model parameters to disk (``.npz``)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..nn.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(model: Module, path: Union[str, Path], metadata: Optional[Dict] = None) -> Path:
+    """Save a model's ``state_dict`` (and optional JSON metadata) to ``path``.
+
+    The file is a standard ``numpy.savez_compressed`` archive whose keys are
+    the state-dict names; metadata is stored under the reserved key
+    ``__metadata__`` as a JSON string.
+    """
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    arrays = {name.replace("/", "_"): value for name, value in state.items()}
+    if metadata is not None:
+        arrays["__metadata__"] = np.array(json.dumps(metadata))
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_checkpoint(model: Module, path: Union[str, Path], strict: bool = True) -> Optional[Dict]:
+    """Load parameters saved by :func:`save_checkpoint` into ``model``.
+
+    Returns the stored metadata dictionary, or ``None`` when absent.
+    """
+
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = None
+        state = {}
+        for key in archive.files:
+            if key == "__metadata__":
+                metadata = json.loads(str(archive[key]))
+            else:
+                state[key] = archive[key]
+    model.load_state_dict(state, strict=strict)
+    return metadata

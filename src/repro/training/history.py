@@ -1,0 +1,58 @@
+"""Training history container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["EpochRecord", "History"]
+
+
+@dataclass
+class EpochRecord:
+    """Metrics of one training epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    val_loss: Optional[float] = None
+    val_accuracy: Optional[float] = None
+    learning_rate: Optional[float] = None
+    lambda_mean: Optional[float] = None
+    lambda_max: Optional[float] = None
+
+
+@dataclass
+class History:
+    """Accumulates :class:`EpochRecord` entries over a training run."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __getitem__(self, index: int) -> EpochRecord:
+        return self.records[index]
+
+    @property
+    def best_val_accuracy(self) -> float:
+        values = [r.val_accuracy for r in self.records if r.val_accuracy is not None]
+        return max(values) if values else 0.0
+
+    @property
+    def final_train_accuracy(self) -> float:
+        return self.records[-1].train_accuracy if self.records else 0.0
+
+    def series(self, key: str) -> List[float]:
+        """Return the per-epoch series of one metric (``None`` entries dropped)."""
+
+        return [getattr(r, key) for r in self.records if getattr(r, key) is not None]
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        """Dictionary of metric name → per-epoch series, for serialisation."""
+
+        keys = ["train_loss", "train_accuracy", "val_loss", "val_accuracy", "learning_rate", "lambda_mean", "lambda_max"]
+        return {key: self.series(key) for key in keys}

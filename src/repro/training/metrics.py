@@ -1,0 +1,75 @@
+"""Classification metrics used by the training harness and the evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["top_k_accuracy", "confusion_matrix", "classification_report", "RunningAverage"]
+
+
+def top_k_accuracy(scores: np.ndarray, targets: np.ndarray, k: int = 1) -> float:
+    """Fraction of samples whose true label is within the ``k`` highest scores."""
+
+    scores = np.asarray(scores)
+    targets = np.asarray(targets)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be (N, num_classes), got {scores.shape}")
+    if k < 1 or k > scores.shape[1]:
+        raise ValueError(f"k must be in [1, {scores.shape[1]}], got {k}")
+    top_k = np.argsort(scores, axis=1)[:, -k:]
+    hits = (top_k == targets[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def confusion_matrix(predictions: np.ndarray, targets: np.ndarray, num_classes: Optional[int] = None) -> np.ndarray:
+    """Confusion matrix with true labels on rows, predictions on columns."""
+
+    predictions = np.asarray(predictions, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if num_classes is None:
+        num_classes = int(max(predictions.max(initial=0), targets.max(initial=0))) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (targets, predictions), 1)
+    return matrix
+
+
+def classification_report(predictions: np.ndarray, targets: np.ndarray, num_classes: Optional[int] = None) -> Dict[str, float]:
+    """Accuracy, macro precision / recall / F1 from predictions and targets."""
+
+    matrix = confusion_matrix(predictions, targets, num_classes)
+    true_positive = np.diag(matrix).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    actual = matrix.sum(axis=1).astype(np.float64)
+    precision = np.divide(true_positive, predicted, out=np.zeros_like(true_positive), where=predicted > 0)
+    recall = np.divide(true_positive, actual, out=np.zeros_like(true_positive), where=actual > 0)
+    denom = precision + recall
+    f1 = np.divide(2 * precision * recall, denom, out=np.zeros_like(true_positive), where=denom > 0)
+    total = matrix.sum()
+    return {
+        "accuracy": float(true_positive.sum() / total) if total else 0.0,
+        "macro_precision": float(precision.mean()),
+        "macro_recall": float(recall.mean()),
+        "macro_f1": float(f1.mean()),
+    }
+
+
+class RunningAverage:
+    """Numerically simple running average used for per-epoch loss tracking."""
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def update(self, value: float, weight: int = 1) -> None:
+        self.total += float(value) * weight
+        self.count += weight
+
+    @property
+    def average(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.count = 0

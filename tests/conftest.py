@@ -1,0 +1,74 @@
+"""Shared fixtures for the test-suite.
+
+The expensive fixtures (a trained tiny TCL network and its evaluation data)
+are session-scoped so the conversion / evaluation / pipeline tests reuse one
+training run instead of re-training per test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ExperimentConfig
+from repro.core.pipeline import prepare_data, train_ann
+from repro.training import TrainingConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A reproducible random generator for per-test randomness."""
+
+    return np.random.default_rng(1234)
+
+
+def _tiny_config() -> ExperimentConfig:
+    """A deliberately small CIFAR-like configuration used by shared fixtures."""
+
+    return ExperimentConfig(
+        model="convnet4",
+        dataset="cifar",
+        model_kwargs={"channels": (8, 8, 16, 16), "hidden_features": 32},
+        training=TrainingConfig(epochs=4, learning_rate=0.05, milestones=(3,), weight_decay=1e-4),
+        timesteps=80,
+        checkpoints=(20, 40, 80),
+        train_per_class=16,
+        test_per_class=8,
+        num_classes=4,
+        image_size=12,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_experiment_config() -> ExperimentConfig:
+    return _tiny_config()
+
+
+@pytest.fixture(scope="session")
+def tiny_data(tiny_experiment_config):
+    """Normalised (train_images, train_labels, test_images, test_labels)."""
+
+    return prepare_data(tiny_experiment_config)
+
+
+@pytest.fixture(scope="session")
+def trained_tcl_model(tiny_experiment_config, tiny_data):
+    """A small ConvNet4 trained with TCL clipping layers, plus its accuracy."""
+
+    train_images, train_labels, test_images, test_labels = tiny_data
+    model, accuracy, _ = train_ann(
+        tiny_experiment_config, train_images, train_labels, test_images, test_labels, clip_enabled=True
+    )
+    return model, accuracy
+
+
+@pytest.fixture(scope="session")
+def trained_plain_model(tiny_experiment_config, tiny_data):
+    """The same architecture trained without clipping (plain ReLU baseline)."""
+
+    train_images, train_labels, test_images, test_labels = tiny_data
+    model, accuracy, _ = train_ann(
+        tiny_experiment_config, train_images, train_labels, test_images, test_labels, clip_enabled=False
+    )
+    return model, accuracy

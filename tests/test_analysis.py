@@ -1,0 +1,134 @@
+"""Tests of the analysis layer: tables, ASCII plots, experiment registry, reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    EXPERIMENTS,
+    ascii_curve,
+    ascii_histogram,
+    experiment_ids,
+    experiment_section,
+    format_percent,
+    get_experiment,
+    render_activation_report,
+    render_published_comparison,
+    render_table,
+    render_table1,
+    write_report_section,
+)
+from repro.core import PUBLISHED_RESULTS
+from repro.core.evaluation import ActivationSiteReport
+
+
+class TestFormatting:
+    def test_format_percent(self):
+        assert format_percent(0.9234) == "92.34%"
+        assert format_percent(None) == "-"
+
+    def test_render_table_alignment(self):
+        table = render_table(["a", "long_header"], [["1", "2"], ["333", "4"]], title="t")
+        lines = table.splitlines()
+        assert lines[0] == "t"
+        assert "long_header" in lines[1]
+        assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+    def test_render_published_comparison(self):
+        text = render_published_comparison(PUBLISHED_RESULTS[:3])
+        assert "Rueckauer" in text
+        assert "%" in text
+
+
+class TestAsciiPlots:
+    def test_histogram_bars_scale(self):
+        counts = np.array([1, 100, 10])
+        edges = np.array([0.0, 1.0, 2.0, 3.0])
+        text = ascii_histogram(counts, edges, width=20, log_scale=False)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 20
+        assert lines[0].count("#") < lines[2].count("#")
+
+    def test_histogram_markers(self):
+        counts = np.array([5, 5])
+        edges = np.array([0.0, 1.0, 2.0])
+        text = ascii_histogram(counts, edges, markers={"lambda": 1.5})
+        assert "lambda" in text.splitlines()[1]
+
+    def test_curve_rendering(self):
+        text = ascii_curve({10: 0.5, 50: 1.0})
+        assert "T=   10" in text and "T=   50" in text
+
+    def test_curve_empty(self):
+        assert ascii_curve({}) == "(no data)"
+
+    def test_render_activation_report(self):
+        report = ActivationSiteReport(
+            site_name="site1",
+            maximum=3.0,
+            p99=1.5,
+            p999=2.0,
+            mean=0.4,
+            trained_lambda=1.2,
+            histogram_counts=np.array([10, 5, 1]),
+            histogram_edges=np.array([0.0, 1.0, 2.0, 3.0]),
+        )
+        text = render_activation_report(report)
+        assert "site1" in text and "λ=1.200" in text
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        artifacts = {spec.paper_artifact for spec in EXPERIMENTS}
+        assert any("Figure 1" in a for a in artifacts)
+        assert any("Figure 2" in a for a in artifacts)
+        assert any("Figure 3" in a for a in artifacts)
+        assert any("Table 1" in a for a in artifacts)
+
+    def test_ids_unique(self):
+        ids = experiment_ids()
+        assert len(ids) == len(set(ids))
+
+    def test_get_experiment(self):
+        spec = get_experiment("table1-cifar")
+        assert "Table 1" in spec.paper_artifact
+        assert spec.benchmark.endswith(".py")
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            get_experiment("table-42")
+
+    def test_benchmark_files_exist(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        for spec in EXPERIMENTS:
+            assert (root / spec.benchmark).exists(), f"missing benchmark file {spec.benchmark}"
+
+
+class TestTable1Rendering:
+    def test_render_table1_from_experiment(self, trained_tcl_model, tiny_data, tiny_experiment_config):
+        from repro.core import convert_with_tcl, sweep_latencies
+        from repro.core.pipeline import ExperimentResult, StrategyOutcome
+
+        model, ann_accuracy = trained_tcl_model
+        train_images, _, test_images, test_labels = tiny_data
+        conversion = convert_with_tcl(model, calibration_images=train_images[:32])
+        sweep = sweep_latencies(conversion, test_images, test_labels, timesteps=40, checkpoints=[20], ann_accuracy=ann_accuracy)
+        result = ExperimentResult(
+            config=tiny_experiment_config,
+            ann_accuracy=ann_accuracy,
+            ann_loss=0.5,
+            lambdas={},
+            outcomes=[StrategyOutcome("tcl", conversion, sweep, source_ann_accuracy=ann_accuracy)],
+        )
+        text = render_table1(result)
+        assert "tcl" in text
+        assert "T=20" in text and "T=40" in text
+
+    def test_experiment_section_and_write(self, tmp_path):
+        section = experiment_section("fig2-tcl-layer", extra_lines=["measured: ok"])
+        assert "Figure 2" in section and "measured: ok" in section
+        path = write_report_section(tmp_path / "EXPERIMENTS.md", section)
+        assert path.exists()
+        write_report_section(path, "more\n", append=True)
+        assert "more" in path.read_text()

@@ -1,0 +1,232 @@
+"""Gradient and forward checks for convolution, pooling, batch-norm and losses."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    avg_pool2d,
+    batch_norm1d,
+    batch_norm2d,
+    conv2d,
+    conv_output_shape,
+    cross_entropy,
+    dropout,
+    global_avg_pool2d,
+    im2col,
+    col2im,
+    linear,
+    log_softmax,
+    max_pool2d,
+    mse_loss,
+    softmax,
+    accuracy,
+)
+from repro.autograd.gradcheck import check_gradients
+
+
+class TestConvGeometry:
+    def test_conv_output_shape_basic(self):
+        assert conv_output_shape(8, 8, 3, 1, 1) == (8, 8)
+        assert conv_output_shape(8, 8, 3, 2, 1) == (4, 4)
+        assert conv_output_shape(5, 7, (3, 5), 1, 0) == (3, 3)
+
+    def test_conv_output_shape_invalid(self):
+        with pytest.raises(ValueError):
+            conv_output_shape(2, 2, 5, 1, 0)
+
+    def test_im2col_shape(self, rng):
+        x = rng.standard_normal((2, 3, 6, 6))
+        cols = im2col(x, 3, 1, 1)
+        assert cols.shape == (2, 3 * 9, 36)
+
+    def test_im2col_col2im_adjoint(self, rng):
+        """col2im must be the exact adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+
+        x = rng.standard_normal((1, 2, 5, 5))
+        cols = im2col(x, 3, 2, 1)
+        y = rng.standard_normal(cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 2, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestConv2d:
+    def test_matches_direct_computation(self, rng):
+        x = rng.standard_normal((1, 1, 4, 4))
+        w = rng.standard_normal((1, 1, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w)).data
+        expected = np.zeros((1, 1, 2, 2))
+        for i in range(2):
+            for j in range(2):
+                expected[0, 0, i, j] = (x[0, 0, i:i + 3, j:j + 3] * w[0, 0]).sum()
+        assert np.allclose(out, expected)
+
+    def test_bias_broadcast(self, rng):
+        x = rng.standard_normal((2, 3, 5, 5))
+        w = rng.standard_normal((4, 3, 3, 3))
+        b = rng.standard_normal(4)
+        out = conv2d(Tensor(x), Tensor(w), Tensor(b), padding=1)
+        no_bias = conv2d(Tensor(x), Tensor(w), padding=1)
+        assert np.allclose(out.data - no_bias.data, b.reshape(1, 4, 1, 1) * np.ones_like(out.data))
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            conv2d(Tensor(np.zeros((1, 2, 4, 4))), Tensor(np.zeros((1, 3, 3, 3))))
+
+    def test_stride_output_shape(self, rng):
+        out = conv2d(Tensor(rng.standard_normal((1, 2, 8, 8))), Tensor(rng.standard_normal((3, 2, 3, 3))), stride=2, padding=1)
+        assert out.shape == (1, 3, 4, 4)
+
+    def test_gradcheck_full(self, rng):
+        x = Tensor(rng.standard_normal((2, 2, 5, 5)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 2, 3, 3)) * 0.5, requires_grad=True)
+        b = Tensor(rng.standard_normal(3) * 0.1, requires_grad=True)
+        check_gradients(lambda t: conv2d(t[0], t[1], t[2], stride=1, padding=1).sum(), [x, w, b])
+
+    def test_gradcheck_strided(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.standard_normal((2, 2, 3, 3)) * 0.5, requires_grad=True)
+        check_gradients(lambda t: conv2d(t[0], t[1], stride=2, padding=1).sum(), [x, w])
+
+
+class TestPooling:
+    def test_avg_pool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = avg_pool2d(x, 2)
+        assert np.allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = max_pool2d(x, 2)
+        assert np.allclose(out.data[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        out = global_avg_pool2d(Tensor(x))
+        assert out.shape == (2, 3, 1, 1)
+        assert np.allclose(out.data[:, :, 0, 0], x.mean(axis=(2, 3)))
+
+    def test_avg_pool_gradcheck(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 4, 4)), requires_grad=True)
+        check_gradients(lambda t: avg_pool2d(t[0], 2).sum(), [x])
+
+    def test_max_pool_gradcheck(self, rng):
+        # Avoid exact ties so the subgradient is unique and finite differences agree.
+        data = rng.standard_normal((1, 2, 4, 4)) + np.arange(32).reshape(1, 2, 4, 4) * 1e-3
+        x = Tensor(data, requires_grad=True)
+        check_gradients(lambda t: max_pool2d(t[0], 2).sum(), [x])
+
+    def test_global_avg_pool_gradcheck(self, rng):
+        x = Tensor(rng.standard_normal((2, 2, 3, 3)), requires_grad=True)
+        check_gradients(lambda t: global_avg_pool2d(t[0]).sum(), [x])
+
+
+class TestBatchNorm:
+    def test_training_normalises_batch(self, rng):
+        x = rng.standard_normal((8, 4, 5, 5)) * 3.0 + 2.0
+        gamma = Tensor(np.ones(4), requires_grad=True)
+        beta = Tensor(np.zeros(4), requires_grad=True)
+        running_mean = np.zeros(4)
+        running_var = np.ones(4)
+        out = batch_norm2d(Tensor(x), gamma, beta, running_mean, running_var, training=True)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+        assert np.allclose(out.data.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_running_stats_updated(self, rng):
+        x = rng.standard_normal((16, 2, 4, 4)) + 5.0
+        running_mean = np.zeros(2)
+        running_var = np.ones(2)
+        batch_norm2d(Tensor(x), Tensor(np.ones(2)), Tensor(np.zeros(2)), running_mean, running_var, training=True, momentum=1.0)
+        assert np.allclose(running_mean, x.mean(axis=(0, 2, 3)), atol=1e-8)
+
+    def test_eval_uses_running_stats(self, rng):
+        x = rng.standard_normal((4, 2, 3, 3))
+        running_mean = np.array([1.0, -1.0])
+        running_var = np.array([4.0, 9.0])
+        out = batch_norm2d(Tensor(x), Tensor(np.ones(2)), Tensor(np.zeros(2)), running_mean, running_var, training=False)
+        expected = (x - running_mean.reshape(1, 2, 1, 1)) / np.sqrt(running_var.reshape(1, 2, 1, 1) + 1e-5)
+        assert np.allclose(out.data, expected)
+
+    def test_bn2d_gradcheck_training(self, rng):
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)), requires_grad=True)
+        gamma = Tensor(rng.uniform(0.5, 1.5, 2), requires_grad=True)
+        beta = Tensor(rng.standard_normal(2), requires_grad=True)
+
+        def func(t):
+            rm, rv = np.zeros(2), np.ones(2)
+            return (batch_norm2d(t[0], t[1], t[2], rm, rv, training=True) ** 2).sum()
+
+        check_gradients(func, [x, gamma, beta], atol=1e-3, rtol=1e-2)
+
+    def test_bn1d_forward_and_gradcheck(self, rng):
+        x = Tensor(rng.standard_normal((8, 5)), requires_grad=True)
+        gamma = Tensor(np.ones(5), requires_grad=True)
+        beta = Tensor(np.zeros(5), requires_grad=True)
+
+        def func(t):
+            rm, rv = np.zeros(5), np.ones(5)
+            return (batch_norm1d(t[0], t[1], t[2], rm, rv, training=True) ** 2).sum()
+
+        check_gradients(func, [x, gamma, beta], atol=1e-3, rtol=1e-2)
+
+
+class TestLossesAndFunctional:
+    def test_linear_matches_numpy(self, rng):
+        x = rng.standard_normal((4, 6))
+        w = rng.standard_normal((3, 6))
+        b = rng.standard_normal(3)
+        out = linear(Tensor(x), Tensor(w), Tensor(b))
+        assert np.allclose(out.data, x @ w.T + b)
+
+    def test_softmax_sums_to_one(self, rng):
+        probs = softmax(Tensor(rng.standard_normal((5, 7)))).data
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_softmax_shift_invariance(self, rng):
+        logits = rng.standard_normal((3, 4))
+        assert np.allclose(softmax(Tensor(logits)).data, softmax(Tensor(logits + 100.0)).data)
+
+    def test_log_softmax_consistency(self, rng):
+        logits = rng.standard_normal((3, 4))
+        assert np.allclose(log_softmax(Tensor(logits)).data, np.log(softmax(Tensor(logits)).data))
+
+    def test_cross_entropy_known_value(self):
+        logits = np.array([[10.0, 0.0], [0.0, 10.0]])
+        loss = cross_entropy(Tensor(logits), np.array([0, 1]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-3)
+
+    def test_cross_entropy_gradcheck(self, rng):
+        logits = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        targets = np.array([0, 2, 1, 1])
+        check_gradients(lambda t: cross_entropy(t[0], targets), [logits])
+
+    def test_cross_entropy_label_smoothing_increases_loss_on_confident_logits(self):
+        logits = Tensor(np.array([[20.0, 0.0, 0.0]]))
+        plain = cross_entropy(logits, np.array([0])).item()
+        smoothed = cross_entropy(logits, np.array([0]), label_smoothing=0.1).item()
+        assert smoothed > plain
+
+    def test_mse_loss(self):
+        loss = mse_loss(Tensor([1.0, 2.0]), Tensor([1.0, 4.0]))
+        assert loss.item() == pytest.approx(2.0)
+
+    def test_dropout_eval_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)))
+        assert np.allclose(dropout(x, 0.5, training=False).data, x.data)
+
+    def test_dropout_training_scales_surviving_units(self, rng):
+        x = Tensor(np.ones((2000,)))
+        out = dropout(x, 0.5, training=True, rng=np.random.default_rng(0))
+        survivors = out.data[out.data > 0]
+        assert np.allclose(survivors, 2.0)
+        assert 0.3 < (out.data > 0).mean() < 0.7
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor([1.0]), 1.0, training=True)
+
+    def test_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2.0 / 3.0)

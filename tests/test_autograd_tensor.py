@@ -1,0 +1,279 @@
+"""Unit tests for the Tensor class and its elementwise / reduction operations."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, as_tensor, no_grad, is_grad_enabled, zeros, ones, randn, arange
+from repro.autograd.gradcheck import check_gradients
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+        assert not t.requires_grad
+
+    def test_construction_requires_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        assert t.requires_grad
+        assert t.grad is None
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2.0).detach()
+        assert not b.requires_grad
+
+    def test_copy_is_independent(self):
+        a = Tensor([1.0, 2.0])
+        b = a.copy()
+        b.data[0] = 99.0
+        assert a.data[0] == 1.0
+
+    def test_as_tensor_passthrough(self):
+        a = Tensor([1.0])
+        assert as_tensor(a) is a
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 3)))) == 5
+
+    def test_constructors(self):
+        assert zeros(2, 3).shape == (2, 3)
+        assert ones(4).data.sum() == 4.0
+        assert randn(3, 2, rng=np.random.default_rng(0)).shape == (3, 2)
+        assert np.array_equal(arange(4).data, np.array([0.0, 1.0, 2.0, 3.0]))
+
+
+class TestArithmetic:
+    def test_add_forward(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        assert np.allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar(self):
+        out = Tensor([1.0, 2.0]) + 1.0
+        assert np.allclose(out.data, [2.0, 3.0])
+
+    def test_radd(self):
+        out = 1.0 + Tensor([1.0, 2.0])
+        assert np.allclose(out.data, [2.0, 3.0])
+
+    def test_sub_and_rsub(self):
+        assert np.allclose((Tensor([3.0]) - 1.0).data, [2.0])
+        assert np.allclose((5.0 - Tensor([3.0])).data, [2.0])
+
+    def test_mul_div_neg_pow(self):
+        a = Tensor([2.0, 4.0])
+        assert np.allclose((a * 3.0).data, [6.0, 12.0])
+        assert np.allclose((a / 2.0).data, [1.0, 2.0])
+        assert np.allclose((-a).data, [-2.0, -4.0])
+        assert np.allclose((a ** 2).data, [4.0, 16.0])
+
+    def test_pow_requires_scalar_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 1.0])
+
+    def test_mul_backward(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [5.0, 7.0])
+        assert np.allclose(b.grad, [2.0, 3.0])
+
+    def test_div_backward(self):
+        a = Tensor([4.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).backward()
+        assert np.allclose(a.grad, [0.5])
+        assert np.allclose(b.grad, [-1.0])
+
+    def test_broadcast_add_backward_reduces_grad(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones((4,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        assert np.allclose(b.grad, 3.0)
+
+    def test_broadcast_scalar_param(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        s = Tensor(np.array(2.0), requires_grad=True)
+        (a * s).sum().backward()
+        assert s.grad.shape == ()
+        assert s.grad == pytest.approx(6.0)
+
+    def test_gradient_accumulates_across_uses(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = a * 2.0 + a * 3.0
+        out.backward()
+        assert np.allclose(a.grad, [5.0])
+
+
+class TestUnaryOps:
+    def test_exp_log_sqrt_abs(self):
+        a = Tensor([1.0, 4.0])
+        assert np.allclose(a.exp().data, np.exp(a.data))
+        assert np.allclose(a.log().data, np.log(a.data))
+        assert np.allclose(a.sqrt().data, np.sqrt(a.data))
+        assert np.allclose(Tensor([-2.0, 3.0]).abs().data, [2.0, 3.0])
+
+    def test_tanh_sigmoid_forward(self):
+        a = Tensor([0.0, 1.0])
+        assert np.allclose(a.tanh().data, np.tanh(a.data))
+        assert np.allclose(a.sigmoid().data, 1.0 / (1.0 + np.exp(-a.data)))
+
+    def test_relu_forward_and_backward(self):
+        a = Tensor([-1.0, 0.5, 2.0], requires_grad=True)
+        out = a.relu()
+        assert np.allclose(out.data, [0.0, 0.5, 2.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 1.0])
+
+    @pytest.mark.parametrize("op", ["exp", "log", "sqrt", "tanh", "sigmoid", "abs"])
+    def test_unary_gradcheck(self, op, rng):
+        data = rng.uniform(0.5, 2.0, size=(3, 3))
+        check_gradients(lambda inputs: getattr(inputs[0], op)().sum(), [Tensor(data, requires_grad=True)])
+
+    def test_maximum_minimum(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([3.0, 2.0], requires_grad=True)
+        assert np.allclose(a.maximum(b).data, [3.0, 5.0])
+        assert np.allclose(a.minimum(b).data, [1.0, 2.0])
+
+    def test_clip_upper_forward(self):
+        a = Tensor([0.5, 1.5, 3.0])
+        lam = Tensor(np.array(1.0))
+        assert np.allclose(a.clip_upper(lam).data, [0.5, 1.0, 1.0])
+
+    def test_clip_upper_gradients_match_eq9(self):
+        # Eq. 9: grad wrt input is 1 below λ, 0 at/above; grad wrt λ is the opposite.
+        a = Tensor([0.5, 1.5, 3.0], requires_grad=True)
+        lam = Tensor(np.array(1.0), requires_grad=True)
+        a.clip_upper(lam).sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0, 0.0])
+        assert lam.grad == pytest.approx(2.0)
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_matches_numpy(self):
+        data = np.arange(12.0).reshape(3, 4)
+        assert Tensor(data).mean().item() == pytest.approx(data.mean())
+        assert np.allclose(Tensor(data).mean(axis=0).data, data.mean(axis=0))
+
+    def test_var_matches_numpy(self):
+        data = np.arange(12.0).reshape(3, 4)
+        assert np.allclose(Tensor(data).var(axis=0).data, data.var(axis=0))
+
+    def test_max_gradient_splits_ties(self):
+        a = Tensor([2.0, 2.0, 1.0], requires_grad=True)
+        a.max().backward()
+        assert np.allclose(a.grad, [0.5, 0.5, 0.0])
+
+    def test_max_axis(self):
+        data = np.array([[1.0, 5.0], [7.0, 2.0]])
+        assert np.allclose(Tensor(data).max(axis=1).data, [5.0, 7.0])
+
+    def test_reshape_and_backward(self):
+        a = Tensor(np.arange(6.0), requires_grad=True)
+        out = a.reshape(2, 3)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        assert a.grad.shape == (6,)
+
+    def test_flatten_batch(self):
+        a = Tensor(np.zeros((4, 2, 3, 3)))
+        assert a.flatten_batch().shape == (4, 18)
+
+    def test_transpose_roundtrip_gradient(self):
+        a = Tensor(np.arange(24.0).reshape(2, 3, 4), requires_grad=True)
+        out = a.transpose(2, 0, 1)
+        assert out.shape == (4, 2, 3)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+
+    def test_pad2d(self):
+        a = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        out = a.pad2d((1, 1))
+        assert out.shape == (1, 1, 4, 4)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones((1, 1, 2, 2)))
+
+    def test_getitem_backward(self):
+        a = Tensor(np.arange(10.0), requires_grad=True)
+        a[2:5].sum().backward()
+        expected = np.zeros(10)
+        expected[2:5] = 1.0
+        assert np.allclose(a.grad, expected)
+
+    def test_matmul_gradcheck(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4, 2)), requires_grad=True)
+        check_gradients(lambda inputs: inputs[0].matmul(inputs[1]).sum(), [a, b])
+
+    def test_concatenate_and_stack(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.zeros((2, 2)), requires_grad=True)
+        cat = Tensor.concatenate([a, b], axis=0)
+        assert cat.shape == (4, 2)
+        cat.sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 2)))
+        stacked = Tensor.stack([a.detach(), b.detach()], axis=0)
+        assert stacked.shape == (2, 2, 2)
+
+
+class TestBackwardSemantics:
+    def test_backward_requires_scalar(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_with_explicit_gradient(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a * 3.0
+        out.backward(np.array([1.0, 10.0]))
+        assert np.allclose(a.grad, [3.0, 30.0])
+
+    def test_no_grad_suppresses_tape(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = a * 2.0
+        assert is_grad_enabled()
+        assert not out.requires_grad
+
+    def test_comparison_returns_plain_arrays(self):
+        a = Tensor([1.0, 3.0])
+        assert isinstance(a > 2.0, np.ndarray)
+        assert (a >= 3.0).tolist() == [False, True]
+        assert (a < 2.0).tolist() == [True, False]
+        assert (a <= 1.0).tolist() == [True, False]
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None

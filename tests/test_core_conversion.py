@@ -1,0 +1,218 @@
+"""Tests of the ANN-to-SNN converter (paper Sections 3-5).
+
+The central correctness property: for a trained network converted with the
+data-normalization of Eq. 5, the SNN's class scores converge to the ANN's
+decisions as the latency T grows, and the SNN accuracy at moderate T matches
+the ANN accuracy (the paper's headline claim for the TCL strategy).
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.core import (
+    ClippedReLU,
+    ConversionError,
+    FixedNormFactor,
+    MaxNormFactor,
+    PercentileNormFactor,
+    TCLNormFactor,
+    convert_ann_to_snn,
+    convert_with_max_norm,
+    convert_with_percentile_norm,
+    convert_with_tcl,
+    run_calibration,
+)
+from repro.models import ConvNet4, resnet20
+from repro.nn import AvgPool2d, Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from repro.snn import ResetMode, SpikingAvgPool2d, SpikingConv2d, SpikingLinear, SpikingOutputLayer
+
+
+def _linear_tcl_net(rng, lambdas=(1.5, 2.0)):
+    """A small fully-connected TCL network with hand-settable λ values."""
+
+    net = Sequential(
+        Linear(6, 10, rng=rng),
+        ClippedReLU(initial_lambda=lambdas[0]),
+        Linear(10, 8, rng=rng),
+        ClippedReLU(initial_lambda=lambdas[1]),
+        Linear(8, 4, rng=rng),
+    )
+    return net
+
+
+class TestConverterStructure:
+    def test_linear_network_layer_types(self, rng):
+        net = _linear_tcl_net(rng)
+        result = convert_with_tcl(net)
+        types = [type(layer) for layer in result.snn.layers]
+        assert types == [SpikingLinear, SpikingLinear, SpikingOutputLayer]
+
+    def test_convnet_layer_count_and_types(self, rng):
+        model = ConvNet4(image_size=12, channels=(4, 4, 8, 8), hidden_features=16, rng=rng)
+        result = convert_with_tcl(model, calibration_images=rng.standard_normal((8, 3, 12, 12)))
+        layers = result.snn.layers
+        assert sum(isinstance(l, SpikingConv2d) for l in layers) == 4
+        assert sum(isinstance(l, SpikingAvgPool2d) for l in layers) == 2
+        assert isinstance(layers[-1], SpikingOutputLayer)
+
+    def test_norm_factors_recorded(self, rng):
+        net = _linear_tcl_net(rng, lambdas=(1.5, 2.5))
+        result = convert_with_tcl(net)
+        assert result.norm_factors["input"] == pytest.approx(1.0)
+        assert result.norm_factors["site1"] == pytest.approx(1.5)
+        assert result.norm_factors["site2"] == pytest.approx(2.5)
+        assert result.strategy_name == "tcl"
+
+    def test_weight_normalization_equation(self, rng):
+        """Ŵ_l = W_l * λ_{l-1} / λ_l and b̂_l = b_l / λ_l (Eq. 5)."""
+
+        net = _linear_tcl_net(rng, lambdas=(2.0, 4.0))
+        result = convert_with_tcl(net)
+        first, second = result.snn.layers[0], result.snn.layers[1]
+        assert np.allclose(first.weight, net[0].weight.data * (1.0 / 2.0))
+        assert np.allclose(first.bias, net[0].bias.data / 2.0)
+        assert np.allclose(second.weight, net[2].weight.data * (2.0 / 4.0))
+        assert np.allclose(second.bias, net[2].bias.data / 4.0)
+
+    def test_max_pool_rejected(self, rng):
+        net = Sequential(
+            Conv2d(1, 2, 3, padding=1, rng=rng),
+            ClippedReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(2 * 4 * 4, 2, rng=rng),
+        )
+        with pytest.raises(ConversionError, match="max-pool"):
+            convert_with_tcl(net)
+
+    def test_plain_relu_rejected(self, rng):
+        net = Sequential(Linear(4, 4, rng=rng), ReLU(), Linear(4, 2, rng=rng))
+        with pytest.raises(ConversionError, match="ClippedReLU"):
+            convert_with_tcl(net)
+
+    def test_missing_classifier_head_rejected(self, rng):
+        net = Sequential(Linear(4, 4, rng=rng), ClippedReLU())
+        with pytest.raises(ConversionError, match="classifier"):
+            convert_with_tcl(net)
+
+    def test_non_sequential_rejected(self, rng):
+        with pytest.raises(ConversionError):
+            convert_ann_to_snn(Linear(3, 3, rng=rng))
+
+    def test_observer_strategy_requires_calibration(self, rng):
+        net = _linear_tcl_net(rng)
+        with pytest.raises(ConversionError, match="calibration"):
+            convert_ann_to_snn(net, MaxNormFactor())
+
+    def test_observers_detached_after_conversion(self, rng):
+        from repro.core import collect_observers
+
+        net = _linear_tcl_net(rng)
+        convert_with_max_norm(net, calibration_images=rng.uniform(0, 1, (16, 6)))
+        assert collect_observers(net) == {}
+
+    def test_reset_mode_propagates(self, rng):
+        net = _linear_tcl_net(rng)
+        result = convert_ann_to_snn(net, reset_mode=ResetMode.ZERO)
+        assert result.snn.layers[0].neurons.reset_mode is ResetMode.ZERO
+
+    def test_membrane_readout_output_norm_is_one(self, rng):
+        net = _linear_tcl_net(rng)
+        result = convert_ann_to_snn(net, readout="membrane", calibration_images=rng.uniform(0, 1, (8, 6)))
+        assert result.norm_factors["output"] == pytest.approx(1.0)
+
+    def test_run_calibration_returns_logits(self, rng):
+        net = _linear_tcl_net(rng)
+        logits = run_calibration(net, rng.uniform(0, 1, (10, 6)), batch_size=4)
+        assert logits.shape == (10, 4)
+
+
+class TestRateEquivalence:
+    """SNN firing rates approximate the normalized ANN activations."""
+
+    def test_snn_matches_ann_predictions_at_large_t(self, trained_tcl_model, tiny_data):
+        model, _ = trained_tcl_model
+        _, _, test_images, _ = tiny_data
+        subset = test_images[:16]
+
+        model.eval()
+        with no_grad():
+            ann_predictions = model(Tensor(subset)).data.argmax(axis=1)
+
+        result = convert_with_tcl(model, calibration_images=tiny_data[0][:32])
+        simulation = result.snn.simulate(subset, timesteps=250)
+        snn_predictions = simulation.predictions()
+        agreement = (ann_predictions == snn_predictions).mean()
+        assert agreement >= 0.8
+
+    def test_accuracy_improves_with_latency(self, trained_tcl_model, tiny_data):
+        model, _ = trained_tcl_model
+        _, _, test_images, test_labels = tiny_data
+        result = convert_with_tcl(model, calibration_images=tiny_data[0][:32])
+        simulation = result.snn.simulate(test_images, timesteps=120, checkpoints=[5, 120])
+        curve = simulation.accuracy_curve(test_labels)
+        assert curve[120] >= curve[5] - 0.05
+
+    def test_membrane_readout_matches_ann_closely(self, trained_tcl_model, tiny_data):
+        model, _ = trained_tcl_model
+        _, _, test_images, _ = tiny_data
+        subset = test_images[:16]
+        model.eval()
+        with no_grad():
+            ann_predictions = model(Tensor(subset)).data.argmax(axis=1)
+        result = convert_ann_to_snn(model, readout="membrane")
+        simulation = result.snn.simulate(subset, timesteps=250)
+        assert (simulation.predictions() == ann_predictions).mean() >= 0.8
+
+    def test_tcl_beats_max_norm_at_short_latency(self, trained_plain_model, tiny_data, trained_tcl_model):
+        """The paper's central comparison: at short latency the TCL conversion of
+        the clipping-trained ANN is at least as accurate as the max-norm
+        conversion of the conventionally trained ANN (whose tiny firing rates
+        need far more timesteps)."""
+
+        tcl_model, _ = trained_tcl_model
+        plain_model, _ = trained_plain_model
+        train_images, _, test_images, test_labels = tiny_data
+        tcl_result = convert_with_tcl(tcl_model, calibration_images=train_images[:48])
+        max_result = convert_with_max_norm(plain_model, calibration_images=train_images[:48])
+
+        short_t = 30
+        tcl_curve = tcl_result.snn.simulate(test_images, timesteps=short_t).accuracy_curve(test_labels)
+        max_curve = max_result.snn.simulate(test_images, timesteps=short_t).accuracy_curve(test_labels)
+        assert tcl_curve[short_t] >= max_curve[short_t] - 1e-9
+
+    def test_norm_factors_smaller_under_tcl_than_max_on_plain_model(
+        self, trained_tcl_model, trained_plain_model, tiny_data
+    ):
+        """The mechanism behind the latency win: trained λ values are smaller than
+        the maximum activations of the conventionally trained twin, so the
+        converted weights (and therefore firing rates) are larger."""
+
+        tcl_model, _ = trained_tcl_model
+        plain_model, _ = trained_plain_model
+        train_images = tiny_data[0]
+        tcl_result = convert_with_tcl(tcl_model, calibration_images=train_images[:48])
+        max_result = convert_with_max_norm(plain_model, calibration_images=train_images[:48])
+
+        tcl_factors = [v for k, v in tcl_result.norm_factors.items() if k.startswith("site")]
+        max_factors = [v for k, v in max_result.norm_factors.items() if k.startswith("site")]
+        assert np.mean(tcl_factors) < np.mean(max_factors)
+
+
+class TestResNetConversion:
+    def test_resnet_converts_and_runs(self, rng):
+        model = resnet20(num_classes=4, image_size=12, width_multiplier=0.25, rng=rng)
+        images = rng.standard_normal((6, 3, 12, 12))
+        result = convert_with_tcl(model, calibration_images=images)
+        from repro.snn import SpikingResidualBlock
+
+        assert sum(isinstance(l, SpikingResidualBlock) for l in result.snn.layers) == 9
+        simulation = result.snn.simulate(images[:2], timesteps=10)
+        assert simulation.scores[10].shape == (2, 4)
+
+    def test_resnet_residual_factors_recorded(self, rng):
+        model = resnet20(num_classes=4, image_size=12, width_multiplier=0.25, rng=rng)
+        result = convert_with_tcl(model, calibration_images=rng.standard_normal((4, 3, 12, 12)))
+        assert len(result.residual_factors) == 9
+        assert all(f.lambda_c1 > 0 and f.lambda_out > 0 for f in result.residual_factors)

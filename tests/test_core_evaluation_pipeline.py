@@ -1,0 +1,199 @@
+"""Tests of the evaluation harness, baselines bookkeeping and the experiment pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExperimentConfig,
+    LatencySweep,
+    PUBLISHED_RESULTS,
+    analyze_activation_sites,
+    conversion_loss,
+    convert_with_tcl,
+    evaluate_snn,
+    latency_to_match_ann,
+    prepare_data,
+    published_results_for,
+    run_experiment,
+    sweep_latencies,
+    train_ann,
+)
+from repro.training import TrainingConfig
+
+
+class TestLatencySweepDataclass:
+    def _sweep(self):
+        return LatencySweep("tcl", {10: 0.4, 50: 0.7, 100: 0.72}, ann_accuracy=0.73)
+
+    def test_best_and_final(self):
+        sweep = self._sweep()
+        assert sweep.best_accuracy == pytest.approx(0.72)
+        assert sweep.final_accuracy == pytest.approx(0.72)
+
+    def test_loss_at(self):
+        sweep = self._sweep()
+        assert sweep.loss_at(50) == pytest.approx(0.03)
+        assert sweep.loss_at(999) is None
+
+    def test_empty_sweep(self):
+        empty = LatencySweep("tcl", {})
+        assert empty.best_accuracy == 0.0 and empty.final_accuracy == 0.0
+
+    def test_latency_to_match_ann(self):
+        sweep = self._sweep()
+        assert latency_to_match_ann(sweep, tolerance=0.05) == 50
+        assert latency_to_match_ann(sweep, tolerance=0.0) == -1
+
+    def test_latency_to_match_requires_reference(self):
+        with pytest.raises(ValueError):
+            latency_to_match_ann(LatencySweep("tcl", {10: 0.5}))
+
+    def test_conversion_loss_sign(self):
+        assert conversion_loss(0.9, 0.85) == pytest.approx(0.05)
+        assert conversion_loss(0.8, 0.85) == pytest.approx(-0.05)
+
+
+class TestEvaluateAndSweep:
+    def test_evaluate_snn_curve(self, trained_tcl_model, tiny_data):
+        model, ann_acc = trained_tcl_model
+        train_images, _, test_images, test_labels = tiny_data
+        conversion = convert_with_tcl(model, calibration_images=train_images[:32])
+        curve, result = evaluate_snn(conversion.snn, test_images, test_labels, timesteps=60, checkpoints=[20, 40])
+        assert set(curve) == {20, 40, 60}
+        assert all(0.0 <= v <= 1.0 for v in curve.values())
+
+    def test_sweep_latencies_records_reference(self, trained_tcl_model, tiny_data):
+        model, ann_acc = trained_tcl_model
+        train_images, _, test_images, test_labels = tiny_data
+        conversion = convert_with_tcl(model, calibration_images=train_images[:32])
+        sweep = sweep_latencies(conversion, test_images, test_labels, timesteps=60, checkpoints=[30], ann_accuracy=ann_acc)
+        assert sweep.ann_accuracy == pytest.approx(ann_acc)
+        assert sweep.strategy_name == "tcl"
+        assert sweep.total_spikes > 0
+
+
+class TestActivationAnalysis:
+    def test_reports_for_every_site(self, trained_tcl_model, tiny_data):
+        model, _ = trained_tcl_model
+        reports = analyze_activation_sites(model, tiny_data[0][:48], bins=20)
+        assert len(reports) == 5
+        for report in reports:
+            assert report.maximum >= report.p999 - 1e-9
+            assert report.trained_lambda is not None
+            assert report.histogram_counts.sum() > 0
+
+    def test_lambda_ratio_property(self, trained_tcl_model, tiny_data):
+        model, _ = trained_tcl_model
+        reports = analyze_activation_sites(model, tiny_data[0][:48])
+        ratios = [r.lambda_vs_percentile_ratio for r in reports if r.lambda_vs_percentile_ratio is not None]
+        assert ratios and all(ratio > 0 for ratio in ratios)
+
+    def test_plain_model_reports_no_lambda(self, trained_plain_model, tiny_data):
+        model, _ = trained_plain_model
+        reports = analyze_activation_sites(model, tiny_data[0][:32])
+        assert all(r.trained_lambda is None for r in reports)
+
+    def test_observers_removed_afterwards(self, trained_tcl_model, tiny_data):
+        from repro.core import collect_observers
+
+        model, _ = trained_tcl_model
+        analyze_activation_sites(model, tiny_data[0][:16])
+        assert collect_observers(model) == {}
+
+
+class TestPublishedResults:
+    def test_every_row_has_dataset(self):
+        assert all(r.dataset in ("cifar10", "imagenet") for r in PUBLISHED_RESULTS)
+
+    def test_filter_by_dataset_and_network(self):
+        rows = published_results_for("imagenet", network="VGG-16")
+        assert rows and all(r.network == "VGG-16" for r in rows)
+
+    def test_tcl_rows_have_small_conversion_loss(self):
+        """Sanity of the transcription: the paper's own rows lose < 1 % accuracy."""
+
+        ours = [r for r in PUBLISHED_RESULTS if "ours" in r.source]
+        assert ours and all(abs(r.conversion_loss) < 1.0 for r in ours)
+
+    def test_baseline_imagenet_rows_lose_more_than_ours(self):
+        baseline_losses = [r.conversion_loss for r in published_results_for("imagenet") if "ours" not in r.source]
+        our_losses = [abs(r.conversion_loss) for r in published_results_for("imagenet") if "ours" in r.source]
+        assert max(our_losses) < max(baseline_losses)
+
+
+class TestPrepareData:
+    def test_cifar_shapes_and_normalisation(self):
+        config = ExperimentConfig(dataset="cifar", num_classes=4, image_size=10, train_per_class=8, test_per_class=4)
+        train_x, train_y, test_x, test_y = prepare_data(config)
+        assert train_x.shape == (32, 3, 10, 10)
+        assert test_x.shape == (16, 3, 10, 10)
+        assert abs(train_x.mean()) < 0.1
+
+    def test_imagenet_variant(self):
+        config = ExperimentConfig(dataset="imagenet", num_classes=5, image_size=10, train_per_class=6, test_per_class=2)
+        train_x, train_y, _, _ = prepare_data(config)
+        assert train_x.shape[0] == 30
+        assert int(train_y.max()) == 4
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            prepare_data(ExperimentConfig(dataset="mnist"))
+
+    def test_unnormalised_option(self):
+        config = ExperimentConfig(num_classes=3, image_size=8, train_per_class=4, test_per_class=2, normalize_inputs=False)
+        train_x, _, _, _ = prepare_data(config)
+        assert train_x.mean() > 0.0  # synthetic images are non-negative on average
+
+
+class TestRunExperiment:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        config = ExperimentConfig(
+            model="convnet4",
+            dataset="cifar",
+            model_kwargs={"channels": (8, 8, 16, 16), "hidden_features": 32},
+            training=TrainingConfig(epochs=4, learning_rate=0.05, milestones=(3,)),
+            strategies=("tcl", "max"),
+            timesteps=60,
+            checkpoints=(20, 40, 60),
+            train_per_class=16,
+            test_per_class=8,
+            num_classes=4,
+            image_size=12,
+            seed=11,
+        )
+        return run_experiment(config)
+
+    def test_outcomes_per_strategy(self, experiment):
+        assert {o.strategy_name for o in experiment.outcomes} == {"tcl", "max"}
+
+    def test_tcl_converts_tcl_model_and_max_converts_original(self, experiment):
+        assert experiment.outcome("tcl").source_model == "tcl"
+        assert experiment.outcome("max").source_model == "original"
+        assert experiment.original_ann_accuracy is not None
+
+    def test_ann_accuracy_reasonable(self, experiment):
+        assert experiment.ann_accuracy > 0.3  # well above 4-class chance
+
+    def test_lambdas_recorded(self, experiment):
+        assert len(experiment.lambdas) == 5
+        assert all(v > 0 for v in experiment.lambdas.values())
+
+    def test_accuracy_table_structure(self, experiment):
+        table = experiment.accuracy_table()
+        assert set(table) == {"tcl", "max"}
+        assert set(table["tcl"]) == {20, 40, 60}
+
+    def test_unknown_outcome_raises(self, experiment):
+        with pytest.raises(KeyError):
+            experiment.outcome("percentile")
+
+    def test_tcl_accuracy_close_to_ann_at_final_latency(self, experiment):
+        sweep = experiment.outcome("tcl").sweep
+        assert sweep.final_accuracy >= experiment.ann_accuracy - 0.15
+
+    def test_train_ann_helper(self, tiny_experiment_config, tiny_data):
+        train_x, train_y, test_x, test_y = tiny_data
+        model, accuracy, loss = train_ann(tiny_experiment_config, train_x, train_y, test_x, test_y)
+        assert 0.0 <= accuracy <= 1.0
+        assert loss > 0.0

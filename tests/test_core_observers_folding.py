@@ -1,0 +1,172 @@
+"""Tests of activation observers and batch-norm folding (paper Eq. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.core import (
+    ActivationObserver,
+    EffectiveWeights,
+    attach_observers,
+    bn_scale_shift,
+    collect_observers,
+    detach_observers,
+    fold_batchnorm,
+)
+from repro.models import ConvNet4
+from repro.nn import BatchNorm1d, BatchNorm2d, Conv2d, Linear
+
+
+class TestActivationObserver:
+    def test_exact_max_and_mean(self):
+        observer = ActivationObserver()
+        observer.update(np.array([1.0, 2.0, 3.0]))
+        observer.update(np.array([0.0, 10.0]))
+        assert observer.maximum == pytest.approx(10.0)
+        assert observer.mean == pytest.approx(16.0 / 5.0)
+        assert observer.count == 5
+
+    def test_empty_update_ignored(self):
+        observer = ActivationObserver()
+        observer.update(np.array([]))
+        assert observer.count == 0
+        assert observer.percentile(99.9) == 0.0
+
+    def test_percentile_small_sample(self):
+        observer = ActivationObserver()
+        observer.update(np.linspace(0.0, 1.0, 1001))
+        assert observer.percentile(50.0) == pytest.approx(0.5, abs=0.01)
+        assert observer.percentile(99.9) == pytest.approx(0.999, abs=0.01)
+
+    def test_reservoir_capped(self):
+        observer = ActivationObserver(reservoir_size=100)
+        observer.update(np.random.default_rng(0).random(1000))
+        assert observer._reservoir.size == 100
+        assert observer.count == 1000
+
+    def test_reservoir_percentile_reasonable_after_overflow(self):
+        observer = ActivationObserver(reservoir_size=500, seed=1)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            observer.update(rng.uniform(0.0, 1.0, 400))
+        assert observer.percentile(50.0) == pytest.approx(0.5, abs=0.1)
+
+    def test_histogram(self):
+        observer = ActivationObserver()
+        observer.update(np.array([0.1, 0.2, 0.9]))
+        counts, edges = observer.histogram(bins=10, value_range=(0.0, 1.0))
+        assert counts.sum() == 3
+        assert len(edges) == 11
+
+    def test_histogram_empty(self):
+        counts, edges = ActivationObserver().histogram(bins=5)
+        assert counts.sum() == 0
+
+    def test_summary_keys(self):
+        observer = ActivationObserver()
+        observer.update(np.array([1.0]))
+        summary = observer.summary()
+        assert {"count", "max", "mean", "p99", "p99.9", "p99.99"} <= set(summary)
+
+
+class TestAttachDetach:
+    def test_attach_returns_one_observer_per_site(self, rng):
+        model = ConvNet4(image_size=12, channels=(4, 4, 8, 8), rng=rng)
+        observers = attach_observers(model)
+        assert len(observers) == 5
+        assert collect_observers(model).keys() == observers.keys()
+
+    def test_forward_populates_observers(self, rng):
+        model = ConvNet4(image_size=12, channels=(4, 4, 8, 8), rng=rng)
+        observers = attach_observers(model)
+        model.eval()
+        with no_grad():
+            model(Tensor(rng.standard_normal((4, 3, 12, 12))))
+        assert all(obs.count > 0 for obs in observers.values())
+
+    def test_detach_removes_observers(self, rng):
+        model = ConvNet4(image_size=12, channels=(4, 4, 8, 8), rng=rng)
+        attach_observers(model)
+        detach_observers(model)
+        assert collect_observers(model) == {}
+
+
+class TestBNFolding:
+    def test_scale_shift_formula(self):
+        bn = BatchNorm2d(3, eps=1e-5)
+        bn.gamma.data[...] = np.array([1.0, 2.0, 0.5])
+        bn.beta.data[...] = np.array([0.0, 1.0, -1.0])
+        bn.running_mean[...] = np.array([0.5, -0.5, 2.0])
+        bn.running_var[...] = np.array([4.0, 1.0, 0.25])
+        scale, shift = bn_scale_shift(bn)
+        assert np.allclose(scale, [1.0 / np.sqrt(4.0 + 1e-5), 2.0 / np.sqrt(1.0 + 1e-5), 0.5 / np.sqrt(0.25 + 1e-5)])
+        assert np.allclose(shift, bn.beta.data - scale * bn.running_mean)
+
+    def test_scale_shift_type_check(self):
+        with pytest.raises(TypeError):
+            bn_scale_shift(Linear(2, 2))
+
+    def test_fold_conv_bn_equivalence(self, rng):
+        """conv → BN (eval mode) must equal the folded conv exactly."""
+
+        conv = Conv2d(3, 5, 3, padding=1, rng=rng)
+        bn = BatchNorm2d(5)
+        bn.gamma.data[...] = rng.uniform(0.5, 1.5, 5)
+        bn.beta.data[...] = rng.standard_normal(5)
+        bn.running_mean[...] = rng.standard_normal(5)
+        bn.running_var[...] = rng.uniform(0.5, 2.0, 5)
+        bn.eval()
+        conv.eval()
+
+        x = rng.standard_normal((2, 3, 6, 6))
+        with no_grad():
+            reference = bn(conv(Tensor(x))).data
+
+        folded_w, folded_b = fold_batchnorm(conv.weight.data, conv.bias.data, bn)
+        from repro.snn import conv2d_raw
+
+        folded_out = conv2d_raw(x, folded_w, folded_b, stride=1, padding=1)
+        assert np.allclose(folded_out, reference, atol=1e-10)
+
+    def test_fold_linear_bn_equivalence(self, rng):
+        linear = Linear(4, 6, rng=rng)
+        bn = BatchNorm1d(6)
+        bn.gamma.data[...] = rng.uniform(0.5, 1.5, 6)
+        bn.running_mean[...] = rng.standard_normal(6)
+        bn.running_var[...] = rng.uniform(0.5, 2.0, 6)
+        bn.eval()
+
+        x = rng.standard_normal((3, 4))
+        with no_grad():
+            reference = bn(linear(Tensor(x))).data
+        folded_w, folded_b = fold_batchnorm(linear.weight.data, linear.bias.data, bn)
+        assert np.allclose(x @ folded_w.T + folded_b, reference, atol=1e-10)
+
+    def test_fold_without_bias(self, rng):
+        conv = Conv2d(2, 3, 3, bias=False, rng=rng)
+        bn = BatchNorm2d(3)
+        folded_w, folded_b = fold_batchnorm(conv.weight.data, None, bn)
+        assert folded_b.shape == (3,)
+
+    def test_channel_mismatch_raises(self, rng):
+        conv = Conv2d(2, 3, 3, rng=rng)
+        bn = BatchNorm2d(4)
+        with pytest.raises(ValueError):
+            fold_batchnorm(conv.weight.data, conv.bias.data, bn)
+
+    def test_effective_weights_copy_semantics(self, rng):
+        conv = Conv2d(2, 3, 3, rng=rng)
+        effective = EffectiveWeights(conv.weight.data, conv.bias.data)
+        effective.weight[...] = 0.0
+        assert not np.allclose(conv.weight.data, 0.0)
+
+    def test_effective_weights_default_bias(self, rng):
+        effective = EffectiveWeights(np.ones((4, 2, 3, 3)), None)
+        assert np.allclose(effective.bias, 0.0)
+
+    def test_effective_weights_fold_chains(self, rng):
+        conv = Conv2d(2, 3, 3, rng=rng)
+        bn = BatchNorm2d(3)
+        bn.gamma.data[...] = 2.0
+        effective = EffectiveWeights(conv.weight.data, conv.bias.data).fold_batchnorm(bn)
+        assert np.allclose(effective.weight, conv.weight.data * 2.0 / np.sqrt(1.0 + bn.eps))

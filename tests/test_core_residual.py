@@ -1,0 +1,133 @@
+"""Tests of the residual-block conversion (paper Section 5, Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.core import (
+    FixedNormFactor,
+    TCLNormFactor,
+    convert_basic_block,
+    identity_shortcut_kernel,
+)
+from repro.core.tcl import ClippedReLU
+from repro.nn import BasicBlock
+from repro.snn import SpikingResidualBlock, conv2d_raw
+
+
+def _tcl_block(in_channels, out_channels, stride=1, batch_norm=True, rng=None, lam=1.5):
+    return BasicBlock(
+        in_channels,
+        out_channels,
+        stride=stride,
+        batch_norm=batch_norm,
+        activation_factory=lambda: ClippedReLU(initial_lambda=lam),
+        rng=rng,
+    )
+
+
+class TestIdentityShortcutKernel:
+    def test_kernel_is_channelwise_identity(self, rng):
+        kernel = identity_shortcut_kernel(4, 4)
+        x = rng.standard_normal((2, 4, 5, 5))
+        assert np.allclose(conv2d_raw(x, kernel), x)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            identity_shortcut_kernel(4, 8)
+
+
+class TestConvertBasicBlock:
+    def test_type_a_conversion_structure(self, rng):
+        block = _tcl_block(4, 4, rng=rng)
+        spiking, lambda_out, factors = convert_basic_block(block, lambda_pre=1.0, strategy=TCLNormFactor())
+        assert isinstance(spiking, SpikingResidualBlock)
+        assert spiking.block_type == "A"
+        assert spiking.osi_weight.shape == (4, 4, 1, 1)
+        assert lambda_out == pytest.approx(factors.lambda_out)
+
+    def test_type_b_conversion_uses_projection_weights(self, rng):
+        block = _tcl_block(4, 8, stride=2, rng=rng)
+        spiking, _, _ = convert_basic_block(block, lambda_pre=1.0, strategy=TCLNormFactor())
+        assert spiking.block_type == "B"
+        assert spiking.osi_weight.shape == (8, 4, 1, 1)
+        assert spiking.ns_stride == 2 and spiking.osi_stride == 2
+
+    def test_section5_weight_equations(self, rng):
+        """Check Ŵ_ns, Ŵ_osn, Ŵ_osi and b̂ against the paper's formulas for a
+        block without batch-norm (so effective weights equal raw weights)."""
+
+        block = _tcl_block(3, 3, batch_norm=False, rng=rng)
+        lambda_pre, lambda_c1, lambda_out = 0.8, 1.5, 2.5
+        block.activation1.clip.lam.data[...] = lambda_c1
+        block.activation_out.clip.lam.data[...] = lambda_out
+
+        spiking, _, factors = convert_basic_block(block, lambda_pre=lambda_pre, strategy=TCLNormFactor())
+        assert factors.lambda_pre == pytest.approx(lambda_pre)
+        assert np.allclose(spiking.ns_weight, block.conv1.weight.data * lambda_pre / lambda_c1)
+        assert np.allclose(spiking.ns_bias, block.conv1.bias.data / lambda_c1)
+        assert np.allclose(spiking.osn_weight, block.conv2.weight.data * lambda_c1 / lambda_out)
+        identity = identity_shortcut_kernel(3, 3)
+        assert np.allclose(spiking.osi_weight, identity * lambda_pre / lambda_out)
+        assert np.allclose(spiking.os_bias, block.conv2.bias.data / lambda_out)
+
+    def test_type_b_bias_combines_conv2_and_shortcut(self, rng):
+        block = _tcl_block(3, 6, batch_norm=False, rng=rng)
+        lambda_out = 2.0
+        block.activation_out.clip.lam.data[...] = lambda_out
+        spiking, _, _ = convert_basic_block(block, lambda_pre=1.0, strategy=TCLNormFactor())
+        expected = (block.conv2.bias.data + block.shortcut_conv.bias.data) / lambda_out
+        assert np.allclose(spiking.os_bias, expected)
+
+    def test_requires_clipped_relu_activations(self, rng):
+        block = BasicBlock(3, 3, rng=rng)  # plain ReLU activations
+        with pytest.raises(TypeError):
+            convert_basic_block(block, lambda_pre=1.0, strategy=TCLNormFactor())
+
+    def test_rate_equivalence_of_converted_block(self, rng):
+        """The spiking block's output rate approximates the ANN block's clipped
+        activation divided by λ_out (the Section-5 claim, checked numerically)."""
+
+        block = _tcl_block(3, 3, batch_norm=False, rng=rng, lam=1.2)
+        block.eval()
+        # Small positive weights keep the block's activations in a healthy range.
+        for conv in (block.conv1, block.conv2):
+            conv.weight.data[...] = rng.uniform(-0.05, 0.15, conv.weight.data.shape)
+            conv.bias.data[...] = rng.uniform(0.0, 0.05, conv.bias.data.shape)
+
+        lambda_pre = 1.0
+        rate_in = rng.uniform(0.0, 1.0, size=(1, 3, 6, 6))
+
+        # ANN reference: the block applied to the analog input (already the
+        # activation of the previous layer, scaled by λ_pre = 1).
+        with no_grad():
+            ann_out = block(Tensor(rate_in)).data
+
+        spiking, lambda_out, _ = convert_basic_block(block, lambda_pre=lambda_pre, strategy=TCLNormFactor())
+        timesteps = 400
+        counts = np.zeros_like(ann_out)
+        # Drive the spiking block with Bernoulli spike trains of the input rate.
+        rng_spikes = np.random.default_rng(0)
+        for _ in range(timesteps):
+            spikes_in = (rng_spikes.random(rate_in.shape) < rate_in).astype(float)
+            counts += spiking.step(spikes_in)
+        snn_rate = counts / timesteps
+        expected_rate = np.clip(ann_out / lambda_out, 0.0, 1.0)
+        assert np.abs(snn_rate - expected_rate).mean() < 0.06
+
+    def test_batchnorm_folding_inside_block(self, rng):
+        """With batch-norm, the converted weights must reflect the folded affine."""
+
+        block = _tcl_block(3, 3, batch_norm=True, rng=rng)
+        block.bn1.gamma.data[...] = 2.0
+        block.eval()
+        spiking, _, factors = convert_basic_block(block, lambda_pre=1.0, strategy=TCLNormFactor())
+        scale = 2.0 / np.sqrt(block.bn1.running_var + block.bn1.eps)
+        expected_ns = block.conv1.weight.data * scale.reshape(-1, 1, 1, 1) / factors.lambda_c1
+        assert np.allclose(spiking.ns_weight, expected_ns)
+
+    def test_fixed_strategy_overrides_lambdas(self, rng):
+        block = _tcl_block(3, 3, rng=rng)
+        spiking, lambda_out, factors = convert_basic_block(block, lambda_pre=2.0, strategy=FixedNormFactor(1.0))
+        assert lambda_out == pytest.approx(1.0)
+        assert factors.lambda_c1 == pytest.approx(1.0)

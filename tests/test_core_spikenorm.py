@@ -1,0 +1,140 @@
+"""Tests of the SpikeNorm (Sengupta et al. 2019) threshold-balancing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClippedReLU,
+    balance_thresholds,
+    convert_with_spikenorm,
+    convert_with_tcl,
+)
+from repro.nn import Linear, Sequential
+from repro.snn import SpikingLinear, SpikingOutputLayer, SpikingNetwork
+
+
+def _plain_relu_net(rng, bias=True):
+    """A small fully connected network without trained clipping bounds.
+
+    SpikeNorm's threshold balancing is only exact for bias-free networks (see
+    the module docstring of :mod:`repro.core.spikenorm`), so the accuracy
+    tests use ``bias=False``.
+    """
+
+    return Sequential(
+        Linear(6, 10, bias=bias, rng=rng),
+        ClippedReLU(clip_enabled=False),
+        Linear(10, 8, bias=bias, rng=rng),
+        ClippedReLU(clip_enabled=False),
+        Linear(8, 4, bias=bias, rng=rng),
+    )
+
+
+class TestBalanceThresholds:
+    def test_thresholds_positive_and_one_per_pool(self, rng):
+        net = _plain_relu_net(rng)
+        calibration = rng.uniform(0.0, 1.0, (16, 6))
+        result = convert_with_spikenorm(net, calibration, balance_timesteps=20)
+        pools = [p for layer in result.snn.layers for p in layer.neuron_pools]
+        assert len(result.thresholds) == len(pools)
+        assert all(t > 0 for t in result.thresholds)
+
+    def test_thresholds_applied_to_pools(self, rng):
+        net = _plain_relu_net(rng)
+        calibration = rng.uniform(0.0, 1.0, (16, 6))
+        result = convert_with_spikenorm(net, calibration, balance_timesteps=20)
+        pools = [p for layer in result.snn.layers for p in layer.neuron_pools]
+        for pool, threshold in zip(pools, result.thresholds):
+            assert pool.threshold == pytest.approx(threshold)
+            assert not pool.track_input_stats
+
+    def test_balancing_uses_forward_order(self, rng):
+        """The first layer's threshold equals the max current produced by the raw
+        analog input — independent of later layers."""
+
+        net = _plain_relu_net(rng, bias=False)
+        calibration = rng.uniform(0.0, 1.0, (16, 6))
+        result = convert_with_spikenorm(net, calibration, balance_timesteps=10)
+        first_layer = result.snn.layers[0]
+        expected = (calibration[:16] @ first_layer.weight.T + first_layer.bias).max()
+        assert result.thresholds[0] == pytest.approx(expected, rel=1e-9)
+
+    def test_invalid_timesteps(self, rng):
+        net = _plain_relu_net(rng)
+        calibration = rng.uniform(0.0, 1.0, (4, 6))
+        conversion = convert_with_tcl  # placeholder to silence linters
+        snn = convert_with_spikenorm(net, calibration, balance_timesteps=5).snn
+        with pytest.raises(ValueError):
+            balance_thresholds(snn, calibration, timesteps=0)
+
+    def test_strategy_name_and_norm_factor_record(self, rng):
+        net = _plain_relu_net(rng)
+        calibration = rng.uniform(0.0, 1.0, (8, 6))
+        result = convert_with_spikenorm(net, calibration, balance_timesteps=10)
+        assert result.strategy_name == "spikenorm"
+        assert any(key.startswith("threshold") for key in result.conversion.norm_factors)
+
+    def test_weights_left_unnormalized(self, rng):
+        """SpikeNorm keeps the ANN weights; only thresholds change."""
+
+        net = _plain_relu_net(rng)
+        calibration = rng.uniform(0.0, 1.0, (8, 6))
+        result = convert_with_spikenorm(net, calibration, balance_timesteps=10)
+        assert np.allclose(result.snn.layers[0].weight, net[0].weight.data)
+        assert np.allclose(result.snn.layers[1].weight, net[2].weight.data)
+
+
+class TestSpikeNormAccuracy:
+    def test_spikenorm_matches_ann_on_bias_free_network(self, rng):
+        """Like the paper's Sengupta rows: accurate, given enough timesteps —
+        for the bias-free networks the original method assumes."""
+
+        from repro.autograd import Tensor, no_grad
+
+        net = _plain_relu_net(rng, bias=False)
+        images = rng.uniform(0.0, 1.0, (24, 6))
+        net.eval()
+        with no_grad():
+            ann_predictions = net(Tensor(images)).data.argmax(axis=1)
+        result = convert_with_spikenorm(net, images, balance_timesteps=40)
+        simulation = result.snn.simulate(images, timesteps=400)
+        agreement = float((simulation.predictions() == ann_predictions).mean())
+        assert agreement >= 0.75
+
+    def test_spikenorm_accuracy_improves_with_latency(self, rng):
+        """Threshold balancing is conservative: short latencies undercount spikes,
+        long latencies recover the ANN decisions (the T > 300 column of Table 1)."""
+
+        from repro.autograd import Tensor, no_grad
+
+        net = _plain_relu_net(rng, bias=False)
+        images = rng.uniform(0.0, 1.0, (24, 6))
+        net.eval()
+        with no_grad():
+            ann_predictions = net(Tensor(images)).data.argmax(axis=1)
+        result = convert_with_spikenorm(net, images, balance_timesteps=40)
+        simulation = result.snn.simulate(images, timesteps=400, checkpoints=[10, 400])
+        agree_short = float((simulation.predictions(at=10) == ann_predictions).mean())
+        agree_long = float((simulation.predictions(at=400) == ann_predictions).mean())
+        assert agree_long >= agree_short - 0.05
+
+    def test_tcl_needs_fewer_timesteps_than_spikenorm(self, trained_tcl_model, trained_plain_model, tiny_data):
+        """The TCL-vs-Sengupta comparison of Table 1: at a short latency the TCL
+        conversion is at least as accurate as threshold balancing applied to the
+        conventionally trained twin."""
+
+        tcl_model, _ = trained_tcl_model
+        plain_model, _ = trained_plain_model
+        train_images, _, test_images, test_labels = tiny_data
+
+        tcl_curve = (
+            convert_with_tcl(tcl_model, calibration_images=train_images[:48])
+            .snn.simulate(test_images, timesteps=25)
+            .accuracy_curve(test_labels)
+        )
+        spikenorm_curve = (
+            convert_with_spikenorm(plain_model, train_images[:24], balance_timesteps=30)
+            .snn.simulate(test_images, timesteps=25)
+            .accuracy_curve(test_labels)
+        )
+        assert tcl_curve[25] >= spikenorm_curve[25] - 1e-9

@@ -1,0 +1,168 @@
+"""Tests of the TCL layer (paper Eq. 8/9) and its helper functions."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import (
+    ClippedReLU,
+    TrainableClip,
+    clamp_all_lambdas,
+    collect_lambdas,
+    lambda_regularization,
+    split_tcl_parameter_groups,
+    DEFAULT_LAMBDA_CIFAR,
+    DEFAULT_LAMBDA_IMAGENET,
+)
+from repro.models import ConvNet4
+from repro.nn import Sequential, Linear
+from repro.optim import SGD
+
+
+class TestTrainableClipForward:
+    def test_clip_below_bound_is_identity(self):
+        clip = TrainableClip(initial_lambda=2.0)
+        x = Tensor([0.5, 1.9])
+        assert np.allclose(clip(x).data, [0.5, 1.9])
+
+    def test_clip_above_bound_saturates(self):
+        clip = TrainableClip(initial_lambda=2.0)
+        x = Tensor([2.0, 5.0, 100.0])
+        assert np.allclose(clip(x).data, [2.0, 2.0, 2.0])
+
+    def test_eq8_exact_boundary(self):
+        """Eq. 8: a >= λ maps to λ (the boundary value itself is clipped)."""
+
+        clip = TrainableClip(initial_lambda=1.0)
+        assert clip(Tensor([1.0])).data[0] == pytest.approx(1.0)
+
+    def test_default_lambda_constants(self):
+        assert DEFAULT_LAMBDA_CIFAR == pytest.approx(2.0)
+        assert DEFAULT_LAMBDA_IMAGENET == pytest.approx(4.0)
+
+    def test_invalid_initial_lambda(self):
+        with pytest.raises(ValueError):
+            TrainableClip(initial_lambda=0.0)
+
+    def test_lambda_value_property(self):
+        assert TrainableClip(initial_lambda=3.5).lambda_value == pytest.approx(3.5)
+
+    def test_clamp_lambda(self):
+        clip = TrainableClip(initial_lambda=1.0, minimum=0.5)
+        clip.lam.data[...] = -2.0
+        clip.clamp_lambda()
+        assert clip.lambda_value == pytest.approx(0.5)
+
+
+class TestTrainableClipGradients:
+    def test_eq9_input_gradient(self):
+        clip = TrainableClip(initial_lambda=1.0)
+        x = Tensor([0.5, 1.5], requires_grad=True)
+        clip(x).sum().backward()
+        assert np.allclose(x.grad, [1.0, 0.0])
+
+    def test_eq9_lambda_gradient(self):
+        clip = TrainableClip(initial_lambda=1.0)
+        x = Tensor([0.5, 1.5, 2.0], requires_grad=True)
+        clip(x).sum().backward()
+        # λ receives gradient 1 for every clipped element (two of them here).
+        assert clip.lam.grad == pytest.approx(2.0)
+
+    def test_lambda_gradient_scales_with_upstream(self):
+        clip = TrainableClip(initial_lambda=1.0)
+        x = Tensor([2.0], requires_grad=True)
+        (clip(x) * 3.0).sum().backward()
+        assert clip.lam.grad == pytest.approx(3.0)
+
+    def test_lambda_is_trainable_by_sgd(self):
+        """Minimising the clipped output should push λ downward."""
+
+        clip = TrainableClip(initial_lambda=2.0)
+        optimizer = SGD([clip.lam], lr=0.1)
+        x = Tensor(np.full(10, 5.0))
+        for _ in range(5):
+            optimizer.zero_grad()
+            clip(x).sum().backward()
+            optimizer.step()
+        assert clip.lambda_value < 2.0
+
+    def test_lambda_can_move_up_when_clipping_hurts(self):
+        """If the loss prefers larger (unclipped) outputs, λ grows."""
+
+        clip = TrainableClip(initial_lambda=1.0)
+        optimizer = SGD([clip.lam], lr=0.05)
+        x = Tensor(np.full(10, 3.0))
+        for _ in range(10):
+            optimizer.zero_grad()
+            (clip(x) * (-1.0)).sum().backward()  # loss decreases as the output grows
+            optimizer.step()
+        assert clip.lambda_value > 1.0
+
+
+class TestClippedReLU:
+    def test_combines_relu_and_clip(self):
+        activation = ClippedReLU(initial_lambda=1.0)
+        out = activation(Tensor([-2.0, 0.5, 3.0]))
+        assert np.allclose(out.data, [0.0, 0.5, 1.0])
+
+    def test_clip_disabled_is_plain_relu(self):
+        activation = ClippedReLU(clip_enabled=False)
+        out = activation(Tensor([-2.0, 0.5, 3.0]))
+        assert np.allclose(out.data, [0.0, 0.5, 3.0])
+        assert activation.lambda_value is None
+
+    def test_observer_receives_output(self):
+        from repro.core import ActivationObserver
+
+        activation = ClippedReLU(initial_lambda=10.0)
+        activation.observer = ActivationObserver()
+        activation(Tensor([1.0, 2.0, 3.0]))
+        assert activation.observer.count == 3
+        assert activation.observer.maximum == pytest.approx(3.0)
+
+    def test_extra_repr(self):
+        assert "lambda" in ClippedReLU(initial_lambda=2.0).extra_repr()
+        assert "False" in ClippedReLU(clip_enabled=False).extra_repr()
+
+
+class TestHelpers:
+    def test_collect_lambdas_counts_sites_once(self, rng):
+        model = ConvNet4(image_size=12, channels=(4, 4, 8, 8), initial_lambda=2.0, rng=rng)
+        lambdas = collect_lambdas(model)
+        assert len(lambdas) == 5
+        assert not any(name.endswith(".clip") for name in lambdas)
+
+    def test_collect_lambdas_standalone_clip(self):
+        model = Sequential(Linear(4, 4), TrainableClip(1.5))
+        lambdas = collect_lambdas(model)
+        assert len(lambdas) == 1
+        assert list(lambdas.values())[0] == pytest.approx(1.5)
+
+    def test_split_parameter_groups(self, rng):
+        model = ConvNet4(image_size=12, channels=(4, 4, 8, 8), rng=rng)
+        regular, lambdas = split_tcl_parameter_groups(model)
+        assert len(lambdas) == 5
+        assert len(regular) + len(lambdas) == len(model.parameters())
+        lambda_ids = {id(p) for p in lambdas}
+        assert not any(id(p) in lambda_ids for p in regular)
+
+    def test_lambda_regularization_value(self):
+        model = Sequential(Linear(2, 2), TrainableClip(2.0), Linear(2, 2), TrainableClip(3.0))
+        penalty = lambda_regularization(model, strength=0.5)
+        assert penalty.item() == pytest.approx(0.5 * (4.0 + 9.0))
+
+    def test_lambda_regularization_zero_strength(self):
+        model = Sequential(Linear(2, 2), TrainableClip(2.0))
+        assert lambda_regularization(model, strength=0.0) is None
+
+    def test_lambda_regularization_no_clips(self):
+        model = Sequential(Linear(2, 2))
+        assert lambda_regularization(model, strength=1.0) is None
+
+    def test_clamp_all_lambdas(self, rng):
+        model = ConvNet4(image_size=12, channels=(4, 4, 8, 8), rng=rng)
+        for module in model.modules():
+            if isinstance(module, TrainableClip):
+                module.lam.data[...] = -1.0
+        clamp_all_lambdas(model)
+        assert all(v > 0 for v in collect_lambdas(model).values())

@@ -1,0 +1,216 @@
+"""Tests of the data substrate: datasets, synthetic generators, loader, transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    Compose,
+    DataLoader,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    Subset,
+    SyntheticCIFAR,
+    SyntheticImageNet,
+    SyntheticImageConfig,
+    ToFloat,
+    compute_mean_std,
+    generate_synthetic_images,
+    make_cifar_like,
+    make_class_prototypes,
+    make_imagenet_like,
+    train_test_split,
+)
+
+
+class TestArrayDataset:
+    def test_length_and_getitem(self, rng):
+        images = rng.standard_normal((10, 3, 4, 4))
+        labels = np.arange(10) % 2
+        ds = ArrayDataset(images, labels)
+        assert len(ds) == 10
+        image, label = ds[3]
+        assert image.shape == (3, 4, 4)
+        assert label in (0, 1)
+
+    def test_num_classes_and_shape(self, rng):
+        ds = ArrayDataset(rng.standard_normal((6, 1, 2, 2)), np.array([0, 1, 2, 0, 1, 2]))
+        assert ds.num_classes == 3
+        assert ds.image_shape == (1, 2, 2)
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.standard_normal((4, 1, 2, 2)), np.zeros(3))
+
+    def test_non_nchw_raises(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.standard_normal((4, 2, 2)), np.zeros(4))
+
+    def test_transform_applied(self, rng):
+        ds = ArrayDataset(np.ones((2, 1, 2, 2)), np.zeros(2), transform=lambda img: img * 2)
+        assert np.allclose(ds[0][0], 2.0)
+
+    def test_subset(self, rng):
+        ds = ArrayDataset(rng.standard_normal((10, 1, 2, 2)), np.arange(10) % 5)
+        sub = Subset(ds, [0, 2, 4])
+        assert len(sub) == 3
+        assert sub.num_classes == 5
+
+    def test_train_test_split(self, rng):
+        ds = ArrayDataset(rng.standard_normal((20, 1, 2, 2)), np.arange(20) % 4)
+        train, test = train_test_split(ds, test_fraction=0.25, seed=0)
+        assert len(train) == 15 and len(test) == 5
+
+    def test_train_test_split_invalid_fraction(self, rng):
+        ds = ArrayDataset(rng.standard_normal((4, 1, 2, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            train_test_split(ds, test_fraction=1.5)
+
+
+class TestSyntheticGenerators:
+    def test_prototypes_shape_and_scale(self):
+        config = SyntheticImageConfig(num_classes=3, image_size=8, channels=2)
+        protos = make_class_prototypes(config, np.random.default_rng(0))
+        assert protos.shape == (3, 2, 8, 8)
+        assert protos.max() <= 1.0 + 1e-9
+
+    def test_generate_counts_and_labels(self):
+        config = SyntheticImageConfig(num_classes=4, image_size=8, samples_per_class=5, seed=1)
+        images, labels = generate_synthetic_images(config)
+        assert images.shape == (20, 3, 8, 8)
+        assert sorted(np.unique(labels)) == [0, 1, 2, 3]
+        counts = np.bincount(labels)
+        assert (counts == 5).all()
+
+    def test_reproducibility(self):
+        config = SyntheticImageConfig(num_classes=2, image_size=6, samples_per_class=4, seed=5)
+        images_a, labels_a = generate_synthetic_images(config)
+        images_b, labels_b = generate_synthetic_images(config)
+        assert np.array_equal(images_a, images_b)
+        assert np.array_equal(labels_a, labels_b)
+
+    def test_different_seeds_differ(self):
+        a, _ = generate_synthetic_images(SyntheticImageConfig(num_classes=2, image_size=6, samples_per_class=4, seed=1))
+        b, _ = generate_synthetic_images(SyntheticImageConfig(num_classes=2, image_size=6, samples_per_class=4, seed=2))
+        assert not np.allclose(a, b)
+
+    def test_heavy_tail_from_outliers(self):
+        """Outlier samples should push the max activation well beyond the mean."""
+
+        config = SyntheticImageConfig(
+            num_classes=2, image_size=8, samples_per_class=200,
+            outlier_fraction=0.05, outlier_scale=5.0, seed=3,
+        )
+        images, _ = generate_synthetic_images(config)
+        per_sample_max = images.reshape(len(images), -1).max(axis=1)
+        assert per_sample_max.max() > 3.0 * np.median(per_sample_max)
+
+    def test_synthetic_cifar_defaults(self):
+        ds = SyntheticCIFAR(num_classes=4, image_size=10, samples_per_class=6, seed=0)
+        assert len(ds) == 24
+        assert ds.image_shape == (3, 10, 10)
+        assert ds.num_classes == 4
+
+    def test_synthetic_imagenet_has_more_variation(self):
+        cifar = SyntheticCIFAR(num_classes=4, image_size=12, samples_per_class=20, seed=0)
+        imagenet = SyntheticImageNet(num_classes=4, image_size=12, samples_per_class=20, seed=0)
+        assert imagenet.config.contrast_sigma > cifar.config.contrast_sigma
+
+    def test_make_cifar_like_split_counts(self):
+        train, test = make_cifar_like(train_per_class=6, test_per_class=2, num_classes=3, image_size=8)
+        assert len(train) == 18 and len(test) == 6
+        assert train.num_classes == 3
+
+    def test_make_imagenet_like_split_counts(self):
+        train, test = make_imagenet_like(train_per_class=4, test_per_class=2, num_classes=5, image_size=8)
+        assert len(train) == 20 and len(test) == 10
+
+
+class TestDataLoader:
+    def _dataset(self, n=17):
+        return ArrayDataset(np.random.default_rng(0).standard_normal((n, 1, 3, 3)), np.arange(n) % 3)
+
+    def test_batch_shapes(self):
+        loader = DataLoader(self._dataset(), batch_size=5)
+        images, labels = next(iter(loader))
+        assert images.shape == (5, 1, 3, 3)
+        assert labels.shape == (5,)
+
+    def test_number_of_batches(self):
+        assert len(DataLoader(self._dataset(17), batch_size=5)) == 4
+        assert len(DataLoader(self._dataset(17), batch_size=5, drop_last=True)) == 3
+
+    def test_drop_last_skips_partial(self):
+        loader = DataLoader(self._dataset(17), batch_size=5, drop_last=True)
+        sizes = [len(labels) for _, labels in loader]
+        assert sizes == [5, 5, 5]
+
+    def test_covers_all_samples_without_shuffle(self):
+        loader = DataLoader(self._dataset(10), batch_size=3)
+        total = sum(len(labels) for _, labels in loader)
+        assert total == 10
+
+    def test_shuffle_changes_order(self):
+        ds = self._dataset(50)
+        unshuffled = DataLoader(ds, batch_size=50, shuffle=False)
+        shuffled = DataLoader(ds, batch_size=50, shuffle=True, seed=3)
+        _, labels_a = next(iter(unshuffled))
+        _, labels_b = next(iter(shuffled))
+        assert not np.array_equal(labels_a, labels_b)
+
+    def test_full_batch(self):
+        images, labels = DataLoader(self._dataset(9), batch_size=2).full_batch()
+        assert images.shape[0] == 9 and labels.shape[0] == 9
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(self._dataset(), batch_size=0)
+
+
+class TestTransforms:
+    def test_normalize(self):
+        image = np.ones((3, 4, 4))
+        out = Normalize(mean=[1.0, 1.0, 1.0], std=[2.0, 2.0, 2.0])(image)
+        assert np.allclose(out, 0.0)
+
+    def test_normalize_invalid_std(self):
+        with pytest.raises(ValueError):
+            Normalize(mean=[0.0], std=[0.0])
+
+    def test_flip_probability_one(self):
+        image = np.arange(8.0).reshape(1, 2, 4)
+        flipped = RandomHorizontalFlip(p=1.0)(image)
+        assert np.allclose(flipped[0, 0], image[0, 0, ::-1])
+
+    def test_flip_probability_zero(self):
+        image = np.arange(8.0).reshape(1, 2, 4)
+        assert np.allclose(RandomHorizontalFlip(p=0.0)(image), image)
+
+    def test_random_crop_preserves_shape(self):
+        image = np.random.default_rng(0).standard_normal((3, 8, 8))
+        assert RandomCrop(padding=2, seed=1)(image).shape == (3, 8, 8)
+
+    def test_random_crop_zero_padding_identity(self):
+        image = np.random.default_rng(0).standard_normal((3, 8, 8))
+        assert np.allclose(RandomCrop(padding=0)(image), image)
+
+    def test_random_crop_invalid(self):
+        with pytest.raises(ValueError):
+            RandomCrop(padding=-1)
+
+    def test_compose_order(self):
+        pipeline = Compose([ToFloat(), Normalize([0.0], [2.0])])
+        out = pipeline(np.full((1, 2, 2), 4))
+        assert np.allclose(out, 2.0)
+
+    def test_compute_mean_std(self, rng):
+        images = rng.standard_normal((20, 3, 5, 5)) * 2.0 + 1.0
+        mean, std = compute_mean_std(images)
+        assert mean.shape == (3,) and std.shape == (3,)
+        assert np.allclose(mean, images.mean(axis=(0, 2, 3)))
+
+    def test_compute_mean_std_constant_channel(self):
+        images = np.zeros((4, 2, 3, 3))
+        _, std = compute_mean_std(images)
+        assert (std == 1.0).all()

@@ -1,0 +1,144 @@
+"""Integration tests: the full train → convert → simulate chain on small instances.
+
+These tests exercise the same code paths as the benchmark harness but at a
+scale small enough for the regular test run.  They check the qualitative
+claims of the paper rather than absolute numbers:
+
+* a TCL-trained ANN reaches a sensible accuracy (clipping does not break
+  training — paper Section 7, first bullet);
+* the converted SNN approaches the ANN accuracy as T grows and is close at
+  moderate latency (second bullet);
+* the residual-block conversion works end to end for ResNets (Section 5);
+* the reset-by-subtraction mode dominates reset-to-zero (Section 2);
+* checkpointed models can be reloaded and converted identically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.core import (
+    ExperimentConfig,
+    convert_ann_to_snn,
+    convert_with_tcl,
+    run_experiment,
+)
+from repro.core.pipeline import prepare_data, train_ann
+from repro.models import resnet20
+from repro.snn import ResetMode
+from repro.training import TrainingConfig, save_checkpoint, load_checkpoint
+
+
+class TestConvNetEndToEnd:
+    def test_tcl_training_reaches_useful_accuracy(self, trained_tcl_model):
+        _, accuracy = trained_tcl_model
+        assert accuracy > 0.4  # 4-class problem, chance = 0.25
+
+    def test_clipping_does_not_break_training(self, trained_tcl_model, trained_plain_model):
+        """Paper Section 7: 'our TCL technique hardly affects the accuracy of ANNs'."""
+
+        _, tcl_accuracy = trained_tcl_model
+        _, plain_accuracy = trained_plain_model
+        assert tcl_accuracy >= plain_accuracy - 0.15
+
+    def test_snn_accuracy_approaches_ann(self, trained_tcl_model, tiny_data):
+        model, ann_accuracy = trained_tcl_model
+        train_images, _, test_images, test_labels = tiny_data
+        conversion = convert_with_tcl(model, calibration_images=train_images)
+        curve = conversion.snn.simulate_batched(
+            test_images, timesteps=150, batch_size=32, checkpoints=[25, 75, 150]
+        ).accuracy_curve(test_labels)
+        assert curve[150] >= ann_accuracy - 0.1
+        assert curve[150] >= curve[25] - 0.05
+
+    def test_reset_by_subtraction_beats_reset_to_zero(self, trained_tcl_model, tiny_data):
+        model, _ = trained_tcl_model
+        train_images, _, test_images, test_labels = tiny_data
+        subtract = convert_ann_to_snn(model, calibration_images=train_images, reset_mode=ResetMode.SUBTRACT)
+        zero = convert_ann_to_snn(model, calibration_images=train_images, reset_mode=ResetMode.ZERO)
+        acc_subtract = subtract.snn.simulate_batched(test_images, 100, batch_size=32).accuracy_curve(test_labels)[100]
+        acc_zero = zero.snn.simulate_batched(test_images, 100, batch_size=32).accuracy_curve(test_labels)[100]
+        assert acc_subtract >= acc_zero - 0.05
+
+    def test_checkpointed_model_converts_identically(self, trained_tcl_model, tiny_data, tmp_path):
+        from repro.models import ConvNet4
+
+        model, _ = trained_tcl_model
+        _, _, test_images, _ = tiny_data
+        path = save_checkpoint(model, tmp_path / "tcl.npz")
+
+        clone = ConvNet4(
+            num_classes=4, image_size=12, channels=(8, 8, 16, 16), hidden_features=32,
+            rng=np.random.default_rng(99),
+        )
+        load_checkpoint(clone, path)
+        original = convert_with_tcl(model).snn.simulate(test_images[:8], timesteps=40)
+        restored = convert_with_tcl(clone).snn.simulate(test_images[:8], timesteps=40)
+        assert np.array_equal(original.scores[40], restored.scores[40])
+
+
+class TestResNetEndToEnd:
+    @pytest.fixture(scope="class")
+    def resnet_setup(self):
+        config = ExperimentConfig(
+            model="resnet20",
+            dataset="cifar",
+            model_kwargs={"width_multiplier": 0.25},
+            training=TrainingConfig(epochs=10, learning_rate=0.02, milestones=(8,)),
+            batch_size=16,
+            train_per_class=24,
+            test_per_class=8,
+            num_classes=4,
+            image_size=12,
+            seed=3,
+        )
+        data = prepare_data(config)
+        model, accuracy, _ = train_ann(config, *data, clip_enabled=True)
+        return model, accuracy, data
+
+    def test_resnet_trains_above_chance(self, resnet_setup):
+        _, accuracy, _ = resnet_setup
+        assert accuracy > 0.3
+
+    def test_resnet_conversion_matches_ann_predictions(self, resnet_setup):
+        model, _, data = resnet_setup
+        train_images, _, test_images, _ = data
+        subset = test_images[:12]
+        model.eval()
+        with no_grad():
+            ann_predictions = model(Tensor(subset)).data.argmax(axis=1)
+        conversion = convert_with_tcl(model, calibration_images=train_images)
+        snn_predictions = conversion.snn.simulate(subset, timesteps=200).predictions()
+        assert (ann_predictions == snn_predictions).mean() >= 0.7
+
+    def test_resnet_spiking_blocks_count(self, resnet_setup):
+        from repro.snn import SpikingResidualBlock
+
+        model, _, data = resnet_setup
+        conversion = convert_with_tcl(model, calibration_images=data[0][:16])
+        blocks = [l for l in conversion.snn.layers if isinstance(l, SpikingResidualBlock)]
+        assert len(blocks) == 9
+
+
+class TestImagenetLikePipeline:
+    def test_imagenet_substitute_runs_end_to_end(self):
+        """A smaller, harder dataset exercises the ImageNet-row code path."""
+
+        config = ExperimentConfig(
+            model="convnet4",
+            dataset="imagenet",
+            model_kwargs={"channels": (8, 8, 16, 16), "hidden_features": 32},
+            training=TrainingConfig(epochs=3, learning_rate=0.05, milestones=(2,)),
+            strategies=("tcl",),
+            timesteps=60,
+            checkpoints=(30, 60),
+            train_per_class=10,
+            test_per_class=4,
+            num_classes=5,
+            image_size=12,
+            seed=5,
+        )
+        result = run_experiment(config)
+        assert result.outcome("tcl").sweep.final_accuracy >= 0.2
+        assert result.lambdas  # initial λ defaults to the ImageNet value (4.0)
+        assert all(v > 0 for v in result.lambdas.values())

@@ -1,0 +1,174 @@
+"""Tests of the model zoo: ConvNet4, VGG, ResNet and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core.tcl import ClippedReLU, collect_lambdas
+from repro.models import (
+    ConvNet4,
+    ResNet,
+    VGG,
+    available_models,
+    build_model,
+    resnet18,
+    resnet20,
+    resnet34,
+    vgg11,
+    vgg16,
+)
+from repro.nn import AvgPool2d, BasicBlock, MaxPool2d, Sequential
+
+
+def _count_sites(model) -> int:
+    return sum(1 for _, m in model.named_modules() if isinstance(m, ClippedReLU))
+
+
+class TestConvNet4:
+    def test_forward_shape(self, rng):
+        model = ConvNet4(num_classes=5, image_size=12, channels=(4, 4, 8, 8), hidden_features=16, rng=rng)
+        out = model(Tensor(rng.standard_normal((2, 3, 12, 12))))
+        assert out.shape == (2, 5)
+
+    def test_has_four_convs_two_linears(self, rng):
+        from repro.nn import Conv2d, Linear
+
+        model = ConvNet4(image_size=12, channels=(4, 4, 8, 8), rng=rng)
+        convs = [m for m in model if isinstance(m, Conv2d)]
+        linears = [m for m in model if isinstance(m, Linear)]
+        assert len(convs) == 4 and len(linears) == 2
+
+    def test_activation_sites_carry_lambda(self, rng):
+        model = ConvNet4(image_size=12, channels=(4, 4, 8, 8), initial_lambda=2.5, rng=rng)
+        lambdas = collect_lambdas(model)
+        assert len(lambdas) == 5  # four conv activations + one hidden linear activation
+        assert all(v == pytest.approx(2.5) for v in lambdas.values())
+
+    def test_clip_disabled_produces_no_lambdas(self, rng):
+        model = ConvNet4(image_size=12, channels=(4, 4, 8, 8), clip_enabled=False, rng=rng)
+        assert collect_lambdas(model) == {}
+
+    def test_wrong_channel_count_raises(self):
+        with pytest.raises(ValueError):
+            ConvNet4(channels=(4, 4, 8))
+
+    def test_is_sequential(self, rng):
+        assert isinstance(ConvNet4(image_size=12, channels=(4, 4, 8, 8), rng=rng), Sequential)
+
+    def test_dropout_option(self, rng):
+        from repro.nn import Dropout
+
+        model = ConvNet4(image_size=12, channels=(4, 4, 8, 8), dropout=0.3, rng=rng)
+        assert any(isinstance(m, Dropout) for m in model)
+
+
+class TestVGG:
+    def test_vgg11_small_input(self, rng):
+        model = vgg11(num_classes=4, image_size=16, width_multiplier=0.125, classifier_width=32, rng=rng)
+        out = model(Tensor(rng.standard_normal((2, 3, 16, 16))))
+        assert out.shape == (2, 4)
+
+    def test_vgg16_structure_counts(self, rng):
+        model = vgg16(num_classes=10, image_size=32, width_multiplier=0.125, classifier_width=32, rng=rng)
+        from repro.nn import Conv2d
+
+        convs = [m for m in model if isinstance(m, Conv2d)]
+        assert len(convs) == 13  # VGG-16 has 13 convolutional layers
+        assert model.pool_stages == 5
+
+    def test_small_images_skip_pools(self, rng):
+        model = vgg16(num_classes=4, image_size=8, width_multiplier=0.125, classifier_width=16, rng=rng)
+        assert model.pool_stages <= 3
+        out = model(Tensor(rng.standard_normal((1, 3, 8, 8))))
+        assert out.shape == (1, 4)
+
+    def test_convertible_uses_avg_pool(self, rng):
+        model = vgg11(image_size=16, width_multiplier=0.125, convertible=True, rng=rng)
+        assert any(isinstance(m, AvgPool2d) for m in model)
+        assert not any(isinstance(m, MaxPool2d) for m in model)
+
+    def test_non_convertible_uses_max_pool(self, rng):
+        model = vgg11(image_size=16, width_multiplier=0.125, convertible=False, rng=rng)
+        assert any(isinstance(m, MaxPool2d) for m in model)
+
+    def test_width_multiplier_scales_channels(self, rng):
+        narrow = vgg11(image_size=16, width_multiplier=0.125, rng=rng)
+        wide = vgg11(image_size=16, width_multiplier=0.25, rng=rng)
+        assert wide.num_parameters() > narrow.num_parameters()
+
+    def test_unknown_config_raises(self):
+        with pytest.raises(ValueError):
+            VGG(config="vgg42")
+
+    def test_custom_config(self, rng):
+        model = VGG(config=[8, "M", 16], image_size=8, classifier_width=8, rng=rng)
+        assert model.config_name == "custom"
+        assert model(Tensor(rng.standard_normal((1, 3, 8, 8)))).shape == (1, 10)
+
+    def test_initial_lambda_propagates(self, rng):
+        model = vgg11(image_size=16, width_multiplier=0.125, initial_lambda=4.0, rng=rng)
+        assert all(v == pytest.approx(4.0) for v in collect_lambdas(model).values())
+
+
+class TestResNet:
+    def test_resnet18_forward(self, rng):
+        model = resnet18(num_classes=6, image_size=16, width_multiplier=0.125, rng=rng)
+        out = model(Tensor(rng.standard_normal((2, 3, 16, 16))))
+        assert out.shape == (2, 6)
+
+    def test_resnet20_block_count(self, rng):
+        model = resnet20(image_size=16, width_multiplier=0.25, rng=rng)
+        assert len(model.residual_blocks) == 9
+
+    def test_resnet18_block_count(self, rng):
+        model = resnet18(image_size=16, width_multiplier=0.125, rng=rng)
+        assert len(model.residual_blocks) == 8
+
+    def test_resnet34_block_count(self, rng):
+        model = resnet34(image_size=16, width_multiplier=0.0625, rng=rng)
+        assert len(model.residual_blocks) == 16
+
+    def test_block_types(self, rng):
+        model = resnet18(image_size=32, width_multiplier=0.125, rng=rng)
+        types = [block.block_type for block in model.residual_blocks]
+        assert "A" in types and "B" in types
+        # The first block of stage 1 keeps channels and stride: type A.
+        assert types[0] == "A"
+
+    def test_mismatched_config_raises(self):
+        with pytest.raises(ValueError):
+            ResNet(stage_blocks=[2, 2], stage_channels=[16])
+
+    def test_small_image_limits_downsampling(self, rng):
+        model = resnet34(image_size=8, width_multiplier=0.0625, rng=rng)
+        assert model.feature_size >= 2
+        out = model(Tensor(rng.standard_normal((1, 3, 8, 8))))
+        assert out.shape == (1, 10)
+
+    def test_lambdas_present_in_blocks(self, rng):
+        model = resnet18(image_size=16, width_multiplier=0.125, initial_lambda=3.0, rng=rng)
+        lambdas = collect_lambdas(model)
+        # stem + 2 sites per block
+        assert len(lambdas) == 1 + 2 * len(model.residual_blocks)
+
+    def test_no_batch_norm_variant(self, rng):
+        model = resnet20(image_size=12, width_multiplier=0.25, batch_norm=False, rng=rng)
+        assert not any("gamma" in name for name, _ in model.named_parameters())
+
+
+class TestRegistry:
+    def test_available_models(self):
+        names = available_models()
+        assert "vgg16" in names and "resnet18" in names and "convnet4" in names
+
+    def test_build_by_name_case_insensitive(self, rng):
+        model = build_model("ResNet-18", image_size=12, width_multiplier=0.125, rng=rng)
+        assert isinstance(model, ResNet)
+
+    def test_build_table1_alias(self, rng):
+        model = build_model("4Conv2Linear", image_size=12, channels=(4, 4, 8, 8), rng=rng)
+        assert isinstance(model, ConvNet4)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")

@@ -1,0 +1,159 @@
+"""Tests of individual nn layers: Linear, Conv2d, pooling, norm, dropout, residual."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core.tcl import ClippedReLU
+from repro.nn import (
+    AvgPool2d,
+    BasicBlock,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(6, 3, rng=rng)
+        assert layer(Tensor(rng.standard_normal((4, 6)))).shape == (4, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(6, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_forward_matches_manual(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        x = rng.standard_normal((3, 4))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+    def test_gradients_flow_to_parameters(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        layer(Tensor(rng.standard_normal((3, 4)))).sum().backward()
+        assert layer.weight.grad is not None and layer.bias.grad is not None
+
+    def test_extra_repr(self):
+        assert "in_features=4" in Linear(4, 2).extra_repr()
+
+
+class TestConv2dLayer:
+    def test_output_shape_padded(self, rng):
+        layer = Conv2d(3, 8, 3, padding=1, rng=rng)
+        assert layer(Tensor(rng.standard_normal((2, 3, 8, 8)))).shape == (2, 8, 8, 8)
+
+    def test_output_shape_strided(self, rng):
+        layer = Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        assert layer(Tensor(rng.standard_normal((2, 3, 8, 8)))).shape == (2, 8, 4, 4)
+
+    def test_no_bias_parameter_count(self, rng):
+        assert len(Conv2d(3, 8, 3, bias=False, rng=rng).parameters()) == 1
+
+    def test_kernel_size_tuple(self, rng):
+        layer = Conv2d(1, 1, (1, 3), padding=0, rng=rng)
+        assert layer(Tensor(rng.standard_normal((1, 1, 5, 5)))).shape == (1, 1, 5, 3)
+
+
+class TestPoolingLayers:
+    def test_avg_pool_layer(self, rng):
+        out = AvgPool2d(2)(Tensor(rng.standard_normal((1, 2, 6, 6))))
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_max_pool_layer(self, rng):
+        out = MaxPool2d(2)(Tensor(rng.standard_normal((1, 2, 6, 6))))
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_global_avg_pool_flattens(self, rng):
+        out = GlobalAvgPool2d()(Tensor(rng.standard_normal((2, 5, 4, 4))))
+        assert out.shape == (2, 5)
+
+    def test_global_avg_pool_keepdims(self, rng):
+        out = GlobalAvgPool2d(keepdims=True)(Tensor(rng.standard_normal((2, 5, 4, 4))))
+        assert out.shape == (2, 5, 1, 1)
+
+    def test_flatten(self, rng):
+        assert Flatten()(Tensor(rng.standard_normal((3, 2, 4, 4)))).shape == (3, 32)
+
+
+class TestNormLayers:
+    def test_bn2d_training_vs_eval(self, rng):
+        bn = BatchNorm2d(3)
+        x = Tensor(rng.standard_normal((8, 3, 4, 4)) * 2 + 1)
+        bn.train()
+        out_train = bn(x)
+        bn.eval()
+        out_eval = bn(x)
+        assert not np.allclose(out_train.data, out_eval.data)
+
+    def test_bn1d_shapes(self, rng):
+        bn = BatchNorm1d(5)
+        assert bn(Tensor(rng.standard_normal((10, 5)))).shape == (10, 5)
+
+    def test_bn_parameters(self):
+        bn = BatchNorm2d(7)
+        assert {name for name, _ in bn.named_parameters()} == {"gamma", "beta"}
+
+
+class TestDropoutLayer:
+    def test_eval_identity(self, rng):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = Tensor(rng.standard_normal((4, 4)))
+        assert np.allclose(layer(x).data, x.data)
+
+    def test_training_zeroes_some(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((100, 100))))
+        assert (out.data == 0).any()
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+
+class TestBasicBlock:
+    def test_identity_block_type_a(self, rng):
+        block = BasicBlock(8, 8, stride=1, rng=rng)
+        assert block.block_type == "A"
+        assert not block.is_projection
+        out = block(Tensor(rng.standard_normal((2, 8, 6, 6))))
+        assert out.shape == (2, 8, 6, 6)
+
+    def test_projection_block_type_b_channels(self, rng):
+        block = BasicBlock(8, 16, stride=1, rng=rng)
+        assert block.block_type == "B"
+        out = block(Tensor(rng.standard_normal((2, 8, 6, 6))))
+        assert out.shape == (2, 16, 6, 6)
+
+    def test_projection_block_type_b_stride(self, rng):
+        block = BasicBlock(8, 16, stride=2, rng=rng)
+        out = block(Tensor(rng.standard_normal((2, 8, 8, 8))))
+        assert out.shape == (2, 16, 4, 4)
+
+    def test_activation_factory_used(self, rng):
+        block = BasicBlock(4, 4, activation_factory=lambda: ClippedReLU(initial_lambda=3.0), rng=rng)
+        assert isinstance(block.activation1, ClippedReLU)
+        assert block.activation1.lambda_value == pytest.approx(3.0)
+
+    def test_no_batch_norm_variant(self, rng):
+        block = BasicBlock(4, 4, batch_norm=False, rng=rng)
+        names = {name for name, _ in block.named_parameters()}
+        assert not any("gamma" in n for n in names)
+
+    def test_output_nonnegative_with_relu(self, rng):
+        block = BasicBlock(4, 4, rng=rng)
+        out = block(Tensor(rng.standard_normal((2, 4, 5, 5))))
+        assert (out.data >= 0).all()
+
+    def test_gradients_reach_shortcut_conv(self, rng):
+        block = BasicBlock(4, 8, stride=2, rng=rng)
+        block(Tensor(rng.standard_normal((2, 4, 6, 6)))).sum().backward()
+        assert block.shortcut_conv.weight.grad is not None

@@ -1,0 +1,183 @@
+"""Tests of the Module / Parameter system: registration, traversal, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Identity,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+    Softmax,
+)
+from repro.nn import init
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng=np.random.default_rng(0))
+        self.fc2 = Linear(8, 2, rng=np.random.default_rng(1))
+        self.scale = Parameter(np.array(1.0), name="scale")
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+class TestParameterRegistration:
+    def test_parameters_are_discovered(self):
+        toy = Toy()
+        names = dict(toy.named_parameters())
+        assert "fc1.weight" in names and "fc2.bias" in names and "scale" in names
+        assert len(toy.parameters()) == 5
+
+    def test_parameter_requires_grad(self):
+        assert Parameter(np.zeros(3)).requires_grad
+
+    def test_num_parameters(self):
+        toy = Toy()
+        expected = 4 * 8 + 8 + 8 * 2 + 2 + 1
+        assert toy.num_parameters() == expected
+
+    def test_named_modules_includes_children(self):
+        toy = Toy()
+        names = [name for name, _ in toy.named_modules()]
+        assert "" in names and "fc1" in names and "fc2" in names
+
+    def test_children_iteration(self):
+        toy = Toy()
+        assert len(list(toy.children())) == 2
+
+    def test_buffers_registered(self):
+        bn = BatchNorm2d(4)
+        buffer_names = [name for name, _ in bn.named_buffers()]
+        assert set(buffer_names) == {"running_mean", "running_var"}
+
+
+class TestTrainEvalAndGrad:
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(4, 4), Dropout(0.5), Linear(4, 2))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears_all(self):
+        toy = Toy()
+        out = toy(Tensor(np.ones((2, 4)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in toy.parameters())
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        toy_a, toy_b = Toy(), Toy()
+        state = toy_a.state_dict()
+        toy_b.load_state_dict(state)
+        x = Tensor(np.random.default_rng(2).standard_normal((3, 4)))
+        assert np.allclose(toy_a(x).data, toy_b(x).data)
+
+    def test_state_dict_is_a_copy(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["fc1.weight"][...] = 0.0
+        assert not np.allclose(toy.fc1.weight.data, 0.0)
+
+    def test_shape_mismatch_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["fc1.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            toy.load_state_dict(state)
+
+    def test_strict_missing_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state, strict=True)
+
+    def test_non_strict_allows_missing(self):
+        toy = Toy()
+        state = toy.state_dict()
+        del state["scale"]
+        toy.load_state_dict(state, strict=False)
+
+    def test_buffers_in_state_dict(self):
+        bn = BatchNorm2d(3)
+        bn.running_mean[...] = 7.0
+        other = BatchNorm2d(3)
+        other.load_state_dict(bn.state_dict())
+        assert np.allclose(other.running_mean, 7.0)
+
+
+class TestContainers:
+    def test_sequential_forward_order(self):
+        model = Sequential(Linear(3, 5, rng=np.random.default_rng(0)), ReLU(), Linear(5, 2, rng=np.random.default_rng(1)))
+        out = model(Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 2)
+
+    def test_sequential_indexing_and_len(self):
+        model = Sequential(Linear(3, 3), ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], ReLU)
+
+    def test_sequential_add_returns_self(self):
+        model = Sequential()
+        assert model.add(Linear(2, 2)) is model
+        assert len(model) == 1
+
+    def test_sequential_parameters_traversed(self):
+        model = Sequential(Linear(2, 2), Linear(2, 2))
+        assert len(model.parameters()) == 4
+
+    def test_module_list(self):
+        layers = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(layers) == 2
+        assert isinstance(layers[0], Linear)
+        assert len(list(layers)) == 2
+        with pytest.raises(RuntimeError):
+            layers(Tensor(np.ones((1, 2))))
+
+    def test_identity_passthrough(self):
+        x = Tensor(np.ones((2, 2)))
+        assert np.allclose(Identity()(x).data, x.data)
+
+    def test_softmax_module(self):
+        out = Softmax()(Tensor(np.zeros((2, 3))))
+        assert np.allclose(out.data, 1.0 / 3.0)
+
+
+class TestInit:
+    def test_compute_fans(self):
+        assert init.compute_fans((10, 20)) == (20, 10)
+        assert init.compute_fans((8, 4, 3, 3)) == (4 * 9, 8 * 9)
+
+    def test_compute_fans_invalid(self):
+        with pytest.raises(ValueError):
+            init.compute_fans((3,))
+
+    def test_kaiming_scale(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_normal((256, 128), rng=rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 128), rel=0.15)
+
+    def test_xavier_uniform_bounds(self):
+        w = init.xavier_uniform((64, 64), rng=np.random.default_rng(1))
+        bound = np.sqrt(6.0 / 128)
+        assert np.abs(w).max() <= bound
+
+    def test_constant_zero_one(self):
+        assert np.allclose(init.zeros_((3,)), 0.0)
+        assert np.allclose(init.ones_((3,)), 1.0)
+        assert np.allclose(init.constant_((2, 2), 4.0), 4.0)

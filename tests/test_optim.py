@@ -1,0 +1,203 @@
+"""Tests of the optimisers, LR schedules and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Parameter, Sequential
+from repro.optim import (
+    SGD,
+    Adam,
+    CosineAnnealingLR,
+    MultiStepLR,
+    StepLR,
+    clip_grad_norm,
+    clip_grad_value,
+)
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    """Simple convex loss (p - 3)^2 summed over elements."""
+
+    diff = param - Tensor(np.full(param.shape, 3.0))
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_plain_sgd_single_step(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=0.1)
+        loss = quadratic_loss(p)
+        loss.backward()
+        opt.step()
+        # gradient is 2*(0-3) = -6, so p moves to +0.6
+        assert p.data[0] == pytest.approx(0.6)
+
+    def test_sgd_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-3)
+
+    def test_weight_decay_shrinks_parameters(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True, momentum=0.0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Parameter(np.zeros(1))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(20):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            return abs(p.data[0] - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_param_groups_distinct_hyperparams(self):
+        p1 = Parameter(np.array([1.0]))
+        p2 = Parameter(np.array([1.0]))
+        opt = SGD([
+            {"params": [p1], "weight_decay": 0.0},
+            {"params": [p2], "weight_decay": 1.0},
+        ], lr=0.1)
+        opt.zero_grad()
+        ((p1 * 0.0) + (p2 * 0.0)).sum().backward()
+        opt.step()
+        assert p1.data[0] == pytest.approx(1.0)
+        assert p2.data[0] < 1.0
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()  # no grad yet: should not raise or change p
+        assert p.data[0] == 1.0
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_non_parameter_rejected(self):
+        with pytest.raises(TypeError):
+            SGD([Tensor(np.zeros(1), requires_grad=True)], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3))
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-2)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+    def test_state_created_lazily(self):
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.1)
+        assert opt.state == {}
+        quadratic_loss(p).backward()
+        opt.step()
+        assert opt.state[id(p)]["step"] == 1
+
+
+class TestTrainingAModel:
+    def test_sgd_reduces_loss_on_tiny_regression(self, rng):
+        model = Sequential(Linear(3, 8, rng=rng), Linear(8, 1, rng=rng))
+        x = rng.standard_normal((32, 3))
+        y = (x.sum(axis=1, keepdims=True) * 0.5).astype(np.float64)
+        opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+
+        def loss_value():
+            pred = model(Tensor(x))
+            diff = pred - Tensor(y)
+            return (diff * diff).mean()
+
+        initial = float(loss_value().data)
+        for _ in range(60):
+            opt.zero_grad()
+            loss_value().backward()
+            opt.step()
+        assert float(loss_value().data) < initial * 0.2
+
+
+class TestSchedulers:
+    def _optimizer(self):
+        return SGD([Parameter(np.zeros(1))], lr=1.0)
+
+    def test_multistep(self):
+        opt = self._optimizer()
+        sched = MultiStepLR(opt, milestones=[2, 4], gamma=0.1)
+        lrs = [sched.step() for _ in range(5)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[1] == pytest.approx(0.1)
+        assert lrs[3] == pytest.approx(0.01)
+
+    def test_steplr(self):
+        opt = self._optimizer()
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.5, 0.5, 0.25])
+
+    def test_steplr_invalid(self):
+        with pytest.raises(ValueError):
+            StepLR(self._optimizer(), step_size=0)
+
+    def test_cosine_endpoints(self):
+        opt = self._optimizer()
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        values = [sched.step() for _ in range(10)]
+        assert values[-1] == pytest.approx(0.0, abs=1e-9)
+        assert values[0] > values[5] > values[-1]
+
+    def test_scheduler_updates_optimizer(self):
+        opt = self._optimizer()
+        sched = MultiStepLR(opt, milestones=[1], gamma=0.1)
+        sched.step()
+        assert opt.learning_rate == pytest.approx(0.1)
+
+
+class TestGradientClipping:
+    def test_clip_grad_norm_scales(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        norm_before = clip_grad_norm([p], max_norm=1.0)
+        assert norm_before == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_clip_grad_norm_no_change_when_small(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.1, 0.1])
+        clip_grad_norm([p], max_norm=10.0)
+        assert np.allclose(p.grad, [0.1, 0.1])
+
+    def test_clip_grad_value(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([-5.0, 0.2, 7.0])
+        clip_grad_value([p], 1.0)
+        assert np.allclose(p.grad, [-1.0, 0.2, 1.0])
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([Parameter(np.zeros(1))], 0.0)
+        with pytest.raises(ValueError):
+            clip_grad_value([Parameter(np.zeros(1))], -1.0)

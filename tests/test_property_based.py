@@ -1,0 +1,228 @@
+"""Property-based tests (hypothesis) for the core numerical invariants.
+
+These tests protect the identities the whole reproduction rests on:
+
+* the broadcasting rules of the autograd engine,
+* the im2col/col2im adjoint pair used by every convolution,
+* the TCL forward/backward equations (Eq. 8/9),
+* the IF neuron's charge conservation and rate-coding identity (Eq. 1-3),
+* the data-normalization invariance of the ANN output (Eq. 5 rescales weights
+  but must not change what the network computes, only its scale), and
+* the batch-norm folding identity (Eq. 7).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor
+from repro.autograd.conv import col2im, im2col
+from repro.core import fold_batchnorm
+from repro.core.tcl import TrainableClip
+from repro.nn import BatchNorm2d
+from repro.snn import IFNeuronPool, ResetMode
+
+# Keep hypothesis example counts moderate: every example does real numerics.
+COMMON_SETTINGS = settings(max_examples=30, deadline=None)
+
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+class TestTensorProperties:
+    @COMMON_SETTINGS
+    @given(hnp.arrays(np.float64, hnp.array_shapes(min_dims=1, max_dims=3, max_side=5), elements=finite_floats))
+    def test_add_commutative(self, data):
+        a = Tensor(data)
+        b = Tensor(data * 0.5 + 1.0)
+        assert np.allclose((a + b).data, (b + a).data)
+
+    @COMMON_SETTINGS
+    @given(hnp.arrays(np.float64, hnp.array_shapes(min_dims=2, max_dims=2, max_side=6), elements=finite_floats))
+    def test_relu_idempotent_and_nonnegative(self, data):
+        once = Tensor(data).relu()
+        twice = once.relu()
+        assert (once.data >= 0).all()
+        assert np.array_equal(once.data, twice.data)
+
+    @COMMON_SETTINGS
+    @given(
+        hnp.arrays(np.float64, (4, 3), elements=finite_floats),
+        hnp.arrays(np.float64, (3,), elements=finite_floats),
+    )
+    def test_broadcast_gradient_shape(self, matrix, vector):
+        a = Tensor(matrix, requires_grad=True)
+        b = Tensor(vector, requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == matrix.shape
+        assert b.grad.shape == vector.shape
+        assert np.allclose(b.grad, matrix.sum(axis=0))
+
+    @COMMON_SETTINGS
+    @given(hnp.arrays(np.float64, (2, 3), elements=finite_floats))
+    def test_sum_then_backward_gives_ones(self, data):
+        a = Tensor(data, requires_grad=True)
+        a.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+
+
+class TestIm2colProperties:
+    @COMMON_SETTINGS
+    @given(
+        st.integers(min_value=1, max_value=3),  # batch
+        st.integers(min_value=1, max_value=3),  # channels
+        st.integers(min_value=4, max_value=8),  # spatial
+        st.sampled_from([1, 2]),  # stride
+        st.sampled_from([0, 1]),  # padding
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_adjoint_identity(self, n, c, size, stride, padding, seed):
+        """<im2col(x), y> == <x, col2im(y)> for random x, y (exact adjointness)."""
+
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, c, size, size))
+        cols = im2col(x, 3, stride, padding)
+        y = rng.standard_normal(cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, stride, padding)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=4, max_value=8), st.integers(min_value=0, max_value=100))
+    def test_im2col_preserves_values(self, size, seed):
+        """Every value of the input appears in the unfolded columns (kernel 1x1)."""
+
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((1, 1, size, size))
+        cols = im2col(x, 1, 1, 0)
+        assert np.allclose(np.sort(cols.ravel()), np.sort(x.ravel()))
+
+
+class TestTCLProperties:
+    @COMMON_SETTINGS
+    @given(
+        hnp.arrays(np.float64, (10,), elements=st.floats(min_value=0.0, max_value=10.0)),
+        st.floats(min_value=0.1, max_value=5.0),
+    )
+    def test_clip_bounds_output(self, activations, lam):
+        """Eq. 8: the output never exceeds λ and never exceeds the input."""
+
+        clip = TrainableClip(initial_lambda=lam)
+        out = clip(Tensor(activations)).data
+        assert (out <= lam + 1e-12).all()
+        assert (out <= activations + 1e-12).all()
+        assert (out >= np.minimum(activations, lam) - 1e-12).all()
+
+    @COMMON_SETTINGS
+    @given(
+        hnp.arrays(np.float64, (10,), elements=st.floats(min_value=0.0, max_value=10.0)),
+        st.floats(min_value=0.1, max_value=5.0),
+    )
+    def test_eq9_gradient_partition(self, activations, lam):
+        """Eq. 9: input-gradient and λ-gradient mark complementary element sets."""
+
+        clip = TrainableClip(initial_lambda=lam)
+        x = Tensor(activations, requires_grad=True)
+        clip(x).sum().backward()
+        clipped = activations >= lam
+        assert np.allclose(x.grad, (~clipped).astype(float))
+        assert clip.lam.grad == pytest.approx(float(clipped.sum()))
+
+    @COMMON_SETTINGS
+    @given(st.floats(min_value=0.1, max_value=5.0), st.floats(min_value=0.1, max_value=5.0))
+    def test_clip_monotone_in_lambda(self, lam_small, lam_large):
+        lo, hi = sorted((lam_small, lam_large))
+        values = np.linspace(0.0, 6.0, 25)
+        out_lo = TrainableClip(lo)(Tensor(values)).data
+        out_hi = TrainableClip(hi)(Tensor(values)).data
+        assert (out_lo <= out_hi + 1e-12).all()
+
+
+class TestIFNeuronProperties:
+    @COMMON_SETTINGS
+    @given(
+        hnp.arrays(np.float64, (30, 1, 4), elements=st.floats(min_value=-0.2, max_value=1.2)),
+    )
+    def test_charge_conservation_subtract(self, currents):
+        """Reset-by-subtraction: membrane + spikes*threshold == Σ input exactly."""
+
+        pool = IFNeuronPool(threshold=1.0, reset_mode=ResetMode.SUBTRACT)
+        for z in currents:
+            pool.step(z)
+        assert np.allclose(pool.membrane + pool.spike_count, currents.sum(axis=0), atol=1e-9)
+
+    @COMMON_SETTINGS
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=50, max_value=300))
+    def test_rate_coding_identity(self, current, timesteps):
+        """Constant current z ∈ [0,1] ⇒ |rate - z| ≤ 1/T (the conversion's premise)."""
+
+        pool = IFNeuronPool(threshold=1.0, reset_mode=ResetMode.SUBTRACT)
+        total = 0.0
+        for _ in range(timesteps):
+            total += pool.step(np.array([[current]]))[0, 0]
+        assert abs(total / timesteps - min(current, 1.0)) <= 1.0 / timesteps + 1e-9
+
+    @COMMON_SETTINGS
+    @given(
+        hnp.arrays(np.float64, (20, 1, 3), elements=st.floats(min_value=0.0, max_value=2.0)),
+        st.sampled_from([ResetMode.SUBTRACT, ResetMode.ZERO]),
+    )
+    def test_spikes_are_binary_and_bounded(self, currents, reset_mode):
+        pool = IFNeuronPool(threshold=1.0, reset_mode=reset_mode)
+        for z in currents:
+            spikes = pool.step(z)
+            assert set(np.unique(spikes)).issubset({0.0, 1.0})
+        assert pool.total_spikes <= currents.shape[0] * currents.shape[1] * currents.shape[2]
+
+    @COMMON_SETTINGS
+    @given(hnp.arrays(np.float64, (20, 1, 3), elements=st.floats(min_value=0.0, max_value=2.0)))
+    def test_reset_to_zero_never_spikes_more(self, currents):
+        """Discarding residual charge can only reduce (or equal) the spike count."""
+
+        subtract = IFNeuronPool(threshold=1.0, reset_mode=ResetMode.SUBTRACT)
+        zero = IFNeuronPool(threshold=1.0, reset_mode=ResetMode.ZERO)
+        for z in currents:
+            subtract.step(z)
+            zero.step(z)
+        assert zero.total_spikes <= subtract.total_spikes + 1e-9
+
+
+class TestConversionInvariants:
+    @COMMON_SETTINGS
+    @given(st.integers(min_value=0, max_value=500))
+    def test_bn_folding_identity(self, seed):
+        """Folded conv ≡ conv followed by eval-mode BN, for random parameters."""
+
+        rng = np.random.default_rng(seed)
+        from repro.nn import Conv2d
+        from repro.snn import conv2d_raw
+        from repro.autograd import no_grad
+
+        conv = Conv2d(2, 3, 3, padding=1, rng=rng)
+        bn = BatchNorm2d(3)
+        bn.gamma.data[...] = rng.uniform(0.2, 2.0, 3)
+        bn.beta.data[...] = rng.standard_normal(3)
+        bn.running_mean[...] = rng.standard_normal(3)
+        bn.running_var[...] = rng.uniform(0.2, 3.0, 3)
+        bn.eval()
+
+        x = rng.standard_normal((2, 2, 5, 5))
+        with no_grad():
+            reference = bn(conv(Tensor(x))).data
+        w, b = fold_batchnorm(conv.weight.data, conv.bias.data, bn)
+        assert np.allclose(conv2d_raw(x, w, b, 1, 1), reference, atol=1e-8)
+
+    @COMMON_SETTINGS
+    @given(st.floats(min_value=0.5, max_value=4.0), st.integers(min_value=0, max_value=200))
+    def test_data_normalization_preserves_argmax(self, lam, seed):
+        """Scaling a linear classifier head by any positive norm-factor must not
+        change the predicted class (the reason Eq. 5 is safe for readout)."""
+
+        rng = np.random.default_rng(seed)
+        weight = rng.standard_normal((5, 8))
+        bias = rng.standard_normal(5)
+        x = rng.uniform(0.0, 1.0, (7, 8))
+        logits = x @ weight.T + bias
+        scaled = x @ (weight / lam).T + bias / lam
+        assert np.array_equal(logits.argmax(axis=1), scaled.argmax(axis=1))

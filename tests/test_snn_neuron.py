@@ -1,0 +1,137 @@
+"""Tests of the IF neuron dynamics (paper Section 2, Eq. 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.snn import IFNeuronPool, ResetMode
+
+
+class TestIFNeuronBasics:
+    def test_no_spike_below_threshold(self):
+        pool = IFNeuronPool(threshold=1.0)
+        spikes = pool.step(np.array([[0.4]]))
+        assert spikes[0, 0] == 0.0
+        assert pool.membrane[0, 0] == pytest.approx(0.4)
+
+    def test_spike_at_threshold(self):
+        pool = IFNeuronPool(threshold=1.0)
+        spikes = pool.step(np.array([[1.0]]))
+        assert spikes[0, 0] == 1.0
+
+    def test_reset_by_subtraction_keeps_residual(self):
+        pool = IFNeuronPool(threshold=1.0, reset_mode=ResetMode.SUBTRACT)
+        pool.step(np.array([[1.7]]))
+        assert pool.membrane[0, 0] == pytest.approx(0.7)
+
+    def test_reset_to_zero_discards_residual(self):
+        pool = IFNeuronPool(threshold=1.0, reset_mode=ResetMode.ZERO)
+        pool.step(np.array([[1.7]]))
+        assert pool.membrane[0, 0] == pytest.approx(0.0)
+
+    def test_accumulates_over_steps(self):
+        pool = IFNeuronPool(threshold=1.0)
+        assert pool.step(np.array([[0.6]]))[0, 0] == 0.0
+        assert pool.step(np.array([[0.6]]))[0, 0] == 1.0
+        assert pool.membrane[0, 0] == pytest.approx(0.2)
+
+    def test_negative_current_lowers_membrane(self):
+        pool = IFNeuronPool(threshold=1.0)
+        pool.step(np.array([[0.5]]))
+        pool.step(np.array([[-0.3]]))
+        assert pool.membrane[0, 0] == pytest.approx(0.2)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            IFNeuronPool(threshold=0.0)
+
+    def test_reset_state_clears_everything(self):
+        pool = IFNeuronPool()
+        pool.step(np.ones((2, 3)))
+        pool.reset_state()
+        assert pool.membrane is None
+        assert pool.steps == 0
+
+    def test_shape_change_reallocates_state(self):
+        pool = IFNeuronPool()
+        pool.step(np.ones((2, 3)))
+        pool.step(np.ones((4, 3)))
+        assert pool.membrane.shape == (4, 3)
+
+    def test_num_neurons_excludes_batch(self):
+        pool = IFNeuronPool()
+        pool.step(np.ones((5, 2, 3, 3)))
+        assert pool.num_neurons == 2 * 3 * 3
+
+
+class TestRateCoding:
+    """The key conversion identity: with constant input current z ∈ [0, 1], the
+    firing rate of a reset-by-subtraction IF neuron approaches z as T grows."""
+
+    @pytest.mark.parametrize("current", [0.0, 0.1, 0.25, 0.5, 0.9, 1.0])
+    def test_rate_matches_constant_current(self, current):
+        pool = IFNeuronPool(threshold=1.0, reset_mode=ResetMode.SUBTRACT)
+        timesteps = 200
+        spikes = sum(pool.step(np.array([[current]]))[0, 0] for _ in range(timesteps))
+        assert spikes / timesteps == pytest.approx(current, abs=1.0 / timesteps + 1e-9)
+
+    def test_rate_saturates_at_one(self):
+        pool = IFNeuronPool(threshold=1.0)
+        timesteps = 50
+        spikes = sum(pool.step(np.array([[2.5]]))[0, 0] for _ in range(timesteps))
+        assert spikes / timesteps == pytest.approx(1.0)
+
+    def test_exact_spike_count_formula(self):
+        """For constant z and reset-by-subtraction, N_spikes(T) is within 1 of z*T."""
+
+        current, timesteps = 0.37, 100
+        pool = IFNeuronPool(threshold=1.0)
+        total = sum(pool.step(np.array([[current]]))[0, 0] for _ in range(timesteps))
+        assert abs(total - current * timesteps) <= 1.0
+
+    def test_reset_to_zero_loses_information(self):
+        """Reset-to-zero undercounts when the current is not a divisor of the threshold
+        (the paper's justification for reset-by-subtraction)."""
+
+        current, timesteps = 0.6, 100
+        subtract = IFNeuronPool(threshold=1.0, reset_mode=ResetMode.SUBTRACT)
+        zero = IFNeuronPool(threshold=1.0, reset_mode=ResetMode.ZERO)
+        count_subtract = sum(subtract.step(np.array([[current]]))[0, 0] for _ in range(timesteps))
+        count_zero = sum(zero.step(np.array([[current]]))[0, 0] for _ in range(timesteps))
+        assert count_zero < count_subtract
+        assert count_subtract / timesteps == pytest.approx(current, abs=0.02)
+
+    def test_membrane_conservation_subtract_mode(self):
+        """V(T) + thr * total_spikes == sum of input currents (no charge lost)."""
+
+        rng = np.random.default_rng(0)
+        pool = IFNeuronPool(threshold=1.0, reset_mode=ResetMode.SUBTRACT)
+        currents = rng.uniform(0.0, 0.8, size=(50, 1, 4))
+        for z in currents:
+            pool.step(z)
+        total_input = currents.sum(axis=0)
+        assert np.allclose(pool.membrane + pool.spike_count, total_input)
+
+
+class TestSpikeStatistics:
+    def test_total_spikes_counts(self):
+        pool = IFNeuronPool(threshold=1.0)
+        for _ in range(4):
+            pool.step(np.ones((1, 3)))
+        assert pool.total_spikes == pytest.approx(12.0)
+
+    def test_firing_rates_shape_and_value(self):
+        pool = IFNeuronPool(threshold=1.0)
+        for _ in range(10):
+            pool.step(np.full((2, 3), 0.5))
+        rates = pool.firing_rates()
+        assert rates.shape == (2, 3)
+        assert np.allclose(rates, 0.5)
+
+    def test_firing_rates_before_steps_raises(self):
+        with pytest.raises(RuntimeError):
+            IFNeuronPool().firing_rates()
+
+    def test_record_spikes_disabled(self):
+        pool = IFNeuronPool(record_spikes=False)
+        pool.step(np.ones((1, 2)))
+        assert pool.total_spikes == 0.0

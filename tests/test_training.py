@@ -1,0 +1,188 @@
+"""Tests of the training harness: trainer, metrics, history, checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExperimentConfig
+from repro.core.tcl import collect_lambdas
+from repro.data import ArrayDataset, DataLoader
+from repro.models import ConvNet4
+from repro.training import (
+    EpochRecord,
+    History,
+    RunningAverage,
+    Trainer,
+    TrainingConfig,
+    classification_report,
+    confusion_matrix,
+    evaluate_ann,
+    load_checkpoint,
+    save_checkpoint,
+    top_k_accuracy,
+)
+
+
+def _toy_loaders(num_classes=3, n_per_class=10, image_size=8, seed=0):
+    """Trivially separable image data: class k has mean intensity k."""
+
+    rng = np.random.default_rng(seed)
+    images, labels = [], []
+    for cls in range(num_classes):
+        for _ in range(n_per_class):
+            images.append(rng.normal(cls, 0.2, size=(3, image_size, image_size)))
+            labels.append(cls)
+    images = np.stack(images)
+    labels = np.array(labels)
+    order = rng.permutation(len(labels))
+    dataset = ArrayDataset(images[order], labels[order])
+    return (
+        DataLoader(dataset, batch_size=10, shuffle=True, seed=seed),
+        DataLoader(dataset, batch_size=30),
+    )
+
+
+def _tiny_model(seed=0, **kwargs):
+    defaults = dict(num_classes=3, image_size=8, channels=(4, 4, 8, 8), hidden_features=16)
+    defaults.update(kwargs)
+    return ConvNet4(rng=np.random.default_rng(seed), **defaults)
+
+
+class TestMetrics:
+    def test_top1_matches_simple_accuracy(self):
+        scores = np.array([[0.9, 0.1], [0.4, 0.6], [0.8, 0.2]])
+        assert top_k_accuracy(scores, np.array([0, 1, 1]), k=1) == pytest.approx(2 / 3)
+
+    def test_top_k_monotone_in_k(self):
+        rng = np.random.default_rng(0)
+        scores = rng.standard_normal((50, 5))
+        targets = rng.integers(0, 5, 50)
+        accs = [top_k_accuracy(scores, targets, k=k) for k in range(1, 6)]
+        assert all(a <= b + 1e-12 for a, b in zip(accs, accs[1:]))
+        assert accs[-1] == pytest.approx(1.0)
+
+    def test_top_k_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 3)), np.zeros(2), k=4)
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(np.array([0, 1, 1, 2]), np.array([0, 1, 2, 2]), num_classes=3)
+        assert matrix[0, 0] == 1 and matrix[1, 1] == 1 and matrix[2, 1] == 1 and matrix[2, 2] == 1
+
+    def test_classification_report_perfect(self):
+        report = classification_report(np.array([0, 1, 2]), np.array([0, 1, 2]))
+        assert report["accuracy"] == pytest.approx(1.0)
+        assert report["macro_f1"] == pytest.approx(1.0)
+
+    def test_running_average(self):
+        meter = RunningAverage()
+        meter.update(1.0, weight=2)
+        meter.update(4.0, weight=1)
+        assert meter.average == pytest.approx(2.0)
+        meter.reset()
+        assert meter.average == 0.0
+
+
+class TestHistory:
+    def test_append_and_series(self):
+        history = History()
+        history.append(EpochRecord(1, 1.0, 0.5, val_accuracy=0.4))
+        history.append(EpochRecord(2, 0.5, 0.7, val_accuracy=0.6))
+        assert len(history) == 2
+        assert history.best_val_accuracy == pytest.approx(0.6)
+        assert history.final_train_accuracy == pytest.approx(0.7)
+        assert history.series("train_loss") == [1.0, 0.5]
+
+    def test_as_dict_drops_none(self):
+        history = History()
+        history.append(EpochRecord(1, 1.0, 0.5))
+        assert history.as_dict()["val_accuracy"] == []
+
+
+class TestTrainer:
+    def test_training_improves_accuracy(self):
+        train_loader, test_loader = _toy_loaders()
+        model = _tiny_model()
+        _, acc_before = evaluate_ann(model, test_loader)
+        trainer = Trainer(model, TrainingConfig(epochs=5, learning_rate=0.05, milestones=(4,)))
+        history = trainer.fit(train_loader, val_loader=test_loader)
+        assert history.best_val_accuracy > max(acc_before, 0.5)
+
+    def test_history_records_lambda_stats(self):
+        train_loader, _ = _toy_loaders()
+        model = _tiny_model()
+        trainer = Trainer(model, TrainingConfig(epochs=1))
+        history = trainer.fit(train_loader)
+        assert history[0].lambda_mean is not None
+        assert history[0].lambda_mean > 0
+
+    def test_lambda_stats_absent_without_clip(self):
+        train_loader, _ = _toy_loaders()
+        model = _tiny_model(clip_enabled=False)
+        trainer = Trainer(model, TrainingConfig(epochs=1))
+        history = trainer.fit(train_loader)
+        assert history[0].lambda_mean is None
+
+    def test_lambdas_stay_positive(self):
+        train_loader, _ = _toy_loaders()
+        model = _tiny_model(initial_lambda=0.05)
+        trainer = Trainer(model, TrainingConfig(epochs=2, learning_rate=0.1))
+        trainer.fit(train_loader)
+        assert all(v > 0 for v in collect_lambdas(model).values())
+
+    def test_scheduler_decays_learning_rate(self):
+        train_loader, _ = _toy_loaders()
+        trainer = Trainer(_tiny_model(), TrainingConfig(epochs=3, learning_rate=0.1, milestones=(1,), lr_gamma=0.1))
+        history = trainer.fit(train_loader)
+        assert history[0].learning_rate == pytest.approx(0.1)
+        assert history[2].learning_rate == pytest.approx(0.01)
+
+    def test_adam_optimizer_option(self):
+        train_loader, _ = _toy_loaders()
+        trainer = Trainer(_tiny_model(), TrainingConfig(epochs=1, optimizer="adam", learning_rate=1e-3))
+        trainer.fit(train_loader)
+
+    def test_unknown_optimizer_raises(self):
+        with pytest.raises(ValueError):
+            Trainer(_tiny_model(), TrainingConfig(optimizer="rmsprop"))
+
+    def test_lambda_penalty_shrinks_lambdas(self):
+        train_loader, _ = _toy_loaders()
+        model_plain = _tiny_model(seed=3)
+        model_penalised = _tiny_model(seed=3)
+        Trainer(model_plain, TrainingConfig(epochs=3, lambda_l2_penalty=0.0)).fit(train_loader)
+        Trainer(model_penalised, TrainingConfig(epochs=3, lambda_l2_penalty=0.05)).fit(train_loader)
+        mean_plain = np.mean(list(collect_lambdas(model_plain).values()))
+        mean_penalised = np.mean(list(collect_lambdas(model_penalised).values()))
+        assert mean_penalised < mean_plain
+
+    def test_grad_clip_option_runs(self):
+        train_loader, _ = _toy_loaders()
+        trainer = Trainer(_tiny_model(), TrainingConfig(epochs=1, grad_clip_norm=1.0))
+        trainer.fit(train_loader)
+
+    def test_log_callback_invoked(self):
+        train_loader, _ = _toy_loaders()
+        messages = []
+        trainer = Trainer(_tiny_model(), TrainingConfig(epochs=2, log_every=1), log_fn=messages.append)
+        trainer.fit(train_loader)
+        assert len(messages) == 2
+
+
+class TestCheckpoint:
+    def test_roundtrip_preserves_outputs(self, tmp_path, rng):
+        from repro.autograd import Tensor
+
+        model_a = _tiny_model(seed=1)
+        path = save_checkpoint(model_a, tmp_path / "model.npz", metadata={"epoch": 3})
+        model_b = _tiny_model(seed=2)
+        metadata = load_checkpoint(model_b, path)
+        assert metadata == {"epoch": 3}
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)))
+        model_a.eval()
+        model_b.eval()
+        assert np.allclose(model_a(x).data, model_b(x).data)
+
+    def test_checkpoint_without_metadata(self, tmp_path):
+        model = _tiny_model()
+        path = save_checkpoint(model, tmp_path / "m.npz")
+        assert load_checkpoint(_tiny_model(), path) is None
