@@ -1,0 +1,167 @@
+"""Serving benchmark — adaptive-latency inference vs the fixed-T baseline.
+
+The TCL paper's low-latency claim (near-ANN accuracy at T≈100 instead of
+T≈1000) is what makes per-sample adaptive latency a useful serving primitive:
+most inputs produce a stable prediction long before the worst case.  This
+benchmark measures the `repro.serve` subsystem end to end on the synthetic
+CIFAR-like substitute:
+
+* **artifact round-trip** — a converted network saved to disk and reloaded
+  must simulate bit-identically to the in-memory original;
+* **adaptive vs fixed-T** — the early-exit engine must reach the fixed-T
+  accuracy while using strictly fewer mean timesteps per sample;
+* **micro-batched serving throughput** — single-sample requests pushed
+  through the threaded server, reported as requests/second with p50/p95
+  latency telemetry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ExperimentConfig, convert_ann_to_snn
+from repro.core.pipeline import prepare_data, train_ann
+from repro.serve import (
+    AdaptiveConfig,
+    AdaptiveEngine,
+    MicroBatcher,
+    ModelRegistry,
+    InferenceServer,
+    load_artifact,
+)
+from repro.training import TrainingConfig
+
+from bench_utils import print_benchmark_header
+
+TIMESTEPS = 80
+STABILITY_WINDOW = 40
+MIN_TIMESTEPS = 10
+
+
+@pytest.fixture(scope="module")
+def serving_setup(tmp_path_factory):
+    """Train a tiny TCL ConvNet, convert it, and publish the artifact."""
+
+    config = ExperimentConfig(
+        model="convnet4",
+        dataset="cifar",
+        model_kwargs={"channels": (8, 8, 16, 16), "hidden_features": 32},
+        training=TrainingConfig(epochs=4, learning_rate=0.05, milestones=(3,), weight_decay=1e-4),
+        timesteps=TIMESTEPS,
+        train_per_class=16,
+        test_per_class=8,
+        num_classes=4,
+        image_size=12,
+        seed=7,
+    )
+    train_images, train_labels, test_images, test_labels = prepare_data(config)
+    model, ann_accuracy, _ = train_ann(
+        config, train_images, train_labels, test_images, test_labels, clip_enabled=True
+    )
+    conversion = convert_ann_to_snn(model, calibration_images=train_images)
+
+    registry = ModelRegistry(tmp_path_factory.mktemp("serve-artifacts"))
+    artifact_path = registry.publish("convnet4-cifar", conversion.snn, metadata=conversion.export_metadata())
+    return {
+        "conversion": conversion,
+        "registry": registry,
+        "artifact_path": artifact_path,
+        "test_images": test_images,
+        "test_labels": test_labels,
+        "ann_accuracy": ann_accuracy,
+    }
+
+
+class TestServingThroughput:
+    def test_benchmark_artifact_roundtrip_identical(self, benchmark, serving_setup):
+        """Save→load preserves simulation scores bit-for-bit; times the load."""
+
+        conversion = serving_setup["conversion"]
+        test_images = serving_setup["test_images"]
+        artifact_path = serving_setup["artifact_path"]
+
+        loaded = benchmark(load_artifact, artifact_path)
+        reference = conversion.snn.simulate_batched(test_images, TIMESTEPS, batch_size=16)
+        replay = loaded.network.simulate_batched(test_images, TIMESTEPS, batch_size=16)
+        assert np.array_equal(reference.scores[TIMESTEPS], replay.scores[TIMESTEPS])
+        # One stats entry per IF pool after the per-batch merge (stateless
+        # reshaping layers own no pools).
+        num_pools = sum(len(layer.neuron_pools) for layer in loaded.network.layers)
+        assert len(replay.spike_stats) == num_pools
+
+    def test_benchmark_adaptive_vs_fixed_latency(self, benchmark, serving_setup):
+        """Adaptive early exit holds fixed-T accuracy at strictly lower mean T."""
+
+        registry = serving_setup["registry"]
+        test_images = serving_setup["test_images"]
+        test_labels = serving_setup["test_labels"]
+        network = registry.get("convnet4-cifar").network
+
+        fixed = AdaptiveEngine(network, AdaptiveConfig(max_timesteps=TIMESTEPS, adaptive=False)).infer(test_images)
+
+        adaptive_engine = AdaptiveEngine(
+            network,
+            AdaptiveConfig(
+                max_timesteps=TIMESTEPS,
+                min_timesteps=MIN_TIMESTEPS,
+                stability_window=STABILITY_WINDOW,
+            ),
+        )
+        adaptive = benchmark(adaptive_engine.infer, test_images)
+
+        fixed_accuracy = fixed.accuracy(test_labels)
+        adaptive_accuracy = adaptive.accuracy(test_labels)
+        print_benchmark_header("Serving: adaptive early exit vs fixed-T baseline")
+        print(f"ANN accuracy            : {serving_setup['ann_accuracy']:.3f}")
+        print(f"fixed-T  (T={TIMESTEPS:>3})       : accuracy {fixed_accuracy:.3f}, mean T {fixed.mean_timesteps:.1f}")
+        print(
+            f"adaptive (window={STABILITY_WINDOW})   : accuracy {adaptive_accuracy:.3f}, "
+            f"mean T {adaptive.mean_timesteps:.1f}, "
+            f"p95 T {np.percentile(adaptive.exit_timesteps, 95):.0f}"
+        )
+        print(
+            f"speedup                 : {fixed.mean_timesteps / adaptive.mean_timesteps:.2f}x fewer "
+            f"timesteps/sample, {fixed.total_spikes / max(adaptive.total_spikes, 1.0):.2f}x fewer spikes"
+        )
+
+        assert adaptive_accuracy == pytest.approx(fixed_accuracy)
+        assert adaptive.mean_timesteps < TIMESTEPS
+        assert adaptive.total_spikes < fixed.total_spikes
+
+    def test_benchmark_serving_throughput(self, benchmark, serving_setup):
+        """Single-sample requests through the micro-batching server."""
+
+        registry = serving_setup["registry"]
+        test_images = serving_setup["test_images"]
+        test_labels = serving_setup["test_labels"]
+
+        engine_config = AdaptiveConfig(
+            max_timesteps=TIMESTEPS,
+            min_timesteps=MIN_TIMESTEPS,
+            stability_window=STABILITY_WINDOW,
+        )
+
+        def serve_all():
+            server = InferenceServer(
+                registry,
+                engine_config=engine_config,
+                batcher=MicroBatcher(max_batch_size=16, max_wait_ms=10.0),
+                num_workers=1,
+            )
+            with server:
+                futures = [server.submit(image, "convnet4-cifar") for image in test_images]
+                replies = [future.result(timeout=300) for future in futures]
+            return server.metrics.snapshot(), replies
+
+        snapshot, replies = benchmark.pedantic(serve_all, rounds=3, iterations=1)
+
+        predictions = np.array([reply.prediction for reply in replies])
+        accuracy = float((predictions == test_labels).mean())
+        print_benchmark_header("Serving: micro-batched throughput")
+        print(snapshot.report())
+        print(f"served accuracy      : {accuracy:.3f}")
+        assert snapshot.count == len(test_images)
+        assert snapshot.throughput_rps > 0
+        assert snapshot.mean_timesteps < TIMESTEPS
+        assert snapshot.mean_batch_size > 1.0

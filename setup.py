@@ -1,10 +1,22 @@
-"""Setuptools shim.
+"""Setuptools configuration for the TCL reproduction package.
 
-The canonical build configuration lives in ``pyproject.toml``; this file only
-exists so that legacy editable installs (``pip install -e . --no-use-pep517``)
-work in fully offline environments where the ``wheel`` package is missing.
+Installs the ``repro`` package from ``src/`` and registers the
+``repro-serve`` console script (the inference-serving CLI).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-tcl",
+    version="1.1.0",
+    description="Reproduction of 'TCL: an ANN-to-SNN Conversion with Trainable Clipping Layers' (DAC 2021)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-serve=repro.serve.cli:main",
+        ],
+    },
+)

@@ -12,6 +12,8 @@ The package is organised bottom-up:
 * :mod:`repro.snn` — IF neurons, spiking layers and the time-stepped simulator,
 * :mod:`repro.core` — the paper's contribution: trainable clipping layers,
   norm-factor strategies, batch-norm folding and the ANN-to-SNN converter,
+* :mod:`repro.serve` — the inference-serving engine: artifact store, model
+  registry, adaptive early-exit engine, micro-batching server (`repro-serve`),
 * :mod:`repro.analysis` — tables, ASCII plots and the experiment registry.
 
 Quickstart::
@@ -23,9 +25,9 @@ Quickstart::
     print(render_table1(result))
 """
 
-from . import autograd, nn, optim, data, models, training, snn, core, analysis
+from . import autograd, nn, optim, data, models, training, snn, core, serve, analysis
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "autograd",
@@ -36,6 +38,7 @@ __all__ = [
     "training",
     "snn",
     "core",
+    "serve",
     "analysis",
     "__version__",
 ]

@@ -83,6 +83,32 @@ class ConversionResult:
     def num_spiking_layers(self) -> int:
         return len(self.snn.layers)
 
+    def export_metadata(self) -> Dict[str, object]:
+        """The conversion bookkeeping in the JSON form serving artifacts store."""
+
+        from dataclasses import asdict
+
+        return {
+            "strategy_name": self.strategy_name,
+            "norm_factors": {name: float(value) for name, value in self.norm_factors.items()},
+            "residual_factors": [asdict(factors) for factors in self.residual_factors],
+            "output_norm_factor": float(self.output_norm_factor),
+        }
+
+    def save(self, path) -> "object":
+        """Persist the converted network as a serving artifact bundle.
+
+        Returns the bundle path; :func:`repro.serve.load_artifact` (or a
+        :class:`repro.serve.ModelRegistry`) reloads it in a fresh process with
+        bit-identical simulation behaviour.
+        """
+
+        # Imported lazily: repro.serve sits above repro.core in the package
+        # layering, so a module-level import would be circular.
+        from ..serve.serialize import save_artifact
+
+        return save_artifact(self.snn, path, metadata=self.export_metadata())
+
 
 def run_calibration(model: Module, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
     """Run calibration images through the ANN (eval mode, no gradients).

@@ -1,0 +1,42 @@
+"""Inference serving for converted spiking networks.
+
+The subsystem turns a :class:`~repro.core.ConversionResult` into a servable
+on-disk artifact and runs adaptive-latency inference against it:
+
+* :mod:`repro.serve.serialize` — ``.npz`` + JSON artifact bundles,
+* :mod:`repro.serve.registry` — versioned storage with a bounded LRU cache,
+* :mod:`repro.serve.engine` — per-sample early-exit simulation with batch
+  compaction,
+* :mod:`repro.serve.batcher` — dynamic micro-batching of single requests,
+* :mod:`repro.serve.server` — threaded worker loop plus futures API,
+* :mod:`repro.serve.metrics` — p50/p95 latency, throughput and energy-proxy
+  telemetry,
+* :mod:`repro.serve.cli` — the ``repro-serve`` console entry point.
+"""
+
+from .serialize import FORMAT_VERSION, ArtifactError, LoadedArtifact, load_artifact, read_manifest, save_artifact
+from .registry import ModelRegistry
+from .engine import AdaptiveConfig, AdaptiveEngine, InferenceOutcome
+from .batcher import InferenceRequest, MicroBatcher
+from .metrics import MetricsSnapshot, RequestRecord, ServingMetrics
+from .server import InferenceReply, InferenceServer
+
+__all__ = [
+    "FORMAT_VERSION",
+    "ArtifactError",
+    "LoadedArtifact",
+    "load_artifact",
+    "read_manifest",
+    "save_artifact",
+    "ModelRegistry",
+    "AdaptiveConfig",
+    "AdaptiveEngine",
+    "InferenceOutcome",
+    "InferenceRequest",
+    "MicroBatcher",
+    "MetricsSnapshot",
+    "RequestRecord",
+    "ServingMetrics",
+    "InferenceReply",
+    "InferenceServer",
+]

@@ -1,0 +1,87 @@
+"""Dynamic micro-batching queue for single-sample inference requests.
+
+Time-stepped SNN simulation amortises extremely well over the batch axis (one
+im2col + matmul per layer per timestep regardless of batch size), so serving
+single-sample requests individually wastes nearly all of the hardware.  The
+micro-batcher coalesces queued requests into one engine call, bounded by a
+maximum batch size and a maximum extra wait: the first request of a batch
+waits at most ``max_wait_ms`` for company before the batch is released.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["InferenceRequest", "MicroBatcher"]
+
+
+@dataclass
+class InferenceRequest:
+    """One queued sample waiting to be coalesced into an engine call."""
+
+    image: np.ndarray
+    model: str
+    version: Optional[str] = None
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+    @property
+    def queue_ms(self) -> float:
+        return (time.perf_counter() - self.enqueued_at) * 1000.0
+
+
+class MicroBatcher:
+    """FIFO queue that releases requests in bounded, time-limited batches."""
+
+    def __init__(self, max_batch_size: int = 32, max_wait_ms: float = 5.0) -> None:
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be non-negative, got {max_wait_ms}")
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self._queue: "queue.Queue[InferenceRequest]" = queue.Queue()
+
+    def submit(self, request: InferenceRequest) -> Future:
+        """Enqueue a request; its future resolves when a worker serves it."""
+
+        self._queue.put(request)
+        return request.future
+
+    @property
+    def pending(self) -> int:
+        return self._queue.qsize()
+
+    def next_batch(self, timeout: Optional[float] = None) -> List[InferenceRequest]:
+        """Block for the next batch of requests.
+
+        Waits up to ``timeout`` seconds for the first request (raising
+        :class:`queue.Empty` on expiry, like ``Queue.get``), then coalesces
+        further requests until the batch is full or ``max_wait_ms`` has passed
+        since the first request was taken.
+        """
+
+        first = self._queue.get(timeout=timeout)
+        batch = [first]
+        deadline = time.perf_counter() + self.max_wait_ms / 1000.0
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                # One last non-blocking sweep: anything already queued rides
+                # along even when the wait budget is exhausted.
+                try:
+                    batch.append(self._queue.get_nowait())
+                    continue
+                except queue.Empty:
+                    break
+            try:
+                batch.append(self._queue.get(timeout=remaining))
+            except queue.Empty:
+                break
+        return batch

@@ -1,0 +1,119 @@
+"""Serving telemetry: per-request records and aggregate latency/throughput stats.
+
+The server records one entry per retired request — its adaptive latency in
+timesteps, its wall-clock latency (queue wait + simulation), and the batch it
+was coalesced into.  Aggregation produces the quantities a serving dashboard
+would plot: p50/p95 latency in both units, requests-per-second, mean batch
+size, and spikes per inference (the SNN energy proxy).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["RequestRecord", "MetricsSnapshot", "ServingMetrics"]
+
+
+@dataclass
+class RequestRecord:
+    """Telemetry of one served request."""
+
+    model: str
+    timesteps: int
+    wall_ms: float
+    queue_ms: float
+    batch_size: int
+    spikes: float
+
+
+@dataclass
+class MetricsSnapshot:
+    """Aggregate view over every record seen so far."""
+
+    count: int
+    elapsed_seconds: float
+    throughput_rps: float
+    p50_timesteps: float
+    p95_timesteps: float
+    mean_timesteps: float
+    p50_wall_ms: float
+    p95_wall_ms: float
+    mean_wall_ms: float
+    mean_queue_ms: float
+    mean_batch_size: float
+    spikes_per_inference: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.__dict__)
+
+    def report(self) -> str:
+        lines = [
+            f"requests served      : {self.count}",
+            f"throughput           : {self.throughput_rps:.2f} req/s over {self.elapsed_seconds:.2f}s",
+            f"latency (timesteps)  : mean {self.mean_timesteps:.1f} · p50 {self.p50_timesteps:.0f} · p95 {self.p95_timesteps:.0f}",
+            f"latency (wall-clock) : mean {self.mean_wall_ms:.1f}ms · p50 {self.p50_wall_ms:.1f}ms · p95 {self.p95_wall_ms:.1f}ms",
+            f"queue wait           : mean {self.mean_queue_ms:.1f}ms",
+            f"batch size           : mean {self.mean_batch_size:.1f}",
+            f"spikes per inference : {self.spikes_per_inference:.0f}",
+        ]
+        return "\n".join(lines)
+
+
+class ServingMetrics:
+    """Thread-safe accumulator of :class:`RequestRecord` entries."""
+
+    def __init__(self) -> None:
+        self._records: List[RequestRecord] = []
+        self._lock = threading.Lock()
+        self._started = time.perf_counter()
+
+    def record(self, record: RequestRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def records(self, model: Optional[str] = None) -> List[RequestRecord]:
+        with self._lock:
+            records = list(self._records)
+        if model is not None:
+            records = [r for r in records if r.model == model]
+        return records
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._started = time.perf_counter()
+
+    def snapshot(self, model: Optional[str] = None) -> MetricsSnapshot:
+        records = self.records(model)
+        elapsed = time.perf_counter() - self._started
+        if not records:
+            return MetricsSnapshot(0, elapsed, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        timesteps = np.array([r.timesteps for r in records], dtype=np.float64)
+        wall = np.array([r.wall_ms for r in records], dtype=np.float64)
+        queue = np.array([r.queue_ms for r in records], dtype=np.float64)
+        batches = np.array([r.batch_size for r in records], dtype=np.float64)
+        spikes = np.array([r.spikes for r in records], dtype=np.float64)
+        return MetricsSnapshot(
+            count=len(records),
+            elapsed_seconds=elapsed,
+            throughput_rps=len(records) / elapsed if elapsed > 0 else 0.0,
+            p50_timesteps=float(np.percentile(timesteps, 50)),
+            p95_timesteps=float(np.percentile(timesteps, 95)),
+            mean_timesteps=float(timesteps.mean()),
+            p50_wall_ms=float(np.percentile(wall, 50)),
+            p95_wall_ms=float(np.percentile(wall, 95)),
+            mean_wall_ms=float(wall.mean()),
+            mean_queue_ms=float(queue.mean()),
+            mean_batch_size=float(batches.mean()),
+            spikes_per_inference=float(spikes.mean()),
+        )

@@ -1,0 +1,235 @@
+"""Artifact store: persist a converted spiking network as an ``.npz`` + JSON bundle.
+
+A serving artifact is a directory containing
+
+* ``manifest.json`` — the network's structure: one entry per spiking layer
+  (its ``kind`` plus all JSON-compatible configuration from
+  :meth:`~repro.snn.layers.SpikingLayer.state_dict`), the input-encoder
+  configuration, and free-form metadata recorded by the exporter (norm-factor
+  strategy, per-site λ values, …);
+* ``arrays.npz`` — every array-valued entry of every layer's state dict,
+  keyed ``layer{index}/{field}``.
+
+The split keeps the structural description human-inspectable (``repro-serve
+inspect``) while the bulk weights stay in compressed binary form.  Loading
+reverses the split and rebuilds each layer through
+:func:`~repro.snn.layers.layer_from_state`, so round-tripped networks simulate
+bit-identically to the in-memory original.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import shutil
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..snn.encoding import InputEncoder, PoissonCoding, RealCoding
+from ..snn.layers import layer_from_state
+from ..snn.network import SpikingNetwork
+
+__all__ = ["FORMAT_VERSION", "ArtifactError", "LoadedArtifact", "save_artifact", "load_artifact", "read_manifest"]
+
+FORMAT_VERSION = 1
+MANIFEST_FILE = "manifest.json"
+ARRAYS_FILE = "arrays.npz"
+
+
+class ArtifactError(RuntimeError):
+    """Raised when an artifact bundle is missing, malformed, or incompatible."""
+
+
+@dataclass
+class LoadedArtifact:
+    """A spiking network rebuilt from disk, plus the bundle's bookkeeping."""
+
+    network: SpikingNetwork
+    metadata: Dict = field(default_factory=dict)
+    manifest: Dict = field(default_factory=dict)
+    path: Optional[Path] = None
+
+
+def _jsonable(value):
+    """Coerce exporter metadata into JSON-compatible values."""
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value
+
+
+def _encoder_to_state(encoder: InputEncoder) -> Dict[str, object]:
+    if isinstance(encoder, PoissonCoding):
+        return {"kind": "poisson", "gain": encoder.gain, "seed": encoder.seed}
+    if isinstance(encoder, RealCoding):
+        return {"kind": "real"}
+    raise ArtifactError(
+        f"cannot serialize input encoder of type {type(encoder).__name__}; "
+        "serving artifacts support RealCoding and PoissonCoding"
+    )
+
+
+def _encoder_from_state(state: Dict[str, object]) -> InputEncoder:
+    kind = state.get("kind", "real")
+    if kind == "real":
+        return RealCoding()
+    if kind == "poisson":
+        # seed may be JSON null: PoissonCoding(seed=None) is a valid,
+        # intentionally unseeded encoder and must round-trip as such.
+        seed = state.get("seed", 0)
+        return PoissonCoding(gain=float(state.get("gain", 1.0)), seed=None if seed is None else int(seed))
+    raise ArtifactError(f"unknown encoder kind {kind!r} in artifact manifest")
+
+
+def save_artifact(
+    network: SpikingNetwork,
+    path: Union[str, Path],
+    metadata: Optional[Dict] = None,
+) -> Path:
+    """Write ``network`` (and optional exporter metadata) as a bundle at ``path``.
+
+    ``path`` is created as a directory (parents included); an existing bundle
+    at the same location is replaced.  The bundle is written into a staging
+    directory first and swapped in via renames at the end, so a concurrent
+    reader never observes a manifest from one save paired with arrays from
+    another (though it may briefly find no bundle at all in the instant
+    between the two renames of a replacement — the registry's generation
+    tracking keeps such a reader from caching anything stale).  Returns the
+    bundle path.
+    """
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # Unique per call (not just per process): concurrent saves of the same
+    # bundle must never share or delete each other's scratch directories.
+    token = f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
+    staging = path.parent / f".{path.name}.staging-{token}"
+    staging.mkdir()
+
+    arrays: Dict[str, np.ndarray] = {}
+    layer_entries: List[Dict[str, object]] = []
+    for index, layer in enumerate(network.layers):
+        entry: Dict[str, object] = {}
+        for key, value in layer.state_dict().items():
+            if isinstance(value, np.ndarray):
+                arrays[f"layer{index}/{key}"] = value
+            else:
+                entry[key] = _jsonable(value)
+        layer_entries.append(entry)
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "name": network.name,
+        "encoder": _encoder_to_state(network.encoder),
+        "layers": layer_entries,
+        "metadata": _jsonable(metadata or {}),
+    }
+    retired_dirs: List[Path] = []
+    try:
+        with open(staging / MANIFEST_FILE, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+        np.savez_compressed(staging / ARRAYS_FILE, **arrays)
+        # Rename the old bundle aside (cheap) rather than rmtree-ing it in
+        # place (slow), so the no-bundle window a concurrent reader can hit
+        # is two renames wide instead of a whole recursive delete.  A
+        # concurrent writer can re-create ``path`` between the two renames
+        # (os.replace cannot overwrite a non-empty directory), so the swap
+        # retries a bounded number of times, moving the interloper aside too
+        # — last writer wins with a complete bundle either way.
+        swap_error: Optional[OSError] = None
+        for attempt in range(5):
+            try:
+                if path.exists():
+                    retired = path.parent / f".{path.name}.retired-{token}-{attempt}"
+                    os.replace(path, retired)
+                    retired_dirs.append(retired)
+                os.replace(staging, path)
+                break
+            except OSError as error:
+                # Lost a race with another writer (it took ``path`` between
+                # our exists() check and a rename, or re-created it); retry.
+                swap_error = error
+        else:
+            raise swap_error if swap_error is not None else ArtifactError(f"could not install bundle at {path}")
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        # The save failed after a previous bundle was moved aside: put the
+        # most recent one back so the model does not vanish.  If even the
+        # restore fails, that copy is deliberately left on disk as the
+        # surviving data.
+        if retired_dirs and not path.exists():
+            try:
+                os.replace(retired_dirs[-1], path)
+            except OSError:
+                pass
+            retired_dirs.pop()
+        for leftover in retired_dirs:
+            shutil.rmtree(leftover, ignore_errors=True)
+        raise
+    for leftover in retired_dirs:
+        shutil.rmtree(leftover, ignore_errors=True)
+    return path
+
+
+def read_manifest(path: Union[str, Path]) -> Dict:
+    """Read and validate the manifest of a bundle without loading the weights."""
+
+    path = Path(path)
+    manifest_path = path / MANIFEST_FILE
+    if not manifest_path.is_file():
+        raise ArtifactError(f"no serving artifact at {path}: missing {MANIFEST_FILE}")
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ArtifactError(
+            f"artifact at {path} has format_version={version!r}; this build reads version {FORMAT_VERSION}"
+        )
+    return manifest
+
+
+def load_artifact(path: Union[str, Path]) -> LoadedArtifact:
+    """Rebuild a :class:`~repro.snn.SpikingNetwork` from a bundle directory."""
+
+    path = Path(path)
+    manifest = read_manifest(path)
+    arrays_path = path / ARRAYS_FILE
+    if not arrays_path.is_file():
+        raise ArtifactError(f"no serving artifact at {path}: missing {ARRAYS_FILE}")
+
+    with np.load(arrays_path) as arrays:
+        layers = []
+        for index, entry in enumerate(manifest["layers"]):
+            state = dict(entry)
+            prefix = f"layer{index}/"
+            for key in arrays.files:
+                if key.startswith(prefix):
+                    state[key[len(prefix):]] = arrays[key]
+            layers.append(layer_from_state(state))
+
+    network = SpikingNetwork(
+        layers,
+        encoder=_encoder_from_state(manifest.get("encoder", {})),
+        name=manifest.get("name", "snn"),
+    )
+    return LoadedArtifact(
+        network=network,
+        metadata=manifest.get("metadata", {}),
+        manifest=manifest,
+        path=path,
+    )

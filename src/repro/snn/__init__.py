@@ -11,10 +11,18 @@ from .layers import (
     SpikingFlatten,
     SpikingResidualBlock,
     SpikingOutputLayer,
+    LAYER_REGISTRY,
+    layer_from_state,
 )
 from .encoding import InputEncoder, RealCoding, PoissonCoding
 from .network import SpikingNetwork, SimulationResult
-from .statistics import LayerSpikeStats, collect_spike_stats, mean_firing_rate, total_synaptic_operations
+from .statistics import (
+    LayerSpikeStats,
+    collect_spike_stats,
+    merge_spike_stats,
+    mean_firing_rate,
+    total_synaptic_operations,
+)
 from .readout import predict, accuracy_at, latency_to_accuracy
 
 __all__ = [
@@ -32,6 +40,8 @@ __all__ = [
     "SpikingFlatten",
     "SpikingResidualBlock",
     "SpikingOutputLayer",
+    "LAYER_REGISTRY",
+    "layer_from_state",
     "InputEncoder",
     "RealCoding",
     "PoissonCoding",
@@ -39,6 +49,7 @@ __all__ = [
     "SimulationResult",
     "LayerSpikeStats",
     "collect_spike_stats",
+    "merge_spike_stats",
     "mean_firing_rate",
     "total_synaptic_operations",
     "predict",

@@ -25,6 +25,11 @@ class InputEncoder:
 
         self.images = np.asarray(images, dtype=np.float64)
 
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop retired samples from the encoded batch (adaptive serving)."""
+
+        self.images = self.images[keep]
+
     def step(self, t: int) -> np.ndarray:  # pragma: no cover - abstract
         raise NotImplementedError
 
@@ -48,6 +53,7 @@ class PoissonCoding(InputEncoder):
         if gain <= 0:
             raise ValueError(f"gain must be positive, got {gain}")
         self.gain = gain
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
 
     def reset(self, images: np.ndarray) -> None:
@@ -56,6 +62,10 @@ class PoissonCoding(InputEncoder):
         hi = self.images.max()
         span = hi - lo if hi > lo else 1.0
         self._probabilities = np.clip(self.gain * (self.images - lo) / span, 0.0, 1.0)
+
+    def compact(self, keep: np.ndarray) -> None:
+        super().compact(keep)
+        self._probabilities = self._probabilities[keep]
 
     def step(self, t: int) -> np.ndarray:
         return (self._rng.random(self._probabilities.shape) < self._probabilities).astype(np.float64)

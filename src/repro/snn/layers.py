@@ -14,7 +14,7 @@ virtual 1×1 identity convolution for type-A blocks).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -30,9 +30,35 @@ __all__ = [
     "SpikingFlatten",
     "SpikingResidualBlock",
     "SpikingOutputLayer",
+    "LAYER_REGISTRY",
+    "layer_from_state",
 ]
 
 IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair_to_state(value):
+    """JSON-friendly encoding of an ``IntPair`` (or ``None``)."""
+
+    if value is None:
+        return None
+    if isinstance(value, (tuple, list)):
+        return [int(value[0]), int(value[1])]
+    return int(value)
+
+
+def _pair_from_state(value):
+    """Inverse of :func:`_pair_to_state` (JSON lists come back as tuples)."""
+
+    if value is None:
+        return None
+    if isinstance(value, (tuple, list)):
+        return (int(value[0]), int(value[1]))
+    return int(value)
+
+
+def _array_or_none(value) -> Optional[np.ndarray]:
+    return None if value is None else np.asarray(value, dtype=np.float64)
 
 
 class SpikingLayer:
@@ -51,6 +77,30 @@ class SpikingLayer:
         """IF pools owned by this layer (empty for stateless reshaping layers)."""
 
         return []
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop retired samples from every pool's batch axis (adaptive serving)."""
+
+        for pool in self.neuron_pools:
+            pool.compact(keep)
+
+    # -- serialization --------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """A flat, serializable description of the layer.
+
+        Array-valued entries hold the layer's synaptic weights; everything
+        else is JSON-compatible configuration.  ``kind`` always equals the
+        class's :attr:`name` so :func:`layer_from_state` can dispatch.
+        """
+
+        raise NotImplementedError
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "SpikingLayer":
+        """Rebuild a layer from the dictionary :meth:`state_dict` produced."""
+
+        raise NotImplementedError
 
 
 class SpikingConv2d(SpikingLayer):
@@ -84,6 +134,28 @@ class SpikingConv2d(SpikingLayer):
     def neuron_pools(self) -> List[IFNeuronPool]:
         return [self.neurons]
 
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.name,
+            "weight": self.weight,
+            "bias": self.bias,
+            "stride": _pair_to_state(self.stride),
+            "padding": _pair_to_state(self.padding),
+            "threshold": self.neurons.threshold,
+            "reset_mode": self.neurons.reset_mode.value,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "SpikingConv2d":
+        return cls(
+            weight=np.asarray(state["weight"], dtype=np.float64),
+            bias=_array_or_none(state.get("bias")),
+            stride=_pair_from_state(state.get("stride", 1)),
+            padding=_pair_from_state(state.get("padding", 0)),
+            threshold=float(state.get("threshold", 1.0)),
+            reset_mode=ResetMode(state.get("reset_mode", "subtract")),
+        )
+
 
 class SpikingLinear(SpikingLayer):
     """Fully connected synapses + IF neurons."""
@@ -111,6 +183,24 @@ class SpikingLinear(SpikingLayer):
     @property
     def neuron_pools(self) -> List[IFNeuronPool]:
         return [self.neurons]
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.name,
+            "weight": self.weight,
+            "bias": self.bias,
+            "threshold": self.neurons.threshold,
+            "reset_mode": self.neurons.reset_mode.value,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "SpikingLinear":
+        return cls(
+            weight=np.asarray(state["weight"], dtype=np.float64),
+            bias=_array_or_none(state.get("bias")),
+            threshold=float(state.get("threshold", 1.0)),
+            reset_mode=ResetMode(state.get("reset_mode", "subtract")),
+        )
 
 
 class SpikingAvgPool2d(SpikingLayer):
@@ -147,6 +237,24 @@ class SpikingAvgPool2d(SpikingLayer):
     def neuron_pools(self) -> List[IFNeuronPool]:
         return [self.neurons]
 
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.name,
+            "kernel_size": _pair_to_state(self.kernel_size),
+            "stride": _pair_to_state(self.stride),
+            "threshold": self.neurons.threshold,
+            "reset_mode": self.neurons.reset_mode.value,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "SpikingAvgPool2d":
+        return cls(
+            kernel_size=_pair_from_state(state["kernel_size"]),
+            stride=_pair_from_state(state.get("stride")),
+            threshold=float(state.get("threshold", 1.0)),
+            reset_mode=ResetMode(state.get("reset_mode", "subtract")),
+        )
+
 
 class SpikingGlobalAvgPool2d(SpikingLayer):
     """Global average pooling + IF neurons (used by the ResNet heads)."""
@@ -167,6 +275,20 @@ class SpikingGlobalAvgPool2d(SpikingLayer):
     def neuron_pools(self) -> List[IFNeuronPool]:
         return [self.neurons]
 
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.name,
+            "threshold": self.neurons.threshold,
+            "reset_mode": self.neurons.reset_mode.value,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "SpikingGlobalAvgPool2d":
+        return cls(
+            threshold=float(state.get("threshold", 1.0)),
+            reset_mode=ResetMode(state.get("reset_mode", "subtract")),
+        )
+
 
 class SpikingFlatten(SpikingLayer):
     """Stateless reshaping layer: spike tensors are flattened per sample."""
@@ -175,6 +297,13 @@ class SpikingFlatten(SpikingLayer):
 
     def step(self, inputs: np.ndarray) -> np.ndarray:
         return inputs.reshape(inputs.shape[0], -1)
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"kind": self.name}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "SpikingFlatten":
+        return cls()
 
 
 class SpikingResidualBlock(SpikingLayer):
@@ -242,6 +371,36 @@ class SpikingResidualBlock(SpikingLayer):
     def neuron_pools(self) -> List[IFNeuronPool]:
         return [self.ns_neurons, self.os_neurons]
 
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.name,
+            "ns_weight": self.ns_weight,
+            "ns_bias": self.ns_bias,
+            "osn_weight": self.osn_weight,
+            "osi_weight": self.osi_weight,
+            "os_bias": self.os_bias,
+            "ns_stride": _pair_to_state(self.ns_stride),
+            "osi_stride": _pair_to_state(self.osi_stride),
+            "block_type": self.block_type,
+            "threshold": self.ns_neurons.threshold,
+            "reset_mode": self.ns_neurons.reset_mode.value,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "SpikingResidualBlock":
+        return cls(
+            ns_weight=np.asarray(state["ns_weight"], dtype=np.float64),
+            ns_bias=_array_or_none(state.get("ns_bias")),
+            osn_weight=np.asarray(state["osn_weight"], dtype=np.float64),
+            osi_weight=np.asarray(state["osi_weight"], dtype=np.float64),
+            os_bias=_array_or_none(state.get("os_bias")),
+            ns_stride=_pair_from_state(state.get("ns_stride", 1)),
+            osi_stride=_pair_from_state(state.get("osi_stride", 1)),
+            threshold=float(state.get("threshold", 1.0)),
+            reset_mode=ResetMode(state.get("reset_mode", "subtract")),
+            block_type=str(state.get("block_type", "A")),
+        )
+
 
 class SpikingOutputLayer(SpikingLayer):
     """The classifier head of a converted network.
@@ -303,3 +462,53 @@ class SpikingOutputLayer(SpikingLayer):
     @property
     def neuron_pools(self) -> List[IFNeuronPool]:
         return [self.neurons] if self.readout == "spike_count" else []
+
+    def compact(self, keep: np.ndarray) -> None:
+        self.neurons.compact(keep)
+        if self.accumulated is not None:
+            self.accumulated = self.accumulated[keep]
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.name,
+            "weight": self.weight,
+            "bias": self.bias,
+            "readout": self.readout,
+            "threshold": self.neurons.threshold,
+            "reset_mode": self.neurons.reset_mode.value,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "SpikingOutputLayer":
+        return cls(
+            weight=np.asarray(state["weight"], dtype=np.float64),
+            bias=_array_or_none(state.get("bias")),
+            readout=str(state.get("readout", "spike_count")),
+            threshold=float(state.get("threshold", 1.0)),
+            reset_mode=ResetMode(state.get("reset_mode", "subtract")),
+        )
+
+
+#: ``kind`` string → layer class, used by the artifact store to rebuild
+#: networks from their serialized :meth:`SpikingLayer.state_dict` form.
+LAYER_REGISTRY: Dict[str, type] = {
+    cls.name: cls
+    for cls in (
+        SpikingConv2d,
+        SpikingLinear,
+        SpikingAvgPool2d,
+        SpikingGlobalAvgPool2d,
+        SpikingFlatten,
+        SpikingResidualBlock,
+        SpikingOutputLayer,
+    )
+}
+
+
+def layer_from_state(state: Dict[str, object]) -> SpikingLayer:
+    """Rebuild any registered spiking layer from its ``state_dict`` form."""
+
+    kind = state.get("kind")
+    if kind not in LAYER_REGISTRY:
+        raise ValueError(f"unknown spiking layer kind {kind!r}; known: {sorted(LAYER_REGISTRY)}")
+    return LAYER_REGISTRY[kind].from_state(state)

@@ -10,6 +10,7 @@ without re-simulating from scratch for every latency.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -17,7 +18,7 @@ import numpy as np
 
 from .encoding import InputEncoder, RealCoding
 from .layers import SpikingLayer, SpikingOutputLayer
-from .statistics import LayerSpikeStats, collect_spike_stats
+from .statistics import LayerSpikeStats, collect_spike_stats, merge_spike_stats
 
 __all__ = ["SimulationResult", "SpikingNetwork"]
 
@@ -91,6 +92,18 @@ class SpikingNetwork:
         for layer in self.layers:
             layer.reset_state()
 
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop retired samples from every layer's batch axis.
+
+        ``keep`` is a boolean mask (or index array) over the current batch.
+        The adaptive serving engine retires samples whose prediction has
+        stabilised and compacts the network so later timesteps run on an
+        ever-smaller batch.
+        """
+
+        for layer in self.layers:
+            layer.compact(keep)
+
     @property
     def output_layer(self) -> SpikingOutputLayer:
         return self.layers[-1]  # type: ignore[return-value]
@@ -137,7 +150,16 @@ class SpikingNetwork:
         if timesteps <= 0:
             raise ValueError(f"timesteps must be positive, got {timesteps}")
         images = np.asarray(images, dtype=np.float64)
-        checkpoint_set = {int(t) for t in (checkpoints or []) if 0 < int(t) <= timesteps}
+        requested = {int(t) for t in (checkpoints or [])}
+        out_of_range = sorted(t for t in requested if not 0 < t <= timesteps)
+        if out_of_range:
+            warnings.warn(
+                f"checkpoints {out_of_range} lie outside 1..{timesteps} and will not be recorded; "
+                "extend `timesteps` to capture them",
+                UserWarning,
+                stacklevel=2,
+            )
+        checkpoint_set = {t for t in requested if 0 < t <= timesteps}
         checkpoint_set.add(timesteps)
 
         self.reset_state()
@@ -162,12 +184,15 @@ class SpikingNetwork:
 
         images = np.asarray(images, dtype=np.float64)
         merged: Dict[int, List[np.ndarray]] = {}
-        all_stats: List[LayerSpikeStats] = []
+        per_batch_stats: List[List[LayerSpikeStats]] = []
         for start in range(0, len(images), batch_size):
             batch = images[start: start + batch_size]
             result = self.simulate(batch, timesteps, checkpoints=checkpoints)
             for t, score in result.scores.items():
                 merged.setdefault(t, []).append(score)
-            all_stats.extend(result.spike_stats)
+            per_batch_stats.append(result.spike_stats)
         scores = {t: np.concatenate(parts, axis=0) for t, parts in merged.items()}
-        return SimulationResult(scores=scores, timesteps=timesteps, spike_stats=all_stats)
+        # Aggregate statistics so each layer appears exactly once regardless of
+        # how many batches the evaluation set was split into.
+        stats = merge_spike_stats(per_batch_stats)
+        return SimulationResult(scores=scores, timesteps=timesteps, spike_stats=stats)

@@ -78,6 +78,19 @@ class IFNeuronPool:
         self.spike_count = None
         self.steps = 0
 
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop retired samples from the batch axis of the pool's state.
+
+        ``keep`` is a boolean mask (or index array) over the current batch
+        axis; the adaptive serving engine uses this to shrink the simulation
+        to the samples that have not yet produced a confident prediction.
+        """
+
+        if self.membrane is not None:
+            self.membrane = self.membrane[keep]
+        if self.spike_count is not None:
+            self.spike_count = self.spike_count[keep]
+
     def _ensure_state(self, shape: Tuple[int, ...]) -> None:
         if self.membrane is None or self.membrane.shape != shape:
             self.membrane = np.zeros(shape)

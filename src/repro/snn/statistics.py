@@ -9,11 +9,17 @@ networks, which the latency/efficiency benchmarks report alongside accuracy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
-__all__ = ["LayerSpikeStats", "collect_spike_stats", "total_synaptic_operations", "mean_firing_rate"]
+__all__ = [
+    "LayerSpikeStats",
+    "collect_spike_stats",
+    "merge_spike_stats",
+    "total_synaptic_operations",
+    "mean_firing_rate",
+]
 
 
 @dataclass
@@ -51,6 +57,37 @@ def collect_spike_stats(layers: Sequence, timesteps: int) -> List[LayerSpikeStat
                 )
             )
     return stats
+
+
+def merge_spike_stats(runs: Sequence[Sequence[LayerSpikeStats]]) -> List[LayerSpikeStats]:
+    """Aggregate per-batch spike statistics into one entry per layer.
+
+    Batched simulation produces one :class:`LayerSpikeStats` list per batch;
+    the same layer appears once in each.  Spikes and batch sizes add across
+    batches (each batch is a fresh run over different stimuli), while the
+    neuron count and timestep count describe the layer itself and must agree.
+    """
+
+    merged: Dict[str, LayerSpikeStats] = {}
+    order: List[str] = []
+    for run in runs:
+        for stat in run:
+            existing = merged.get(stat.layer_name)
+            if existing is None:
+                merged[stat.layer_name] = LayerSpikeStats(
+                    layer_name=stat.layer_name,
+                    total_spikes=stat.total_spikes,
+                    num_neurons=stat.num_neurons,
+                    timesteps=stat.timesteps,
+                    batch_size=stat.batch_size,
+                )
+                order.append(stat.layer_name)
+            else:
+                existing.total_spikes += stat.total_spikes
+                existing.batch_size += stat.batch_size
+                existing.num_neurons = max(existing.num_neurons, stat.num_neurons)
+                existing.timesteps = max(existing.timesteps, stat.timesteps)
+    return [merged[name] for name in order]
 
 
 def mean_firing_rate(stats: Sequence[LayerSpikeStats]) -> float:

@@ -1,0 +1,238 @@
+"""Tests of the serving infrastructure: batcher, registry, metrics, server."""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AdaptiveConfig,
+    AdaptiveEngine,
+    ArtifactError,
+    InferenceRequest,
+    InferenceServer,
+    MicroBatcher,
+    ModelRegistry,
+    RequestRecord,
+    ServingMetrics,
+)
+from repro.snn import SpikingLinear, SpikingNetwork, SpikingOutputLayer
+
+
+def _tiny_network(seed: int) -> SpikingNetwork:
+    rng = np.random.default_rng(seed)
+    return SpikingNetwork(
+        [
+            SpikingLinear(rng.uniform(-0.3, 0.5, (6, 4))),
+            SpikingOutputLayer(rng.uniform(-0.3, 0.5, (3, 6))),
+        ],
+        name=f"tiny{seed}",
+    )
+
+
+def _request(rng, model="m", version=None) -> InferenceRequest:
+    return InferenceRequest(image=rng.uniform(0, 1, 4), model=model, version=version)
+
+
+class TestMicroBatcher:
+    def test_coalesces_up_to_max_batch_size(self, rng):
+        batcher = MicroBatcher(max_batch_size=3, max_wait_ms=50.0)
+        for _ in range(5):
+            batcher.submit(_request(rng))
+        first = batcher.next_batch(timeout=1.0)
+        second = batcher.next_batch(timeout=1.0)
+        assert [len(first), len(second)] == [3, 2]
+
+    def test_single_request_released_after_wait(self, rng):
+        batcher = MicroBatcher(max_batch_size=8, max_wait_ms=5.0)
+        batcher.submit(_request(rng))
+        started = time.perf_counter()
+        batch = batcher.next_batch(timeout=1.0)
+        assert len(batch) == 1
+        assert time.perf_counter() - started < 0.5
+
+    def test_empty_queue_times_out(self):
+        batcher = MicroBatcher()
+        with pytest.raises(queue.Empty):
+            batcher.next_batch(timeout=0.01)
+
+    def test_late_arrivals_join_open_batch(self, rng):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_ms=100.0)
+        batcher.submit(_request(rng))
+
+        def feed():
+            time.sleep(0.02)
+            batcher.submit(_request(rng))
+
+        feeder = threading.Thread(target=feed)
+        feeder.start()
+        batch = batcher.next_batch(timeout=1.0)
+        feeder.join()
+        assert len(batch) == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_wait_ms=-1.0)
+
+
+class TestModelRegistry:
+    def test_publish_get_roundtrip(self, rng, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        network = _tiny_network(0)
+        registry.publish("model", network, metadata={"strategy": "tcl"})
+        artifact = registry.get("model")
+        assert artifact.metadata == {"strategy": "tcl"}
+        images = rng.uniform(0, 1, (4, 4))
+        reference = network.simulate(images, timesteps=15)
+        replay = artifact.network.simulate(images, timesteps=15)
+        assert np.array_equal(reference.scores[15], replay.scores[15])
+
+    def test_lru_eviction_and_hit_accounting(self, tmp_path):
+        registry = ModelRegistry(tmp_path, capacity=2)
+        for seed in range(3):
+            registry.publish(f"m{seed}", _tiny_network(seed))
+        for seed in range(3):
+            registry.get(f"m{seed}")
+        assert registry.misses == 3
+        assert registry.evictions == 1
+        assert registry.cached_keys() == [("m1", "v1"), ("m2", "v1")]
+        registry.get("m2")
+        assert registry.hits == 1
+        # m0 was evicted: fetching it is a miss that evicts m1 (LRU).
+        registry.get("m0")
+        assert registry.misses == 4
+        assert ("m1", "v1") not in registry.cached_keys()
+
+    def test_latest_version_resolution(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.publish("model", _tiny_network(0), version="v1")
+        registry.publish("model", _tiny_network(1), version="v2")
+        assert registry.latest_version("model") == "v2"
+        assert registry.get("model").network.name == "tiny1"
+        assert registry.list_models() == {"model": ["v1", "v2"]}
+
+    def test_latest_version_sorts_naturally(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        for version in ("v2", "v9", "v10"):
+            registry.publish("model", _tiny_network(0), version=version)
+        assert registry.latest_version("model") == "v10"
+
+    def test_unpublish_and_missing_model(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.publish("model", _tiny_network(0))
+        registry.unpublish("model")
+        with pytest.raises(ArtifactError):
+            registry.get("model")
+
+    def test_unpublish_over_preexisting_tree(self, tmp_path):
+        # A second registry instance over the same tree never published the
+        # model itself; unpublishing through it must still fully remove the
+        # model and leave nothing cached.
+        ModelRegistry(tmp_path).publish("model", _tiny_network(0))
+        registry = ModelRegistry(tmp_path)
+        registry.get("model")
+        registry.unpublish("model")
+        assert registry.cached_keys() == []
+        with pytest.raises(ArtifactError):
+            registry.get("model")
+
+    def test_republish_invalidates_cache(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.publish("model", _tiny_network(0))
+        registry.get("model")
+        registry.publish("model", _tiny_network(1))
+        assert registry.get("model").network.name == "tiny1"
+
+    def test_invalid_capacity(self, tmp_path):
+        with pytest.raises(ValueError):
+            ModelRegistry(tmp_path, capacity=0)
+
+
+class TestServingMetrics:
+    def test_snapshot_aggregates(self):
+        metrics = ServingMetrics()
+        for timesteps in (10, 20, 30, 40):
+            metrics.record(
+                RequestRecord(model="m", timesteps=timesteps, wall_ms=float(timesteps), queue_ms=1.0, batch_size=2, spikes=100.0)
+            )
+        snapshot = metrics.snapshot()
+        assert snapshot.count == 4
+        assert snapshot.mean_timesteps == pytest.approx(25.0)
+        assert snapshot.p50_timesteps == pytest.approx(25.0)
+        assert snapshot.p95_timesteps <= 40.0
+        assert snapshot.mean_batch_size == pytest.approx(2.0)
+        assert snapshot.spikes_per_inference == pytest.approx(100.0)
+        assert "requests served" in snapshot.report()
+
+    def test_per_model_filter_and_reset(self):
+        metrics = ServingMetrics()
+        metrics.record(RequestRecord(model="a", timesteps=10, wall_ms=1.0, queue_ms=0.0, batch_size=1, spikes=1.0))
+        metrics.record(RequestRecord(model="b", timesteps=50, wall_ms=1.0, queue_ms=0.0, batch_size=1, spikes=1.0))
+        assert metrics.snapshot(model="a").mean_timesteps == pytest.approx(10.0)
+        metrics.reset()
+        assert metrics.snapshot().count == 0
+
+
+class TestInferenceServer:
+    def test_served_predictions_match_direct_engine(self, rng, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        network = _tiny_network(3)
+        registry.publish("model", network)
+        config = AdaptiveConfig(max_timesteps=25, adaptive=False)
+        images = rng.uniform(0, 1, (10, 4))
+        direct = AdaptiveEngine(registry.get("model").network, config).infer(images)
+
+        server = InferenceServer(
+            registry,
+            engine_config=config,
+            batcher=MicroBatcher(max_batch_size=4, max_wait_ms=20.0),
+            num_workers=2,
+        )
+        with server:
+            futures = [server.submit(image, "model") for image in images]
+            replies = [future.result(timeout=30) for future in futures]
+
+        predictions = np.array([reply.prediction for reply in replies])
+        assert np.array_equal(predictions, direct.predictions)
+        assert all(reply.timesteps == 25 for reply in replies)
+        snapshot = server.metrics.snapshot()
+        assert snapshot.count == 10
+        assert snapshot.mean_batch_size > 1.0
+
+    def test_cancelled_future_does_not_kill_worker(self, rng, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.publish("model", _tiny_network(3))
+        config = AdaptiveConfig(max_timesteps=25, adaptive=False)
+        server = InferenceServer(registry, engine_config=config)
+        # Cancel before the server starts: the worker must skip the claimed-
+        # cancelled future instead of dying on InvalidStateError, and keep
+        # serving subsequent requests.
+        cancelled = server.submit(rng.uniform(0, 1, 4), "model")
+        assert cancelled.cancel()
+        with server:
+            reply = server.infer(rng.uniform(0, 1, 4), "model", timeout=30)
+        assert reply.timesteps == 25
+        assert server.metrics.count == 1
+
+    def test_unknown_model_surfaces_error_on_future(self, rng, tmp_path):
+        server = InferenceServer(ModelRegistry(tmp_path))
+        with server:
+            future = server.submit(rng.uniform(0, 1, 4), "missing")
+            with pytest.raises(ArtifactError):
+                future.result(timeout=30)
+
+    def test_start_twice_rejected(self, tmp_path):
+        server = InferenceServer(ModelRegistry(tmp_path))
+        with server:
+            with pytest.raises(RuntimeError):
+                server.start()
+
+    def test_invalid_workers(self, tmp_path):
+        with pytest.raises(ValueError):
+            InferenceServer(ModelRegistry(tmp_path), num_workers=0)

@@ -1,0 +1,245 @@
+"""Round-trip tests of the serving artifact store (`repro.serve.serialize`).
+
+Every spiking layer type must survive ``state_dict → bundle → from_state``
+with bit-identical simulation behaviour, because a served model that drifts
+from its in-memory original would silently invalidate every accuracy number
+reported from the offline sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import convert_ann_to_snn
+from repro.serve import ArtifactError, load_artifact, read_manifest, save_artifact
+from repro.snn import (
+    PoissonCoding,
+    ResetMode,
+    SpikingAvgPool2d,
+    SpikingConv2d,
+    SpikingFlatten,
+    SpikingGlobalAvgPool2d,
+    SpikingLinear,
+    SpikingNetwork,
+    SpikingOutputLayer,
+    SpikingResidualBlock,
+    layer_from_state,
+)
+
+
+def _toy_network(rng, readout: str = "spike_count", encoder=None) -> SpikingNetwork:
+    """A small network exercising every spiking layer type at once."""
+
+    return SpikingNetwork(
+        [
+            SpikingConv2d(
+                rng.uniform(-0.2, 0.4, (4, 3, 3, 3)),
+                rng.uniform(-0.1, 0.1, 4),
+                stride=1,
+                padding=1,
+            ),
+            SpikingAvgPool2d(2),
+            SpikingResidualBlock(
+                ns_weight=rng.uniform(-0.2, 0.4, (4, 4, 3, 3)),
+                ns_bias=rng.uniform(-0.1, 0.1, 4),
+                osn_weight=rng.uniform(-0.2, 0.4, (4, 4, 3, 3)),
+                osi_weight=rng.uniform(-0.2, 0.4, (4, 4, 1, 1)),
+                os_bias=rng.uniform(-0.1, 0.1, 4),
+                block_type="B",
+            ),
+            SpikingGlobalAvgPool2d(),
+            SpikingFlatten(),
+            SpikingLinear(rng.uniform(-0.3, 0.5, (6, 4))),
+            SpikingOutputLayer(rng.uniform(-0.3, 0.5, (3, 6)), rng.uniform(-0.1, 0.1, 3), readout=readout),
+        ],
+        encoder=encoder,
+        name="toy",
+    )
+
+
+class TestLayerStateRoundTrip:
+    """state_dict → from_state keeps every layer's per-step behaviour."""
+
+    def _assert_step_parity(self, layer, clone, inputs) -> None:
+        layer.reset_state()
+        clone.reset_state()
+        for _ in range(5):
+            assert np.array_equal(layer.step(inputs), clone.step(inputs))
+
+    def test_conv2d(self, rng):
+        layer = SpikingConv2d(
+            rng.uniform(-0.3, 0.5, (5, 3, 3, 3)),
+            rng.uniform(-0.1, 0.1, 5),
+            stride=(2, 2),
+            padding=1,
+            threshold=0.8,
+            reset_mode=ResetMode.ZERO,
+        )
+        clone = layer_from_state(layer.state_dict())
+        assert isinstance(clone, SpikingConv2d)
+        assert clone.neurons.threshold == pytest.approx(0.8)
+        assert clone.neurons.reset_mode is ResetMode.ZERO
+        self._assert_step_parity(layer, clone, rng.uniform(0, 1, (2, 3, 8, 8)))
+
+    def test_conv2d_without_bias(self, rng):
+        layer = SpikingConv2d(rng.uniform(-0.3, 0.5, (4, 3, 3, 3)), None, padding=1)
+        clone = layer_from_state(layer.state_dict())
+        assert clone.bias is None
+        self._assert_step_parity(layer, clone, rng.uniform(0, 1, (2, 3, 6, 6)))
+
+    def test_linear(self, rng):
+        layer = SpikingLinear(rng.uniform(-0.3, 0.5, (6, 10)), rng.uniform(-0.1, 0.1, 6))
+        clone = layer_from_state(layer.state_dict())
+        self._assert_step_parity(layer, clone, rng.uniform(0, 1, (3, 10)))
+
+    def test_avg_pool(self, rng):
+        layer = SpikingAvgPool2d((2, 2), stride=(2, 2))
+        clone = layer_from_state(layer.state_dict())
+        assert clone.kernel_size == (2, 2)
+        assert clone.stride == (2, 2)
+        self._assert_step_parity(layer, clone, rng.uniform(0, 1, (2, 3, 8, 8)))
+
+    def test_global_avg_pool(self, rng):
+        layer = SpikingGlobalAvgPool2d(threshold=0.5)
+        clone = layer_from_state(layer.state_dict())
+        assert clone.neurons.threshold == pytest.approx(0.5)
+        self._assert_step_parity(layer, clone, rng.uniform(0, 2, (2, 3, 4, 4)))
+
+    def test_flatten(self, rng):
+        clone = layer_from_state(SpikingFlatten().state_dict())
+        inputs = rng.uniform(0, 1, (2, 3, 4, 4))
+        assert clone.step(inputs).shape == (2, 48)
+
+    def test_residual_block(self, rng):
+        layer = SpikingResidualBlock(
+            ns_weight=rng.uniform(-0.2, 0.4, (4, 4, 3, 3)),
+            ns_bias=None,
+            osn_weight=rng.uniform(-0.2, 0.4, (4, 4, 3, 3)),
+            osi_weight=rng.uniform(-0.2, 0.4, (4, 4, 1, 1)),
+            os_bias=rng.uniform(-0.1, 0.1, 4),
+            ns_stride=(1, 1),
+            block_type="B",
+        )
+        clone = layer_from_state(layer.state_dict())
+        assert clone.block_type == "B"
+        assert clone.ns_bias is None
+        self._assert_step_parity(layer, clone, rng.uniform(0, 1, (2, 4, 6, 6)))
+
+    def test_output_layer_both_readouts(self, rng):
+        for readout in ("spike_count", "membrane"):
+            layer = SpikingOutputLayer(rng.uniform(-0.3, 0.5, (3, 6)), rng.uniform(-0.1, 0.1, 3), readout=readout)
+            clone = layer_from_state(layer.state_dict())
+            assert clone.readout == readout
+            inputs = rng.uniform(0, 1, (2, 6))
+            layer.reset_state()
+            clone.reset_state()
+            for _ in range(5):
+                layer.step(inputs)
+                clone.step(inputs)
+            assert np.array_equal(layer.scores(), clone.scores())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown spiking layer kind"):
+            layer_from_state({"kind": "no_such_layer"})
+
+
+class TestArtifactBundles:
+    def test_bundle_roundtrip_is_bit_identical(self, rng, tmp_path):
+        network = _toy_network(rng)
+        images = rng.uniform(0, 1, (6, 3, 8, 8))
+        reference = network.simulate(images, timesteps=25, checkpoints=[10])
+
+        path = save_artifact(network, tmp_path / "toy", metadata={"note": "test"})
+        loaded = load_artifact(path)
+        assert loaded.network.name == "toy"
+        assert loaded.metadata == {"note": "test"}
+
+        replay = loaded.network.simulate(images, timesteps=25, checkpoints=[10])
+        for t in (10, 25):
+            assert np.array_equal(reference.scores[t], replay.scores[t])
+
+    def test_membrane_readout_roundtrip(self, rng, tmp_path):
+        network = _toy_network(rng, readout="membrane")
+        images = rng.uniform(0, 1, (4, 3, 8, 8))
+        reference = network.simulate(images, timesteps=15)
+        loaded = load_artifact(save_artifact(network, tmp_path / "membrane"))
+        replay = loaded.network.simulate(images, timesteps=15)
+        assert np.array_equal(reference.scores[15], replay.scores[15])
+
+    def test_poisson_encoder_roundtrip(self, rng, tmp_path):
+        network = _toy_network(rng, encoder=PoissonCoding(gain=0.7, seed=11))
+        loaded = load_artifact(save_artifact(network, tmp_path / "poisson"))
+        encoder = loaded.network.encoder
+        assert isinstance(encoder, PoissonCoding)
+        assert encoder.gain == pytest.approx(0.7)
+        assert encoder.seed == 11
+        # Fresh generators with the same seed: spike trains replay identically.
+        images = rng.uniform(0, 1, (3, 3, 8, 8))
+        reference = network.simulate(images, timesteps=10)
+        replay = loaded.network.simulate(images, timesteps=10)
+        assert np.array_equal(reference.scores[10], replay.scores[10])
+
+    def test_unseeded_poisson_encoder_roundtrip(self, rng, tmp_path):
+        network = _toy_network(rng, encoder=PoissonCoding(gain=0.5, seed=None))
+        loaded = load_artifact(save_artifact(network, tmp_path / "unseeded"))
+        encoder = loaded.network.encoder
+        assert isinstance(encoder, PoissonCoding)
+        assert encoder.seed is None
+
+    def test_overwriting_save_leaves_no_staging_dirs(self, rng, tmp_path):
+        path = tmp_path / "bundle"
+        save_artifact(_toy_network(rng), path)
+        save_artifact(_toy_network(rng), path)
+        assert load_artifact(path).network.name == "toy"
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "bundle"]
+        assert leftovers == []
+
+    def test_manifest_is_json_readable(self, rng, tmp_path):
+        path = save_artifact(_toy_network(rng), tmp_path / "toy")
+        with open(path / "manifest.json", "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        kinds = [entry["kind"] for entry in manifest["layers"]]
+        assert kinds == [
+            "spiking_conv2d",
+            "spiking_avg_pool2d",
+            "spiking_residual_block",
+            "spiking_global_avg_pool2d",
+            "spiking_flatten",
+            "spiking_linear",
+            "spiking_output",
+        ]
+        # Weights live in the npz, not the manifest.
+        assert "weight" not in manifest["layers"][0]
+
+    def test_missing_bundle_raises(self, tmp_path):
+        with pytest.raises(ArtifactError, match="missing manifest.json"):
+            load_artifact(tmp_path / "nowhere")
+
+    def test_format_version_mismatch_raises(self, rng, tmp_path):
+        path = save_artifact(_toy_network(rng), tmp_path / "toy")
+        manifest = read_manifest(path)
+        manifest["format_version"] = 999
+        with open(path / "manifest.json", "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(ArtifactError, match="format_version"):
+            load_artifact(path)
+
+
+class TestConversionResultExport:
+    def test_converted_network_roundtrips(self, trained_tcl_model, tiny_data, tmp_path):
+        model, _ = trained_tcl_model
+        _, _, test_images, _ = tiny_data
+        conversion = convert_ann_to_snn(model, calibration_images=test_images)
+        reference = conversion.snn.simulate(test_images, timesteps=40)
+
+        path = conversion.save(tmp_path / "converted")
+        loaded = load_artifact(path)
+        assert loaded.metadata["strategy_name"] == "tcl"
+        assert loaded.metadata["norm_factors"]
+        assert loaded.metadata["output_norm_factor"] == pytest.approx(conversion.output_norm_factor)
+
+        replay = loaded.network.simulate(test_images, timesteps=40)
+        assert np.array_equal(reference.scores[40], replay.scores[40])

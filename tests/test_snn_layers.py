@@ -258,6 +258,40 @@ class TestSpikingNetwork:
         batched = net.simulate_batched(images, timesteps=25, batch_size=3)
         assert np.allclose(full.scores[25], batched.scores[25])
 
+    def test_batched_simulation_merges_stats_per_layer(self, rng):
+        net = self._network(rng)
+        images = rng.uniform(0, 1, size=(10, 4))
+        full = net.simulate(images, timesteps=25)
+        batched = net.simulate_batched(images, timesteps=25, batch_size=3)
+        # One entry per layer regardless of how many batches ran, covering the
+        # whole evaluation set.
+        assert len(batched.spike_stats) == len(full.spike_stats)
+        for merged, single in zip(batched.spike_stats, full.spike_stats):
+            assert merged.layer_name == single.layer_name
+            assert merged.batch_size == 10
+            assert merged.total_spikes == pytest.approx(single.total_spikes)
+            assert merged.mean_rate == pytest.approx(single.mean_rate)
+
+    def test_out_of_range_checkpoints_warn(self, rng):
+        net = self._network(rng)
+        images = rng.uniform(0, 1, size=(3, 4))
+        with pytest.warns(UserWarning, match=r"checkpoints \[50\]"):
+            result = net.simulate(images, timesteps=20, checkpoints=[10, 50])
+        assert set(result.scores) == {10, 20}
+
+    def test_compact_drops_samples_from_state(self, rng):
+        net = self._network(rng)
+        images = rng.uniform(0, 1, size=(5, 4))
+        net.reset_state()
+        for _ in range(3):
+            net.step(images)
+        keep = np.array([True, False, True, True, False])
+        net.compact(keep)
+        for layer in net.layers:
+            for pool in layer.neuron_pools:
+                assert pool.membrane.shape[0] == 3
+                assert pool.spike_count.shape[0] == 3
+
     def test_spike_stats_collected(self, rng):
         net = self._network(rng)
         result = net.simulate(rng.uniform(0, 1, (3, 4)), timesteps=15)
