@@ -21,8 +21,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-import pytest
-
 from repro.core import ExperimentConfig
 from repro.training import TrainingConfig
 

@@ -15,7 +15,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import render_table
-from repro.core import convert_ann_to_snn
+from repro.core import Converter
 from repro.core.pipeline import prepare_data, train_ann
 from repro.snn import IFNeuronPool, ResetMode
 
@@ -37,7 +37,7 @@ def reset_mode_setup():
 
     curves = {}
     for mode in (ResetMode.SUBTRACT, ResetMode.ZERO):
-        conversion = convert_ann_to_snn(model, calibration_images=train_images, reset_mode=mode)
+        conversion = Converter(model).strategy("tcl").reset(mode).calibrate(train_images).convert()
         simulation = conversion.snn.simulate_batched(
             test_images, timesteps=config.timesteps, batch_size=64, checkpoints=config.checkpoints
         )

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import ExperimentConfig, convert_ann_to_snn
+from repro.core import Converter, ExperimentConfig
 from repro.core.pipeline import prepare_data, train_ann
 from repro.serve import (
     AdaptiveConfig,
@@ -59,7 +59,7 @@ def serving_setup(tmp_path_factory):
     model, ann_accuracy, _ = train_ann(
         config, train_images, train_labels, test_images, test_labels, clip_enabled=True
     )
-    conversion = convert_ann_to_snn(model, calibration_images=train_images)
+    conversion = Converter(model).strategy("tcl").calibrate(train_images).convert()
 
     registry = ModelRegistry(tmp_path_factory.mktemp("serve-artifacts"))
     artifact_path = registry.publish("convnet4-cifar", conversion.snn, metadata=conversion.export_metadata())

@@ -16,7 +16,6 @@ Run with::
 
 from repro.analysis import ascii_curve
 from repro.core import ExperimentConfig, latency_to_match_ann, run_experiment
-from repro.snn import mean_firing_rate
 from repro.training import TrainingConfig
 
 

@@ -12,10 +12,9 @@ Run with::
     python examples/resnet_conversion.py
 """
 
-import numpy as np
 
 from repro.autograd import Tensor, no_grad
-from repro.core import ExperimentConfig, convert_with_tcl
+from repro.core import Converter, ExperimentConfig
 from repro.core.pipeline import prepare_data, train_ann
 from repro.snn import SpikingResidualBlock
 from repro.training import TrainingConfig
@@ -41,7 +40,7 @@ def main() -> None:
     print(f"ANN test accuracy: {ann_accuracy:.2%}")
 
     print("\nConverting with the Section-5 residual-block rules ...")
-    conversion = convert_with_tcl(model, calibration_images=train_images)
+    conversion = Converter(model).strategy("tcl").calibrate(train_images).convert()
 
     blocks = [layer for layer in conversion.snn.layers if isinstance(layer, SpikingResidualBlock)]
     print(f"{len(blocks)} spiking residual blocks (type A = identity shortcut, type B = projection):")

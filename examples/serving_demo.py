@@ -23,7 +23,7 @@ import tempfile
 
 import numpy as np
 
-from repro.core import ExperimentConfig, convert_ann_to_snn
+from repro.core import Converter, ExperimentConfig
 from repro.core.pipeline import prepare_data, train_ann
 from repro.serve import AdaptiveConfig, AdaptiveEngine, InferenceServer, MicroBatcher, ModelRegistry
 from repro.training import TrainingConfig
@@ -52,7 +52,7 @@ def main() -> None:
     print(f"ANN accuracy: {ann_accuracy:.2%}")
 
     print("Converting and publishing the serving artifact ...")
-    conversion = convert_ann_to_snn(model, calibration_images=train_images)
+    conversion = Converter(model).strategy("tcl").calibrate(train_images).convert()
 
     with tempfile.TemporaryDirectory() as root:
         registry = ModelRegistry(root)

@@ -23,11 +23,26 @@ Quickstart::
 
     result = run_experiment(ExperimentConfig(model="convnet4", dataset="cifar"))
     print(render_table1(result))
+
+Converting a single trained model uses the fluent builder::
+
+    from repro import Converter
+
+    result = Converter(model).strategy("tcl").calibrate(images).convert()
+    result.snn.simulate(test_images, timesteps=200)
 """
 
 from . import autograd, nn, optim, data, models, training, snn, core, serve, analysis
+from .core import (
+    ConversionConfig,
+    ConversionError,
+    ConversionResult,
+    Converter,
+    convert_ann_to_snn,
+    register_lowering,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "autograd",
@@ -40,5 +55,11 @@ __all__ = [
     "core",
     "serve",
     "analysis",
+    "Converter",
+    "ConversionConfig",
+    "ConversionError",
+    "ConversionResult",
+    "convert_ann_to_snn",
+    "register_lowering",
     "__version__",
 ]

@@ -8,8 +8,7 @@ chart, which the Figure-1 benchmark prints and stores in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
 import numpy as np
 

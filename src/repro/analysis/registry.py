@@ -8,7 +8,7 @@ EXPERIMENTS.md and the benchmark harness stay consistent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 __all__ = ["ExperimentSpec", "EXPERIMENTS", "experiment_ids", "get_experiment"]
 

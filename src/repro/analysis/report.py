@@ -8,9 +8,9 @@ the numbers.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
-from ..core.baselines import PublishedResult, published_results_for
+from ..core.baselines import published_results_for
 from ..core.pipeline import ExperimentResult
 from .registry import get_experiment
 from .tables import render_published_comparison, render_table1

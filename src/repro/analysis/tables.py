@@ -11,7 +11,7 @@ accuracy at each latency checkpoint).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from ..core.baselines import PublishedResult
 from ..core.pipeline import ExperimentResult

@@ -12,8 +12,8 @@ The paper compares TCL against three prior ANN-to-SNN conversion lines:
   a pure conversion library; its published numbers are still listed for the
   comparison tables).
 
-``convert_with_*`` are thin wrappers over
-:func:`~repro.core.conversion.convert_ann_to_snn` with the right strategy, and
+``convert_with_*`` are thin wrappers over the
+:class:`~repro.core.conversion.Converter` builder with the right strategy, and
 ``PUBLISHED_RESULTS`` records the literature rows of Table 1 so the analysis
 report can print paper-vs-measured side by side.
 """
@@ -21,14 +21,13 @@ report can print paper-vs-measured side by side.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from ..nn.container import Sequential
-from ..snn.neuron import ResetMode
-from .conversion import ConversionResult, convert_ann_to_snn
-from .normfactor import MaxNormFactor, PercentileNormFactor, TCLNormFactor
+from .conversion import ConversionConfig, ConversionResult, Converter
+from .normfactor import MaxNormFactor, NormFactorStrategy, PercentileNormFactor, TCLNormFactor
 
 __all__ = [
     "convert_with_tcl",
@@ -40,16 +39,28 @@ __all__ = [
 ]
 
 
+def _convert(
+    model: Sequential,
+    strategy: NormFactorStrategy,
+    calibration_images: Optional[np.ndarray],
+    **config_kwargs,
+) -> ConversionResult:
+    converter = Converter(model, ConversionConfig(strategy=strategy, **config_kwargs))
+    if calibration_images is not None:
+        converter.calibrate(calibration_images)
+    return converter.convert()
+
+
 def convert_with_tcl(model: Sequential, calibration_images: Optional[np.ndarray] = None, **kwargs) -> ConversionResult:
     """Convert using the trained clipping bounds (the paper's TCL method)."""
 
-    return convert_ann_to_snn(model, TCLNormFactor(), calibration_images=calibration_images, **kwargs)
+    return _convert(model, TCLNormFactor(), calibration_images, **kwargs)
 
 
 def convert_with_max_norm(model: Sequential, calibration_images: np.ndarray, **kwargs) -> ConversionResult:
     """Convert using the Diehl et al. 2015 maximum-activation norm-factors."""
 
-    return convert_ann_to_snn(model, MaxNormFactor(), calibration_images=calibration_images, **kwargs)
+    return _convert(model, MaxNormFactor(), calibration_images, **kwargs)
 
 
 def convert_with_percentile_norm(
@@ -60,9 +71,7 @@ def convert_with_percentile_norm(
 ) -> ConversionResult:
     """Convert using the Rueckauer et al. 2017 percentile norm-factors."""
 
-    return convert_ann_to_snn(
-        model, PercentileNormFactor(percentile), calibration_images=calibration_images, **kwargs
-    )
+    return _convert(model, PercentileNormFactor(percentile), calibration_images, **kwargs)
 
 
 @dataclass(frozen=True)

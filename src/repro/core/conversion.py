@@ -1,19 +1,29 @@
 """End-to-end ANN-to-SNN conversion (paper Sections 3–5).
 
-The converter walks a trained convertible network (a
-:class:`~repro.nn.Sequential` of the layer types used by the model zoo),
-performs the three transformations the paper describes, and emits a
-:class:`~repro.snn.SpikingNetwork`:
+The conversion subsystem is a small compiler.  A trained convertible network
+(a :class:`~repro.nn.Sequential` of the layer types used by the model zoo) is
+traced into a :class:`~repro.core.graph.ConversionGraph`, transformed by the
+ordered pass pipeline of :mod:`repro.core.passes` — topology validation,
+batch-norm folding (Eq. 7), data-normalization λ assignment (Eq. 5),
+residual-block rewriting (Section 5) — and lowered to a
+:class:`~repro.snn.SpikingNetwork` through the per-layer-type rules of
+:mod:`repro.core.lowering`.
 
-1. **Batch-norm folding** (Eq. 7) — every BN following a conv / linear layer
-   is absorbed into that layer's effective weights and bias.
-2. **Data-normalization** (Eq. 5) — each synaptic layer's weights are scaled
-   by ``λ_prev / λ_this`` and its bias by ``1 / λ_this``, where the λ values
-   come from the chosen :class:`~repro.core.normfactor.NormFactorStrategy`
-   (trained TCL bound, observed maximum, or observed percentile).
-3. **Residual-block conversion** (Section 5) — every
-   :class:`~repro.nn.BasicBlock` becomes a
-   :class:`~repro.snn.SpikingResidualBlock` with the NS/OS weight equations.
+The user-facing entry point is the fluent :class:`Converter` builder::
+
+    result = (
+        Converter(model)
+        .strategy("tcl")
+        .reset(ResetMode.SUBTRACT)
+        .readout("spike_count")
+        .calibrate(images)
+        .convert()
+    )
+
+:meth:`Converter.dry_run` validates the topology without converting,
+collecting *all* problems in one diagnostics list instead of failing on the
+first.  :func:`convert_ann_to_snn` remains as a thin backward-compatible
+wrapper over the builder.
 
 Pooling: average pooling maps onto spiking average-pool layers (threshold 1,
 norm-factor transparent); max pooling is rejected with a
@@ -30,43 +40,185 @@ irrelevant to the arg-max and defaults to 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from ..autograd import Tensor, no_grad
-from ..nn.activation import ReLU
 from ..nn.container import Sequential
-from ..nn.conv import Conv2d
-from ..nn.layers import Dropout, Flatten, Identity, Linear
 from ..nn.module import Module
-from ..nn.norm import BatchNorm1d, BatchNorm2d
-from ..nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
-from ..nn.residual import BasicBlock
 from ..snn.encoding import InputEncoder, RealCoding
-from ..snn.layers import (
-    SpikingAvgPool2d,
-    SpikingConv2d,
-    SpikingFlatten,
-    SpikingGlobalAvgPool2d,
-    SpikingLayer,
-    SpikingLinear,
-    SpikingOutputLayer,
-)
 from ..snn.network import SpikingNetwork
 from ..snn.neuron import ResetMode
-from .folding import EffectiveWeights
-from .normfactor import NormFactorStrategy, TCLNormFactor
-from .observers import ActivationObserver, attach_observers, detach_observers
-from .residual import ResidualNormFactors, convert_basic_block
-from .tcl import ClippedReLU
+from .graph import ConversionError, ConversionGraph, Diagnostic, trace
+from .lowering import LoweringContext
+from .normfactor import STRATEGY_REGISTRY, NormFactorStrategy, TCLNormFactor, build_strategy
+from .observers import attach_observers, detach_observers
+from .passes import PassPipeline, ValidateTopology, default_pipeline
+from .residual import ResidualNormFactors
 
-__all__ = ["ConversionError", "ConversionResult", "run_calibration", "convert_ann_to_snn"]
+__all__ = [
+    "ConversionError",
+    "VALID_READOUTS",
+    "ConversionConfig",
+    "LayerReport",
+    "ConversionReport",
+    "ConversionResult",
+    "Converter",
+    "run_calibration",
+    "convert_ann_to_snn",
+]
+
+#: Readout modes the output layer supports, validated at the API boundary.
+VALID_READOUTS = ("spike_count", "membrane")
 
 
-class ConversionError(RuntimeError):
-    """Raised when a network contains a construct that cannot be converted."""
+def _coerce_reset_mode(mode: Union[ResetMode, str]) -> ResetMode:
+    if isinstance(mode, ResetMode):
+        return mode
+    try:
+        return ResetMode(mode)
+    except ValueError:
+        valid = ", ".join(m.value for m in ResetMode)
+        raise ConversionError(f"unknown reset mode {mode!r}; valid modes: {valid}") from None
+
+
+def _validate_readout(readout: str) -> str:
+    if readout not in VALID_READOUTS:
+        valid = ", ".join(repr(r) for r in VALID_READOUTS)
+        raise ConversionError(f"unknown readout {readout!r}; valid readouts: {valid}")
+    return readout
+
+
+def _validate_strategy(strategy) -> None:
+    if isinstance(strategy, NormFactorStrategy):
+        return
+    if not isinstance(strategy, str) or strategy.lower() not in STRATEGY_REGISTRY:
+        raise ConversionError(
+            f"unknown norm-factor strategy {strategy!r}; "
+            f"available: {sorted(STRATEGY_REGISTRY)} (or a NormFactorStrategy instance)"
+        )
+
+
+@dataclass
+class ConversionConfig:
+    """Declarative description of one conversion.
+
+    Attributes
+    ----------
+    strategy:
+        Norm-factor strategy — a :class:`NormFactorStrategy` instance or a
+        registry name (``"tcl"``, ``"max"``, ``"percentile"``, ``"fixed"``).
+    reset_mode:
+        IF reset rule (paper default: reset-by-subtraction).
+    readout:
+        ``"spike_count"`` (paper) or ``"membrane"``.
+    encoder:
+        Input coding; ``None`` selects the paper's real (constant-current)
+        coding.
+    input_norm_factor:
+        λ of the network input (1.0 when images are fed in their natural
+        scale, as the paper does).
+    calibration_batch_size:
+        Batch size of the calibration forward passes.
+    """
+
+    strategy: Union[str, NormFactorStrategy] = "tcl"
+    reset_mode: ResetMode = ResetMode.SUBTRACT
+    readout: str = "spike_count"
+    encoder: Optional[InputEncoder] = None
+    input_norm_factor: float = 1.0
+    calibration_batch_size: int = 64
+
+    def validated(self) -> "ConversionConfig":
+        """Check every field, returning a normalised copy.
+
+        Raises :class:`ConversionError` at the API boundary — before any
+        training-time work — instead of threading bad values into the
+        spiking layers.
+        """
+
+        config = replace(
+            self,
+            reset_mode=_coerce_reset_mode(self.reset_mode),
+            readout=_validate_readout(self.readout),
+        )
+        _validate_strategy(config.strategy)
+        if config.input_norm_factor <= 0:
+            raise ConversionError(f"input_norm_factor must be positive, got {config.input_norm_factor}")
+        if config.calibration_batch_size <= 0:
+            raise ConversionError(f"calibration_batch_size must be positive, got {config.calibration_batch_size}")
+        return config
+
+    def resolve_strategy(self) -> NormFactorStrategy:
+        if isinstance(self.strategy, NormFactorStrategy):
+            return self.strategy
+        return build_strategy(self.strategy)
+
+
+@dataclass
+class LayerReport:
+    """Provenance of one source module through the pass pipeline."""
+
+    index: int
+    source: str
+    op: str
+    site_name: Optional[str] = None
+    lambda_in: Optional[float] = None
+    lambda_out: Optional[float] = None
+    emitted: List[str] = field(default_factory=list)
+    passes: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ConversionReport:
+    """Per-layer pass provenance and λ lineage plus collected diagnostics."""
+
+    layers: List[LayerReport] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    pass_names: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def messages(self) -> List[str]:
+        """The diagnostics as plain strings (one per topology problem)."""
+
+        return [str(d) for d in self.diagnostics]
+
+    def summary(self) -> str:
+        """A human-readable per-layer table of the conversion."""
+
+        lines = []
+        for layer in self.layers:
+            lineage = ""
+            if layer.lambda_in is not None and layer.lambda_out is not None:
+                lineage = f"  λ {layer.lambda_in:g} -> {layer.lambda_out:g}"
+            emitted = f"  => {', '.join(layer.emitted)}" if layer.emitted else ""
+            site = f"  [{layer.site_name}]" if layer.site_name else ""
+            lines.append(f"{layer.index:3d}  {layer.source:<20s} {layer.op:<12s}{site}{lineage}{emitted}")
+        for diagnostic in self.diagnostics:
+            lines.append(f"  !! {diagnostic}")
+        return "\n".join(lines)
+
+
+def _report_from_graph(graph: ConversionGraph, pass_names: List[str]) -> ConversionReport:
+    layers = [
+        LayerReport(
+            index=node.index,
+            source=node.source,
+            op=node.op,
+            site_name=node.site_name,
+            lambda_in=node.lambda_in,
+            lambda_out=node.lambda_out,
+            emitted=[type(layer).__name__ for layer in node.emitted],
+            passes=list(node.provenance),
+        )
+        for node in graph.nodes
+    ]
+    return ConversionReport(layers=layers, diagnostics=list(graph.diagnostics), pass_names=pass_names)
 
 
 @dataclass
@@ -78,6 +230,9 @@ class ConversionResult:
     norm_factors: Dict[str, float] = field(default_factory=dict)
     residual_factors: List[ResidualNormFactors] = field(default_factory=list)
     output_norm_factor: float = 1.0
+    reset_mode: ResetMode = ResetMode.SUBTRACT
+    readout: str = "spike_count"
+    report: Optional[ConversionReport] = None
 
     @property
     def num_spiking_layers(self) -> int:
@@ -93,6 +248,8 @@ class ConversionResult:
             "norm_factors": {name: float(value) for name, value in self.norm_factors.items()},
             "residual_factors": [asdict(factors) for factors in self.residual_factors],
             "output_norm_factor": float(self.output_norm_factor),
+            "reset_mode": self.reset_mode.value,
+            "readout": self.readout,
         }
 
     def save(self, path) -> "object":
@@ -137,6 +294,190 @@ def _output_norm_from_logits(logits: Optional[np.ndarray]) -> float:
     return max(peak, 1.0)
 
 
+class Converter:
+    """Fluent builder over the conversion compiler.
+
+    Every setter mutates the builder and returns it, so conversions read as
+    one chain::
+
+        result = (
+            Converter(model)
+            .strategy("percentile", percentile=99.9)
+            .reset("zero")
+            .readout("membrane")
+            .calibrate(images)
+            .convert()
+        )
+
+    :meth:`dry_run` traces and validates without converting, returning a
+    :class:`ConversionReport` whose diagnostics list *every* topology problem
+    at once; :meth:`convert` runs the full pipeline and returns a
+    :class:`ConversionResult`.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        config: Optional[ConversionConfig] = None,
+        pipeline: Optional[PassPipeline] = None,
+    ) -> None:
+        self._model = model
+        self._config = config if config is not None else ConversionConfig()
+        self._pipeline = pipeline if pipeline is not None else default_pipeline()
+        self._calibration_images: Optional[np.ndarray] = None
+
+    # -- fluent setters ------------------------------------------------------
+
+    def strategy(self, strategy: Union[str, NormFactorStrategy], **kwargs) -> "Converter":
+        """Choose the norm-factor strategy (instance or registry name)."""
+
+        _validate_strategy(strategy)
+        if isinstance(strategy, str) and kwargs:
+            strategy = build_strategy(strategy, **kwargs)
+        elif kwargs:
+            raise TypeError("strategy kwargs are only valid with a registry name")
+        self._config = replace(self._config, strategy=strategy)
+        return self
+
+    def reset(self, mode: Union[ResetMode, str]) -> "Converter":
+        """Choose the IF reset rule (``ResetMode`` or its string value)."""
+
+        self._config = replace(self._config, reset_mode=_coerce_reset_mode(mode))
+        return self
+
+    def readout(self, readout: str) -> "Converter":
+        """Choose the output readout (``"spike_count"`` or ``"membrane"``)."""
+
+        self._config = replace(self._config, readout=_validate_readout(readout))
+        return self
+
+    def encode(self, encoder: InputEncoder) -> "Converter":
+        """Choose the input coding (default: real / constant-current)."""
+
+        self._config = replace(self._config, encoder=encoder)
+        return self
+
+    def input_norm(self, value: float) -> "Converter":
+        """Set λ of the network input (1.0 for natural-scale images)."""
+
+        self._config = replace(self._config, input_norm_factor=float(value))
+        return self
+
+    def calibrate(self, images: np.ndarray, batch_size: Optional[int] = None) -> "Converter":
+        """Provide calibration images (observer statistics + output scale)."""
+
+        self._calibration_images = images
+        if batch_size is not None:
+            self._config = replace(self._config, calibration_batch_size=int(batch_size))
+        return self
+
+    def with_config(self, config: ConversionConfig) -> "Converter":
+        """Replace the whole configuration at once."""
+
+        self._config = config
+        return self
+
+    @property
+    def config(self) -> ConversionConfig:
+        return self._config
+
+    # -- compilation ---------------------------------------------------------
+
+    def dry_run(self) -> ConversionReport:
+        """Trace and validate the model without converting it.
+
+        Unlike :meth:`convert`, which aborts on the first problem, the dry
+        run collects *all* topology diagnostics (max-pool sites, unpaired
+        batch-norms, a missing classifier head, …) in one report, so a model
+        can be fixed in a single round trip.
+
+        The validation passes come from this converter's pipeline, so a
+        custom pipeline with its own (sub-classed) validation is judged by
+        the same rules :meth:`convert` will apply; a pipeline with no
+        validation pass falls back to the stock :class:`ValidateTopology`.
+        """
+
+        config = self._config.validated()
+        graph = trace(self._model, input_norm_factor=config.input_norm_factor)
+        ctx = LoweringContext(
+            strategy=config.resolve_strategy(),
+            reset_mode=config.reset_mode,
+            readout=config.readout,
+        )
+        validator = self._validators(fallback=True)
+        validator.run(graph, ctx, strict=False)
+        return _report_from_graph(graph, validator.names)
+
+    def _validators(self, fallback: bool) -> PassPipeline:
+        """The pipeline's validation passes (stock validation as fallback)."""
+
+        validators = [p for p in self._pipeline.passes if isinstance(p, ValidateTopology)]
+        if not validators and fallback:
+            validators = [ValidateTopology()]
+        return PassPipeline(validators)
+
+    def convert(self) -> ConversionResult:
+        """Run the full pass pipeline and package the spiking network."""
+
+        config = self._config.validated()
+        strategy = config.resolve_strategy()
+        model = self._model
+        model.eval()
+
+        # Fail fast: run the pipeline's validation passes on a throwaway
+        # trace before spending the calibration forward passes on a model
+        # that cannot convert.  A custom pipeline that deliberately omits
+        # validation skips this too.
+        precheck = self._validators(fallback=False)
+        if precheck.passes:
+            precheck_ctx = LoweringContext(
+                strategy=strategy, reset_mode=config.reset_mode, readout=config.readout
+            )
+            precheck.run(trace(model, input_norm_factor=config.input_norm_factor), precheck_ctx, strict=True)
+
+        logits: Optional[np.ndarray] = None
+        attached = False
+        try:
+            if strategy.requires_observers:
+                if self._calibration_images is None:
+                    raise ConversionError(
+                        f"strategy {strategy.name!r} analyses activations and therefore needs calibration_images"
+                    )
+                attach_observers(model)
+                attached = True
+            if self._calibration_images is not None:
+                logits = run_calibration(
+                    model, self._calibration_images, batch_size=config.calibration_batch_size
+                )
+
+            graph = trace(model, input_norm_factor=config.input_norm_factor)
+            ctx = LoweringContext(
+                strategy=strategy,
+                reset_mode=config.reset_mode,
+                readout=config.readout,
+                output_norm_factor=(
+                    _output_norm_from_logits(logits) if config.readout == "spike_count" else 1.0
+                ),
+            )
+            self._pipeline.run(graph, ctx, strict=True)
+        finally:
+            if attached:
+                detach_observers(model)
+
+        encoder = config.encoder if config.encoder is not None else RealCoding()
+        snn = SpikingNetwork(graph.emitted_layers(), encoder=encoder)
+        return ConversionResult(
+            snn=snn,
+            strategy_name=strategy.name,
+            norm_factors=graph.norm_factors,
+            residual_factors=graph.residual_factors,
+            output_norm_factor=graph.output_norm_factor,
+            reset_mode=config.reset_mode,
+            readout=config.readout,
+            report=_report_from_graph(graph, self._pipeline.names),
+        )
+
+
 def convert_ann_to_snn(
     model: Sequential,
     strategy: Optional[NormFactorStrategy] = None,
@@ -148,6 +489,9 @@ def convert_ann_to_snn(
     calibration_batch_size: int = 64,
 ) -> ConversionResult:
     """Convert a trained convertible ANN into a spiking network.
+
+    Backward-compatible wrapper over the :class:`Converter` builder — new
+    code should use the builder directly.
 
     Parameters
     ----------
@@ -172,186 +516,15 @@ def convert_ann_to_snn(
         scale, as the paper does).
     """
 
-    strategy = strategy if strategy is not None else TCLNormFactor()
-    model.eval()
-
-    logits: Optional[np.ndarray] = None
-    attached = False
-    try:
-        if strategy.requires_observers:
-            if calibration_images is None:
-                raise ConversionError(
-                    f"strategy {strategy.name!r} analyses activations and therefore needs calibration_images"
-                )
-            attach_observers(model)
-            attached = True
-        if calibration_images is not None:
-            logits = run_calibration(model, calibration_images, batch_size=calibration_batch_size)
-
-        builder = _ConversionWalk(
-            strategy=strategy,
-            reset_mode=reset_mode,
-            readout=readout,
-            input_norm_factor=input_norm_factor,
-            output_norm_factor=_output_norm_from_logits(logits) if readout == "spike_count" else 1.0,
-        )
-        spiking_layers = builder.walk(model)
-    finally:
-        if attached:
-            detach_observers(model)
-
-    snn = SpikingNetwork(spiking_layers, encoder=encoder if encoder is not None else RealCoding())
-    return ConversionResult(
-        snn=snn,
-        strategy_name=strategy.name,
-        norm_factors=builder.norm_factors,
-        residual_factors=builder.residual_factors,
-        output_norm_factor=builder.output_norm_factor,
+    converter = (
+        Converter(model)
+        .strategy(strategy if strategy is not None else TCLNormFactor())
+        .reset(reset_mode)
+        .readout(readout)
+        .input_norm(input_norm_factor)
     )
-
-
-class _ConversionWalk:
-    """Stateful walk over a Sequential model emitting spiking layers."""
-
-    def __init__(
-        self,
-        strategy: NormFactorStrategy,
-        reset_mode: ResetMode,
-        readout: str,
-        input_norm_factor: float,
-        output_norm_factor: float,
-    ) -> None:
-        self.strategy = strategy
-        self.reset_mode = reset_mode
-        self.readout = readout
-        self.lambda_prev = float(input_norm_factor)
-        self.output_norm_factor = float(output_norm_factor)
-        self.norm_factors: Dict[str, float] = {"input": self.lambda_prev}
-        self.residual_factors: List[ResidualNormFactors] = []
-
-        self._pending: Optional[EffectiveWeights] = None
-        self._pending_meta: Dict[str, object] = {}
-        self._layers: List[SpikingLayer] = []
-        self._site_index = 0
-
-    # -- helpers -------------------------------------------------------------
-
-    def _require_no_pending(self, context: str) -> None:
-        if self._pending is not None:
-            raise ConversionError(
-                f"synaptic layer without a following activation before {context}; "
-                "convertible networks must follow every conv/linear (except the classifier head) "
-                "with a ReLU/ClippedReLU"
-            )
-
-    def _emit_pending_as_spiking(self, site_name: str, activation: ClippedReLU) -> None:
-        """Close the pending synaptic layer at an activation site."""
-
-        if self._pending is None:
-            raise ConversionError(f"activation site {site_name!r} has no preceding conv/linear layer")
-        lambda_this = self.strategy.site_norm_factor(site_name, activation)
-        weight = self._pending.weight * (self.lambda_prev / lambda_this)
-        bias = self._pending.bias / lambda_this
-        kind = self._pending_meta["kind"]
-        if kind == "conv":
-            layer: SpikingLayer = SpikingConv2d(
-                weight,
-                bias,
-                stride=self._pending_meta["stride"],
-                padding=self._pending_meta["padding"],
-                reset_mode=self.reset_mode,
-            )
-        else:
-            layer = SpikingLinear(weight, bias, reset_mode=self.reset_mode)
-        self._layers.append(layer)
-        self.norm_factors[site_name] = lambda_this
-        self.lambda_prev = lambda_this
-        self._pending = None
-        self._pending_meta = {}
-
-    # -- the walk ---------------------------------------------------------------
-
-    def walk(self, model: Sequential) -> List[SpikingLayer]:
-        if not isinstance(model, Sequential):
-            raise ConversionError(
-                f"convert_ann_to_snn expects a Sequential-style model, got {type(model).__name__}"
-            )
-        for index, module in enumerate(model):
-            self._visit(module, index)
-        self._finalise_output()
-        return self._layers
-
-    def _visit(self, module: Module, index: int) -> None:
-        if isinstance(module, Conv2d):
-            self._require_no_pending(f"module {index} (Conv2d)")
-            bias = None if module.bias is None else module.bias.data
-            self._pending = EffectiveWeights(module.weight.data, bias)
-            self._pending_meta = {"kind": "conv", "stride": module.stride, "padding": module.padding}
-        elif isinstance(module, Linear):
-            self._require_no_pending(f"module {index} (Linear)")
-            bias = None if module.bias is None else module.bias.data
-            self._pending = EffectiveWeights(module.weight.data, bias)
-            self._pending_meta = {"kind": "linear"}
-        elif isinstance(module, (BatchNorm2d, BatchNorm1d)):
-            if self._pending is None:
-                raise ConversionError(f"module {index}: batch-norm without a preceding conv/linear layer")
-            self._pending.fold_batchnorm(module)
-        elif isinstance(module, ClippedReLU):
-            self._site_index += 1
-            self._emit_pending_as_spiking(f"site{self._site_index}", module)
-        elif isinstance(module, ReLU):
-            raise ConversionError(
-                f"module {index}: plain nn.ReLU activations are not observable; convertible models "
-                "must use ClippedReLU (with clip_enabled=False for the non-TCL baseline)"
-            )
-        elif isinstance(module, BasicBlock):
-            self._require_no_pending(f"module {index} (BasicBlock)")
-            self._site_index += 1
-            spiking_block, lambda_out, factors = convert_basic_block(
-                module,
-                lambda_pre=self.lambda_prev,
-                strategy=self.strategy,
-                site_prefix=f"block{self._site_index}.",
-                reset_mode=self.reset_mode,
-            )
-            self._layers.append(spiking_block)
-            self.norm_factors[f"block{self._site_index}.c1"] = factors.lambda_c1
-            self.norm_factors[f"block{self._site_index}.out"] = factors.lambda_out
-            self.residual_factors.append(factors)
-            self.lambda_prev = lambda_out
-        elif isinstance(module, AvgPool2d):
-            self._require_no_pending(f"module {index} (AvgPool2d)")
-            self._layers.append(
-                SpikingAvgPool2d(module.kernel_size, module.stride, reset_mode=self.reset_mode)
-            )
-        elif isinstance(module, GlobalAvgPool2d):
-            self._require_no_pending(f"module {index} (GlobalAvgPool2d)")
-            self._layers.append(SpikingGlobalAvgPool2d(reset_mode=self.reset_mode))
-        elif isinstance(module, MaxPool2d):
-            raise ConversionError(
-                f"module {index}: max-pooling cannot be modelled by IF neurons; "
-                "build the network with average pooling (convertible=True) as the paper prescribes"
-            )
-        elif isinstance(module, Flatten):
-            self._require_no_pending(f"module {index} (Flatten)")
-            self._layers.append(SpikingFlatten())
-        elif isinstance(module, (Dropout, Identity)):
-            pass  # inference no-ops
-        else:
-            raise ConversionError(f"module {index}: unsupported layer type {type(module).__name__}")
-
-    def _finalise_output(self) -> None:
-        """Turn the trailing (activation-less) linear layer into the output layer."""
-
-        if self._pending is None:
-            raise ConversionError("the network must end with a linear classifier head")
-        if self._pending_meta.get("kind") != "linear":
-            raise ConversionError("the classifier head must be a Linear layer")
-        lambda_out = self.output_norm_factor if self.readout == "spike_count" else 1.0
-        weight = self._pending.weight * (self.lambda_prev / lambda_out)
-        bias = self._pending.bias / lambda_out
-        self._layers.append(
-            SpikingOutputLayer(weight, bias, readout=self.readout, reset_mode=self.reset_mode)
-        )
-        self.norm_factors["output"] = lambda_out
-        self._pending = None
+    if encoder is not None:
+        converter.encode(encoder)
+    if calibration_images is not None:
+        converter.calibrate(calibration_images, batch_size=calibration_batch_size)
+    return converter.convert()

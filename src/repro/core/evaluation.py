@@ -18,11 +18,10 @@ import numpy as np
 
 from ..autograd import Tensor, no_grad
 from ..nn.container import Sequential
-from ..nn.module import Module
 from ..snn.network import SimulationResult, SpikingNetwork
 from .conversion import ConversionResult
 from .observers import ActivationObserver, attach_observers, detach_observers
-from .tcl import ClippedReLU, collect_lambdas
+from .tcl import ClippedReLU
 
 __all__ = [
     "LatencySweep",
@@ -158,7 +157,7 @@ def analyze_activation_sites(
     returned, in network order.
     """
 
-    observers = attach_observers(model)
+    attach_observers(model)
     try:
         model.eval()
         with no_grad():

@@ -1,0 +1,234 @@
+"""Conversion graph IR — the typed intermediate representation of a model.
+
+The conversion subsystem is organised as a small compiler.  Its input is a
+trained convertible network (a :class:`~repro.nn.Sequential` chain, possibly
+containing :class:`~repro.nn.BasicBlock` residual blocks); its output is a
+:class:`~repro.snn.SpikingNetwork`.  Between the two sits this IR:
+
+* :func:`trace` turns the model into a :class:`ConversionGraph` — a linear
+  sequence of :class:`GraphNode` entries, one per source module, each typed
+  with an *op* (``synapse``, ``batchnorm``, ``activation``, ``block``,
+  ``transparent``, ``noop``, ``invalid``, ``unknown``) chosen by the lowering
+  registry (:mod:`repro.core.lowering`);
+* the pass pipeline (:mod:`repro.core.passes`) transforms the graph in place
+  — validating topology, folding batch-norm, assigning norm-factors, lowering
+  residual blocks, emitting spiking layers — with every transformation
+  recorded in the node's provenance trail;
+* the fluent :class:`~repro.core.conversion.Converter` drives the pipeline
+  and packages the emitted layers into a
+  :class:`~repro.core.conversion.ConversionResult`.
+
+Nothing in this module mutates the source model: nodes hold *references* to
+the original modules plus conversion state (effective weights, λ lineage,
+emitted spiking layers) of their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..nn.module import Module
+    from ..snn.layers import SpikingLayer
+    from .folding import EffectiveWeights
+    from .residual import ResidualNormFactors
+
+__all__ = [
+    "ConversionError",
+    "Diagnostic",
+    "GraphNode",
+    "ConversionGraph",
+    "trace",
+]
+
+
+class ConversionError(RuntimeError):
+    """Raised when a network contains a construct that cannot be converted."""
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One topology problem found while validating a conversion graph.
+
+    ``dry_run`` collects *all* diagnostics instead of failing on the first;
+    a strict conversion raises :class:`ConversionError` with the first one.
+    """
+
+    index: int
+    source: str
+    message: str
+
+    def __str__(self) -> str:
+        if self.index < 0:
+            return self.message
+        return f"module {self.index}: {self.message}"
+
+
+@dataclass
+class GraphNode:
+    """One source module of the traced model plus its conversion state.
+
+    Attributes
+    ----------
+    index, source, module:
+        Provenance: position in the source ``Sequential``, the source
+        module's type name, and the module itself (never mutated).
+    op:
+        The node's IR type, chosen by the lowering registry at trace time.
+    meta:
+        Rule- and pass-populated annotations (conv stride/padding, the node
+        of the activation paired with a synapse, residual norm-factors, …).
+    weights:
+        BN-folded effective weights of a ``synapse`` node (``FoldBatchNorm``).
+    lambda_in, lambda_out:
+        The λ lineage assigned by ``AssignNormFactors``: the norm-factor of
+        the activation feeding this node and of its own output.
+    emitted:
+        Spiking layers this node lowered to (``LowerResidual`` /
+        ``EmitSpiking``); concatenated in node order they form the SNN.
+    provenance:
+        Human-readable trail of every pass that touched the node.
+    """
+
+    index: int
+    op: str
+    module: Optional["Module"] = None
+    source: str = ""
+    meta: Dict[str, object] = field(default_factory=dict)
+    weights: Optional["EffectiveWeights"] = None
+    lambda_in: Optional[float] = None
+    lambda_out: Optional[float] = None
+    site_name: Optional[str] = None
+    is_head: bool = False
+    elided: bool = False
+    emitted: List["SpikingLayer"] = field(default_factory=list)
+    provenance: List[str] = field(default_factory=list)
+
+    def stamp(self, pass_name: str, note: Optional[str] = None) -> None:
+        """Append one provenance entry (``pass_name`` plus an optional note)."""
+
+        self.provenance.append(f"{pass_name}: {note}" if note else pass_name)
+
+    def describe(self) -> str:
+        return f"module {self.index} ({self.source})"
+
+
+@dataclass
+class ConversionGraph:
+    """The traced model plus everything the passes accumulate on it."""
+
+    nodes: List[GraphNode] = field(default_factory=list)
+    input_norm_factor: float = 1.0
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    norm_factors: Dict[str, float] = field(default_factory=dict)
+    residual_factors: List["ResidualNormFactors"] = field(default_factory=list)
+    output_norm_factor: float = 1.0
+
+    def active_nodes(self) -> Iterator[GraphNode]:
+        """Nodes still participating in the conversion (not elided)."""
+
+        return (node for node in self.nodes if not node.elided)
+
+    def diagnose(self, node: Optional[GraphNode], message: str) -> Diagnostic:
+        """Record one topology problem and return it."""
+
+        if node is None:
+            diagnostic = Diagnostic(index=-1, source="", message=message)
+        else:
+            diagnostic = Diagnostic(index=node.index, source=node.source, message=message)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def raise_on_diagnostics(self) -> None:
+        """Raise :class:`ConversionError` with the first recorded problem."""
+
+        if self.diagnostics:
+            raise ConversionError(str(self.diagnostics[0]))
+
+    def emitted_layers(self) -> List["SpikingLayer"]:
+        """All lowered spiking layers in node order (the SNN layer list)."""
+
+        return [layer for node in self.nodes for layer in node.emitted]
+
+
+def _link_topology(graph: ConversionGraph) -> None:
+    """Record the structural links of the traced graph.
+
+    Pairs each synapse with the activation that closes it, each batch-norm
+    with the synapse it folds into, and marks the trailing linear synapse as
+    the classifier head.  Linking is part of *tracing* — it records what the
+    model is — so every pipeline (including custom ones without a validation
+    pass) works on a linked graph; ``ValidateTopology`` only reads these
+    links and diagnoses the gaps.
+
+    A synapse left unclosed when a non-activation layer arrives is recorded
+    as *interrupted* on that layer (``meta["interrupts"]``).  Unknown and
+    invalid layers count as interruptions too — their behaviour cannot be
+    known, so pairing across them would hide follow-up topology errors from
+    a dry run.
+    """
+
+    pending: Optional[GraphNode] = None
+    for node in graph.nodes:
+        if node.op == "synapse":
+            if pending is not None:
+                node.meta["interrupts"] = pending
+            pending = node
+        elif node.op == "batchnorm":
+            if pending is not None:
+                node.meta["folds_into"] = pending
+        elif node.op == "activation":
+            if pending is not None:
+                pending.meta["activation"] = node
+                node.meta["synapse"] = pending
+                pending = None
+        elif node.op == "noop":
+            continue  # transparent to the pairing
+        else:
+            # blocks, transparent layers, custom ops, and unknown/invalid
+            # layers are hard boundaries for the synapse/activation pairing.
+            if pending is not None:
+                node.meta["interrupts"] = pending
+                pending = None
+    if pending is not None:
+        pending.meta["trailing"] = True
+        if pending.meta.get("kind") == "linear":
+            pending.is_head = True
+
+
+def trace(model, input_norm_factor: float = 1.0) -> ConversionGraph:
+    """Build the conversion graph of a ``Sequential`` model.
+
+    Every top-level module becomes one typed :class:`GraphNode`; the node's
+    ``op`` and trace-time annotations come from the lowering rule registered
+    for the module's type (:func:`repro.core.lowering.lowering_for`), and the
+    structural links between nodes (synapse–activation pairs, batch-norm
+    folding targets, the classifier head) are recorded immediately.  Module
+    types with no registered rule become ``unknown`` nodes, which the
+    ``ValidateTopology`` pass reports — tracing itself never fails on content,
+    only on the container type.
+    """
+
+    # Imported here: the lowering registry imports GraphNode from this module.
+    from ..nn.container import Sequential
+    from .lowering import lowering_for
+
+    if not isinstance(model, Sequential):
+        raise ConversionError(
+            f"the conversion compiler expects a Sequential-style model, got {type(model).__name__}"
+        )
+
+    graph = ConversionGraph(input_norm_factor=float(input_norm_factor))
+    for index, module in enumerate(model):
+        source = type(module).__name__
+        rule = lowering_for(type(module))
+        if rule is None:
+            node = GraphNode(index=index, op="unknown", module=module, source=source)
+        else:
+            node = GraphNode(index=index, op=rule.op, module=module, source=source)
+            rule.trace(module, node)
+        node.stamp("trace", f"{source} -> {node.op}")
+        graph.nodes.append(node)
+    _link_topology(graph)
+    return graph

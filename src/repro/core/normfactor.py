@@ -24,11 +24,9 @@ through the ANN with observers attached first.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
 import numpy as np
 
-from .observers import ActivationObserver
 from .tcl import ClippedReLU
 
 __all__ = [

@@ -11,7 +11,7 @@ feeds the Figure-1 reproduction).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

@@ -1,0 +1,314 @@
+"""The conversion pass pipeline: ordered graph→graph transforms.
+
+Each pass takes the :class:`~repro.core.graph.ConversionGraph` plus the
+shared :class:`~repro.core.lowering.LoweringContext` and transforms the graph
+in place, stamping provenance on every node it touches.  The default order —
+the conversion recipe of the paper, one concern per pass — is:
+
+1. :class:`ValidateTopology` — check the pairing invariants of a convertible
+   network (every conv/linear followed by an activation site, BN only after a
+   synapse, a linear classifier head at the end, no max-pool / plain-ReLU /
+   unknown layers) and record *all* violations as diagnostics.
+2. :class:`FoldBatchNorm` — materialise each synapse's effective weights and
+   absorb every following batch-norm into them (paper Eq. 7).
+3. :class:`ElideNoOps` — drop inference no-ops (dropout, identity).
+4. :class:`AssignNormFactors` — thread the λ lineage through the graph
+   (paper Eq. 5): every activation site gets its norm-factor from the
+   strategy, residual blocks their (λ_pre, λ_c1, λ_out) triple, and the head
+   its output scale.
+5. :class:`LowerResidual` — rewrite residual blocks into spiking NS/OS pairs
+   (paper Section 5) via the registered lowering rule.
+6. :class:`EmitSpiking` — lower every remaining node to spiking layers
+   through the lowering registry.
+
+A strict pipeline run raises :class:`~repro.core.graph.ConversionError` with
+the first diagnostic after each pass; ``Converter.dry_run`` runs only the
+validation prefix without strictness to collect the full diagnostics list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..nn.residual import BasicBlock
+from .folding import EffectiveWeights
+from .graph import ConversionGraph, ConversionError, GraphNode
+from .lowering import LoweringContext, lowering_for
+from .tcl import ClippedReLU
+
+__all__ = [
+    "Pass",
+    "ValidateTopology",
+    "FoldBatchNorm",
+    "ElideNoOps",
+    "AssignNormFactors",
+    "LowerResidual",
+    "EmitSpiking",
+    "PassPipeline",
+    "default_passes",
+    "default_pipeline",
+]
+
+
+class Pass:
+    """Base class of one conversion pass (a named graph transform)."""
+
+    name: str = "pass"
+
+    def run(self, graph: ConversionGraph, ctx: LoweringContext) -> ConversionGraph:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class ValidateTopology(Pass):
+    """Check the structural invariants of a convertible network.
+
+    Violations are recorded as diagnostics on the graph (never raised here),
+    so a dry run reports every problem at once.  The pass is purely
+    diagnostic: it reads the structural facts ``trace`` recorded — the
+    synapse–activation pairs, BN folding targets, interrupted synapses, and
+    the classifier head — and reports every gap; there is no second pairing
+    state machine to keep in sync with the tracer.
+    """
+
+    name = "validate-topology"
+
+    _PENDING_MESSAGE = (
+        "synaptic layer without a following activation before {context}; "
+        "convertible networks must follow every conv/linear (except the "
+        "classifier head) with a ReLU/ClippedReLU"
+    )
+
+    def run(self, graph: ConversionGraph, ctx: LoweringContext) -> ConversionGraph:
+        trailing: Optional[GraphNode] = None
+        for node in graph.active_nodes():
+            node.stamp(self.name)
+            if node.op == "unknown":
+                graph.diagnose(node, f"unsupported layer type {node.source}")
+            elif node.op == "invalid":
+                graph.diagnose(node, str(node.meta.get("reason", f"{node.source} cannot be converted")))
+            elif node.op == "synapse" and node.meta.get("trailing"):
+                trailing = node
+            elif node.op == "batchnorm":
+                if node.meta.get("folds_into") is None:
+                    graph.diagnose(node, "batch-norm without a preceding conv/linear layer")
+            elif node.op == "activation":
+                if node.meta.get("synapse") is None:
+                    graph.diagnose(node, f"activation site ({node.source}) has no preceding conv/linear layer")
+            elif node.op == "block" and isinstance(node.module, BasicBlock):
+                block = node.module
+                if not (
+                    isinstance(block.activation1, ClippedReLU)
+                    and isinstance(block.activation_out, ClippedReLU)
+                ):
+                    graph.diagnose(
+                        node,
+                        "residual-block activations must be ClippedReLU modules; rebuild the "
+                        "block with a TCL activation factory (clip_enabled=False for the "
+                        "non-TCL baseline)",
+                    )
+            interrupted = node.meta.get("interrupts")
+            if interrupted is not None:
+                graph.diagnose(interrupted, self._PENDING_MESSAGE.format(context=node.describe()))
+
+        if trailing is None:
+            graph.diagnose(None, "the network must end with a linear classifier head")
+        elif trailing.meta.get("kind") != "linear":
+            graph.diagnose(trailing, "the classifier head must be a Linear layer")
+        else:
+            trailing.stamp(self.name, "classifier head")
+        return graph
+
+
+class FoldBatchNorm(Pass):
+    """Absorb batch-norm layers into the preceding synapse (paper Eq. 7)."""
+
+    name = "fold-batchnorm"
+
+    def run(self, graph: ConversionGraph, ctx: LoweringContext) -> ConversionGraph:
+        for node in graph.active_nodes():
+            if node.op == "synapse":
+                module = node.module
+                bias = None if module.bias is None else module.bias.data
+                node.weights = EffectiveWeights(module.weight.data, bias)
+                node.stamp(self.name, "materialised effective weights")
+            elif node.op == "batchnorm":
+                target = node.meta.get("folds_into")
+                if target is None:
+                    continue  # unpaired BN; validation diagnoses this
+                target.weights.fold_batchnorm(node.module)
+                node.elided = True
+                node.stamp(self.name, f"folded into module {target.index}")
+                target.stamp(self.name, f"absorbed BN from module {node.index}")
+        return graph
+
+
+class ElideNoOps(Pass):
+    """Drop inference no-ops (dropout, identity) from the graph."""
+
+    name = "elide-noops"
+
+    def run(self, graph: ConversionGraph, ctx: LoweringContext) -> ConversionGraph:
+        for node in graph.active_nodes():
+            if node.op == "noop":
+                node.elided = True
+                node.stamp(self.name, "inference no-op")
+        return graph
+
+
+class AssignNormFactors(Pass):
+    """Thread the λ lineage through the graph (paper Eq. 5).
+
+    Activation sites are numbered ``site1..siteN`` in network order (residual
+    blocks share the counter as ``block{n}``, exactly as the monolithic
+    converter did), each receiving its norm-factor from the strategy; every
+    synapse records the (λ_in, λ_out) pair its weights will be scaled by, and
+    the head takes the output norm-factor from the context.
+    """
+
+    name = "assign-norm-factors"
+
+    def run(self, graph: ConversionGraph, ctx: LoweringContext) -> ConversionGraph:
+        lambda_prev = float(graph.input_norm_factor)
+        graph.norm_factors = {"input": lambda_prev}
+        graph.residual_factors = []
+        site = 0
+        for node in graph.active_nodes():
+            if node.op == "synapse":
+                if node.is_head:
+                    node.lambda_in = lambda_prev
+                    node.lambda_out = float(ctx.output_norm_factor)
+                    node.site_name = "output"
+                    graph.norm_factors["output"] = node.lambda_out
+                    graph.output_norm_factor = node.lambda_out
+                    node.stamp(self.name, f"λ {node.lambda_in:g} -> {node.lambda_out:g} (output)")
+                # a non-head synapse is assigned when its activation arrives
+            elif node.op == "activation":
+                synapse = node.meta.get("synapse")
+                if synapse is None:
+                    continue  # unpaired site; flagged by validation
+                site += 1
+                site_name = f"site{site}"
+                lambda_this = ctx.strategy.site_norm_factor(site_name, node.module)
+                synapse.lambda_in = lambda_prev
+                synapse.lambda_out = lambda_this
+                synapse.site_name = site_name
+                synapse.stamp(self.name, f"λ {lambda_prev:g} -> {lambda_this:g} ({site_name})")
+                node.lambda_in = node.lambda_out = lambda_this
+                node.site_name = site_name
+                node.stamp(self.name, f"{site_name} λ = {lambda_this:g}")
+                graph.norm_factors[site_name] = lambda_this
+                lambda_prev = lambda_this
+            elif node.op == "block":
+                site += 1
+                rule = lowering_for(type(node.module))
+                factors = rule.site_factors(node, lambda_prev, ctx, site_prefix=f"block{site}.")
+                node.meta["factors"] = factors
+                node.site_name = f"block{site}"
+                node.lambda_in = factors.lambda_pre
+                node.lambda_out = factors.lambda_out
+                node.stamp(
+                    self.name,
+                    f"λ_pre={factors.lambda_pre:g} λ_c1={factors.lambda_c1:g} λ_out={factors.lambda_out:g}",
+                )
+                graph.norm_factors[f"block{site}.c1"] = factors.lambda_c1
+                graph.norm_factors[f"block{site}.out"] = factors.lambda_out
+                graph.residual_factors.append(factors)
+                lambda_prev = factors.lambda_out
+            else:
+                # pooling / flatten / custom transparent layers do not change
+                # the activation scale.
+                node.lambda_in = node.lambda_out = lambda_prev
+                node.stamp(self.name, "λ-transparent")
+        return graph
+
+
+class LowerResidual(Pass):
+    """Rewrite residual blocks into spiking NS/OS pairs (paper Section 5)."""
+
+    name = "lower-residual"
+
+    def run(self, graph: ConversionGraph, ctx: LoweringContext) -> ConversionGraph:
+        for node in graph.active_nodes():
+            if node.op != "block":
+                continue
+            rule = lowering_for(type(node.module))
+            node.emitted = list(rule.emit(node, ctx))
+            node.stamp(self.name, ", ".join(type(layer).__name__ for layer in node.emitted))
+        return graph
+
+
+class EmitSpiking(Pass):
+    """Lower every remaining node to spiking layers via the registry."""
+
+    name = "emit-spiking"
+
+    def run(self, graph: ConversionGraph, ctx: LoweringContext) -> ConversionGraph:
+        for node in graph.active_nodes():
+            if node.op == "block":
+                continue  # lowered by LowerResidual
+            if node.op == "activation":
+                synapse = node.meta.get("synapse")
+                node.stamp(self.name, f"absorbed into module {synapse.index}" if synapse else "unpaired")
+                continue
+            if node.op in ("invalid", "unknown"):
+                # Reachable only in pipelines without a validation pass; keep
+                # the guidance the lowering rule recorded at trace time.
+                reason = str(node.meta.get("reason", f"unsupported layer type {node.source}"))
+                raise ConversionError(f"{node.describe()}: {reason}")
+            rule = lowering_for(type(node.module))
+            if rule is None:
+                raise ConversionError(f"{node.describe()}: unsupported layer type {node.source}")
+            node.emitted = list(rule.emit(node, ctx))
+            emitted = ", ".join(type(layer).__name__ for layer in node.emitted)
+            node.stamp(self.name, emitted if emitted else "nothing")
+        return graph
+
+
+class PassPipeline:
+    """An ordered list of passes run strictly (or leniently, for dry runs)."""
+
+    def __init__(self, passes: Sequence[Pass]) -> None:
+        self.passes: List[Pass] = list(passes)
+
+    @property
+    def names(self) -> List[str]:
+        return [p.name for p in self.passes]
+
+    def run(self, graph: ConversionGraph, ctx: LoweringContext, strict: bool = True) -> ConversionGraph:
+        """Run the passes in order until diagnostics appear.
+
+        Each pass collects *all* the problems it can see before the pipeline
+        reacts.  With ``strict=True`` (conversion) the first diagnosing pass
+        aborts with :class:`ConversionError`; with ``strict=False`` (dry run)
+        the pipeline stops after that pass without raising, leaving the full
+        diagnostics list on the graph for the caller — later passes are
+        skipped either way, since they assume a validated graph.
+        """
+
+        for pass_ in self.passes:
+            pass_.run(graph, ctx)
+            if graph.diagnostics:
+                if strict:
+                    graph.raise_on_diagnostics()
+                break
+        return graph
+
+
+def default_passes() -> List[Pass]:
+    """The paper's conversion recipe as an ordered pass list."""
+
+    return [
+        ValidateTopology(),
+        FoldBatchNorm(),
+        ElideNoOps(),
+        AssignNormFactors(),
+        LowerResidual(),
+        EmitSpiking(),
+    ]
+
+
+def default_pipeline() -> PassPipeline:
+    return PassPipeline(default_passes())

@@ -15,7 +15,7 @@ module packages into one configurable call:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -26,9 +26,9 @@ from ..data.transforms import compute_mean_std
 from ..nn.container import Sequential
 from ..snn.neuron import ResetMode
 from ..training.trainer import Trainer, TrainingConfig, evaluate_ann, reestimate_bn_statistics
-from .conversion import ConversionResult, convert_ann_to_snn
+from .conversion import ConversionError, ConversionResult, Converter
 from .evaluation import LatencySweep, sweep_latencies
-from .normfactor import NormFactorStrategy, build_strategy
+from .normfactor import build_strategy
 from .tcl import DEFAULT_LAMBDA_CIFAR, DEFAULT_LAMBDA_IMAGENET, collect_lambdas
 
 __all__ = ["ExperimentConfig", "StrategyOutcome", "ExperimentResult", "prepare_data", "train_ann", "run_experiment"]
@@ -188,25 +188,34 @@ def run_experiment(config: ExperimentConfig, train_original_baseline: Optional[b
     The TCL strategy converts the clipping-trained network; observation-based
     baselines (max / percentile) convert a plain-ReLU twin trained with the
     same recipe, exactly as the paper's Table 1 compares "ours" against
-    conventionally trained-and-converted ANNs.  The twin is trained whenever a
-    baseline strategy is requested (or when ``train_original_baseline`` forces
-    it).
+    conventionally trained-and-converted ANNs.  With the default
+    ``train_original_baseline=None`` the twin is trained whenever a baseline
+    strategy requires it; an explicit ``False`` skips the twin and raises a
+    clear error if an observer-based strategy would then have no source
+    model, and an explicit ``True`` forces the twin even without baselines.
     """
 
     train_images, train_labels, test_images, test_labels = prepare_data(config)
+
+    strategies = [build_strategy(s) if isinstance(s, str) else s for s in config.strategies]
+    observer_strategies = [strategy for strategy in strategies if strategy.requires_observers]
+    needs_original = bool(observer_strategies)
+    if train_original_baseline is None:
+        train_original_baseline = needs_original
+    if needs_original and not train_original_baseline:
+        names = ", ".join(repr(strategy.name) for strategy in observer_strategies)
+        raise ConversionError(
+            f"train_original_baseline=False, but the observer-based strategies ({names}) convert the "
+            "plain-ReLU twin; drop those strategies or allow the twin to be trained"
+        )
 
     model, ann_accuracy, ann_loss = train_ann(
         config, train_images, train_labels, test_images, test_labels, clip_enabled=True
     )
 
-    strategies = [build_strategy(s) if isinstance(s, str) else s for s in config.strategies]
-    needs_original = any(strategy.requires_observers for strategy in strategies)
-    if train_original_baseline is None:
-        train_original_baseline = needs_original
-
     original_model = None
     original_accuracy: Optional[float] = None
-    if train_original_baseline or needs_original:
+    if train_original_baseline:
         original_model, original_accuracy, _ = train_ann(
             config, train_images, train_labels, test_images, test_labels, clip_enabled=False
         )
@@ -216,12 +225,13 @@ def run_experiment(config: ExperimentConfig, train_original_baseline: Optional[b
         use_original = strategy.requires_observers and original_model is not None
         source_model = original_model if use_original else model
         source_accuracy = original_accuracy if use_original else ann_accuracy
-        conversion = convert_ann_to_snn(
-            source_model,
-            strategy,
-            calibration_images=train_images,
-            reset_mode=config.reset_mode,
-            readout=config.readout,
+        conversion = (
+            Converter(source_model)
+            .strategy(strategy)
+            .reset(config.reset_mode)
+            .readout(config.readout)
+            .calibrate(train_images)
+            .convert()
         )
         sweep = sweep_latencies(
             conversion,

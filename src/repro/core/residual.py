@@ -22,7 +22,7 @@ equations apply.  The norm-factor equations are::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -34,7 +34,13 @@ from .folding import EffectiveWeights
 from .normfactor import NormFactorStrategy
 from .tcl import ClippedReLU
 
-__all__ = ["identity_shortcut_kernel", "ResidualNormFactors", "convert_basic_block"]
+__all__ = [
+    "identity_shortcut_kernel",
+    "ResidualNormFactors",
+    "residual_site_factors",
+    "lower_basic_block",
+    "convert_basic_block",
+]
 
 
 def identity_shortcut_kernel(in_channels: int, out_channels: int) -> np.ndarray:
@@ -89,6 +95,56 @@ def _effective_branch_weights(block: BasicBlock) -> Tuple[EffectiveWeights, Effe
     return conv1, conv2, shortcut
 
 
+def lower_basic_block(
+    block: BasicBlock,
+    factors: ResidualNormFactors,
+    reset_mode: ResetMode = ResetMode.SUBTRACT,
+) -> SpikingResidualBlock:
+    """Lower one residual block given already-decided norm-factors.
+
+    This is the pure rewrite step of the Section-5 conversion: BN folding of
+    the three branches followed by the NS/OS weight equations.  Deciding the
+    norm-factors (λ_c1, λ_out) is the ``AssignNormFactors`` pass's job (or
+    :func:`convert_basic_block`'s, for direct callers).
+    """
+
+    conv1, conv2, shortcut = _effective_branch_weights(block)
+
+    ns_weight = conv1.weight * (factors.lambda_pre / factors.lambda_c1)
+    ns_bias = conv1.bias / factors.lambda_c1
+    osn_weight = conv2.weight * (factors.lambda_c1 / factors.lambda_out)
+    osi_weight = shortcut.weight * (factors.lambda_pre / factors.lambda_out)
+    os_bias = (conv2.bias + shortcut.bias) / factors.lambda_out
+
+    return SpikingResidualBlock(
+        ns_weight=ns_weight,
+        ns_bias=ns_bias,
+        osn_weight=osn_weight,
+        osi_weight=osi_weight,
+        os_bias=os_bias,
+        ns_stride=block.stride,
+        osi_stride=block.stride,
+        reset_mode=reset_mode,
+        block_type=block.block_type,
+    )
+
+
+def residual_site_factors(
+    block: BasicBlock,
+    lambda_pre: float,
+    strategy: NormFactorStrategy,
+    site_prefix: str = "",
+) -> ResidualNormFactors:
+    """Ask the strategy for a block's two activation-site norm-factors."""
+
+    if not isinstance(block.activation1, ClippedReLU) or not isinstance(block.activation_out, ClippedReLU):
+        raise TypeError("convert_basic_block expects BasicBlock activations to be ClippedReLU modules")
+
+    lambda_c1 = strategy.site_norm_factor(f"{site_prefix}activation1", block.activation1)
+    lambda_out = strategy.site_norm_factor(f"{site_prefix}activation_out", block.activation_out)
+    return ResidualNormFactors(lambda_pre=lambda_pre, lambda_c1=lambda_c1, lambda_out=lambda_out)
+
+
 def convert_basic_block(
     block: BasicBlock,
     lambda_pre: float,
@@ -118,30 +174,6 @@ def convert_basic_block(
         as its λ_pre, and the record of all three factors.
     """
 
-    if not isinstance(block.activation1, ClippedReLU) or not isinstance(block.activation_out, ClippedReLU):
-        raise TypeError("convert_basic_block expects BasicBlock activations to be ClippedReLU modules")
-
-    lambda_c1 = strategy.site_norm_factor(f"{site_prefix}activation1", block.activation1)
-    lambda_out = strategy.site_norm_factor(f"{site_prefix}activation_out", block.activation_out)
-    factors = ResidualNormFactors(lambda_pre=lambda_pre, lambda_c1=lambda_c1, lambda_out=lambda_out)
-
-    conv1, conv2, shortcut = _effective_branch_weights(block)
-
-    ns_weight = conv1.weight * (lambda_pre / lambda_c1)
-    ns_bias = conv1.bias / lambda_c1
-    osn_weight = conv2.weight * (lambda_c1 / lambda_out)
-    osi_weight = shortcut.weight * (lambda_pre / lambda_out)
-    os_bias = (conv2.bias + shortcut.bias) / lambda_out
-
-    spiking_block = SpikingResidualBlock(
-        ns_weight=ns_weight,
-        ns_bias=ns_bias,
-        osn_weight=osn_weight,
-        osi_weight=osi_weight,
-        os_bias=os_bias,
-        ns_stride=block.stride,
-        osi_stride=block.stride,
-        reset_mode=reset_mode,
-        block_type=block.block_type,
-    )
-    return spiking_block, lambda_out, factors
+    factors = residual_site_factors(block, lambda_pre, strategy, site_prefix=site_prefix)
+    spiking_block = lower_basic_block(block, factors, reset_mode=reset_mode)
+    return spiking_block, factors.lambda_out, factors

@@ -29,14 +29,14 @@ for networks trained with biases or batch-norm.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
 from ..nn.container import Sequential
 from ..snn.network import SpikingNetwork
 from ..snn.neuron import IFNeuronPool, ResetMode
-from .conversion import ConversionResult, convert_ann_to_snn
+from .conversion import ConversionResult, Converter
 from .normfactor import FixedNormFactor
 
 __all__ = ["SpikeNormResult", "balance_thresholds", "convert_with_spikenorm"]
@@ -138,12 +138,13 @@ def convert_with_spikenorm(
         its cost.
     """
 
-    conversion = convert_ann_to_snn(
-        model,
-        FixedNormFactor(1.0),
-        calibration_images=calibration_images,
-        reset_mode=reset_mode,
-        readout=readout,
+    conversion = (
+        Converter(model)
+        .strategy(FixedNormFactor(1.0))
+        .reset(reset_mode)
+        .readout(readout)
+        .calibrate(calibration_images)
+        .convert()
     )
     conversion.strategy_name = "spikenorm"
     subset = calibration_images if balance_images is None else calibration_images[:balance_images]

@@ -11,7 +11,7 @@ distributions).  The abstractions here are dataset-agnostic: a
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -30,8 +30,8 @@ default); both accept reduced resolutions / class counts so tests stay fast.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 

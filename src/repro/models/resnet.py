@@ -15,20 +15,12 @@ average pooling and the final linear classifier — so the generic converter in
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..core.tcl import ClippedReLU, DEFAULT_LAMBDA_CIFAR
-from ..nn import (
-    BasicBlock,
-    BatchNorm2d,
-    Conv2d,
-    Flatten,
-    GlobalAvgPool2d,
-    Linear,
-    Sequential,
-)
+from ..nn import BasicBlock, BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, Sequential
 
 __all__ = ["ResNet", "resnet18", "resnet20", "resnet34", "RESNET_CONFIGS"]
 

@@ -30,7 +30,6 @@ import numpy as np
 from ..autograd import Tensor
 from .activation import ReLU
 from .conv import Conv2d
-from .container import Sequential
 from .layers import Identity
 from .module import Module
 from .norm import BatchNorm2d

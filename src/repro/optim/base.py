@@ -8,7 +8,7 @@ pushes clipping bounds down and therefore reduces SNN latency).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Sequence, Union
+from typing import Any, Dict, List, Sequence, Union
 
 from ..nn.module import Parameter
 

@@ -14,12 +14,12 @@ regularisation pulls clipping bounds down, trading latency for accuracy).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Sequence, Union
 
 import numpy as np
 
 from ..nn.module import Parameter
-from .base import Optimizer, ParamGroup
+from .base import Optimizer
 
 __all__ = ["SGD"]
 

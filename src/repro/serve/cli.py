@@ -56,7 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _run_demo(args: argparse.Namespace) -> int:
     # Imported lazily so `repro-serve inspect` stays fast and dependency-light.
-    from ..core import ExperimentConfig, convert_ann_to_snn
+    from ..core import Converter, ExperimentConfig
     from ..core.pipeline import prepare_data, train_ann
     from ..training import TrainingConfig
     from .batcher import MicroBatcher
@@ -91,7 +91,7 @@ def _run_demo(args: argparse.Namespace) -> int:
     print(f"  ANN accuracy: {ann_accuracy:.3f}")
 
     print("· converting to SNN (TCL norm-factors) …")
-    conversion = convert_ann_to_snn(model, calibration_images=train_images)
+    conversion = Converter(model).strategy("tcl").calibrate(train_images).convert()
 
     registry = ModelRegistry(args.root)
     path = registry.publish(args.model_name, conversion.snn, metadata=conversion.export_metadata())

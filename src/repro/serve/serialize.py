@@ -54,6 +54,31 @@ class LoadedArtifact:
     manifest: Dict = field(default_factory=dict)
     path: Optional[Path] = None
 
+    # Conversion provenance recorded by ConversionResult.export_metadata().
+    # Bundles written before reset_mode / readout were exported return None,
+    # so callers can distinguish "unknown" from a recorded default.
+
+    @property
+    def strategy_name(self) -> Optional[str]:
+        """Norm-factor strategy the exporter used (None for foreign bundles)."""
+
+        value = self.metadata.get("strategy_name")
+        return None if value is None else str(value)
+
+    @property
+    def reset_mode(self) -> Optional[str]:
+        """IF reset rule of the converted network ("subtract" / "zero")."""
+
+        value = self.metadata.get("reset_mode")
+        return None if value is None else str(value)
+
+    @property
+    def readout(self) -> Optional[str]:
+        """Output readout of the converted network ("spike_count" / "membrane")."""
+
+        value = self.metadata.get("readout")
+        return None if value is None else str(value)
+
 
 def _jsonable(value):
     """Coerce exporter metadata into JSON-compatible values."""

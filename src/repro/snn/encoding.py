@@ -10,7 +10,6 @@ pixel into an independent Bernoulli spike train.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -13,18 +13,14 @@ from repro.autograd import Tensor, no_grad
 from repro.core import (
     ClippedReLU,
     ConversionError,
-    FixedNormFactor,
     MaxNormFactor,
-    PercentileNormFactor,
-    TCLNormFactor,
     convert_ann_to_snn,
     convert_with_max_norm,
-    convert_with_percentile_norm,
     convert_with_tcl,
     run_calibration,
 )
 from repro.models import ConvNet4, resnet20
-from repro.nn import AvgPool2d, Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from repro.nn import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
 from repro.snn import ResetMode, SpikingAvgPool2d, SpikingConv2d, SpikingLinear, SpikingOutputLayer
 
 
@@ -52,8 +48,8 @@ class TestConverterStructure:
         model = ConvNet4(image_size=12, channels=(4, 4, 8, 8), hidden_features=16, rng=rng)
         result = convert_with_tcl(model, calibration_images=rng.standard_normal((8, 3, 12, 12)))
         layers = result.snn.layers
-        assert sum(isinstance(l, SpikingConv2d) for l in layers) == 4
-        assert sum(isinstance(l, SpikingAvgPool2d) for l in layers) == 2
+        assert sum(isinstance(layer, SpikingConv2d) for layer in layers) == 4
+        assert sum(isinstance(layer, SpikingAvgPool2d) for layer in layers) == 2
         assert isinstance(layers[-1], SpikingOutputLayer)
 
     def test_norm_factors_recorded(self, rng):
@@ -207,7 +203,7 @@ class TestResNetConversion:
         result = convert_with_tcl(model, calibration_images=images)
         from repro.snn import SpikingResidualBlock
 
-        assert sum(isinstance(l, SpikingResidualBlock) for l in result.snn.layers) == 9
+        assert sum(isinstance(layer, SpikingResidualBlock) for layer in result.snn.layers) == 9
         simulation = result.snn.simulate(images[:2], timesteps=10)
         assert simulation.scores[10].shape == (2, 4)
 

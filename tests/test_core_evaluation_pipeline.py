@@ -1,6 +1,5 @@
 """Tests of the evaluation harness, baselines bookkeeping and the experiment pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -119,7 +119,7 @@ class TestStrategiesOnTrainedModel:
 
         model, _ = trained_tcl_model
         train_images = tiny_data[0]
-        observers = attach_observers(model)
+        attach_observers(model)
         model.eval()
         with no_grad():
             model(Tensor(train_images[:64]))

@@ -10,7 +10,6 @@ from repro.core import (
     convert_with_tcl,
 )
 from repro.nn import Linear, Sequential
-from repro.snn import SpikingLinear, SpikingOutputLayer, SpikingNetwork
 
 
 def _plain_relu_net(rng, bias=True):
@@ -62,7 +61,6 @@ class TestBalanceThresholds:
     def test_invalid_timesteps(self, rng):
         net = _plain_relu_net(rng)
         calibration = rng.uniform(0.0, 1.0, (4, 6))
-        conversion = convert_with_tcl  # placeholder to silence linters
         snn = convert_with_spikenorm(net, calibration, balance_timesteps=5).snn
         with pytest.raises(ValueError):
             balance_thresholds(snn, calibration, timesteps=0)

@@ -24,7 +24,6 @@ from repro.core import (
     run_experiment,
 )
 from repro.core.pipeline import prepare_data, train_ann
-from repro.models import resnet20
 from repro.snn import ResetMode
 from repro.training import TrainingConfig, save_checkpoint, load_checkpoint
 
@@ -116,7 +115,7 @@ class TestResNetEndToEnd:
 
         model, _, data = resnet_setup
         conversion = convert_with_tcl(model, calibration_images=data[0][:16])
-        blocks = [l for l in conversion.snn.layers if isinstance(l, SpikingResidualBlock)]
+        blocks = [layer for layer in conversion.snn.layers if isinstance(layer, SpikingResidualBlock)]
         assert len(blocks) == 9
 
 

@@ -1,6 +1,5 @@
 """Tests of the model zoo: ConvNet4, VGG, ResNet and the registry."""
 
-import numpy as np
 import pytest
 
 from repro.autograd import Tensor
@@ -17,7 +16,7 @@ from repro.models import (
     vgg11,
     vgg16,
 )
-from repro.nn import AvgPool2d, BasicBlock, MaxPool2d, Sequential
+from repro.nn import AvgPool2d, MaxPool2d, Sequential
 
 
 def _count_sites(model) -> int:

@@ -16,7 +16,6 @@ from repro.nn import (
     GlobalAvgPool2d,
     Linear,
     MaxPool2d,
-    ReLU,
 )
 
 

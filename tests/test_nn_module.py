@@ -6,9 +6,7 @@ import pytest
 from repro.autograd import Tensor
 from repro.nn import (
     BatchNorm2d,
-    Conv2d,
     Dropout,
-    Flatten,
     Identity,
     Linear,
     Module,

@@ -6,8 +6,6 @@ import pytest
 from repro.snn import (
     PoissonCoding,
     RealCoding,
-    ResetMode,
-    SimulationResult,
     SpikingAvgPool2d,
     SpikingConv2d,
     SpikingFlatten,

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core import ExperimentConfig
 from repro.core.tcl import collect_lambdas
 from repro.data import ArrayDataset, DataLoader
 from repro.models import ConvNet4
