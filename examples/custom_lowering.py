@@ -17,6 +17,9 @@ does not know about:
 3. re-run the dry run (clean) and convert,
 4. check that the converted SNN agrees with the ANN.
 
+The step-by-step version of this recipe (with the ``op`` reference table)
+lives in ``docs/architecture.md``.
+
 Run with::
 
     python examples/custom_lowering.py

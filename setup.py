@@ -8,7 +8,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-tcl",
-    version="1.2.0",
+    version="1.3.0",
     description="Reproduction of 'TCL: an ANN-to-SNN Conversion with Trainable Clipping Layers' (DAC 2021)",
     package_dir={"": "src"},
     packages=find_packages("src"),

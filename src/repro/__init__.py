@@ -1,7 +1,8 @@
 """repro — a from-scratch reproduction of
 "TCL: an ANN-to-SNN Conversion with Trainable Clipping Layers" (DAC 2021).
 
-The package is organised bottom-up:
+The package is organised bottom-up (the import order below mirrors the
+layering — each module depends only on the ones before it):
 
 * :mod:`repro.autograd` — numpy reverse-mode autodiff (the PyTorch substitute),
 * :mod:`repro.nn` — layers, containers, residual blocks,
@@ -9,12 +10,17 @@ The package is organised bottom-up:
 * :mod:`repro.data` — synthetic CIFAR / ImageNet substitutes and loaders,
 * :mod:`repro.models` — ConvNet4, VGG and ResNet architectures with TCL sites,
 * :mod:`repro.training` — the ANN training harness,
-* :mod:`repro.snn` — IF neurons, spiking layers and the time-stepped simulator,
-* :mod:`repro.core` — the paper's contribution: trainable clipping layers,
-  norm-factor strategies, batch-norm folding and the ANN-to-SNN converter,
-* :mod:`repro.serve` — the inference-serving engine: artifact store, model
+* :mod:`repro.snn` — IF neurons, spiking layers, pluggable simulation
+  backends (dense / event-driven), and the time-stepped simulator,
+* :mod:`repro.core` — the paper's contribution as a small compiler: trainable
+  clipping layers, norm-factor strategies, the graph IR + pass pipeline +
+  lowering registry, and the fluent ``Converter`` driving them,
+* :mod:`repro.serve` — the inference-serving subsystem: artifact store, model
   registry, adaptive early-exit engine, micro-batching server (`repro-serve`),
 * :mod:`repro.analysis` — tables, ASCII plots and the experiment registry.
+
+``docs/architecture.md`` walks the conversion lifecycle end to end;
+``docs/api.md`` and ``docs/serving.md`` document the public surfaces.
 
 Quickstart::
 
@@ -28,7 +34,7 @@ Converting a single trained model uses the fluent builder::
 
     from repro import Converter
 
-    result = Converter(model).strategy("tcl").calibrate(images).convert()
+    result = Converter(model).strategy("tcl").backend("auto").calibrate(images).convert()
     result.snn.simulate(test_images, timesteps=200)
 """
 
@@ -42,7 +48,7 @@ from .core import (
     register_lowering,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "autograd",

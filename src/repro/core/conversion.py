@@ -1,12 +1,13 @@
-"""End-to-end ANN-to-SNN conversion (paper Sections 3–5).
+"""The driver of the conversion compiler: configuration, builder, result.
 
-The conversion subsystem is a small compiler.  A trained convertible network
-(a :class:`~repro.nn.Sequential` of the layer types used by the model zoo) is
-traced into a :class:`~repro.core.graph.ConversionGraph`, transformed by the
-ordered pass pipeline of :mod:`repro.core.passes` — topology validation,
-batch-norm folding (Eq. 7), data-normalization λ assignment (Eq. 5),
-residual-block rewriting (Section 5) — and lowered to a
-:class:`~repro.snn.SpikingNetwork` through the per-layer-type rules of
+Conversion is organised as a small compiler (see ``docs/architecture.md``
+for the full dataflow).  This module owns its user-facing layer: the
+declarative :class:`ConversionConfig`, the fluent :class:`Converter` builder
+that drives trace → pass pipeline → lowering and packages the emitted
+:class:`~repro.snn.SpikingNetwork`, and the :class:`ConversionResult` /
+:class:`ConversionReport` bookkeeping that serving artifacts and the
+analysis tables consume.  The graph IR lives in :mod:`repro.core.graph`, the
+passes in :mod:`repro.core.passes`, and the per-layer-type lowering rules in
 :mod:`repro.core.lowering`.
 
 The user-facing entry point is the fluent :class:`Converter` builder::
@@ -16,14 +17,15 @@ The user-facing entry point is the fluent :class:`Converter` builder::
         .strategy("tcl")
         .reset(ResetMode.SUBTRACT)
         .readout("spike_count")
+        .backend("auto")
         .calibrate(images)
         .convert()
     )
 
 :meth:`Converter.dry_run` validates the topology without converting,
 collecting *all* problems in one diagnostics list instead of failing on the
-first.  :func:`convert_ann_to_snn` remains as a thin backward-compatible
-wrapper over the builder.
+first.  :func:`convert_ann_to_snn` is deprecated and remains only as a thin
+backward-compatible wrapper over the builder.
 
 Pooling: average pooling maps onto spiking average-pool layers (threshold 1,
 norm-factor transparent); max pooling is rejected with a
@@ -48,6 +50,7 @@ import numpy as np
 from ..autograd import Tensor, no_grad
 from ..nn.container import Sequential
 from ..nn.module import Module
+from ..snn.backend import Backend, validate_backend_spec
 from ..snn.encoding import InputEncoder, RealCoding
 from ..snn.network import SpikingNetwork
 from ..snn.neuron import ResetMode
@@ -101,6 +104,13 @@ def _validate_strategy(strategy) -> None:
         )
 
 
+def _validate_backend(backend) -> None:
+    try:
+        validate_backend_spec(backend)
+    except ValueError as error:
+        raise ConversionError(str(error)) from None
+
+
 @dataclass
 class ConversionConfig:
     """Declarative description of one conversion.
@@ -117,6 +127,11 @@ class ConversionConfig:
     encoder:
         Input coding; ``None`` selects the paper's real (constant-current)
         coding.
+    backend:
+        Simulation backend of the converted network — ``"dense"`` (default),
+        ``"event"`` (event-driven sparse kernels with per-call dense
+        fallback), ``"auto"`` (per-layer choice from spike statistics), or a
+        :class:`~repro.snn.Backend` instance.
     input_norm_factor:
         λ of the network input (1.0 when images are fed in their natural
         scale, as the paper does).
@@ -128,6 +143,7 @@ class ConversionConfig:
     reset_mode: ResetMode = ResetMode.SUBTRACT
     readout: str = "spike_count"
     encoder: Optional[InputEncoder] = None
+    backend: Union[str, Backend] = "dense"
     input_norm_factor: float = 1.0
     calibration_batch_size: int = 64
 
@@ -145,6 +161,7 @@ class ConversionConfig:
             readout=_validate_readout(self.readout),
         )
         _validate_strategy(config.strategy)
+        _validate_backend(config.backend)
         if config.input_norm_factor <= 0:
             raise ConversionError(f"input_norm_factor must be positive, got {config.input_norm_factor}")
         if config.calibration_batch_size <= 0:
@@ -232,6 +249,7 @@ class ConversionResult:
     output_norm_factor: float = 1.0
     reset_mode: ResetMode = ResetMode.SUBTRACT
     readout: str = "spike_count"
+    backend: str = "dense"
     report: Optional[ConversionReport] = None
 
     @property
@@ -250,6 +268,7 @@ class ConversionResult:
             "output_norm_factor": float(self.output_norm_factor),
             "reset_mode": self.reset_mode.value,
             "readout": self.readout,
+            "backend": self.backend,
         }
 
     def save(self, path) -> "object":
@@ -351,6 +370,19 @@ class Converter:
         self._config = replace(self._config, readout=_validate_readout(readout))
         return self
 
+    def backend(self, backend: Union[str, Backend]) -> "Converter":
+        """Choose the simulation backend of the converted network.
+
+        ``"dense"`` (default), ``"event"``, ``"auto"``, or a
+        :class:`~repro.snn.Backend` instance.  The choice is stamped onto the
+        emitted spiking layers, applied at the network level, and recorded in
+        the artifact metadata so served copies run the same way.
+        """
+
+        _validate_backend(backend)
+        self._config = replace(self._config, backend=backend)
+        return self
+
     def encode(self, encoder: InputEncoder) -> "Converter":
         """Choose the input coding (default: real / constant-current)."""
 
@@ -403,6 +435,7 @@ class Converter:
             strategy=config.resolve_strategy(),
             reset_mode=config.reset_mode,
             readout=config.readout,
+            backend=config.backend,
         )
         validator = self._validators(fallback=True)
         validator.run(graph, ctx, strict=False)
@@ -458,6 +491,7 @@ class Converter:
                 output_norm_factor=(
                     _output_norm_from_logits(logits) if config.readout == "spike_count" else 1.0
                 ),
+                backend=config.backend,
             )
             self._pipeline.run(graph, ctx, strict=True)
         finally:
@@ -466,6 +500,9 @@ class Converter:
 
         encoder = config.encoder if config.encoder is not None else RealCoding()
         snn = SpikingNetwork(graph.emitted_layers(), encoder=encoder)
+        # Re-apply at the network level: the per-layer stamps from the emit
+        # passes cannot see the encoder, which "auto" accounts for.
+        snn.set_backend(config.backend)
         return ConversionResult(
             snn=snn,
             strategy_name=strategy.name,
@@ -474,6 +511,7 @@ class Converter:
             output_norm_factor=graph.output_norm_factor,
             reset_mode=config.reset_mode,
             readout=config.readout,
+            backend=snn.backend_spec,
             report=_report_from_graph(graph, self._pipeline.names),
         )
 
@@ -490,8 +528,16 @@ def convert_ann_to_snn(
 ) -> ConversionResult:
     """Convert a trained convertible ANN into a spiking network.
 
-    Backward-compatible wrapper over the :class:`Converter` builder — new
-    code should use the builder directly.
+    .. deprecated:: 1.2
+        This is the frozen legacy entry point, kept only so pre-compiler
+        call sites keep working; it is a thin wrapper over the
+        :class:`Converter` builder and produces bit-identical conversions
+        (guarded by golden parity tests in ``tests/test_core_converter.py``).
+        New code should use the builder: capabilities added since the
+        pass-based compiler landed — ``dry_run()``, per-layer
+        :class:`ConversionReport` provenance, custom pass pipelines, and
+        simulation-backend selection (``Converter.backend``) — exist only
+        there, and this wrapper will not grow parameters for them.
 
     Parameters
     ----------

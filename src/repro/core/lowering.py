@@ -64,12 +64,20 @@ __all__ = [
 
 @dataclass
 class LoweringContext:
-    """Conversion-wide knobs every rule may consult while emitting."""
+    """Conversion-wide knobs every rule may consult while emitting.
+
+    ``backend`` is the simulation-backend spec (``"dense"``/``"event"``/
+    ``"auto"`` or a :class:`~repro.snn.backend.Backend` instance) the emit
+    passes stamp onto every spiking layer they produce; the
+    :class:`~repro.core.conversion.Converter` additionally applies it at the
+    network level, where ``"auto"`` can account for the input encoder.
+    """
 
     strategy: NormFactorStrategy
     reset_mode: ResetMode = ResetMode.SUBTRACT
     readout: str = "spike_count"
     output_norm_factor: float = 1.0
+    backend: object = "dense"
 
 
 class LoweringRule:

@@ -162,8 +162,8 @@ class AssignNormFactors(Pass):
     """Thread the λ lineage through the graph (paper Eq. 5).
 
     Activation sites are numbered ``site1..siteN`` in network order (residual
-    blocks share the counter as ``block{n}``, exactly as the monolithic
-    converter did), each receiving its norm-factor from the strategy; every
+    blocks share the counter as ``block{n}``, a naming contract the golden
+    parity tests pin down), each receiving its norm-factor from the strategy; every
     synapse records the (λ_in, λ_out) pair its weights will be scaled by, and
     the head takes the output norm-factor from the context.
     """
@@ -225,6 +225,21 @@ class AssignNormFactors(Pass):
         return graph
 
 
+def _apply_backend(node, ctx: LoweringContext) -> None:
+    """Stamp the context's simulation backend onto a node's emitted layers.
+
+    ``"dense"`` is the layers' default, so it is left implicit; custom
+    pipelines that construct a :class:`~repro.snn.SpikingNetwork` straight
+    from ``graph.emitted_layers()`` therefore still get the configured
+    backend without going through the Converter.
+    """
+
+    if ctx.backend == "dense":
+        return
+    for layer in node.emitted:
+        layer.set_backend(ctx.backend)
+
+
 class LowerResidual(Pass):
     """Rewrite residual blocks into spiking NS/OS pairs (paper Section 5)."""
 
@@ -236,6 +251,7 @@ class LowerResidual(Pass):
                 continue
             rule = lowering_for(type(node.module))
             node.emitted = list(rule.emit(node, ctx))
+            _apply_backend(node, ctx)
             node.stamp(self.name, ", ".join(type(layer).__name__ for layer in node.emitted))
         return graph
 
@@ -262,6 +278,7 @@ class EmitSpiking(Pass):
             if rule is None:
                 raise ConversionError(f"{node.describe()}: unsupported layer type {node.source}")
             node.emitted = list(rule.emit(node, ctx))
+            _apply_backend(node, ctx)
             emitted = ", ".join(type(layer).__name__ for layer in node.emitted)
             node.stamp(self.name, emitted if emitted else "nothing")
         return graph

@@ -43,6 +43,12 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--max-batch-size", type=int, default=16, help="micro-batch size cap")
     demo.add_argument("--max-wait-ms", type=float, default=10.0, help="micro-batch wait budget")
     demo.add_argument("--workers", type=int, default=1, help="server worker threads")
+    demo.add_argument(
+        "--backend",
+        choices=("dense", "event", "auto"),
+        default="dense",
+        help="simulation backend of the converted network (recorded in the artifact)",
+    )
     demo.add_argument("--seed", type=int, default=7, help="experiment seed")
 
     inspect = sub.add_parser("inspect", help="print the manifest of an artifact bundle")
@@ -69,6 +75,7 @@ def _run_demo(args: argparse.Namespace) -> int:
         max_timesteps=args.timesteps,
         min_timesteps=args.min_timesteps,
         stability_window=args.stability_window,
+        backend=args.backend,
     )
 
     config = ExperimentConfig(
@@ -90,8 +97,10 @@ def _run_demo(args: argparse.Namespace) -> int:
     model, ann_accuracy, _ = train_ann(config, train_images, train_labels, test_images, test_labels, clip_enabled=True)
     print(f"  ANN accuracy: {ann_accuracy:.3f}")
 
-    print("· converting to SNN (TCL norm-factors) …")
-    conversion = Converter(model).strategy("tcl").calibrate(train_images).convert()
+    print(f"· converting to SNN (TCL norm-factors, {args.backend} backend) …")
+    conversion = (
+        Converter(model).strategy("tcl").backend(args.backend).calibrate(train_images).convert()
+    )
 
     registry = ModelRegistry(args.root)
     path = registry.publish(args.model_name, conversion.snn, metadata=conversion.export_metadata())

@@ -27,10 +27,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
+from ..snn.backend import Backend, validate_backend_spec
 from ..snn.network import SpikingNetwork
 
 __all__ = ["AdaptiveConfig", "InferenceOutcome", "AdaptiveEngine"]
@@ -43,6 +44,14 @@ class AdaptiveConfig:
     ``adaptive=False`` disables early exit entirely: every sample runs the
     full ``max_timesteps`` (the fixed-T baseline the benchmarks compare
     against).
+
+    ``backend`` overrides the network's simulation backend for every engine
+    run (``"dense"``/``"event"``/``"auto"`` or a
+    :class:`~repro.snn.Backend` instance); ``None`` keeps whatever the
+    network — typically the loaded artifact's recorded choice — already
+    uses.  Event-driven simulation compounds with batch compaction: as
+    samples retire, the shrinking batch drives the active-unit fraction
+    down, which is exactly where the sparse kernels win.
     """
 
     max_timesteps: int = 200
@@ -50,6 +59,7 @@ class AdaptiveConfig:
     stability_window: int = 20
     margin_threshold: Optional[float] = None
     adaptive: bool = True
+    backend: Optional[Union[str, Backend]] = None
 
     def __post_init__(self) -> None:
         if self.max_timesteps <= 0:
@@ -65,6 +75,7 @@ class AdaptiveConfig:
             raise ValueError(f"stability_window must be >= 1, got {self.stability_window}")
         if self.margin_threshold is not None and not 0.0 < self.margin_threshold <= 1.0:
             raise ValueError(f"margin_threshold must lie in (0, 1], got {self.margin_threshold}")
+        validate_backend_spec(self.backend, allow_none=True)
 
 
 @dataclass
@@ -111,6 +122,19 @@ class AdaptiveEngine:
     def __init__(self, network: SpikingNetwork, config: Optional[AdaptiveConfig] = None) -> None:
         self.network = network
         self.config = config if config is not None else AdaptiveConfig()
+        backend = self.config.backend
+        if backend is None:
+            return
+        # The server constructs a fresh engine per micro-batch over a shared,
+        # long-lived network; re-applying an already-active spec would clear
+        # every layer's backend cache (transposed weight copies, activity
+        # counters) on the hot path for nothing.
+        if isinstance(backend, Backend):
+            if all(layer.backend is backend for layer in network.layers):
+                return
+        elif network.backend_spec == backend.lower():
+            return
+        network.set_backend(backend)
 
     def _active_spikes(self, mask: np.ndarray) -> float:
         """Total spikes recorded so far for the masked samples of the active batch."""

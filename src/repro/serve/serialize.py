@@ -24,6 +24,7 @@ import json
 import os
 import shutil
 import uuid
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -77,6 +78,20 @@ class LoadedArtifact:
         """Output readout of the converted network ("spike_count" / "membrane")."""
 
         value = self.metadata.get("readout")
+        return None if value is None else str(value)
+
+    @property
+    def backend(self) -> Optional[str]:
+        """Simulation backend recorded by the exporter ("dense"/"event"/"auto").
+
+        ``load_artifact`` already applied it to the rebuilt network; bundles
+        written before backends existed return None and run dense.  Only the
+        spec *name* round-trips: a custom ``Backend`` instance (or a
+        non-default crossover) must be re-applied with ``set_backend`` after
+        loading — unknown recorded names load fine and run dense.
+        """
+
+        value = self.metadata.get("backend")
         return None if value is None else str(value)
 
 
@@ -252,9 +267,26 @@ def load_artifact(path: Union[str, Path]) -> LoadedArtifact:
         encoder=_encoder_from_state(manifest.get("encoder", {})),
         name=manifest.get("name", "snn"),
     )
+    metadata = manifest.get("metadata", {})
+    backend = metadata.get("backend")
+    if backend is not None:
+        # The exporter's simulation-backend choice travels with the bundle so
+        # a served copy runs the way it was benchmarked.  The backend is an
+        # execution hint, never semantics: a bundle converted with a custom
+        # Backend instance records that instance's name, which this process
+        # may not know — such bundles still load and run dense.
+        try:
+            network.set_backend(str(backend))
+        except ValueError:
+            warnings.warn(
+                f"artifact at {path} records unknown simulation backend {backend!r}; running dense "
+                "(custom Backend instances do not round-trip through bundles — re-apply with set_backend)",
+                UserWarning,
+                stacklevel=2,
+            )
     return LoadedArtifact(
         network=network,
-        metadata=manifest.get("metadata", {}),
+        metadata=metadata,
         manifest=manifest,
         path=path,
     )

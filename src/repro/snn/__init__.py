@@ -2,6 +2,16 @@
 
 from .neuron import IFNeuronPool, ResetMode
 from .functional import conv2d_raw, linear_raw, avg_pool2d_raw, global_avg_pool2d_raw
+from .backend import (
+    BACKEND_NAMES,
+    DEFAULT_CROSSOVER,
+    Backend,
+    DenseBackend,
+    EventDrivenBackend,
+    layer_input_rates,
+    resolve_backend,
+    select_backends,
+)
 from .layers import (
     SpikingLayer,
     SpikingConv2d,
@@ -32,6 +42,14 @@ __all__ = [
     "linear_raw",
     "avg_pool2d_raw",
     "global_avg_pool2d_raw",
+    "BACKEND_NAMES",
+    "DEFAULT_CROSSOVER",
+    "Backend",
+    "DenseBackend",
+    "EventDrivenBackend",
+    "layer_input_rates",
+    "resolve_backend",
+    "select_backends",
     "SpikingLayer",
     "SpikingConv2d",
     "SpikingLinear",

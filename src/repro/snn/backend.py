@@ -1,0 +1,349 @@
+"""Pluggable simulation backends: how spiking layers turn spikes into currents.
+
+Every synaptic spiking layer delegates its per-timestep weighted-input
+computation (``z = W @ s`` and the convolutional analogue) to a
+:class:`Backend`:
+
+* :class:`DenseBackend` — one full matrix product per timestep, regardless of
+  how many spikes occurred.  This is the historical behaviour and the
+  default.
+* :class:`EventDrivenBackend` — represents each timestep's spikes as an
+  active-index set and gathers only the weight columns of the units that
+  fired (neuron granularity for fully connected layers, channel granularity
+  for convolutions).  Each call observes the active fraction of its input
+  and falls back to the dense kernel when it exceeds the ``crossover``
+  threshold, so a layer that turns out to be busy never pays the gather
+  overhead twice.
+
+Backend selection is per layer.  ``SpikingNetwork.set_backend`` accepts the
+specs ``"dense"``, ``"event"``, ``"auto"`` or a :class:`Backend` instance;
+``"auto"`` picks a backend per layer from the spike statistics of a previous
+run (:func:`select_backends`) — each layer goes event-driven when the mean
+firing rate of the layer feeding it is at or below the crossover — and
+degrades gracefully to the self-adapting :class:`EventDrivenBackend` when no
+statistics are available yet.
+
+Backends are stateless; everything a backend caches per layer (the
+transposed weight copy, the running activity estimate, fallback counters)
+lives in the owning layer's ``backend_cache`` dict, so one backend instance
+can be shared by every layer of a network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .functional import (
+    active_channels,
+    active_neurons,
+    avg_pool2d_active_raw,
+    avg_pool2d_raw,
+    conv2d_active_raw,
+    conv2d_raw,
+    global_avg_pool2d_active_raw,
+    global_avg_pool2d_raw,
+    linear_active_raw,
+    linear_raw,
+)
+from .statistics import LayerSpikeStats
+
+__all__ = [
+    "DEFAULT_CROSSOVER",
+    "BACKEND_NAMES",
+    "Backend",
+    "DenseBackend",
+    "EventDrivenBackend",
+    "validate_backend_spec",
+    "resolve_backend",
+    "select_backends",
+    "layer_input_rates",
+    "dense_backend",
+]
+
+#: Active-fraction threshold above which the event-driven kernels stop paying
+#: off: the gather overhead eats the savings once roughly half the input
+#: units are firing (measured on the ConvNet4-scale fixtures of
+#: ``benchmarks/test_backend_speedup.py``).
+DEFAULT_CROSSOVER = 0.5
+
+#: Specs accepted wherever a backend can be chosen (config, builder, CLI).
+BACKEND_NAMES = ("dense", "event", "auto")
+
+
+class Backend:
+    """One strategy for computing a layer's weighted spike input.
+
+    Methods receive the owning layer's ``cache`` dict (see
+    ``SpikingLayer.backend_cache``) for per-layer scratch state; a backend
+    must work with an empty dict and may store whatever it likes in it.
+    """
+
+    name: str = "backend"
+
+    def linear(
+        self,
+        spikes: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        cache: Dict[str, object],
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def conv2d(
+        self,
+        spikes: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride,
+        padding,
+        cache: Dict[str, object],
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def avg_pool2d(
+        self,
+        spikes: np.ndarray,
+        kernel_size,
+        stride,
+        cache: Dict[str, object],
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def global_avg_pool2d(self, spikes: np.ndarray, cache: Dict[str, object]) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class DenseBackend(Backend):
+    """The historical behaviour: full dense kernels every timestep."""
+
+    name = "dense"
+
+    def linear(self, spikes, weight, bias, cache):
+        return linear_raw(spikes, weight, bias)
+
+    def conv2d(self, spikes, weight, bias, stride, padding, cache):
+        return conv2d_raw(spikes, weight, bias, stride, padding)
+
+    def avg_pool2d(self, spikes, kernel_size, stride, cache):
+        return avg_pool2d_raw(spikes, kernel_size, stride)
+
+    def global_avg_pool2d(self, spikes, cache):
+        return global_avg_pool2d_raw(spikes)
+
+
+class EventDrivenBackend(Backend):
+    """Gather-and-sum over the units that fired, with a dense fallback.
+
+    Parameters
+    ----------
+    crossover:
+        Active-fraction threshold (``0 < crossover <= 1``).  When the
+        fraction of active input units observed in a call exceeds it, the
+        call runs the dense kernel instead — the observed spike rate is
+        recorded either way, so ``cache["event_calls"]`` /
+        ``cache["dense_calls"]`` report how often each path ran and
+        ``cache["mean_active_fraction"]`` the running mean activity.
+    """
+
+    name = "event"
+
+    def __init__(self, crossover: float = DEFAULT_CROSSOVER) -> None:
+        if not 0.0 < crossover <= 1.0:
+            raise ValueError(f"crossover must lie in (0, 1], got {crossover}")
+        self.crossover = float(crossover)
+
+    def _observe(self, cache: Dict[str, object], fraction: float, event: bool) -> None:
+        calls = int(cache.get("calls", 0))
+        mean = float(cache.get("mean_active_fraction", 0.0))
+        cache["calls"] = calls + 1
+        cache["mean_active_fraction"] = mean + (fraction - mean) / (calls + 1)
+        key = "event_calls" if event else "dense_calls"
+        cache[key] = int(cache.get(key, 0)) + 1
+
+    def linear(self, spikes, weight, bias, cache):
+        active = active_neurons(spikes)
+        fraction = active.size / spikes.shape[-1]
+        if fraction > self.crossover:
+            self._observe(cache, fraction, event=False)
+            return linear_raw(spikes, weight, bias)
+        self._observe(cache, fraction, event=True)
+        weight_t = cache.get("weight_t")
+        if weight_t is None:
+            # Contiguous (in_features, out_features) copy: gathering the rows
+            # of the fired neurons is then a block copy, not a column stride.
+            weight_t = np.ascontiguousarray(weight.T)
+            cache["weight_t"] = weight_t
+        return linear_active_raw(spikes, weight_t, bias, active)
+
+    def conv2d(self, spikes, weight, bias, stride, padding, cache):
+        active = active_channels(spikes)
+        fraction = active.size / spikes.shape[1]
+        if fraction > self.crossover:
+            self._observe(cache, fraction, event=False)
+            return conv2d_raw(spikes, weight, bias, stride, padding)
+        self._observe(cache, fraction, event=True)
+        return conv2d_active_raw(spikes, weight, bias, stride, padding, active)
+
+    def avg_pool2d(self, spikes, kernel_size, stride, cache):
+        active = active_channels(spikes)
+        fraction = active.size / spikes.shape[1]
+        if fraction > self.crossover:
+            self._observe(cache, fraction, event=False)
+            return avg_pool2d_raw(spikes, kernel_size, stride)
+        self._observe(cache, fraction, event=True)
+        return avg_pool2d_active_raw(spikes, kernel_size, stride, active)
+
+    def global_avg_pool2d(self, spikes, cache):
+        active = active_channels(spikes)
+        fraction = active.size / spikes.shape[1]
+        if fraction > self.crossover:
+            self._observe(cache, fraction, event=False)
+            return global_avg_pool2d_raw(spikes)
+        self._observe(cache, fraction, event=True)
+        return global_avg_pool2d_active_raw(spikes, active)
+
+
+#: Shared default instances — backends are stateless, per-layer scratch lives
+#: in each layer's ``backend_cache``.
+_DENSE = DenseBackend()
+
+
+def validate_backend_spec(spec: object, allow_none: bool = False) -> None:
+    """Raise ``ValueError`` unless ``spec`` is a usable backend spec.
+
+    The one validation every surface shares (config, builder, serving
+    config, resolution): a :class:`Backend` instance, one of
+    :data:`BACKEND_NAMES`, or — with ``allow_none`` — ``None``.
+    """
+
+    if spec is None and allow_none:
+        return
+    if isinstance(spec, Backend):
+        return
+    if isinstance(spec, str) and spec.lower() in BACKEND_NAMES:
+        return
+    raise ValueError(
+        f"unknown simulation backend {spec!r}; valid specs: {', '.join(BACKEND_NAMES)} or a Backend instance"
+    )
+
+
+def resolve_backend(spec: Union[str, Backend], crossover: float = DEFAULT_CROSSOVER) -> Backend:
+    """Turn a backend spec into a :class:`Backend` instance.
+
+    ``"dense"`` and ``"event"`` map to their classes; ``"auto"`` resolves to
+    a self-adapting :class:`EventDrivenBackend` — the per-layer,
+    statistics-driven form of ``auto`` lives in :func:`select_backends` /
+    ``SpikingNetwork.set_backend``, which need the whole layer stack.
+    """
+
+    validate_backend_spec(spec)
+    if isinstance(spec, Backend):
+        return spec
+    if spec.lower() == "dense":
+        return _DENSE
+    return EventDrivenBackend(crossover=crossover)
+
+
+def layer_input_rates(
+    layers: Sequence,
+    stats: Sequence[LayerSpikeStats],
+) -> List[Optional[float]]:
+    """Mean spike rate feeding each layer, from a previous run's statistics.
+
+    ``stats`` entries are named ``"{index}:{layer.name}"`` (with a pool
+    suffix for multi-pool layers); the rate feeding layer ``i`` is the mean
+    rate of the last pool of the nearest preceding layer that owns pools.
+    Layer 0 (and any layer whose predecessor never appears in ``stats``)
+    gets ``None`` — its input is whatever the encoder produces, which the
+    statistics do not cover.
+    """
+
+    last_rate: Dict[int, float] = {}
+    for stat in stats:
+        index_text = stat.layer_name.split(":", 1)[0]
+        try:
+            index = int(index_text)
+        except ValueError:
+            continue
+        # Later entries overwrite earlier ones, so multi-pool layers (the
+        # residual block's NS then OS) end on the pool that feeds onward.
+        last_rate[index] = stat.mean_rate
+
+    rates: List[Optional[float]] = []
+    feeding: Optional[float] = None
+    for index in range(len(layers)):
+        rates.append(feeding)
+        if index in last_rate:
+            feeding = last_rate[index]
+        # Layers without pools (Flatten) pass their input through unchanged,
+        # so the feeding rate simply carries over them.
+    return rates
+
+
+def _live_input_rates(layers: Sequence) -> List[Optional[float]]:
+    """Mean rate feeding each layer, read off the pools' live spike counters.
+
+    The fallback source for the ``auto`` policy when no
+    :class:`LayerSpikeStats` are passed: a network that has already been
+    stepped carries the same information in ``IFNeuronPool.mean_rate``.
+    Layers whose predecessor has no stepped pools get ``None``.
+    """
+
+    rates: List[Optional[float]] = []
+    feeding: Optional[float] = None
+    for layer in layers:
+        rates.append(feeding)
+        pools = list(getattr(layer, "neuron_pools", []) or [])
+        if pools:
+            last = pools[-1]
+            feeding = last.mean_rate if getattr(last, "steps", 0) else None
+    return rates
+
+
+def select_backends(
+    layers: Sequence,
+    stats: Optional[Sequence[LayerSpikeStats]] = None,
+    crossover: float = DEFAULT_CROSSOVER,
+    dense_input: bool = True,
+) -> List[Backend]:
+    """The ``auto`` policy: one backend per layer from observed spike rates.
+
+    A layer goes event-driven when the mean firing rate of the layer feeding
+    it is at or below ``crossover``; busier layers stay dense.  The rates
+    come from ``stats`` (e.g. ``SimulationResult.spike_stats``) when given,
+    else from the pools' live counters if the network has been stepped
+    (:func:`_live_input_rates`).  Layers with no observed input rate get a
+    self-adapting :class:`EventDrivenBackend` — except layer 0 when
+    ``dense_input`` is true, because a real-coded (analog) input is dense by
+    construction.
+    """
+
+    event = EventDrivenBackend(crossover=crossover)
+    if stats is None:
+        rates = _live_input_rates(layers)
+    else:
+        rates = layer_input_rates(layers, stats)
+
+    chosen: List[Backend] = []
+    for index, rate in enumerate(rates):
+        if rate is None:
+            if index == 0 and dense_input:
+                chosen.append(_DENSE)
+            else:
+                chosen.append(event)
+        elif rate <= crossover:
+            chosen.append(event)
+        else:
+            chosen.append(_DENSE)
+    return chosen
+
+
+def dense_backend() -> DenseBackend:
+    """The shared default :class:`DenseBackend` instance."""
+
+    return _DENSE

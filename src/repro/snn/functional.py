@@ -4,6 +4,24 @@ The SNN simulation never needs gradients, so its layers operate directly on
 numpy arrays with the same im2col machinery the autograd convolution uses.
 Keeping these thin wrappers here avoids building an autograd tape during the
 (long) time-stepped simulations.
+
+Two families of kernels live here:
+
+* the dense kernels (``conv2d_raw``, ``linear_raw``, …) — one full matrix
+  product per timestep, regardless of how many spikes actually occurred;
+* the event-driven kernels (``linear_active_raw``, ``conv2d_active_raw``, …)
+  — given the set of *active* input units (neurons for fully connected
+  layers, channels for convolutions), they gather only the weight columns
+  those units address and run the same matrix product on the reduced
+  operands.  Spikes are binary and sparse, so at low firing rates the
+  reduced product is a small fraction of the dense work.
+
+The event-driven kernels compute the same mathematical sum as their dense
+twins (silent units contribute exactly ``+0.0``); the floating-point result
+can differ in the last few ulps because BLAS reduces the smaller product in
+a different blocking order.  The IF threshold comparison quantizes those
+ulps away, which is why the backend parity tests assert spike-for-spike
+equality on simulation outputs rather than on raw input currents.
 """
 
 from __future__ import annotations
@@ -14,7 +32,18 @@ import numpy as np
 
 from ..autograd.conv import conv_output_shape, im2col
 
-__all__ = ["conv2d_raw", "linear_raw", "avg_pool2d_raw", "global_avg_pool2d_raw"]
+__all__ = [
+    "conv2d_raw",
+    "linear_raw",
+    "avg_pool2d_raw",
+    "global_avg_pool2d_raw",
+    "active_neurons",
+    "active_channels",
+    "linear_active_raw",
+    "conv2d_active_raw",
+    "avg_pool2d_active_raw",
+    "global_avg_pool2d_active_raw",
+]
 
 IntPair = Union[int, Tuple[int, int]]
 
@@ -66,3 +95,104 @@ def global_avg_pool2d_raw(inputs: np.ndarray) -> np.ndarray:
     """Plain-numpy global average pooling returning ``(N, C)``."""
 
     return inputs.mean(axis=(2, 3))
+
+
+# -- event-driven (sparse) kernels -------------------------------------------------
+
+
+def active_neurons(spikes: np.ndarray) -> np.ndarray:
+    """Indices of input features that fired in *any* sample of the batch.
+
+    The union over the batch axis keeps the gathered product a single matrix
+    multiplication; with the small (often compacted-to-a-few-samples) batches
+    of adaptive serving the union stays close to the per-sample firing rate.
+    """
+
+    return np.flatnonzero(spikes.any(axis=0))
+
+
+def active_channels(spikes: np.ndarray) -> np.ndarray:
+    """Indices of input channels with at least one spike anywhere in the batch.
+
+    Convolutions address their im2col columns per input channel (``kh * kw``
+    columns each), so channel granularity is the coarsest unit the column
+    gather can skip without re-deriving the im2col indexing.
+    """
+
+    return np.flatnonzero(spikes.any(axis=(0, 2, 3)))
+
+
+def linear_active_raw(
+    spikes: np.ndarray,
+    weight_t: np.ndarray,
+    bias: Optional[np.ndarray],
+    active: np.ndarray,
+) -> np.ndarray:
+    """Affine map restricted to the ``active`` input features.
+
+    ``weight_t`` is the transposed weight matrix ``(in_features, out_features)``
+    stored C-contiguous, so gathering the rows of the neurons that fired is a
+    block copy instead of a strided column gather.
+    """
+
+    out = spikes[:, active] @ weight_t[active]
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def conv2d_active_raw(
+    inputs: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: IntPair,
+    padding: IntPair,
+    active: np.ndarray,
+) -> np.ndarray:
+    """2-D convolution restricted to the ``active`` input channels.
+
+    Slicing the silent channels out *before* the im2col unfold shrinks both
+    the patch gather and the following matrix product by the active-channel
+    fraction — the analogue of gathering only the fired columns of ``W``.
+    The reduced product runs through ``np.matmul`` (a batched GEMM), which
+    beats the dense kernel's einsum at gathered operand shapes.
+    """
+
+    inputs = inputs[:, active]
+    weight = weight[:, active]
+    n, _, h, w = inputs.shape
+    c_out = weight.shape[0]
+    kh, kw = weight.shape[2], weight.shape[3]
+    out_h, out_w = conv_output_shape(h, w, (kh, kw), stride, padding)
+    cols = im2col(inputs, (kh, kw), stride, padding)
+    out = np.matmul(weight.reshape(c_out, -1), cols).reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out += bias.reshape(1, c_out, 1, 1)
+    return out
+
+
+def avg_pool2d_active_raw(
+    inputs: np.ndarray,
+    kernel_size: IntPair,
+    stride: Optional[IntPair],
+    active: np.ndarray,
+) -> np.ndarray:
+    """Average pooling over the ``active`` channels; silent channels pool to 0.
+
+    Pooling is channel-local and bias-free, so the scattered-back zeros are
+    bit-identical to pooling the silent channels densely.
+    """
+
+    pooled = avg_pool2d_raw(inputs[:, active], kernel_size, stride)
+    n, _, out_h, out_w = pooled.shape
+    out = np.zeros((n, inputs.shape[1], out_h, out_w))
+    out[:, active] = pooled
+    return out
+
+
+def global_avg_pool2d_active_raw(inputs: np.ndarray, active: np.ndarray) -> np.ndarray:
+    """Global average pooling over the ``active`` channels (others read 0)."""
+
+    out = np.zeros((inputs.shape[0], inputs.shape[1]))
+    out[:, active] = inputs[:, active].mean(axis=(2, 3))
+    return out

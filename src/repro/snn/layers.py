@@ -5,6 +5,12 @@ paper Eq. 5) and a pool of IF neurons with threshold 1.  Every timestep the
 layer computes its weighted spike input ``z`` (Eq. 1) from the incoming spike
 tensor and advances its neuron pool (Eq. 2/3).
 
+The ``z`` computation is delegated to the layer's simulation
+:class:`~repro.snn.backend.Backend` (dense matrix products by default; the
+event-driven backend gathers only the weight columns of units that fired).
+Backends are not part of a layer's serialized state — they are a runtime
+execution choice, recorded at the network/artifact level.
+
 ``SpikingResidualBlock`` implements the Section-5 conversion of a residual
 block: a non-identity spiking layer (NS) fed by the block input and an output
 spiking layer (OS) fed both by NS spikes (weights Ŵ_osn) and by the block
@@ -18,7 +24,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from .functional import avg_pool2d_raw, conv2d_raw, global_avg_pool2d_raw, linear_raw
+from .backend import Backend, dense_backend, resolve_backend
 from .neuron import IFNeuronPool, ResetMode
 
 __all__ = [
@@ -65,6 +71,37 @@ class SpikingLayer:
     """Base class: a stateful layer advanced one timestep at a time."""
 
     name: str = "spiking"
+    #: Instance attributes, declared at class level so subclasses need not
+    #: call a base ``__init__``: the simulation backend (``None`` means the
+    #: shared dense default) and its per-layer scratch cache.
+    _backend: Optional[Backend] = None
+    _backend_cache: Optional[Dict[str, object]] = None
+
+    @property
+    def backend(self) -> Backend:
+        """The simulation backend computing this layer's input currents."""
+
+        return self._backend if self._backend is not None else dense_backend()
+
+    @property
+    def backend_cache(self) -> Dict[str, object]:
+        """Per-layer scratch state owned by the backend (lazily created)."""
+
+        if self._backend_cache is None:
+            self._backend_cache = {}
+        return self._backend_cache
+
+    def set_backend(self, spec: Union[str, Backend]) -> "SpikingLayer":
+        """Choose the simulation backend (``"dense"``/``"event"``/``"auto"``
+        or a :class:`~repro.snn.backend.Backend` instance); returns ``self``.
+
+        The per-layer backend cache is dropped, so switching backends mid-run
+        is safe (at the cost of re-deriving any cached operands).
+        """
+
+        self._backend = resolve_backend(spec)
+        self._backend_cache = {}
+        return self
 
     def reset_state(self) -> None:
         """Clear membrane potentials / counters before a new stimulus."""
@@ -127,7 +164,9 @@ class SpikingConv2d(SpikingLayer):
         self.neurons.reset_state()
 
     def step(self, inputs: np.ndarray) -> np.ndarray:
-        current = conv2d_raw(inputs, self.weight, self.bias, self.stride, self.padding)
+        current = self.backend.conv2d(
+            inputs, self.weight, self.bias, self.stride, self.padding, self.backend_cache
+        )
         return self.neurons.step(current)
 
     @property
@@ -177,7 +216,7 @@ class SpikingLinear(SpikingLayer):
         self.neurons.reset_state()
 
     def step(self, inputs: np.ndarray) -> np.ndarray:
-        current = linear_raw(inputs, self.weight, self.bias)
+        current = self.backend.linear(inputs, self.weight, self.bias, self.backend_cache)
         return self.neurons.step(current)
 
     @property
@@ -230,7 +269,7 @@ class SpikingAvgPool2d(SpikingLayer):
         self.neurons.reset_state()
 
     def step(self, inputs: np.ndarray) -> np.ndarray:
-        current = avg_pool2d_raw(inputs, self.kernel_size, self.stride)
+        current = self.backend.avg_pool2d(inputs, self.kernel_size, self.stride, self.backend_cache)
         return self.neurons.step(current)
 
     @property
@@ -268,7 +307,7 @@ class SpikingGlobalAvgPool2d(SpikingLayer):
         self.neurons.reset_state()
 
     def step(self, inputs: np.ndarray) -> np.ndarray:
-        current = global_avg_pool2d_raw(inputs)
+        current = self.backend.global_avg_pool2d(inputs, self.backend_cache)
         return self.neurons.step(current)
 
     @property
@@ -356,13 +395,22 @@ class SpikingResidualBlock(SpikingLayer):
         self.os_neurons.reset_state()
 
     def step(self, inputs: np.ndarray) -> np.ndarray:
+        # The block owns three synaptic paths; each gets its own sub-cache so
+        # the backend's per-path state (activity counters) stays separate.
+        cache = self.backend_cache
         # Non-identity spiking layer (from Conv1), 3x3 with padding 1.
-        ns_current = conv2d_raw(inputs, self.ns_weight, self.ns_bias, self.ns_stride, 1)
+        ns_current = self.backend.conv2d(
+            inputs, self.ns_weight, self.ns_bias, self.ns_stride, 1, cache.setdefault("ns", {})
+        )
         ns_spikes = self.ns_neurons.step(ns_current)
         # Output spiking layer: input from NS (Conv2 path, 3x3 pad 1, stride 1)
         # plus input from the previous layer through the shortcut (1x1, no pad).
-        os_current = conv2d_raw(ns_spikes, self.osn_weight, None, 1, 1)
-        os_current += conv2d_raw(inputs, self.osi_weight, None, self.osi_stride, 0)
+        os_current = self.backend.conv2d(
+            ns_spikes, self.osn_weight, None, 1, 1, cache.setdefault("osn", {})
+        )
+        os_current = os_current + self.backend.conv2d(
+            inputs, self.osi_weight, None, self.osi_stride, 0, cache.setdefault("osi", {})
+        )
         if self.os_bias is not None:
             os_current += self.os_bias.reshape(1, -1, 1, 1)
         return self.os_neurons.step(os_current)
@@ -440,7 +488,7 @@ class SpikingOutputLayer(SpikingLayer):
         self.accumulated = None
 
     def step(self, inputs: np.ndarray) -> np.ndarray:
-        current = linear_raw(inputs, self.weight, self.bias)
+        current = self.backend.linear(inputs, self.weight, self.bias, self.backend_cache)
         if self.readout == "membrane":
             if self.accumulated is None:
                 self.accumulated = np.zeros_like(current)

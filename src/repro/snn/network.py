@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from .backend import DEFAULT_CROSSOVER, Backend, resolve_backend, select_backends
 from .encoding import InputEncoder, RealCoding
 from .layers import SpikingLayer, SpikingOutputLayer
 from .statistics import LayerSpikeStats, collect_spike_stats, merge_spike_stats
@@ -83,6 +84,11 @@ class SpikingNetwork:
         self.layers = layers
         self.encoder = encoder if encoder is not None else RealCoding()
         self.name = name
+        #: The last spec passed to :meth:`set_backend`.  Layers handed over
+        #: with backends already attached (e.g. by the EmitSpiking pass) are
+        #: reflected as-is.
+        names = {layer.backend.name for layer in self.layers}
+        self.backend_spec: str = names.pop() if len(names) == 1 else "mixed"
 
     # -- bookkeeping ----------------------------------------------------------
 
@@ -103,6 +109,49 @@ class SpikingNetwork:
 
         for layer in self.layers:
             layer.compact(keep)
+
+    # -- backend selection -----------------------------------------------------
+
+    def set_backend(
+        self,
+        spec: Union[str, Backend],
+        stats: Optional[Sequence[LayerSpikeStats]] = None,
+        crossover: float = DEFAULT_CROSSOVER,
+    ) -> "SpikingNetwork":
+        """Choose the simulation backend for every layer; returns ``self``.
+
+        ``spec`` is ``"dense"``, ``"event"``, ``"auto"`` or a
+        :class:`~repro.snn.backend.Backend` instance.  ``"auto"`` picks per
+        layer: each layer goes event-driven exactly when the mean firing
+        rate feeding it is at or below ``crossover``, reading the rates from
+        ``stats`` (the ``spike_stats`` of a previous :meth:`simulate` run)
+        or, without statistics, from the pools' live counters if the network
+        has been stepped.  Layers with no observed rate get the
+        self-adapting event-driven backend — except the first under real
+        (analog) coding, whose input is dense by construction.
+        """
+
+        if isinstance(spec, str) and spec.lower() == "auto":
+            backends = select_backends(
+                self.layers,
+                stats=stats,
+                crossover=crossover,
+                dense_input=isinstance(self.encoder, RealCoding),
+            )
+            for layer, backend in zip(self.layers, backends):
+                layer.set_backend(backend)
+            self.backend_spec = "auto"
+        else:
+            backend = resolve_backend(spec, crossover=crossover)
+            for layer in self.layers:
+                layer.set_backend(backend)
+            self.backend_spec = backend.name
+        return self
+
+    def backend_names(self) -> List[str]:
+        """The per-layer backend names, in layer order (for reports/tests)."""
+
+        return [layer.backend.name for layer in self.layers]
 
     @property
     def output_layer(self) -> SpikingOutputLayer:
@@ -130,6 +179,7 @@ class SpikingNetwork:
         timesteps: int,
         checkpoints: Optional[Iterable[int]] = None,
         collect_statistics: bool = True,
+        backend: Optional[Union[str, Backend]] = None,
     ) -> SimulationResult:
         """Present ``images`` for ``timesteps`` cycles.
 
@@ -145,10 +195,15 @@ class SpikingNetwork:
             scores; the final latency is always included.
         collect_statistics:
             Whether to gather per-layer spike statistics at the end.
+        backend:
+            Optional simulation-backend spec applied via :meth:`set_backend`
+            before the run (``None`` keeps the current selection).
         """
 
         if timesteps <= 0:
             raise ValueError(f"timesteps must be positive, got {timesteps}")
+        if backend is not None:
+            self.set_backend(backend)
         images = np.asarray(images, dtype=np.float64)
         requested = {int(t) for t in (checkpoints or [])}
         out_of_range = sorted(t for t in requested if not 0 < t <= timesteps)
@@ -179,9 +234,12 @@ class SpikingNetwork:
         timesteps: int,
         batch_size: int = 64,
         checkpoints: Optional[Iterable[int]] = None,
+        backend: Optional[Union[str, Backend]] = None,
     ) -> SimulationResult:
         """Simulate a large evaluation set in smaller batches and merge scores."""
 
+        if backend is not None:
+            self.set_backend(backend)
         images = np.asarray(images, dtype=np.float64)
         merged: Dict[int, List[np.ndarray]] = {}
         per_batch_stats: List[List[LayerSpikeStats]] = []

@@ -109,14 +109,20 @@ class IFNeuronPool:
             batch_max = float(input_current.max())
             if batch_max > self.max_input_current:
                 self.max_input_current = batch_max
+        # This is the innermost simulation loop: one pass to integrate, one
+        # boolean compare, one cast for the binary output, and a masked (or
+        # fancy-indexed) reset touching only the fired neurons.  The masked
+        # subtract is bit-identical to the textbook ``membrane -= V_thr * Θ``
+        # (subtracting ``V_thr * 0.0`` never changes a float).
         self.membrane += input_current
-        spikes = (self.membrane >= self.threshold).astype(np.float64)
+        fired = self.membrane >= self.threshold
+        spikes = fired.astype(np.float64)
         if self.reset_mode is ResetMode.SUBTRACT:
-            self.membrane -= self.threshold * spikes
+            np.subtract(self.membrane, self.threshold, out=self.membrane, where=fired)
         else:
-            self.membrane *= 1.0 - spikes
+            self.membrane[fired] = 0.0
         if self.record_spikes:
-            self.spike_count += spikes
+            self.spike_count += fired
         self.steps += 1
         return spikes
 
@@ -153,3 +159,18 @@ class IFNeuronPool:
         if self.spike_count is None or self.steps == 0:
             raise RuntimeError("no simulation steps recorded")
         return self.spike_count / self.steps
+
+    @property
+    def mean_rate(self) -> float:
+        """Pool-wide mean firing rate (spikes / neuron / timestep / stimulus).
+
+        0.0 before any step is recorded.  When the backend ``auto`` policy
+        runs without collected statistics, it reads this live counter to
+        estimate how much work an event-driven downstream layer could skip
+        (``repro.snn.backend._live_input_rates``).
+        """
+
+        if self.spike_count is None or self.steps == 0:
+            return 0.0
+        denominator = self.num_neurons * self.steps * max(self.batch_size, 1)
+        return float(self.spike_count.sum()) / denominator if denominator else 0.0

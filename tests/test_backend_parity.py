@@ -1,0 +1,177 @@
+"""Property-based backend parity (hypothesis).
+
+The event-driven backend claims to be a pure execution strategy: for *any*
+weights, stimulus, reset mode, readout, and retirement schedule, it must
+reproduce the dense backend spike-for-spike.  These properties drive the
+claim across the whole configuration space rather than a handful of fixtures:
+
+* whole-network simulation parity across reset modes and readouts,
+* kernel-level spike parity under adversarial sparsity patterns,
+* :class:`~repro.serve.AdaptiveEngine` parity under ragged batch compaction —
+  samples retire at different timesteps, so the event backend sees a
+  different (shrinking) batch shape every few steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.serve import AdaptiveConfig, AdaptiveEngine
+from repro.snn import (
+    EventDrivenBackend,
+    ResetMode,
+    SpikingConv2d,
+    SpikingFlatten,
+    SpikingLinear,
+    SpikingNetwork,
+    SpikingOutputLayer,
+)
+
+# Every example simulates a real (small) network; keep the counts moderate.
+COMMON_SETTINGS = settings(max_examples=15, deadline=None)
+
+reset_modes = st.sampled_from([ResetMode.SUBTRACT, ResetMode.ZERO])
+readouts = st.sampled_from(["spike_count", "membrane"])
+
+
+def build_network(
+    seed: int,
+    reset_mode: ResetMode = ResetMode.SUBTRACT,
+    readout: str = "spike_count",
+) -> SpikingNetwork:
+    """Conv + linear + head with random weights — rebuilt identically per seed."""
+
+    rng = np.random.default_rng(seed)
+    return SpikingNetwork(
+        [
+            SpikingConv2d(
+                rng.standard_normal((4, 2, 3, 3)) * 0.4,
+                rng.standard_normal(4) * 0.05,
+                stride=1,
+                padding=1,
+                reset_mode=reset_mode,
+            ),
+            SpikingFlatten(),
+            SpikingLinear(rng.standard_normal((6, 4 * 6 * 6)) * 0.15, None, reset_mode=reset_mode),
+            SpikingOutputLayer(
+                rng.standard_normal((3, 6)) * 0.5,
+                rng.standard_normal(3) * 0.1,
+                readout=readout,
+                reset_mode=reset_mode,
+            ),
+        ]
+    )
+
+
+class TestSimulationParity:
+    @COMMON_SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        reset_mode=reset_modes,
+        readout=readouts,
+        batch=st.integers(min_value=1, max_value=5),
+        timesteps=st.integers(min_value=1, max_value=40),
+    )
+    def test_scores_and_spikes_match_dense(self, seed, reset_mode, readout, batch, timesteps):
+        """Identical spike counts at every checkpoint; identical spike totals.
+
+        Spike-count scores are bit-identical because the IF threshold
+        quantizes away the few ulps by which the gathered product can differ
+        from the dense one (BLAS reduces the smaller operands in a different
+        blocking order).  The membrane readout integrates the raw currents
+        without thresholding, so those ulps remain visible there: its scores
+        agree to float precision and in arg-max, not necessarily bit-for-bit.
+        """
+
+        images = np.random.default_rng(seed + 1).uniform(0.0, 1.0, (batch, 2, 6, 6))
+        dense = build_network(seed, reset_mode, readout).simulate(
+            images, timesteps, checkpoints=(max(1, timesteps // 2),), backend="dense"
+        )
+        event = build_network(seed, reset_mode, readout).simulate(
+            images, timesteps, checkpoints=(max(1, timesteps // 2),), backend="event"
+        )
+        for t, scores in dense.scores.items():
+            if readout == "spike_count":
+                assert np.array_equal(scores, event.scores[t])
+            else:
+                np.testing.assert_allclose(event.scores[t], scores, rtol=1e-12, atol=1e-12)
+                assert np.array_equal(scores.argmax(axis=1), event.scores[t].argmax(axis=1))
+        assert dense.total_spikes == event.total_spikes
+
+    @COMMON_SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        crossover=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_crossover_never_changes_results(self, seed, crossover):
+        """The dense fallback threshold is a pure performance knob."""
+
+        images = np.random.default_rng(seed + 2).uniform(0.0, 1.0, (3, 2, 6, 6))
+        dense = build_network(seed).simulate(images, 20, backend="dense")
+        event = build_network(seed).simulate(images, 20, backend=EventDrivenBackend(crossover=crossover))
+        assert np.array_equal(dense.scores[20], event.scores[20])
+
+
+class TestKernelSparsityPatterns:
+    @COMMON_SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        pattern=st.sampled_from(["empty", "single", "one_channel", "alternating", "full"]),
+    )
+    def test_adversarial_spike_patterns(self, seed, pattern):
+        """Degenerate activity (no spikes, one neuron, one channel, …) stays exact."""
+
+        spikes = np.zeros((2, 2, 6, 6))
+        if pattern == "single":
+            spikes[0, 1, 3, 3] = 1.0
+        elif pattern == "one_channel":
+            spikes[:, 0] = 1.0
+        elif pattern == "alternating":
+            spikes[:, :, ::2, ::2] = 1.0
+        elif pattern == "full":
+            spikes[:] = 1.0
+
+        dense = build_network(seed)
+        event = build_network(seed)
+        event.set_backend("event")
+        for _ in range(3):  # repeated identical drive → membranes accumulate
+            dense_out = dense.step(spikes)
+            event_out = event.step(spikes)
+            assert np.array_equal(dense_out, event_out)
+        assert np.array_equal(
+            dense.output_layer.scores(), event.output_layer.scores()
+        )
+
+
+class TestAdaptiveEngineParity:
+    @COMMON_SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        reset_mode=reset_modes,
+        batch=st.integers(min_value=2, max_value=7),
+        stability_window=st.integers(min_value=2, max_value=10),
+        margin=st.one_of(st.none(), st.floats(min_value=0.05, max_value=0.5)),
+    )
+    def test_ragged_compaction_parity(self, seed, reset_mode, batch, stability_window, margin):
+        """Early exit retires samples at different steps; the shrinking batch
+        must not perturb the event backend (nor vice versa)."""
+
+        images = np.random.default_rng(seed + 3).uniform(0.0, 1.0, (batch, 2, 6, 6))
+        config = dict(
+            max_timesteps=35,
+            min_timesteps=3,
+            stability_window=stability_window,
+            margin_threshold=margin,
+        )
+        dense = AdaptiveEngine(
+            build_network(seed, reset_mode), AdaptiveConfig(backend="dense", **config)
+        ).infer(images)
+        event = AdaptiveEngine(
+            build_network(seed, reset_mode), AdaptiveConfig(backend="event", **config)
+        ).infer(images)
+
+        assert np.array_equal(dense.scores, event.scores)
+        assert np.array_equal(dense.exit_timesteps, event.exit_timesteps)
+        assert np.array_equal(dense.predictions, event.predictions)
+        assert dense.total_spikes == event.total_spikes

@@ -1,0 +1,38 @@
+"""The fenced examples in ``docs/*.md`` must actually run.
+
+One test per runnable ``python`` fence, through the same extractor the CI
+docs job uses (``tools/check_docs.py``), so the documentation cannot drift
+from the code it demonstrates.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location("check_docs", REPO_ROOT / "tools" / "check_docs.py")
+check_docs = importlib.util.module_from_spec(_spec)
+sys.modules["check_docs"] = check_docs  # dataclasses resolve annotations via sys.modules
+_spec.loader.exec_module(check_docs)
+
+SNIPPETS = check_docs.extract_snippets(REPO_ROOT / "docs")
+
+
+def test_docs_have_runnable_examples():
+    """Each documentation page ships at least one executable example."""
+
+    sources = {snippet.source.name for snippet in SNIPPETS}
+    assert {"architecture.md", "api.md", "serving.md"} <= sources
+
+
+@pytest.mark.parametrize("snippet", SNIPPETS, ids=lambda s: s.label)
+def test_doc_example_runs(snippet):
+    result = check_docs.run_snippet(snippet)
+    assert result.returncode == 0, (
+        f"doc example {snippet.label} failed\n--- stdout ---\n{result.stdout}\n--- stderr ---\n{result.stderr}"
+    )

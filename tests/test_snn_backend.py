@@ -1,0 +1,328 @@
+"""Unit tests for the pluggable simulation backends (repro.snn.backend).
+
+The event-driven backend must be an *execution* choice, never a semantic
+one: spike trains, class scores and spike counts have to match the dense
+backend exactly, while selection (explicit, auto, per-layer, artifact
+round-trip, serving config) routes through every public surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClippedReLU, ConversionConfig, ConversionError, Converter
+from repro.nn import AvgPool2d, Conv2d, Flatten, Linear, Sequential
+from repro.serve import AdaptiveConfig, AdaptiveEngine, load_artifact
+from repro.snn import (
+    Backend,
+    DenseBackend,
+    EventDrivenBackend,
+    LayerSpikeStats,
+    SpikingConv2d,
+    SpikingFlatten,
+    SpikingLinear,
+    SpikingNetwork,
+    SpikingOutputLayer,
+    SpikingResidualBlock,
+    layer_input_rates,
+    resolve_backend,
+    select_backends,
+)
+from repro.snn.functional import active_channels, active_neurons
+
+
+def tiny_network(seed: int = 3) -> SpikingNetwork:
+    """A small but shape-diverse spiking stack built from random weights."""
+
+    rng = np.random.default_rng(seed)
+    return SpikingNetwork(
+        [
+            SpikingConv2d(rng.standard_normal((4, 2, 3, 3)) * 0.3, rng.standard_normal(4) * 0.05, 1, 1),
+            SpikingFlatten(),
+            SpikingLinear(rng.standard_normal((8, 4 * 8 * 8)) * 0.1, None),
+            SpikingOutputLayer(rng.standard_normal((3, 8)) * 0.4, rng.standard_normal(3) * 0.1),
+        ]
+    )
+
+
+def convertible_model(rng: np.random.Generator) -> Sequential:
+    return Sequential(
+        Conv2d(2, 4, 3, padding=1, rng=rng),
+        ClippedReLU(initial_lambda=1.2),
+        AvgPool2d(2),
+        Flatten(),
+        Linear(4 * 4 * 4, 8, rng=rng),
+        ClippedReLU(initial_lambda=1.0),
+        Linear(8, 3, rng=rng),
+    )
+
+
+class TestResolution:
+    def test_resolve_names(self):
+        assert isinstance(resolve_backend("dense"), DenseBackend)
+        assert isinstance(resolve_backend("event"), EventDrivenBackend)
+        assert isinstance(resolve_backend("auto"), EventDrivenBackend)
+
+    def test_resolve_instance_passthrough(self):
+        backend = EventDrivenBackend(crossover=0.25)
+        assert resolve_backend(backend) is backend
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            resolve_backend("sparse")
+
+    def test_crossover_validation(self):
+        with pytest.raises(ValueError, match="crossover"):
+            EventDrivenBackend(crossover=0.0)
+        with pytest.raises(ValueError, match="crossover"):
+            EventDrivenBackend(crossover=1.5)
+
+    def test_layers_default_dense(self):
+        layer = SpikingLinear(np.eye(3), None)
+        assert layer.backend.name == "dense"
+        layer.set_backend("event")
+        assert layer.backend.name == "event"
+
+
+class TestActiveSets:
+    def test_active_neurons_is_batch_union(self):
+        spikes = np.array([[1.0, 0.0, 0.0, 0.0], [0.0, 0.0, 1.0, 0.0]])
+        assert active_neurons(spikes).tolist() == [0, 2]
+
+    def test_active_channels_spans_batch_and_space(self):
+        spikes = np.zeros((2, 3, 4, 4))
+        spikes[0, 1, 2, 2] = 1.0
+        spikes[1, 2, 0, 3] = 1.0
+        assert active_channels(spikes).tolist() == [1, 2]
+
+
+class TestKernelParity:
+    """The event kernels must agree with dense spike-for-spike after the IF."""
+
+    @pytest.mark.parametrize("rate", [0.0, 0.05, 0.5, 1.0])
+    def test_network_scores_identical(self, rate, rng):
+        images = (rng.random((4, 2, 8, 8)) < max(rate, 0.01)) * rng.uniform(0.2, 1.0, (4, 2, 8, 8))
+        dense = tiny_network().simulate(images, 40, checkpoints=(10, 25), backend="dense")
+        event = tiny_network().simulate(images, 40, checkpoints=(10, 25), backend="event")
+        for t, scores in dense.scores.items():
+            assert np.array_equal(scores, event.scores[t])
+        assert dense.total_spikes == event.total_spikes
+
+    def test_crossover_fallback_records_dense_calls(self, rng):
+        network = tiny_network()
+        network.set_backend(EventDrivenBackend(crossover=0.05))
+        network.simulate(rng.uniform(0.5, 1.0, (2, 2, 8, 8)), 5)
+        cache = network.layers[0].backend_cache
+        assert cache["dense_calls"] == 5 and "event_calls" not in cache
+
+    def test_event_calls_recorded_at_low_activity(self):
+        network = tiny_network()
+        network.set_backend("event")
+        images = np.zeros((2, 2, 8, 8))
+        images[:, 0, 0, 0] = 1.0
+        network.simulate(images, 5)
+        cache = network.layers[0].backend_cache
+        assert cache["event_calls"] == 5
+        assert cache["mean_active_fraction"] == pytest.approx(0.5)
+
+    def test_residual_block_parity_with_separate_path_caches(self, rng):
+        """The block's three synaptic paths (NS/OSN/OSI) share one backend but
+        must keep separate per-path activity state."""
+
+        def block():
+            block_rng = np.random.default_rng(21)
+            return SpikingResidualBlock(
+                ns_weight=block_rng.standard_normal((4, 4, 3, 3)) * 0.3,
+                ns_bias=block_rng.standard_normal(4) * 0.05,
+                osn_weight=block_rng.standard_normal((4, 4, 3, 3)) * 0.3,
+                osi_weight=block_rng.standard_normal((4, 4, 1, 1)) * 0.5,
+                os_bias=block_rng.standard_normal(4) * 0.05,
+            )
+
+        dense, event = block(), block().set_backend("event")
+        spikes = (rng.random((2, 4, 6, 6)) < 0.2).astype(np.float64)
+        for _ in range(5):
+            assert np.array_equal(dense.step(spikes), event.step(spikes))
+        assert set(event.backend_cache) == {"ns", "osn", "osi"}
+
+    def test_switching_backends_drops_cache(self):
+        layer = SpikingLinear(np.eye(3), None)
+        layer.set_backend("event")
+        layer.step(np.array([[1.0, 0.0, 0.0]]))
+        assert layer.backend_cache
+        layer.set_backend("event")
+        assert layer.backend_cache == {}
+
+
+class TestAutoSelection:
+    def _stats(self, rates):
+        return [
+            LayerSpikeStats(layer_name=f"{i}:layer", total_spikes=rate * 100, num_neurons=10, timesteps=10)
+            for i, rate in enumerate(rates)
+        ]
+
+    def test_layer_input_rates_shift_by_one(self):
+        layers = [object(), object(), object()]
+        rates = layer_input_rates(layers, self._stats([0.1, 0.6, 0.2]))
+        assert rates[0] is None
+        assert rates[1] == pytest.approx(0.1)
+        assert rates[2] == pytest.approx(0.6)
+
+    def test_rates_carry_over_poolless_layers(self):
+        layers = [object()] * 4
+        stats = self._stats([0.1, 0.6])  # indices 0 and 1; 2 has no pools
+        rates = layer_input_rates(layers, stats)
+        assert rates[2] == pytest.approx(0.6)
+        assert rates[3] == pytest.approx(0.6)
+
+    def test_select_backends_uses_crossover(self):
+        layers = [object(), object(), object()]
+        chosen = select_backends(layers, self._stats([0.1, 0.9, 0.2]), crossover=0.5)
+        assert [b.name for b in chosen] == ["dense", "event", "dense"]
+
+    def test_select_backends_without_stats(self):
+        chosen = select_backends([object(), object()], stats=None, dense_input=True)
+        assert [b.name for b in chosen] == ["dense", "event"]
+
+    def test_network_auto_with_stats(self, rng):
+        network = tiny_network()
+        result = network.simulate(rng.uniform(0.0, 1.0, (3, 2, 8, 8)), 20)
+        network.set_backend("auto", stats=result.spike_stats)
+        assert network.backend_spec == "auto"
+        assert network.backend_names()[0] == "dense"  # analog input under RealCoding
+
+    def test_auto_without_stats_reads_live_pool_counters(self, rng):
+        """A stepped network carries its own rates; 'auto' uses them directly."""
+
+        network = tiny_network()
+        images = rng.uniform(0.9, 1.0, (3, 2, 8, 8))  # hot input -> busy layers
+        network.simulate(images, 20)
+        network.set_backend("auto", crossover=1e-6)  # any observed rate > crossover
+        live = network.backend_names()
+        fresh = tiny_network().set_backend("auto", crossover=1e-6).backend_names()
+        # The stepped network pins observed-busy layers dense; the fresh one
+        # has no observations and falls back to self-adapting event backends.
+        assert live[2] == "dense" and fresh[2] == "event"
+
+
+class TestConverterThreading:
+    def test_config_validates_backend(self):
+        with pytest.raises(ConversionError, match="unknown simulation backend"):
+            ConversionConfig(backend="sparse").validated()
+
+    def test_builder_rejects_unknown(self, rng):
+        with pytest.raises(ConversionError, match="unknown simulation backend"):
+            Converter(convertible_model(rng)).backend("nope")
+
+    def test_backend_instance_accepted(self, rng):
+        backend = EventDrivenBackend(crossover=0.3)
+        result = Converter(convertible_model(rng)).strategy("tcl").backend(backend).convert()
+        assert result.backend == "event"
+        assert all(layer.backend is backend for layer in result.snn.layers)
+
+    def test_convert_records_backend_in_metadata(self, rng):
+        result = Converter(convertible_model(rng)).strategy("tcl").backend("event").convert()
+        assert result.export_metadata()["backend"] == "event"
+        assert result.snn.backend_spec == "event"
+
+    def test_default_backend_is_dense(self, rng):
+        result = Converter(convertible_model(rng)).strategy("tcl").convert()
+        assert result.backend == "dense"
+        assert result.export_metadata()["backend"] == "dense"
+
+    def test_auto_backend_keeps_first_layer_dense(self, rng):
+        result = Converter(convertible_model(rng)).strategy("tcl").backend("auto").convert()
+        names = result.snn.backend_names()
+        assert names[0] == "dense" and set(names[1:]) == {"event"}
+
+
+class TestServingThreading:
+    def test_artifact_round_trip_applies_backend(self, rng, tmp_path):
+        result = Converter(convertible_model(rng)).strategy("tcl").backend("event").convert()
+        artifact = load_artifact(result.save(tmp_path / "model"))
+        assert artifact.backend == "event"
+        assert artifact.network.backend_spec == "event"
+        images = rng.uniform(0.0, 1.0, (4, 2, 8, 8))
+        direct = result.snn.simulate(images, 30)
+        loaded = artifact.network.simulate(images, 30)
+        assert np.array_equal(direct.scores[30], loaded.scores[30])
+
+    def test_foreign_bundle_without_backend_runs_dense(self, rng, tmp_path):
+        result = Converter(convertible_model(rng)).strategy("tcl").convert()
+        artifact = load_artifact(result.save(tmp_path / "model"))
+        assert artifact.backend == "dense"
+
+    def test_unknown_recorded_backend_loads_dense_with_warning(self, rng, tmp_path):
+        """Bundles from exporters with custom Backend instances must still load."""
+
+        import json
+
+        result = Converter(convertible_model(rng)).strategy("tcl").convert()
+        bundle = result.save(tmp_path / "model")
+        manifest_path = bundle / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["metadata"]["backend"] = "my-custom-backend"
+        manifest_path.write_text(json.dumps(manifest))
+
+        with pytest.warns(UserWarning, match="unknown simulation backend"):
+            artifact = load_artifact(bundle)
+        assert artifact.backend == "my-custom-backend"  # recorded value is preserved
+        assert artifact.network.backend_spec == "dense"  # but execution degrades to dense
+
+    def test_adaptive_config_validates_backend(self):
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            AdaptiveConfig(backend="sparse")
+
+    def test_engine_applies_config_backend(self, rng):
+        result = Converter(convertible_model(rng)).strategy("tcl").convert()
+        AdaptiveEngine(result.snn, AdaptiveConfig(max_timesteps=20, backend="event"))
+        assert result.snn.backend_spec == "event"
+
+    def test_engine_reconstruction_preserves_backend_caches(self, rng):
+        """The server builds one engine per micro-batch; a matching spec must
+        not clear the shared network's per-layer backend caches."""
+
+        result = Converter(convertible_model(rng)).strategy("tcl").backend("event").convert()
+        config = AdaptiveConfig(max_timesteps=15, backend="event")
+        AdaptiveEngine(result.snn, config).infer(rng.uniform(0.0, 1.0, (2, 2, 8, 8)))
+        warm = [dict(layer.backend_cache) for layer in result.snn.layers]
+        assert any(cache for cache in warm)
+        AdaptiveEngine(result.snn, config)  # a second engine, same spec
+        assert [dict(layer.backend_cache) for layer in result.snn.layers] == warm
+
+    def test_engine_outcome_identical_across_backends(self, rng):
+        images = rng.uniform(0.0, 1.0, (6, 2, 8, 8))
+        outcomes = {}
+        for spec in ("dense", "event"):
+            model_rng = np.random.default_rng(17)
+            result = Converter(convertible_model(model_rng)).strategy("tcl").convert()
+            config = AdaptiveConfig(max_timesteps=40, min_timesteps=5, stability_window=8, backend=spec)
+            outcomes[spec] = AdaptiveEngine(result.snn, config).infer(images)
+        assert np.array_equal(outcomes["dense"].scores, outcomes["event"].scores)
+        assert np.array_equal(outcomes["dense"].exit_timesteps, outcomes["event"].exit_timesteps)
+        assert outcomes["dense"].total_spikes == outcomes["event"].total_spikes
+
+
+class TestCustomBackend:
+    def test_backend_protocol_is_open(self, rng):
+        """A user-supplied Backend subclass plugs into the whole stack."""
+
+        calls = []
+
+        class CountingBackend(DenseBackend):
+            name = "counting"
+
+            def linear(self, spikes, weight, bias, cache):
+                calls.append("linear")
+                return super().linear(spikes, weight, bias, cache)
+
+        network = tiny_network()
+        network.set_backend(CountingBackend())
+        assert network.backend_spec == "counting"
+        network.simulate(rng.uniform(0.0, 1.0, (2, 2, 8, 8)), 3)
+        assert len(calls) == 6  # hidden linear + output head, 3 timesteps
+
+    def test_base_backend_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Backend().linear(np.zeros((1, 2)), np.zeros((2, 2)), None, {})

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Execute the fenced Python examples in ``docs/*.md`` so the docs can't rot.
+
+Every fenced code block whose info string is exactly ``python`` is treated as
+a runnable example: it is written to a scratch directory and executed in a
+fresh interpreter with ``src/`` on ``PYTHONPATH``.  Blocks that are
+illustrative rather than runnable should use a different info string
+(``text``, ``pycon``, …) or start with the marker comment
+``# illustrative``.
+
+Run directly (the CI docs job does)::
+
+    python tools/check_docs.py [--docs-dir docs] [--verbose]
+
+or through the pytest wrapper ``tests/test_docs.py``, which runs one test
+per snippet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SKIP_MARKER = "# illustrative"
+FENCE_PATTERN = re.compile(r"^```python[ \t]*$(.*?)^```[ \t]*$", re.MULTILINE | re.DOTALL)
+
+#: Generous per-snippet budget: examples are written to run in seconds.
+SNIPPET_TIMEOUT_SECONDS = 240
+
+
+@dataclass
+class Snippet:
+    """One runnable example extracted from a markdown file."""
+
+    source: Path
+    index: int
+    code: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.source.name}[{self.index}]"
+
+
+def extract_snippets(docs_dir: Path) -> List[Snippet]:
+    """All runnable ``python`` fences from every ``*.md`` under ``docs_dir``."""
+
+    snippets: List[Snippet] = []
+    for path in sorted(docs_dir.glob("*.md")):
+        text = path.read_text(encoding="utf-8")
+        for index, match in enumerate(FENCE_PATTERN.finditer(text)):
+            code = match.group(1).strip("\n")
+            if code.lstrip().startswith(SKIP_MARKER):
+                continue
+            snippets.append(Snippet(source=path, index=index, code=code))
+    return snippets
+
+
+def run_snippet(snippet: Snippet) -> subprocess.CompletedProcess:
+    """Execute one snippet in a fresh interpreter inside a scratch directory."""
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as scratch:
+        script = Path(scratch) / f"{snippet.source.stem}_{snippet.index}.py"
+        script.write_text(snippet.code + "\n", encoding="utf-8")
+        return subprocess.run(
+            [sys.executable, str(script)],
+            cwd=scratch,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=SNIPPET_TIMEOUT_SECONDS,
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--docs-dir", default=str(REPO_ROOT / "docs"), help="directory of *.md files")
+    parser.add_argument("--verbose", action="store_true", help="echo each snippet's stdout")
+    args = parser.parse_args(argv)
+
+    snippets = extract_snippets(Path(args.docs_dir))
+    if not snippets:
+        print(f"check_docs: no runnable python fences under {args.docs_dir}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for snippet in snippets:
+        result = run_snippet(snippet)
+        status = "ok" if result.returncode == 0 else "FAIL"
+        print(f"[{status}] {snippet.label}")
+        if args.verbose and result.stdout:
+            print(result.stdout.rstrip())
+        if result.returncode != 0:
+            failures += 1
+            sys.stderr.write(result.stdout)
+            sys.stderr.write(result.stderr)
+    print(f"check_docs: {len(snippets) - failures}/{len(snippets)} doc examples passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
