@@ -1,0 +1,216 @@
+"""Precision benchmark: the infer32 compute policy vs the float64 baseline.
+
+The TCL paper's pitch is energy-efficient inference, yet the reproduction
+historically simulated every spike in hardcoded float64 and re-allocated its
+im2col workspaces every timestep.  This benchmark quantifies what the
+``infer32`` profile (float32 + in-place scratch reuse) recovers on the
+ConvNet4 fixture, and proves the steady-state loop stopped allocating:
+
+1. **Speedup** — one whole-network timestep under ``infer32`` (dense
+   kernels) must run ≥1.5× faster than the ``train64`` dense baseline, and
+   the float32 *event-driven* path must beat float64 dense as well (sparse
+   gather on half-width operands).
+2. **Zero steady-state allocations** — after a warmup step, simulating
+   under ``infer32`` dense must allocate (tracemalloc, numpy buffers
+   included) only a negligible constant, while the same loop under
+   ``train64`` allocates megabytes per step.
+3. **Parity** — the fixture's infer32 predictions equal the float64 ones
+   (the finer-grained dtype-leak audit lives in
+   ``tests/test_precision_parity.py``).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+import tracemalloc
+from typing import List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.core import Converter
+from repro.models import ConvNet4
+from repro.snn import SpikingNetwork
+
+from bench_utils import print_benchmark_header
+
+BATCH = 4
+SPIKE_RATE = 0.10
+TIMING_STEPS = 6
+#: Acceptance floor: infer32 dense vs train64 dense, per whole-network timestep.
+MIN_SPEEDUP = 1.5
+#: Steady-state allocation budget (python-object churn, not array buffers).
+STEADY_STATE_BUDGET_BYTES = 64 * 1024
+
+
+def build_fixture() -> SpikingNetwork:
+    """A ConvNet4 converted at benchmark width (no training needed)."""
+
+    model = ConvNet4(
+        num_classes=10,
+        in_channels=3,
+        image_size=32,
+        channels=(32, 32, 64, 64),
+        hidden_features=256,
+        batch_norm=False,
+        rng=np.random.default_rng(11),
+    )
+    return Converter(model).strategy("tcl").convert().snn
+
+
+def layer_input_shapes(network: SpikingNetwork, images: np.ndarray) -> List[Tuple[int, ...]]:
+    shapes: List[Tuple[int, ...]] = []
+    network.reset_state()
+    signal = images
+    for layer in network.layers:
+        shapes.append(signal.shape)
+        signal = layer.step(signal)
+    network.reset_state()
+    return shapes
+
+
+def synthetic_spikes(shape: Tuple[int, ...], rate: float, rng: np.random.Generator) -> np.ndarray:
+    """Binary spike tensors with the channel-concentrated structure real SNNs
+    show (mirrors ``benchmarks/test_backend_speedup.py``)."""
+
+    if len(shape) == 4:
+        n, c, h, w = shape
+        within = 0.5
+        spikes = np.zeros(shape)
+        active_count = int(np.clip(round(c * rate / within), 1, c))
+        for sample in range(n):
+            channels = rng.choice(c, size=active_count, replace=False)
+            spikes[sample, channels] = rng.random((active_count, h, w)) < rate * c / active_count
+        return spikes
+    return (rng.random(shape) < rate).astype(np.float64)
+
+
+def time_network_step(network: SpikingNetwork, inputs: List[np.ndarray]) -> float:
+    """Mean wall-clock seconds for one whole-network timestep."""
+
+    cast = [network.policy.asarray(spikes) for spikes in inputs]
+    for layer, spikes in zip(network.layers, cast):  # warm caches / scratch
+        layer.step(spikes)
+    network.reset_state()
+    started = time.perf_counter()
+    for _ in range(TIMING_STEPS):
+        for layer, spikes in zip(network.layers, cast):
+            layer.step(spikes)
+    elapsed = time.perf_counter() - started
+    network.reset_state()
+    return elapsed / TIMING_STEPS
+
+
+def steady_state_allocation(
+    network: SpikingNetwork, images: np.ndarray, steps: int = 5
+) -> Tuple[int, int]:
+    """Post-warmup allocation behaviour of the simulation loop (tracemalloc).
+
+    Returns ``(net, transient)`` bytes: ``net`` is what the steps leaked
+    (survives the loop, averaged per step), ``transient`` is the peak
+    traced-memory growth above the steady state — the per-timestep array
+    churn that allocation-per-call kernels produce and immediately free.
+    """
+
+    images = network.policy.asarray(images)
+    network.reset_state()
+    network.encoder.reset(images)
+    gc.collect()
+    tracemalloc.start()
+    try:
+        for t in range(1, 3):  # warmup: scratch slots and membrane state
+            network.step(network.encoder.step(t))
+        gc.collect()
+        tracemalloc.reset_peak()
+        before, _ = tracemalloc.get_traced_memory()
+        for t in range(3, 3 + steps):
+            network.step(network.encoder.step(t))
+        gc.collect()
+        after, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    network.reset_state()
+    return max(0, (after - before) // steps), max(0, peak - before)
+
+
+@pytest.fixture(scope="module")
+def fixture_network() -> SpikingNetwork:
+    return build_fixture()
+
+
+class TestPrecisionParity:
+    def test_infer32_predictions_match_float64(self, fixture_network):
+        network = fixture_network
+        images = np.random.default_rng(3).uniform(0.0, 1.0, (BATCH, 3, 32, 32))
+        network.set_policy("train64")
+        reference = network.simulate(images, 30)
+        network.set_policy("infer32")
+        result = network.simulate(images, 30)
+        network.set_policy("train64")
+        assert np.array_equal(reference.predictions(), result.predictions())
+
+
+class TestPrecisionSpeedup:
+    def test_infer32_beats_float64_per_timestep(self, fixture_network):
+        """≥1.5× dense-vs-dense; the f32 event path must beat f64 dense too."""
+
+        network = fixture_network
+        rng = np.random.default_rng(7)
+        images = rng.uniform(0.0, 1.0, (BATCH, 3, 32, 32))
+        shapes = layer_input_shapes(network, images)
+        inputs = [synthetic_spikes(shape, SPIKE_RATE, rng) for shape in shapes]
+
+        network.set_policy("train64").set_backend("dense")
+        dense64_s = time_network_step(network, inputs)
+        network.set_policy("infer32").set_backend("dense")
+        dense32_s = time_network_step(network, inputs)
+        network.set_backend("event")
+        event32_s = time_network_step(network, inputs)
+        network.set_policy("train64").set_backend("dense")
+
+        print_benchmark_header("Compute policy: wall-clock per network timestep")
+        print(f"{'profile':>16s} {'per step':>12s} {'vs train64':>11s}")
+        for label, seconds in (
+            ("train64 dense", dense64_s),
+            ("infer32 dense", dense32_s),
+            ("infer32 event", event32_s),
+        ):
+            print(f"{label:>16s} {seconds * 1e3:10.2f}ms {dense64_s / seconds:10.2f}x")
+
+        assert dense64_s / dense32_s >= MIN_SPEEDUP, (
+            f"expected ≥{MIN_SPEEDUP}x from float32 dense, got {dense64_s / dense32_s:.2f}x"
+        )
+        assert event32_s < dense64_s, (
+            f"float32 event-driven path ({event32_s * 1e3:.2f}ms) should beat "
+            f"float64 dense ({dense64_s * 1e3:.2f}ms)"
+        )
+
+    def test_infer32_steady_state_allocates_nothing(self, fixture_network):
+        """After warmup the in-place profile's hot loop reuses every buffer."""
+
+        network = fixture_network
+        images = np.random.default_rng(5).uniform(0.0, 1.0, (BATCH, 3, 32, 32))
+
+        network.set_policy("infer32").set_backend("dense")
+        lean_net, lean_transient = steady_state_allocation(network, images)
+        network.set_policy("train64").set_backend("dense")
+        base_net, base_transient = steady_state_allocation(network, images)
+
+        print_benchmark_header("Steady-state allocations (post-warmup)")
+        print(f"{'profile':>16s} {'leaked/step':>12s} {'transient peak':>15s}")
+        print(f"{'train64 dense':>16s} {base_net / 1e3:10.2f}KB {base_transient / 1e6:12.2f}MB")
+        print(f"{'infer32 dense':>16s} {lean_net / 1e3:10.2f}KB {lean_transient / 1e3:12.2f}KB")
+
+        assert lean_net <= STEADY_STATE_BUDGET_BYTES, (
+            f"infer32 steady state leaked {lean_net} bytes/step "
+            f"(budget {STEADY_STATE_BUDGET_BYTES}); scratch reuse is broken"
+        )
+        assert lean_transient <= STEADY_STATE_BUDGET_BYTES, (
+            f"infer32 steady state churned {lean_transient} transient bytes "
+            f"(budget {STEADY_STATE_BUDGET_BYTES}); a kernel is still allocating per call"
+        )
+        # Sanity: the allocation-per-call baseline really does churn arrays
+        # every step, so the budget above is a real constraint rather than a
+        # tautology.
+        assert base_transient > 10 * STEADY_STATE_BUDGET_BYTES

@@ -4,6 +4,8 @@
 The package is organised bottom-up (the import order below mirrors the
 layering — each module depends only on the ones before it):
 
+* :mod:`repro.runtime` — compute policies (``train64`` / ``infer32``
+  precision profiles), scratch-buffer pools and the dtype-audit harness,
 * :mod:`repro.autograd` — numpy reverse-mode autodiff (the PyTorch substitute),
 * :mod:`repro.nn` — layers, containers, residual blocks,
 * :mod:`repro.optim` — SGD / Adam and LR schedules,
@@ -34,11 +36,18 @@ Converting a single trained model uses the fluent builder::
 
     from repro import Converter
 
-    result = Converter(model).strategy("tcl").backend("auto").calibrate(images).convert()
+    result = (
+        Converter(model)
+        .strategy("tcl")
+        .backend("auto")
+        .precision("infer32")
+        .calibrate(images)
+        .convert()
+    )
     result.snn.simulate(test_images, timesteps=200)
 """
 
-from . import autograd, nn, optim, data, models, training, snn, core, serve, analysis
+from . import runtime, autograd, nn, optim, data, models, training, snn, core, serve, analysis
 from .core import (
     ConversionConfig,
     ConversionError,
@@ -47,10 +56,12 @@ from .core import (
     convert_ann_to_snn,
     register_lowering,
 )
+from .runtime import ComputePolicy, active_policy, using_policy
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "runtime",
     "autograd",
     "nn",
     "optim",
@@ -67,5 +78,8 @@ __all__ = [
     "ConversionResult",
     "convert_ann_to_snn",
     "register_lowering",
+    "ComputePolicy",
+    "active_policy",
+    "using_policy",
     "__version__",
 ]

@@ -58,6 +58,7 @@ def im2col(
     kernel_size: IntPair,
     stride: IntPair = 1,
     padding: IntPair = 0,
+    workspace=None,
 ) -> np.ndarray:
     """Unfold image patches into columns.
 
@@ -67,6 +68,12 @@ def im2col(
         Array of shape ``(N, C, H, W)``.
     kernel_size, stride, padding:
         Convolution geometry.
+    workspace:
+        Optional :class:`~repro.runtime.BufferPool`.  When given, both the
+        zero-padded input and the returned column matrix live in reused
+        scratch buffers, so repeated same-shape calls (one per simulation
+        timestep) allocate nothing.  The returned array is overwritten by the
+        next call — callers that keep columns across calls must copy.
 
     Returns
     -------
@@ -81,7 +88,17 @@ def im2col(
     out_h, out_w = conv_output_shape(h, w, (kh, kw), (sh, sw), (ph, pw))
 
     if ph or pw:
-        images = np.pad(images, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+        if workspace is None:
+            images = np.pad(images, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+        else:
+            # zero=True zero-fills at allocation only; the border is never
+            # written afterwards, so it stays zero while the interior is
+            # overwritten every call.
+            padded = workspace.take(
+                "im2col_padded", (n, c, h + 2 * ph, w + 2 * pw), images.dtype, zero=True
+            )
+            padded[:, :, ph: ph + h, pw: pw + w] = images
+            images = padded
 
     # Strided view: (N, C, kh, kw, out_h, out_w)
     stride_n, stride_c, stride_h, stride_w = images.strides
@@ -91,7 +108,11 @@ def im2col(
         strides=(stride_n, stride_c, stride_h, stride_w, stride_h * sh, stride_w * sw),
         writeable=False,
     )
-    return view.reshape(n, c * kh * kw, out_h * out_w).copy()
+    if workspace is None:
+        return view.reshape(n, c * kh * kw, out_h * out_w).copy()
+    columns = workspace.take("im2col_columns", (n, c * kh * kw, out_h * out_w), images.dtype)
+    np.copyto(columns.reshape(n, c, kh, kw, out_h, out_w), view)
+    return columns
 
 
 def col2im(

@@ -25,6 +25,8 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..runtime import active_policy
+
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor", "zeros", "ones", "randn", "arange"]
 
 
@@ -87,10 +89,13 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    """Coerce ``value`` to an array of ``dtype`` (default: the active compute
+    policy's dtype — ``float64`` under the stock ``train64`` profile)."""
+
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=dtype)
+    return np.asarray(value, dtype=dtype if dtype is not None else active_policy().dtype)
 
 
 def as_tensor(value: ArrayLike, requires_grad: bool = False) -> "Tensor":
@@ -628,25 +633,36 @@ class Tensor:
 # ---------------------------------------------------------------------------
 
 def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
-    """Return a tensor of zeros with the given shape."""
+    """Return a tensor of zeros with the given shape (active-policy dtype)."""
 
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape, dtype=active_policy().dtype), requires_grad=requires_grad)
 
 
 def ones(*shape: int, requires_grad: bool = False) -> Tensor:
-    """Return a tensor of ones with the given shape."""
+    """Return a tensor of ones with the given shape (active-policy dtype)."""
 
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+    return Tensor(np.ones(shape, dtype=active_policy().dtype), requires_grad=requires_grad)
 
 
 def randn(*shape: int, requires_grad: bool = False, rng: Optional[np.random.Generator] = None) -> Tensor:
-    """Return a tensor of standard-normal samples with the given shape."""
+    """Return a tensor of standard-normal samples with the given shape.
+
+    Samples are always drawn in double precision and then cast to the active
+    policy's dtype, so a given seed produces the same values (up to rounding)
+    under every profile.
+    """
 
     generator = rng if rng is not None else np.random.default_rng()
     return Tensor(generator.standard_normal(shape), requires_grad=requires_grad)
 
 
-def arange(stop: int, requires_grad: bool = False) -> Tensor:
-    """Return a 1-D tensor containing ``0 .. stop-1`` as floats."""
+def arange(stop: int, requires_grad: bool = False, dtype=None) -> Tensor:
+    """Return a 1-D tensor containing ``0 .. stop-1`` as floats.
 
-    return Tensor(np.arange(stop, dtype=np.float64), requires_grad=requires_grad)
+    ``dtype`` overrides the active compute policy's dtype (historically this
+    constructor pinned ``float64`` regardless of the caller's wishes).
+    """
+
+    if dtype is None:
+        dtype = active_policy().dtype
+    return Tensor(np.arange(stop, dtype=dtype), requires_grad=requires_grad)

@@ -50,6 +50,7 @@ import numpy as np
 from ..autograd import Tensor, no_grad
 from ..nn.container import Sequential
 from ..nn.module import Module
+from ..runtime import ComputePolicy, resolve_policy, validate_policy_spec
 from ..snn.backend import Backend, validate_backend_spec
 from ..snn.encoding import InputEncoder, RealCoding
 from ..snn.network import SpikingNetwork
@@ -111,6 +112,13 @@ def _validate_backend(backend) -> None:
         raise ConversionError(str(error)) from None
 
 
+def _validate_precision(precision) -> None:
+    try:
+        validate_policy_spec(precision, allow_none=True)
+    except ValueError as error:
+        raise ConversionError(str(error)) from None
+
+
 @dataclass
 class ConversionConfig:
     """Declarative description of one conversion.
@@ -132,6 +140,15 @@ class ConversionConfig:
         ``"event"`` (event-driven sparse kernels with per-call dense
         fallback), ``"auto"`` (per-layer choice from spike statistics), or a
         :class:`~repro.snn.Backend` instance.
+    precision:
+        Compute-policy profile of the converted network — ``"train64"``
+        (float64, bit-identical historical behaviour), ``"infer32"``
+        (float32 inference profile with in-place scratch reuse), a
+        :class:`~repro.runtime.ComputePolicy` instance, or ``None``
+        (default) to inherit the process-wide active policy.  Conversion
+        arithmetic itself (folding, norm-factors) runs under the active
+        policy; the profile chosen here is applied to the emitted spiking
+        network and recorded in serving-artifact metadata.
     input_norm_factor:
         λ of the network input (1.0 when images are fed in their natural
         scale, as the paper does).
@@ -144,6 +161,7 @@ class ConversionConfig:
     readout: str = "spike_count"
     encoder: Optional[InputEncoder] = None
     backend: Union[str, Backend] = "dense"
+    precision: Union[None, str, ComputePolicy] = None
     input_norm_factor: float = 1.0
     calibration_batch_size: int = 64
 
@@ -162,6 +180,7 @@ class ConversionConfig:
         )
         _validate_strategy(config.strategy)
         _validate_backend(config.backend)
+        _validate_precision(config.precision)
         if config.input_norm_factor <= 0:
             raise ConversionError(f"input_norm_factor must be positive, got {config.input_norm_factor}")
         if config.calibration_batch_size <= 0:
@@ -250,6 +269,7 @@ class ConversionResult:
     reset_mode: ResetMode = ResetMode.SUBTRACT
     readout: str = "spike_count"
     backend: str = "dense"
+    precision: str = "train64"
     report: Optional[ConversionReport] = None
 
     @property
@@ -269,6 +289,7 @@ class ConversionResult:
             "reset_mode": self.reset_mode.value,
             "readout": self.readout,
             "backend": self.backend,
+            "precision": self.precision,
         }
 
     def save(self, path) -> "object":
@@ -381,6 +402,21 @@ class Converter:
 
         _validate_backend(backend)
         self._config = replace(self._config, backend=backend)
+        return self
+
+    def precision(self, precision: Union[str, ComputePolicy]) -> "Converter":
+        """Choose the compute-policy profile of the converted network.
+
+        ``"train64"`` (float64, the bit-identical historical behaviour),
+        ``"infer32"`` (float32 inference profile with in-place scratch
+        reuse), or a :class:`~repro.runtime.ComputePolicy` instance.  The
+        profile is applied to the emitted spiking network
+        (:meth:`~repro.snn.SpikingNetwork.set_policy`) and recorded in the
+        artifact metadata so served copies run the way they were exported.
+        """
+
+        _validate_precision(precision)
+        self._config = replace(self._config, precision=precision)
         return self
 
     def encode(self, encoder: InputEncoder) -> "Converter":
@@ -503,6 +539,10 @@ class Converter:
         # Re-apply at the network level: the per-layer stamps from the emit
         # passes cannot see the encoder, which "auto" accounts for.
         snn.set_backend(config.backend)
+        # Conversion arithmetic ran under the active policy; the emitted
+        # network switches to the requested inference profile (None inherits
+        # the active policy, so the default stays bit-identical f64).
+        snn.set_policy(resolve_policy(config.precision))
         return ConversionResult(
             snn=snn,
             strategy_name=strategy.name,
@@ -512,6 +552,7 @@ class Converter:
             reset_mode=config.reset_mode,
             readout=config.readout,
             backend=snn.backend_spec,
+            precision=snn.policy_spec,
             report=_report_from_graph(graph, self._pipeline.names),
         )
 

@@ -20,18 +20,25 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..nn.norm import BatchNorm1d, BatchNorm2d
+from ..runtime import active_policy
 
 __all__ = ["bn_scale_shift", "fold_batchnorm", "EffectiveWeights"]
 
 
 class EffectiveWeights:
-    """Mutable (weight, bias) pair of one synaptic layer during conversion."""
+    """Mutable (weight, bias) pair of one synaptic layer during conversion.
+
+    Conversion-time arithmetic runs under the active compute policy
+    (``float64`` under the stock ``train64`` profile, which the golden
+    parity suites pin bit-exactly).
+    """
 
     def __init__(self, weight: np.ndarray, bias: Optional[np.ndarray]) -> None:
-        self.weight = np.array(weight, dtype=np.float64, copy=True)
+        dtype = active_policy().dtype
+        self.weight = np.array(weight, dtype=dtype, copy=True)
         if bias is None:
-            bias = np.zeros(weight.shape[0], dtype=np.float64)
-        self.bias = np.array(bias, dtype=np.float64, copy=True)
+            bias = np.zeros(weight.shape[0], dtype=dtype)
+        self.bias = np.array(bias, dtype=dtype, copy=True)
 
     def fold_batchnorm(self, bn) -> "EffectiveWeights":
         """Absorb a trained batch-norm layer (Eq. 7); returns ``self``."""
@@ -51,9 +58,10 @@ def bn_scale_shift(bn) -> Tuple[np.ndarray, np.ndarray]:
 
     if not isinstance(bn, (BatchNorm1d, BatchNorm2d)):
         raise TypeError(f"expected a BatchNorm layer, got {type(bn).__name__}")
-    sigma = np.sqrt(np.asarray(bn.running_var, dtype=np.float64) + bn.eps)
+    dtype = active_policy().dtype
+    sigma = np.sqrt(np.asarray(bn.running_var, dtype=dtype) + bn.eps)
     scale = bn.gamma.data / sigma
-    shift = bn.beta.data - scale * np.asarray(bn.running_mean, dtype=np.float64)
+    shift = bn.beta.data - scale * np.asarray(bn.running_mean, dtype=dtype)
     return scale, shift
 
 
@@ -66,10 +74,11 @@ def fold_batchnorm(weight: np.ndarray, bias: Optional[np.ndarray], bn) -> Tuple[
     """
 
     scale, shift = bn_scale_shift(bn)
-    weight = np.asarray(weight, dtype=np.float64)
+    dtype = active_policy().dtype
+    weight = np.asarray(weight, dtype=dtype)
     if bias is None:
-        bias = np.zeros(weight.shape[0], dtype=np.float64)
-    bias = np.asarray(bias, dtype=np.float64)
+        bias = np.zeros(weight.shape[0], dtype=dtype)
+    bias = np.asarray(bias, dtype=dtype)
     if weight.shape[0] != scale.shape[0]:
         raise ValueError(
             f"cannot fold BN with {scale.shape[0]} channels into weight with "

@@ -15,6 +15,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..runtime import active_policy
+
 __all__ = ["ActivationObserver", "attach_observers", "detach_observers", "collect_observers"]
 
 
@@ -37,7 +39,7 @@ class ActivationObserver:
     def update(self, values: np.ndarray) -> None:
         """Fold a batch of activation values into the running statistics."""
 
-        flat = np.asarray(values, dtype=np.float64).reshape(-1)
+        flat = active_policy().asarray(values).reshape(-1)
         if flat.size == 0:
             return
         self.count += flat.size

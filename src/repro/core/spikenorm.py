@@ -88,7 +88,7 @@ def balance_thresholds(
 
     if timesteps <= 0:
         raise ValueError(f"timesteps must be positive, got {timesteps}")
-    calibration_images = np.asarray(calibration_images, dtype=np.float64)
+    calibration_images = snn.policy.asarray(calibration_images)
     pools = _neuron_pools(snn)
     thresholds: List[float] = []
 

@@ -15,6 +15,8 @@ from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..runtime import active_policy
+
 __all__ = ["Dataset", "ArrayDataset", "Subset", "train_test_split"]
 
 
@@ -52,7 +54,7 @@ class ArrayDataset(Dataset):
         labels: np.ndarray,
         transform: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     ) -> None:
-        images = np.asarray(images, dtype=np.float64)
+        images = active_policy().asarray(images)
         labels = np.asarray(labels, dtype=np.int64)
         if len(images) != len(labels):
             raise ValueError(f"images ({len(images)}) and labels ({len(labels)}) length mismatch")

@@ -13,6 +13,8 @@ from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..runtime import resolve_dtype
+
 __all__ = ["Compose", "Normalize", "RandomHorizontalFlip", "RandomCrop", "ToFloat", "compute_mean_std"]
 
 
@@ -29,23 +31,36 @@ class Compose:
 
 
 class ToFloat:
-    """Cast to float64 (no-op for already-float synthetic data)."""
+    """Cast to the active compute policy's float dtype (``dtype`` overrides)."""
+
+    def __init__(self, dtype=None) -> None:
+        self.dtype = np.dtype(dtype) if dtype is not None else None
 
     def __call__(self, image: np.ndarray) -> np.ndarray:
-        return np.asarray(image, dtype=np.float64)
+        return np.asarray(image, dtype=resolve_dtype(self.dtype))
 
 
 class Normalize:
-    """Channelwise standardisation ``(x - mean) / std``."""
+    """Channelwise standardisation ``(x - mean) / std``.
 
-    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+    The statistics are kept at full precision and cast at *call* time to
+    ``dtype`` — or, like :class:`ToFloat`, to the active compute policy's
+    dtype when no override is given — so a pipeline built under one policy
+    does not silently upcast images under another.
+    """
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float], dtype=None) -> None:
+        self.dtype = np.dtype(dtype) if dtype is not None else None
         self.mean = np.asarray(mean, dtype=np.float64).reshape(-1, 1, 1)
         self.std = np.asarray(std, dtype=np.float64).reshape(-1, 1, 1)
         if np.any(self.std <= 0):
             raise ValueError("std values must be positive")
 
     def __call__(self, image: np.ndarray) -> np.ndarray:
-        return (image - self.mean) / self.std
+        dtype = resolve_dtype(self.dtype)
+        mean = self.mean.astype(dtype, copy=False)
+        std = self.std.astype(dtype, copy=False)
+        return (np.asarray(image, dtype=dtype) - mean) / std
 
 
 class RandomHorizontalFlip:

@@ -3,6 +3,18 @@
 The paper trains VGG and ResNet networks from scratch with SGD; the standard
 Kaiming (He) initialisation for ReLU networks is used throughout, with Xavier
 available for the linear classifier heads and unit tests.
+
+Every initialiser accepts an optional ``dtype`` and otherwise produces the
+active compute policy's dtype (``float64`` under the stock ``train64``
+profile).  Random draws always happen in double precision and are cast
+afterwards, so a given seed yields the same values (up to rounding) under
+every profile.
+
+Note that the ``dtype`` override applies to the *raw array*: wrapping the
+result in a :class:`~repro.nn.Parameter` / :class:`~repro.autograd.Tensor`
+re-coerces it to the active policy's dtype (the tensor substrate keeps one
+dtype per process by design), so per-parameter dtype mixing is not a thing
+the module system supports — switch the active policy instead.
 """
 
 from __future__ import annotations
@@ -11,6 +23,8 @@ import math
 from typing import Optional, Tuple
 
 import numpy as np
+
+from ..runtime import resolve_dtype as _resolve_dtype
 
 __all__ = [
     "kaiming_normal",
@@ -42,55 +56,55 @@ def compute_fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
     return fan_in, fan_out
 
 
-def kaiming_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+def kaiming_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None, dtype=None) -> np.ndarray:
     """He-normal initialisation (gain for ReLU nonlinearities)."""
 
     generator = rng if rng is not None else np.random.default_rng()
     fan_in, _ = compute_fans(shape)
     std = math.sqrt(2.0 / fan_in)
-    return generator.normal(0.0, std, size=shape)
+    return generator.normal(0.0, std, size=shape).astype(_resolve_dtype(dtype), copy=False)
 
 
-def kaiming_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+def kaiming_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None, dtype=None) -> np.ndarray:
     """He-uniform initialisation."""
 
     generator = rng if rng is not None else np.random.default_rng()
     fan_in, _ = compute_fans(shape)
     bound = math.sqrt(6.0 / fan_in)
-    return generator.uniform(-bound, bound, size=shape)
+    return generator.uniform(-bound, bound, size=shape).astype(_resolve_dtype(dtype), copy=False)
 
 
-def xavier_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+def xavier_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None, dtype=None) -> np.ndarray:
     """Glorot-normal initialisation."""
 
     generator = rng if rng is not None else np.random.default_rng()
     fan_in, fan_out = compute_fans(shape)
     std = math.sqrt(2.0 / (fan_in + fan_out))
-    return generator.normal(0.0, std, size=shape)
+    return generator.normal(0.0, std, size=shape).astype(_resolve_dtype(dtype), copy=False)
 
 
-def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None, dtype=None) -> np.ndarray:
     """Glorot-uniform initialisation."""
 
     generator = rng if rng is not None else np.random.default_rng()
     fan_in, fan_out = compute_fans(shape)
     bound = math.sqrt(6.0 / (fan_in + fan_out))
-    return generator.uniform(-bound, bound, size=shape)
+    return generator.uniform(-bound, bound, size=shape).astype(_resolve_dtype(dtype), copy=False)
 
 
-def zeros_(shape: Tuple[int, ...]) -> np.ndarray:
+def zeros_(shape: Tuple[int, ...], dtype=None) -> np.ndarray:
     """All-zero initialisation (biases, batch-norm shift)."""
 
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=_resolve_dtype(dtype))
 
 
-def ones_(shape: Tuple[int, ...]) -> np.ndarray:
+def ones_(shape: Tuple[int, ...], dtype=None) -> np.ndarray:
     """All-one initialisation (batch-norm scale)."""
 
-    return np.ones(shape)
+    return np.ones(shape, dtype=_resolve_dtype(dtype))
 
 
-def constant_(shape: Tuple[int, ...], value: float) -> np.ndarray:
+def constant_(shape: Tuple[int, ...], value: float, dtype=None) -> np.ndarray:
     """Constant initialisation (used for the TCL λ initial value)."""
 
-    return np.full(shape, float(value))
+    return np.full(shape, float(value), dtype=_resolve_dtype(dtype))

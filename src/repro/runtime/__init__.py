@@ -1,0 +1,48 @@
+"""Compute-policy runtime: configurable precision and zero-copy buffer reuse.
+
+``repro.runtime`` is the bottom layer of the package — everything above it
+(autograd, nn, snn, core, serve) consults it instead of hardcoding
+``np.float64``:
+
+* :class:`ComputePolicy` — dtype + in-place-kernel toggle + buffer-pool
+  factory, with the named profiles ``"train64"`` (bit-identical historical
+  behaviour, the default) and ``"infer32"`` (float32 inference profile with
+  scratch reuse);
+* :class:`BufferPool` — keyed scratch arrays reused across timesteps so the
+  simulation hot loop allocates nothing after warmup;
+* :func:`active_policy` / :func:`set_active_policy` / :func:`using_policy` —
+  the process-wide default consulted where no policy was threaded
+  explicitly (overridable per process with ``REPRO_COMPUTE_PROFILE``);
+* :func:`audit_network_dtypes` — the parity harness proving no intermediate
+  array of a simulated timestep escapes the policy dtype.
+"""
+
+from .buffers import BufferPool
+from .policy import (
+    PROFILE_NAMES,
+    PROFILES,
+    ComputePolicy,
+    active_policy,
+    as_float_array,
+    resolve_dtype,
+    resolve_policy,
+    set_active_policy,
+    using_policy,
+    validate_policy_spec,
+)
+from .audit import audit_network_dtypes
+
+__all__ = [
+    "BufferPool",
+    "PROFILE_NAMES",
+    "PROFILES",
+    "ComputePolicy",
+    "active_policy",
+    "as_float_array",
+    "resolve_dtype",
+    "resolve_policy",
+    "set_active_policy",
+    "using_policy",
+    "validate_policy_spec",
+    "audit_network_dtypes",
+]

@@ -1,0 +1,69 @@
+"""Scratch-buffer pool: named, shape-checked arrays reused across timesteps.
+
+The time-stepped SNN simulation runs the same kernels with the same operand
+shapes hundreds of times per stimulus; under the historical allocation-per-
+step kernels the im2col workspace, the convolution output and the spike masks
+are re-allocated (and the old ones garbage-collected) every single timestep.
+A :class:`BufferPool` keeps one buffer per ``(key)`` slot and hands the same
+array back while the requested shape and dtype stay stable, so the per-
+timestep loop allocates nothing after its first (warmup) step — the
+``benchmarks/test_precision_speedup.py`` tracemalloc assertion pins this.
+
+Pools are deliberately dumb: no locking (each consumer owns its pool — the
+spiking layers keep theirs inside ``backend_cache``, which the serving stack
+already serialises per model), no eviction (slots are overwritten when the
+shape changes, e.g. when adaptive serving compacts the batch), and no
+zero-fill unless asked (``zero=True`` zero-fills **only on allocation** — the
+im2col padding buffer relies on its border staying zero while the interior
+is overwritten every call).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """Keyed scratch arrays, re-allocated only when shape or dtype changes."""
+
+    __slots__ = ("_buffers", "allocations")
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+        #: Number of backing allocations performed (tests assert reuse with it).
+        self.allocations: int = 0
+
+    def take(self, key: str, shape: Tuple[int, ...], dtype, zero: bool = False) -> np.ndarray:
+        """Return the scratch array registered under ``key``.
+
+        The same array is returned while ``shape`` and ``dtype`` are stable;
+        a mismatch re-allocates the slot.  With ``zero=True`` the buffer is
+        zero-filled **at allocation only** — reused buffers keep whatever the
+        previous call wrote (callers overwrite, or rely on untouched regions
+        staying zero, as the padded im2col workspace does).
+        """
+
+        shape = tuple(int(dim) for dim in shape)
+        dtype = np.dtype(dtype)
+        buffer = self._buffers.get(key)
+        if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
+            buffer = np.zeros(shape, dtype=dtype) if zero else np.empty(shape, dtype=dtype)
+            self._buffers[key] = buffer
+            self.allocations += 1
+        return buffer
+
+    def clear(self) -> None:
+        """Drop every buffer (e.g. when the owning layer switches policy)."""
+
+        self._buffers.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        held = sum(buffer.nbytes for buffer in self._buffers.values())
+        return f"<BufferPool slots={len(self._buffers)} bytes={held} allocations={self.allocations}>"

@@ -49,6 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="dense",
         help="simulation backend of the converted network (recorded in the artifact)",
     )
+    demo.add_argument(
+        "--precision",
+        choices=("train64", "infer32"),
+        default="train64",
+        help="compute-policy profile of the converted network (recorded in the artifact)",
+    )
     demo.add_argument("--seed", type=int, default=7, help="experiment seed")
 
     inspect = sub.add_parser("inspect", help="print the manifest of an artifact bundle")
@@ -76,6 +82,7 @@ def _run_demo(args: argparse.Namespace) -> int:
         min_timesteps=args.min_timesteps,
         stability_window=args.stability_window,
         backend=args.backend,
+        precision=args.precision,
     )
 
     config = ExperimentConfig(
@@ -97,9 +104,14 @@ def _run_demo(args: argparse.Namespace) -> int:
     model, ann_accuracy, _ = train_ann(config, train_images, train_labels, test_images, test_labels, clip_enabled=True)
     print(f"  ANN accuracy: {ann_accuracy:.3f}")
 
-    print(f"· converting to SNN (TCL norm-factors, {args.backend} backend) …")
+    print(f"· converting to SNN (TCL norm-factors, {args.backend} backend, {args.precision} precision) …")
     conversion = (
-        Converter(model).strategy("tcl").backend(args.backend).calibrate(train_images).convert()
+        Converter(model)
+        .strategy("tcl")
+        .backend(args.backend)
+        .precision(args.precision)
+        .calibrate(train_images)
+        .convert()
     )
 
     registry = ModelRegistry(args.root)

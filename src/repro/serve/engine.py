@@ -31,6 +31,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..runtime import ComputePolicy, resolve_policy, validate_policy_spec
 from ..snn.backend import Backend, validate_backend_spec
 from ..snn.network import SpikingNetwork
 
@@ -52,6 +53,11 @@ class AdaptiveConfig:
     uses.  Event-driven simulation compounds with batch compaction: as
     samples retire, the shrinking batch drives the active-unit fraction
     down, which is exactly where the sparse kernels win.
+
+    ``precision`` likewise overrides the network's compute-policy profile
+    (``"train64"``/``"infer32"`` or a :class:`~repro.runtime.ComputePolicy`
+    instance); ``None`` keeps the network's current policy — typically the
+    loaded artifact's recorded profile.
     """
 
     max_timesteps: int = 200
@@ -60,6 +66,7 @@ class AdaptiveConfig:
     margin_threshold: Optional[float] = None
     adaptive: bool = True
     backend: Optional[Union[str, Backend]] = None
+    precision: Optional[Union[str, ComputePolicy]] = None
 
     def __post_init__(self) -> None:
         if self.max_timesteps <= 0:
@@ -76,6 +83,7 @@ class AdaptiveConfig:
         if self.margin_threshold is not None and not 0.0 < self.margin_threshold <= 1.0:
             raise ValueError(f"margin_threshold must lie in (0, 1], got {self.margin_threshold}")
         validate_backend_spec(self.backend, allow_none=True)
+        validate_policy_spec(self.precision, allow_none=True)
 
 
 @dataclass
@@ -122,13 +130,17 @@ class AdaptiveEngine:
     def __init__(self, network: SpikingNetwork, config: Optional[AdaptiveConfig] = None) -> None:
         self.network = network
         self.config = config if config is not None else AdaptiveConfig()
+        # The server constructs a fresh engine per micro-batch over a shared,
+        # long-lived network; re-applying an already-active backend or policy
+        # spec would clear every layer's backend cache (transposed weight
+        # copies, activity counters, scratch workspaces) on the hot path for
+        # nothing.
+        precision = self.config.precision
+        if precision is not None and resolve_policy(precision) is not network.policy:
+            network.set_policy(precision)
         backend = self.config.backend
         if backend is None:
             return
-        # The server constructs a fresh engine per micro-batch over a shared,
-        # long-lived network; re-applying an already-active spec would clear
-        # every layer's backend cache (transposed weight copies, activity
-        # counters) on the hot path for nothing.
         if isinstance(backend, Backend):
             if all(layer.backend is backend for layer in network.layers):
                 return
@@ -150,7 +162,9 @@ class AdaptiveEngine:
         """Run the adaptive simulation over a batch of analog images."""
 
         cfg = self.config
-        images = np.asarray(images, dtype=np.float64)
+        # Cast once at the boundary to the network's policy dtype (copy-free
+        # when the caller already matches); everything downstream flows.
+        images = self.network.policy.asarray(images)
         if images.ndim < 2:
             raise ValueError(f"expected a batched input, got shape {images.shape}")
         num_samples = images.shape[0]
@@ -171,7 +185,7 @@ class AdaptiveEngine:
             network.step(network.encoder.step(t))
             scores = network.output_layer.scores()
             if final_scores is None:
-                final_scores = np.zeros((num_samples, scores.shape[1]))
+                final_scores = np.zeros((num_samples, scores.shape[1]), dtype=scores.dtype)
 
             predictions = scores.argmax(axis=1)
             stable_steps = np.where(predictions == last_prediction, stable_steps + 1, 1)

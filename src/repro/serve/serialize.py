@@ -94,6 +94,23 @@ class LoadedArtifact:
         value = self.metadata.get("backend")
         return None if value is None else str(value)
 
+    @property
+    def precision(self) -> Optional[str]:
+        """Compute-policy profile recorded by the exporter ("train64"/"infer32").
+
+        ``load_artifact`` already applied it to the rebuilt network; bundles
+        written before compute policies existed return None and run under
+        the active policy.  Only the profile *name* round-trips: a custom
+        ``ComputePolicy`` instance must be re-applied with ``set_policy``
+        after loading — unknown recorded names degrade to ``train64`` with a
+        warning, which casts the bundle's arrays to float64 exactly as
+        ``set_policy("train64")`` would (re-apply the custom policy to get
+        its dtype back; the on-disk bundle is untouched).
+        """
+
+        value = self.metadata.get("precision")
+        return None if value is None else str(value)
+
 
 def _jsonable(value):
     """Coerce exporter metadata into JSON-compatible values."""
@@ -143,6 +160,12 @@ def save_artifact(
 ) -> Path:
     """Write ``network`` (and optional exporter metadata) as a bundle at ``path``.
 
+    The network's compute-policy profile is recorded under the ``precision``
+    metadata key unless the caller already supplied one (as
+    ``ConversionResult.export_metadata`` does), so a directly-saved
+    ``infer32`` network reloads under ``infer32`` instead of as a
+    mixed-precision bundle.
+
     ``path`` is created as a directory (parents included); an existing bundle
     at the same location is replaced.  The bundle is written into a staging
     directory first and swapped in via renames at the end, so a concurrent
@@ -172,12 +195,14 @@ def save_artifact(
                 entry[key] = _jsonable(value)
         layer_entries.append(entry)
 
+    recorded = dict(metadata or {})
+    recorded.setdefault("precision", network.policy_spec)
     manifest = {
         "format_version": FORMAT_VERSION,
         "name": network.name,
         "encoder": _encoder_to_state(network.encoder),
         "layers": layer_entries,
-        "metadata": _jsonable(metadata or {}),
+        "metadata": _jsonable(recorded),
     }
     retired_dirs: List[Path] = []
     try:
@@ -268,6 +293,23 @@ def load_artifact(path: Union[str, Path]) -> LoadedArtifact:
         name=manifest.get("name", "snn"),
     )
     metadata = manifest.get("metadata", {})
+    precision = metadata.get("precision")
+    if precision is not None:
+        # The exporter's compute-policy profile travels with the bundle so a
+        # served copy runs (and allocates) the way it was benchmarked.  The
+        # npz arrays already carry the right dtypes; re-applying the profile
+        # aligns the pools, encoder and kernel mode with them.
+        try:
+            network.set_policy(str(precision))
+        except ValueError:
+            warnings.warn(
+                f"artifact at {path} records unknown compute-policy profile {precision!r}; "
+                "running under 'train64' (custom ComputePolicy instances do not round-trip "
+                "through bundles — re-apply with set_policy)",
+                UserWarning,
+                stacklevel=2,
+            )
+            network.set_policy("train64")
     backend = metadata.get("backend")
     if backend is not None:
         # The exporter's simulation-backend choice travels with the bundle so

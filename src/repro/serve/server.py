@@ -109,9 +109,15 @@ class InferenceServer:
     # -- request entry points --------------------------------------------------
 
     def submit(self, image: np.ndarray, model: str, version: Optional[str] = None) -> Future:
-        """Enqueue one sample; the returned future resolves to an :class:`InferenceReply`."""
+        """Enqueue one sample; the returned future resolves to an :class:`InferenceReply`.
 
-        request = InferenceRequest(image=np.asarray(image, dtype=np.float64), model=model, version=version)
+        The image's dtype is preserved here — the engine casts the coalesced
+        batch once to the target model's compute-policy dtype, so a float32
+        request served by an ``infer32`` model is never round-tripped
+        through float64.
+        """
+
+        request = InferenceRequest(image=np.asarray(image), model=model, version=version)
         return self.batcher.submit(request)
 
     def infer(self, image: np.ndarray, model: str, version: Optional[str] = None, timeout: Optional[float] = None) -> InferenceReply:

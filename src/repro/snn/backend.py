@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..runtime import BufferPool
 from .functional import (
     active_channels,
     active_neurons,
@@ -72,12 +73,34 @@ DEFAULT_CROSSOVER = 0.5
 BACKEND_NAMES = ("dense", "event", "auto")
 
 
+def _workspace(cache: Dict[str, object]) -> Optional[BufferPool]:
+    """The cache's scratch-buffer pool, or ``None`` outside in-place profiles.
+
+    The owning layer stamps its :class:`~repro.runtime.ComputePolicy` into
+    the cache (``cache["policy"]``); only policies with ``in_place`` enabled
+    get a :class:`~repro.runtime.BufferPool`, so the default ``train64``
+    profile keeps the historical allocation-per-call kernels bit-identical.
+    """
+
+    policy = cache.get("policy")
+    if policy is None or not policy.in_place:
+        return None
+    workspace = cache.get("workspace")
+    if workspace is None:
+        workspace = policy.buffer_pool()
+        cache["workspace"] = workspace
+    return workspace
+
+
 class Backend:
     """One strategy for computing a layer's weighted spike input.
 
     Methods receive the owning layer's ``cache`` dict (see
     ``SpikingLayer.backend_cache``) for per-layer scratch state; a backend
-    must work with an empty dict and may store whatever it likes in it.
+    must work with an empty dict and may store whatever it likes in it.  Two
+    keys are reserved: the owning layer stamps its compute policy under
+    ``"policy"``, and in-place profiles keep their scratch-buffer pool under
+    ``"workspace"``.
     """
 
     name: str = "backend"
@@ -119,21 +142,27 @@ class Backend:
 
 
 class DenseBackend(Backend):
-    """The historical behaviour: full dense kernels every timestep."""
+    """The historical behaviour: full dense kernels every timestep.
+
+    Under an in-place compute policy the kernels draw their im2col workspace
+    and outputs from the cache's buffer pool, so a steady-state timestep
+    allocates nothing; under ``train64`` they allocate per call exactly as
+    they always did.
+    """
 
     name = "dense"
 
     def linear(self, spikes, weight, bias, cache):
-        return linear_raw(spikes, weight, bias)
+        return linear_raw(spikes, weight, bias, workspace=_workspace(cache))
 
     def conv2d(self, spikes, weight, bias, stride, padding, cache):
-        return conv2d_raw(spikes, weight, bias, stride, padding)
+        return conv2d_raw(spikes, weight, bias, stride, padding, workspace=_workspace(cache))
 
     def avg_pool2d(self, spikes, kernel_size, stride, cache):
-        return avg_pool2d_raw(spikes, kernel_size, stride)
+        return avg_pool2d_raw(spikes, kernel_size, stride, workspace=_workspace(cache))
 
     def global_avg_pool2d(self, spikes, cache):
-        return global_avg_pool2d_raw(spikes)
+        return global_avg_pool2d_raw(spikes, workspace=_workspace(cache))
 
 
 class EventDrivenBackend(Backend):
@@ -170,7 +199,7 @@ class EventDrivenBackend(Backend):
         fraction = active.size / spikes.shape[-1]
         if fraction > self.crossover:
             self._observe(cache, fraction, event=False)
-            return linear_raw(spikes, weight, bias)
+            return linear_raw(spikes, weight, bias, workspace=_workspace(cache))
         self._observe(cache, fraction, event=True)
         weight_t = cache.get("weight_t")
         if weight_t is None:
@@ -185,7 +214,7 @@ class EventDrivenBackend(Backend):
         fraction = active.size / spikes.shape[1]
         if fraction > self.crossover:
             self._observe(cache, fraction, event=False)
-            return conv2d_raw(spikes, weight, bias, stride, padding)
+            return conv2d_raw(spikes, weight, bias, stride, padding, workspace=_workspace(cache))
         self._observe(cache, fraction, event=True)
         return conv2d_active_raw(spikes, weight, bias, stride, padding, active)
 
@@ -194,18 +223,18 @@ class EventDrivenBackend(Backend):
         fraction = active.size / spikes.shape[1]
         if fraction > self.crossover:
             self._observe(cache, fraction, event=False)
-            return avg_pool2d_raw(spikes, kernel_size, stride)
+            return avg_pool2d_raw(spikes, kernel_size, stride, workspace=_workspace(cache))
         self._observe(cache, fraction, event=True)
-        return avg_pool2d_active_raw(spikes, kernel_size, stride, active)
+        return avg_pool2d_active_raw(spikes, kernel_size, stride, active, workspace=_workspace(cache))
 
     def global_avg_pool2d(self, spikes, cache):
         active = active_channels(spikes)
         fraction = active.size / spikes.shape[1]
         if fraction > self.crossover:
             self._observe(cache, fraction, event=False)
-            return global_avg_pool2d_raw(spikes)
+            return global_avg_pool2d_raw(spikes, workspace=_workspace(cache))
         self._observe(cache, fraction, event=True)
-        return global_avg_pool2d_active_raw(spikes, active)
+        return global_avg_pool2d_active_raw(spikes, active, workspace=_workspace(cache))
 
 
 #: Shared default instances — backends are stateless, per-layer scratch lives

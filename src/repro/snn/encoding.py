@@ -10,19 +10,67 @@ pixel into an independent Bernoulli spike train.
 
 from __future__ import annotations
 
+from typing import Optional, Union
 
 import numpy as np
+
+from ..runtime import ComputePolicy, active_policy, resolve_policy
 
 __all__ = ["InputEncoder", "RealCoding", "PoissonCoding"]
 
 
 class InputEncoder:
-    """Base class: produce the input tensor presented at one timestep."""
+    """Base class: produce the input tensor presented at one timestep.
+
+    The dtype the encoder emits follows its compute policy (whatever
+    :meth:`set_policy` installed — the owning
+    :class:`~repro.snn.SpikingNetwork` keeps it in sync — or the active
+    policy by default).  Passing an explicit ``dtype`` pins the emitted
+    dtype instead; historically this class silently re-coerced every input
+    batch to ``float64``.
+
+    Both knobs are declared as class-level defaults so subclasses with
+    their own ``__init__`` need not call the base one (mirroring
+    ``SpikingLayer``'s backend/policy attributes).
+    """
+
+    #: Explicitly pinned dtype (``None`` defers to the policy) and the
+    #: installed compute policy (``None`` means the process-wide active one).
+    _dtype: Optional[np.dtype] = None
+    _policy: Optional[ComputePolicy] = None
+
+    def __init__(self, dtype=None) -> None:
+        if dtype is not None:
+            self._dtype = np.dtype(dtype)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The floating dtype of the tensors this encoder emits."""
+
+        if self._dtype is not None:
+            return self._dtype
+        policy = self._policy if self._policy is not None else active_policy()
+        return policy.dtype
+
+    def set_policy(self, policy: Union[str, ComputePolicy]) -> "InputEncoder":
+        """Follow a compute policy.
+
+        An explicitly pinned ``dtype`` keeps winning — the pin is a direct
+        user request (``Converter.convert`` re-applies the network policy
+        to the encoder, and must not silently erase it).  A mismatched pin
+        shows up in :func:`repro.runtime.audit_network_dtypes`.
+        """
+
+        self._policy = resolve_policy(policy)
+        return self
 
     def reset(self, images: np.ndarray) -> None:
-        """Prepare the encoder for a new batch of analog images."""
+        """Prepare the encoder for a new batch of analog images.
 
-        self.images = np.asarray(images, dtype=np.float64)
+        Copy-free when ``images`` already carries the encoder's dtype.
+        """
+
+        self.images = np.asarray(images, dtype=self.dtype)
 
     def compact(self, keep: np.ndarray) -> None:
         """Drop retired samples from the encoded batch (adaptive serving)."""
@@ -48,7 +96,8 @@ class PoissonCoding(InputEncoder):
     resulting rates.
     """
 
-    def __init__(self, gain: float = 1.0, seed: int = 0) -> None:
+    def __init__(self, gain: float = 1.0, seed: int = 0, dtype=None) -> None:
+        super().__init__(dtype=dtype)
         if gain <= 0:
             raise ValueError(f"gain must be positive, got {gain}")
         self.gain = gain
@@ -67,4 +116,4 @@ class PoissonCoding(InputEncoder):
         self._probabilities = self._probabilities[keep]
 
     def step(self, t: int) -> np.ndarray:
-        return (self._rng.random(self._probabilities.shape) < self._probabilities).astype(np.float64)
+        return (self._rng.random(self._probabilities.shape) < self._probabilities).astype(self.dtype)

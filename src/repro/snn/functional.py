@@ -22,6 +22,16 @@ can differ in the last few ulps because BLAS reduces the smaller product in
 a different blocking order.  The IF threshold comparison quantizes those
 ulps away, which is why the backend parity tests assert spike-for-spike
 equality on simulation outputs rather than on raw input currents.
+
+Every dense kernel accepts an optional ``workspace``
+(:class:`~repro.runtime.BufferPool`): when given, the im2col unfold and the
+kernel's output live in reused scratch buffers and the matrix product runs
+through ``np.matmul(..., out=...)``, so repeated same-shape calls — one per
+simulation timestep — allocate nothing.  Without a workspace the kernels are
+byte-for-byte the historical allocation-per-call implementations (including
+the einsum contraction, whose BLAS blocking the ``train64`` golden suites
+pin).  All kernels preserve their operands' dtype; nothing in this module
+names a floating dtype.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from ..autograd.conv import conv_output_shape, im2col
+from ..runtime import BufferPool
 
 __all__ = [
     "conv2d_raw",
@@ -54,31 +65,60 @@ def conv2d_raw(
     bias: Optional[np.ndarray] = None,
     stride: IntPair = 1,
     padding: IntPair = 0,
+    workspace: Optional[BufferPool] = None,
 ) -> np.ndarray:
-    """Plain-numpy 2-D convolution (NCHW inputs, OIHW weights)."""
+    """Plain-numpy 2-D convolution (NCHW inputs, OIHW weights).
+
+    With a ``workspace`` the unfold and the output reuse scratch buffers and
+    the contraction is a batched ``matmul`` into a preallocated output; the
+    result is overwritten by the next same-shape call.
+    """
 
     n, c_in, h, w = inputs.shape
     c_out = weight.shape[0]
     kh, kw = weight.shape[2], weight.shape[3]
     out_h, out_w = conv_output_shape(h, w, (kh, kw), stride, padding)
-    cols = im2col(inputs, (kh, kw), stride, padding)
+    cols = im2col(inputs, (kh, kw), stride, padding, workspace=workspace)
     w_mat = weight.reshape(c_out, -1)
-    out = np.einsum("ok,nkl->nol", w_mat, cols, optimize=True).reshape(n, c_out, out_h, out_w)
+    if workspace is None:
+        out = np.einsum("ok,nkl->nol", w_mat, cols, optimize=True).reshape(n, c_out, out_h, out_w)
+    else:
+        flat = workspace.take("conv_out", (n, c_out, out_h * out_w), inputs.dtype)
+        # Per-sample 2-D GEMMs go straight to BLAS; the broadcast 3-D matmul
+        # would route through numpy's buffered iterator and allocate a
+        # scratch block every call.
+        for sample in range(n):
+            np.matmul(w_mat, cols[sample], out=flat[sample])
+        out = flat.reshape(n, c_out, out_h, out_w)
     if bias is not None:
         out += bias.reshape(1, c_out, 1, 1)
     return out
 
 
-def linear_raw(inputs: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray] = None) -> np.ndarray:
+def linear_raw(
+    inputs: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    workspace: Optional[BufferPool] = None,
+) -> np.ndarray:
     """Plain-numpy affine map with ``(out_features, in_features)`` weights."""
 
-    out = inputs @ weight.T
+    if workspace is None:
+        out = inputs @ weight.T
+    else:
+        out = workspace.take("linear_out", (inputs.shape[0], weight.shape[0]), inputs.dtype)
+        np.matmul(inputs, weight.T, out=out)
     if bias is not None:
         out += bias
     return out
 
 
-def avg_pool2d_raw(inputs: np.ndarray, kernel_size: IntPair, stride: Optional[IntPair] = None) -> np.ndarray:
+def avg_pool2d_raw(
+    inputs: np.ndarray,
+    kernel_size: IntPair,
+    stride: Optional[IntPair] = None,
+    workspace: Optional[BufferPool] = None,
+) -> np.ndarray:
     """Plain-numpy average pooling over NCHW inputs."""
 
     if isinstance(kernel_size, int):
@@ -87,14 +127,29 @@ def avg_pool2d_raw(inputs: np.ndarray, kernel_size: IntPair, stride: Optional[In
     n, c, h, w = inputs.shape
     kh, kw = kernel_size
     out_h, out_w = conv_output_shape(h, w, (kh, kw), stride, 0)
-    cols = im2col(inputs, (kh, kw), stride, 0).reshape(n, c, kh * kw, out_h * out_w)
-    return cols.mean(axis=2).reshape(n, c, out_h, out_w)
+    cols = im2col(inputs, (kh, kw), stride, 0, workspace=workspace)
+    cols = cols.reshape(n, c, kh * kw, out_h * out_w)
+    if workspace is None:
+        return cols.mean(axis=2).reshape(n, c, out_h, out_w)
+    out = workspace.take("pool_out", (n, c, out_h * out_w), inputs.dtype)
+    # Accumulate the kernel taps with plain strided adds: `np.mean(axis=2,
+    # out=...)` routes through the buffered reduce machinery and allocates a
+    # scratch block every call.
+    np.copyto(out, cols[:, :, 0])
+    for tap in range(1, kh * kw):
+        out += cols[:, :, tap]
+    out *= 1.0 / (kh * kw)
+    return out.reshape(n, c, out_h, out_w)
 
 
-def global_avg_pool2d_raw(inputs: np.ndarray) -> np.ndarray:
+def global_avg_pool2d_raw(inputs: np.ndarray, workspace: Optional[BufferPool] = None) -> np.ndarray:
     """Plain-numpy global average pooling returning ``(N, C)``."""
 
-    return inputs.mean(axis=(2, 3))
+    if workspace is None:
+        return inputs.mean(axis=(2, 3))
+    out = workspace.take("gap_out", (inputs.shape[0], inputs.shape[1]), inputs.dtype)
+    np.mean(inputs, axis=(2, 3), out=out)
+    return out
 
 
 # -- event-driven (sparse) kernels -------------------------------------------------
@@ -176,23 +231,39 @@ def avg_pool2d_active_raw(
     kernel_size: IntPair,
     stride: Optional[IntPair],
     active: np.ndarray,
+    workspace: Optional[BufferPool] = None,
 ) -> np.ndarray:
     """Average pooling over the ``active`` channels; silent channels pool to 0.
 
     Pooling is channel-local and bias-free, so the scattered-back zeros are
-    bit-identical to pooling the silent channels densely.
+    bit-identical to pooling the silent channels densely.  The gathered
+    operands vary in shape with the active set, but the scatter target is
+    stable, so a ``workspace`` reuses it across timesteps (re-zeroed each
+    call because the active set changes).
     """
 
     pooled = avg_pool2d_raw(inputs[:, active], kernel_size, stride)
     n, _, out_h, out_w = pooled.shape
-    out = np.zeros((n, inputs.shape[1], out_h, out_w))
+    if workspace is None:
+        out = np.zeros((n, inputs.shape[1], out_h, out_w), dtype=inputs.dtype)
+    else:
+        out = workspace.take("pool_scatter", (n, inputs.shape[1], out_h, out_w), inputs.dtype)
+        out[...] = 0.0
     out[:, active] = pooled
     return out
 
 
-def global_avg_pool2d_active_raw(inputs: np.ndarray, active: np.ndarray) -> np.ndarray:
+def global_avg_pool2d_active_raw(
+    inputs: np.ndarray,
+    active: np.ndarray,
+    workspace: Optional[BufferPool] = None,
+) -> np.ndarray:
     """Global average pooling over the ``active`` channels (others read 0)."""
 
-    out = np.zeros((inputs.shape[0], inputs.shape[1]))
+    if workspace is None:
+        out = np.zeros((inputs.shape[0], inputs.shape[1]), dtype=inputs.dtype)
+    else:
+        out = workspace.take("gap_scatter", (inputs.shape[0], inputs.shape[1]), inputs.dtype)
+        out[...] = 0.0
     out[:, active] = inputs[:, active].mean(axis=(2, 3))
     return out

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..runtime import ComputePolicy, active_policy, as_float_array, resolve_policy
 from .backend import Backend, dense_backend, resolve_backend
 from .neuron import IFNeuronPool, ResetMode
 
@@ -64,7 +65,15 @@ def _pair_from_state(value):
 
 
 def _array_or_none(value) -> Optional[np.ndarray]:
-    return None if value is None else np.asarray(value, dtype=np.float64)
+    """Float-array coercion that *preserves* an existing float dtype.
+
+    Weights loaded from an ``infer32`` artifact arrive as float32 and must
+    stay float32 — re-pinning ``float64`` here (the historical behaviour)
+    was exactly the silent upcast the compute-policy runtime eliminates.
+    Non-float input is cast to the active policy's dtype.
+    """
+
+    return None if value is None else as_float_array(value)
 
 
 class SpikingLayer:
@@ -73,9 +82,13 @@ class SpikingLayer:
     name: str = "spiking"
     #: Instance attributes, declared at class level so subclasses need not
     #: call a base ``__init__``: the simulation backend (``None`` means the
-    #: shared dense default) and its per-layer scratch cache.
+    #: shared dense default), its per-layer scratch cache, and the compute
+    #: policy (``None`` means the process-wide active policy).
     _backend: Optional[Backend] = None
     _backend_cache: Optional[Dict[str, object]] = None
+    _policy: Optional[ComputePolicy] = None
+    #: Array-valued attributes :meth:`set_policy` casts (subclasses override).
+    _array_attrs: Tuple[str, ...] = ()
 
     @property
     def backend(self) -> Backend:
@@ -84,11 +97,23 @@ class SpikingLayer:
         return self._backend if self._backend is not None else dense_backend()
 
     @property
+    def policy(self) -> ComputePolicy:
+        """The compute policy governing this layer's arrays and kernels."""
+
+        return self._policy if self._policy is not None else active_policy()
+
+    @property
     def backend_cache(self) -> Dict[str, object]:
-        """Per-layer scratch state owned by the backend (lazily created)."""
+        """Per-layer scratch state owned by the backend (lazily created).
+
+        The layer stamps its compute policy into the cache so backend kernels
+        can decide dtype-aware behaviour (scratch reuse) without a signature
+        change; ``set_backend`` / ``set_policy`` drop the cache, so the stamp
+        always reflects the current policy.
+        """
 
         if self._backend_cache is None:
-            self._backend_cache = {}
+            self._backend_cache = {"policy": self.policy}
         return self._backend_cache
 
     def set_backend(self, spec: Union[str, Backend]) -> "SpikingLayer":
@@ -100,7 +125,29 @@ class SpikingLayer:
         """
 
         self._backend = resolve_backend(spec)
-        self._backend_cache = {}
+        self._backend_cache = None
+        return self
+
+    def set_policy(self, spec: Union[str, ComputePolicy]) -> "SpikingLayer":
+        """Switch the layer (weights, pools, caches) to a compute policy.
+
+        Synaptic weight arrays are cast to the policy dtype in place (a
+        no-op when they already match; note a ``float32`` → ``float64``
+        switch cannot restore bits a previous downcast discarded), every
+        owned IF pool follows, and the backend cache is dropped because its
+        cached operands (transposed weight copies, scratch buffers) carry
+        the old dtype.  Returns ``self``.
+        """
+
+        policy = resolve_policy(spec)
+        self._policy = policy
+        self._backend_cache = None
+        for attr in self._array_attrs:
+            value = getattr(self, attr, None)
+            if value is not None:
+                setattr(self, attr, policy.cast(value))
+        for pool in self.neuron_pools:
+            pool.set_policy(policy)
         return self
 
     def reset_state(self) -> None:
@@ -144,6 +191,7 @@ class SpikingConv2d(SpikingLayer):
     """Convolutional synapses + IF neurons."""
 
     name = "spiking_conv2d"
+    _array_attrs = ("weight", "bias")
 
     def __init__(
         self,
@@ -154,8 +202,8 @@ class SpikingConv2d(SpikingLayer):
         threshold: float = 1.0,
         reset_mode: ResetMode = ResetMode.SUBTRACT,
     ) -> None:
-        self.weight = np.asarray(weight, dtype=np.float64)
-        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.weight = as_float_array(weight)
+        self.bias = _array_or_none(bias)
         self.stride = stride
         self.padding = padding
         self.neurons = IFNeuronPool(threshold=threshold, reset_mode=reset_mode)
@@ -187,7 +235,7 @@ class SpikingConv2d(SpikingLayer):
     @classmethod
     def from_state(cls, state: Dict[str, object]) -> "SpikingConv2d":
         return cls(
-            weight=np.asarray(state["weight"], dtype=np.float64),
+            weight=as_float_array(state["weight"]),
             bias=_array_or_none(state.get("bias")),
             stride=_pair_from_state(state.get("stride", 1)),
             padding=_pair_from_state(state.get("padding", 0)),
@@ -200,6 +248,7 @@ class SpikingLinear(SpikingLayer):
     """Fully connected synapses + IF neurons."""
 
     name = "spiking_linear"
+    _array_attrs = ("weight", "bias")
 
     def __init__(
         self,
@@ -208,8 +257,8 @@ class SpikingLinear(SpikingLayer):
         threshold: float = 1.0,
         reset_mode: ResetMode = ResetMode.SUBTRACT,
     ) -> None:
-        self.weight = np.asarray(weight, dtype=np.float64)
-        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.weight = as_float_array(weight)
+        self.bias = _array_or_none(bias)
         self.neurons = IFNeuronPool(threshold=threshold, reset_mode=reset_mode)
 
     def reset_state(self) -> None:
@@ -235,7 +284,7 @@ class SpikingLinear(SpikingLayer):
     @classmethod
     def from_state(cls, state: Dict[str, object]) -> "SpikingLinear":
         return cls(
-            weight=np.asarray(state["weight"], dtype=np.float64),
+            weight=as_float_array(state["weight"]),
             bias=_array_or_none(state.get("bias")),
             threshold=float(state.get("threshold", 1.0)),
             reset_mode=ResetMode(state.get("reset_mode", "subtract")),
@@ -365,6 +414,7 @@ class SpikingResidualBlock(SpikingLayer):
     """
 
     name = "spiking_residual_block"
+    _array_attrs = ("ns_weight", "ns_bias", "osn_weight", "osi_weight", "os_bias")
 
     def __init__(
         self,
@@ -379,11 +429,11 @@ class SpikingResidualBlock(SpikingLayer):
         reset_mode: ResetMode = ResetMode.SUBTRACT,
         block_type: str = "A",
     ) -> None:
-        self.ns_weight = np.asarray(ns_weight, dtype=np.float64)
-        self.ns_bias = None if ns_bias is None else np.asarray(ns_bias, dtype=np.float64)
-        self.osn_weight = np.asarray(osn_weight, dtype=np.float64)
-        self.osi_weight = np.asarray(osi_weight, dtype=np.float64)
-        self.os_bias = None if os_bias is None else np.asarray(os_bias, dtype=np.float64)
+        self.ns_weight = as_float_array(ns_weight)
+        self.ns_bias = _array_or_none(ns_bias)
+        self.osn_weight = as_float_array(osn_weight)
+        self.osi_weight = as_float_array(osi_weight)
+        self.os_bias = _array_or_none(os_bias)
         self.ns_stride = ns_stride
         self.osi_stride = osi_stride
         self.block_type = block_type
@@ -394,23 +444,34 @@ class SpikingResidualBlock(SpikingLayer):
         self.ns_neurons.reset_state()
         self.os_neurons.reset_state()
 
+    def _sub_cache(self, name: str) -> Dict[str, object]:
+        """One synaptic path's backend cache (policy-stamped like the parent)."""
+
+        return self.backend_cache.setdefault(name, {"policy": self.policy})
+
     def step(self, inputs: np.ndarray) -> np.ndarray:
         # The block owns three synaptic paths; each gets its own sub-cache so
-        # the backend's per-path state (activity counters) stays separate.
-        cache = self.backend_cache
+        # the backend's per-path state (activity counters, scratch workspaces)
+        # stays separate.
         # Non-identity spiking layer (from Conv1), 3x3 with padding 1.
         ns_current = self.backend.conv2d(
-            inputs, self.ns_weight, self.ns_bias, self.ns_stride, 1, cache.setdefault("ns", {})
+            inputs, self.ns_weight, self.ns_bias, self.ns_stride, 1, self._sub_cache("ns")
         )
         ns_spikes = self.ns_neurons.step(ns_current)
         # Output spiking layer: input from NS (Conv2 path, 3x3 pad 1, stride 1)
         # plus input from the previous layer through the shortcut (1x1, no pad).
         os_current = self.backend.conv2d(
-            ns_spikes, self.osn_weight, None, 1, 1, cache.setdefault("osn", {})
+            ns_spikes, self.osn_weight, None, 1, 1, self._sub_cache("osn")
         )
-        os_current = os_current + self.backend.conv2d(
-            inputs, self.osi_weight, None, self.osi_stride, 0, cache.setdefault("osi", {})
+        osi_current = self.backend.conv2d(
+            inputs, self.osi_weight, None, self.osi_stride, 0, self._sub_cache("osi")
         )
+        if self.policy.in_place:
+            # ``os_current`` is the osn path's reused scratch output, so the
+            # sum can land in it instead of allocating a fresh array.
+            os_current += osi_current
+        else:
+            os_current = os_current + osi_current
         if self.os_bias is not None:
             os_current += self.os_bias.reshape(1, -1, 1, 1)
         return self.os_neurons.step(os_current)
@@ -437,10 +498,10 @@ class SpikingResidualBlock(SpikingLayer):
     @classmethod
     def from_state(cls, state: Dict[str, object]) -> "SpikingResidualBlock":
         return cls(
-            ns_weight=np.asarray(state["ns_weight"], dtype=np.float64),
+            ns_weight=as_float_array(state["ns_weight"]),
             ns_bias=_array_or_none(state.get("ns_bias")),
-            osn_weight=np.asarray(state["osn_weight"], dtype=np.float64),
-            osi_weight=np.asarray(state["osi_weight"], dtype=np.float64),
+            osn_weight=as_float_array(state["osn_weight"]),
+            osi_weight=as_float_array(state["osi_weight"]),
             os_bias=_array_or_none(state.get("os_bias")),
             ns_stride=_pair_from_state(state.get("ns_stride", 1)),
             osi_stride=_pair_from_state(state.get("osi_stride", 1)),
@@ -466,6 +527,10 @@ class SpikingOutputLayer(SpikingLayer):
     """
 
     name = "spiking_output"
+    _array_attrs = ("weight", "bias")
+    #: Reused all-zero spike output of the (never firing) membrane readout;
+    #: nothing may write into it.
+    _zero_scratch: Optional[np.ndarray] = None
 
     def __init__(
         self,
@@ -477,8 +542,8 @@ class SpikingOutputLayer(SpikingLayer):
     ) -> None:
         if readout not in ("spike_count", "membrane"):
             raise ValueError(f"unknown readout {readout!r}")
-        self.weight = np.asarray(weight, dtype=np.float64)
-        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self.weight = as_float_array(weight)
+        self.bias = _array_or_none(bias)
         self.readout = readout
         self.neurons = IFNeuronPool(threshold=threshold, reset_mode=reset_mode)
         self.accumulated: Optional[np.ndarray] = None
@@ -493,7 +558,13 @@ class SpikingOutputLayer(SpikingLayer):
             if self.accumulated is None:
                 self.accumulated = np.zeros_like(current)
             self.accumulated += current
-            return np.zeros_like(current)
+            if not self.policy.in_place:
+                return np.zeros_like(current)
+            zeros = self._zero_scratch
+            if zeros is None or zeros.shape != current.shape or zeros.dtype != current.dtype:
+                zeros = np.zeros_like(current)
+                self._zero_scratch = zeros
+            return zeros
         return self.neurons.step(current)
 
     def scores(self) -> np.ndarray:
@@ -510,6 +581,15 @@ class SpikingOutputLayer(SpikingLayer):
     @property
     def neuron_pools(self) -> List[IFNeuronPool]:
         return [self.neurons] if self.readout == "spike_count" else []
+
+    def set_policy(self, spec: Union[str, ComputePolicy]) -> "SpikingOutputLayer":
+        # The membrane readout hides the pool from `neuron_pools` (it never
+        # fires), but its policy — and the accumulated scores — must follow.
+        super().set_policy(spec)
+        self.neurons.set_policy(self.policy)
+        self.accumulated = self.policy.cast(self.accumulated)
+        self._zero_scratch = None
+        return self
 
     def compact(self, keep: np.ndarray) -> None:
         self.neurons.compact(keep)
@@ -529,7 +609,7 @@ class SpikingOutputLayer(SpikingLayer):
     @classmethod
     def from_state(cls, state: Dict[str, object]) -> "SpikingOutputLayer":
         return cls(
-            weight=np.asarray(state["weight"], dtype=np.float64),
+            weight=as_float_array(state["weight"]),
             bias=_array_or_none(state.get("bias")),
             readout=str(state.get("readout", "spike_count")),
             threshold=float(state.get("threshold", 1.0)),

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..runtime import ComputePolicy, active_policy, resolve_policy
 from .backend import DEFAULT_CROSSOVER, Backend, resolve_backend, select_backends
 from .encoding import InputEncoder, RealCoding
 from .layers import SpikingLayer, SpikingOutputLayer
@@ -89,6 +90,10 @@ class SpikingNetwork:
         #: reflected as-is.
         names = {layer.backend.name for layer in self.layers}
         self.backend_spec: str = names.pop() if len(names) == 1 else "mixed"
+        #: Compute policy of the whole stack (initially the active policy at
+        #: construction; :meth:`set_policy` switches it everywhere at once).
+        self._policy: ComputePolicy = active_policy()
+        self.policy_spec: str = self._policy.name
 
     # -- bookkeeping ----------------------------------------------------------
 
@@ -153,6 +158,34 @@ class SpikingNetwork:
 
         return [layer.backend.name for layer in self.layers]
 
+    # -- compute policy --------------------------------------------------------
+
+    @property
+    def policy(self) -> ComputePolicy:
+        """The compute policy governing every layer, pool and the encoder."""
+
+        return self._policy
+
+    def set_policy(self, spec: Union[str, ComputePolicy]) -> "SpikingNetwork":
+        """Switch the whole stack to a compute policy; returns ``self``.
+
+        ``spec`` is a profile name (``"train64"``, ``"infer32"``), or a
+        :class:`~repro.runtime.ComputePolicy` instance.  Every layer casts
+        its synaptic weights, every IF pool casts its live state, backend
+        caches are dropped (their cached operands carry the old dtype), and
+        the input encoder re-targets its emitted dtype.  Note that switching
+        a downcast network back up (``infer32`` → ``train64``) cannot
+        restore the bits the downcast discarded.
+        """
+
+        policy = resolve_policy(spec)
+        for layer in self.layers:
+            layer.set_policy(policy)
+        self.encoder.set_policy(policy)
+        self._policy = policy
+        self.policy_spec = policy.name
+        return self
+
     @property
     def output_layer(self) -> SpikingOutputLayer:
         return self.layers[-1]  # type: ignore[return-value]
@@ -204,7 +237,7 @@ class SpikingNetwork:
             raise ValueError(f"timesteps must be positive, got {timesteps}")
         if backend is not None:
             self.set_backend(backend)
-        images = np.asarray(images, dtype=np.float64)
+        images = self._policy.asarray(images)
         requested = {int(t) for t in (checkpoints or [])}
         out_of_range = sorted(t for t in requested if not 0 < t <= timesteps)
         if out_of_range:
@@ -240,7 +273,7 @@ class SpikingNetwork:
 
         if backend is not None:
             self.set_backend(backend)
-        images = np.asarray(images, dtype=np.float64)
+        images = self._policy.asarray(images)
         merged: Dict[int, List[np.ndarray]] = {}
         per_batch_stats: List[List[LayerSpikeStats]] = []
         for start in range(0, len(images), batch_size):

@@ -17,9 +17,11 @@ considerable information loss" — the ablation benchmark
 from __future__ import annotations
 
 from enum import Enum
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
+
+from ..runtime import ComputePolicy, resolve_policy
 
 __all__ = ["ResetMode", "IFNeuronPool"]
 
@@ -50,6 +52,11 @@ class IFNeuronPool:
         When true, the pool accumulates the total number of emitted spikes,
         which the statistics module turns into firing rates and energy
         proxies.
+    policy:
+        Compute policy governing the pool's state dtype and whether
+        :meth:`step` reuses preallocated scratch buffers (profile name,
+        :class:`~repro.runtime.ComputePolicy`, or ``None`` for the active
+        policy at construction time).
     """
 
     def __init__(
@@ -57,19 +64,41 @@ class IFNeuronPool:
         threshold: float = 1.0,
         reset_mode: ResetMode = ResetMode.SUBTRACT,
         record_spikes: bool = True,
+        policy: Union[None, str, ComputePolicy] = None,
     ) -> None:
         if threshold <= 0:
             raise ValueError(f"threshold must be positive, got {threshold}")
         self.threshold = float(threshold)
         self.reset_mode = ResetMode(reset_mode)
         self.record_spikes = record_spikes
+        self.policy: ComputePolicy = resolve_policy(policy)
         self.membrane: Optional[np.ndarray] = None
         self.spike_count: Optional[np.ndarray] = None
         self.steps = 0
+        # In-place profiles reuse these across timesteps (the fired mask and
+        # the float spike output) so `step` allocates nothing after warmup.
+        self._fired_scratch: Optional[np.ndarray] = None
+        self._spike_scratch: Optional[np.ndarray] = None
         # When enabled (SpikeNorm-style threshold balancing), the pool tracks
         # the largest weighted input current it has ever received.
         self.track_input_stats = False
         self.max_input_current = 0.0
+
+    def set_policy(self, policy: Union[str, ComputePolicy]) -> "IFNeuronPool":
+        """Switch compute policy, casting live state in place; returns ``self``.
+
+        Membrane potentials and spike counters survive the switch (cast to
+        the new dtype); scratch buffers are dropped and lazily re-allocated.
+        """
+
+        self.policy = resolve_policy(policy)
+        if self.membrane is not None:
+            self.membrane = self.policy.cast(self.membrane)
+        if self.spike_count is not None:
+            self.spike_count = self.policy.cast(self.spike_count)
+        self._fired_scratch = None
+        self._spike_scratch = None
+        return self
 
     def reset_state(self) -> None:
         """Forget membrane potential and spike counts (start of a new stimulus)."""
@@ -92,18 +121,29 @@ class IFNeuronPool:
             self.spike_count = self.spike_count[keep]
 
     def _ensure_state(self, shape: Tuple[int, ...]) -> None:
-        if self.membrane is None or self.membrane.shape != shape:
-            self.membrane = np.zeros(shape)
-            self.spike_count = np.zeros(shape) if self.record_spikes else None
+        policy = self.policy
+        if self.membrane is None or self.membrane.shape != shape or self.membrane.dtype != policy.dtype:
+            self.membrane = policy.zeros(shape)
+            self.spike_count = policy.zeros(shape) if self.record_spikes else None
             self.steps = 0
+        if policy.in_place and (
+            self._fired_scratch is None or self._fired_scratch.shape != shape
+        ):
+            self._fired_scratch = np.empty(shape, dtype=bool)
+            self._spike_scratch = policy.empty(shape)
 
     def step(self, input_current: np.ndarray) -> np.ndarray:
         """Advance one timestep with the given input current ``z``.
 
         Returns the binary spike output Θ (same shape as the input current).
+        The coercion below is copy-free when the input already carries the
+        policy dtype — the common case, since upstream layers produce their
+        currents under the same policy.  Under an in-place profile the
+        returned spike tensor is a reused scratch buffer, overwritten by the
+        next call; callers that keep spikes across timesteps must copy.
         """
 
-        input_current = np.asarray(input_current, dtype=np.float64)
+        input_current = self.policy.asarray(input_current)
         self._ensure_state(input_current.shape)
         if self.track_input_stats and input_current.size:
             batch_max = float(input_current.max())
@@ -115,8 +155,13 @@ class IFNeuronPool:
         # subtract is bit-identical to the textbook ``membrane -= V_thr * Θ``
         # (subtracting ``V_thr * 0.0`` never changes a float).
         self.membrane += input_current
-        fired = self.membrane >= self.threshold
-        spikes = fired.astype(np.float64)
+        if self.policy.in_place:
+            fired = np.greater_equal(self.membrane, self.threshold, out=self._fired_scratch)
+            spikes = self._spike_scratch
+            spikes[...] = fired
+        else:
+            fired = self.membrane >= self.threshold
+            spikes = fired.astype(self.policy.dtype)
         if self.reset_mode is ResetMode.SUBTRACT:
             np.subtract(self.membrane, self.threshold, out=self.membrane, where=fired)
         else:

@@ -31,9 +31,17 @@ from repro.snn import (
 
 
 def _toy_network(rng, readout: str = "spike_count", encoder=None) -> SpikingNetwork:
-    """A small network exercising every spiking layer type at once."""
+    """A small network exercising every spiking layer type at once.
 
-    return SpikingNetwork(
+    The trailing ``set_policy`` casts the float64 literal weights to the
+    ambient profile's dtype (a no-op under ``train64``), so the fixture is
+    policy-consistent even when the suite runs under
+    ``REPRO_COMPUTE_PROFILE=infer32`` — a mixed-precision network would
+    otherwise differ by an ulp from its round-tripped (profile-normalised)
+    copy.
+    """
+
+    network = SpikingNetwork(
         [
             SpikingConv2d(
                 rng.uniform(-0.2, 0.4, (4, 3, 3, 3)),
@@ -58,6 +66,7 @@ def _toy_network(rng, readout: str = "spike_count", encoder=None) -> SpikingNetw
         encoder=encoder,
         name="toy",
     )
+    return network.set_policy(network.policy)
 
 
 class TestLayerStateRoundTrip:
@@ -155,7 +164,8 @@ class TestArtifactBundles:
         path = save_artifact(network, tmp_path / "toy", metadata={"note": "test"})
         loaded = load_artifact(path)
         assert loaded.network.name == "toy"
-        assert loaded.metadata == {"note": "test"}
+        # The network's compute-policy profile is recorded automatically.
+        assert loaded.metadata == {"note": "test", "precision": network.policy_spec}
 
         replay = loaded.network.simulate(images, timesteps=25, checkpoints=[10])
         for t in (10, 25):
@@ -226,6 +236,83 @@ class TestArtifactBundles:
             json.dump(manifest, handle)
         with pytest.raises(ArtifactError, match="format_version"):
             load_artifact(path)
+
+
+class TestPrecisionRoundTrip:
+    """Artifact bundles must preserve array dtypes and re-apply the recorded
+    compute-policy profile (unknown profiles degrade to train64, mirroring
+    the unknown-backend fallback)."""
+
+    def _weight_dtypes(self, network):
+        return {
+            f"{index}:{attr}": getattr(layer, attr).dtype
+            for index, layer in enumerate(network.layers)
+            for attr in layer._array_attrs
+            if getattr(layer, attr) is not None
+        }
+
+    def test_infer32_bundle_preserves_dtypes_and_profile(self, rng, tmp_path):
+        network = _toy_network(rng).set_policy("infer32")
+        images = rng.uniform(0, 1, (4, 3, 8, 8)).astype(np.float32)
+        reference = network.simulate(images, timesteps=20)
+
+        # No explicit metadata: save_artifact records the live profile itself.
+        path = save_artifact(network, tmp_path / "f32")
+        loaded = load_artifact(path)
+        assert loaded.precision == "infer32"
+        assert loaded.network.policy_spec == "infer32"
+        dtypes = self._weight_dtypes(loaded.network)
+        assert dtypes and all(dtype == np.float32 for dtype in dtypes.values()), dtypes
+
+        replay = loaded.network.simulate(images, timesteps=20)
+        assert replay.scores[20].dtype == np.float32
+        assert np.array_equal(reference.scores[20], replay.scores[20])
+
+    def test_train64_bundle_preserves_dtypes_and_profile(self, rng, tmp_path):
+        network = _toy_network(rng).set_policy("train64")
+        path = save_artifact(network, tmp_path / "f64")
+        loaded = load_artifact(path)
+        assert loaded.precision == "train64"
+        assert loaded.network.policy_spec == "train64"
+        dtypes = self._weight_dtypes(loaded.network)
+        assert dtypes and all(dtype == np.float64 for dtype in dtypes.values()), dtypes
+
+    def test_unknown_recorded_profile_degrades_to_train64(self, rng, tmp_path):
+        network = _toy_network(rng)
+        path = save_artifact(network, tmp_path / "odd", metadata={"precision": "float8"})
+        with pytest.warns(UserWarning, match="unknown compute-policy profile"):
+            loaded = load_artifact(path)
+        assert loaded.network.policy_spec == "train64"
+
+    def test_bundle_without_profile_keeps_active_policy(self, rng, tmp_path):
+        # Simulate a bundle written before compute policies existed by
+        # stripping the auto-recorded key from the manifest.
+        path = save_artifact(_toy_network(rng), tmp_path / "legacy")
+        manifest = read_manifest(path)
+        del manifest["metadata"]["precision"]
+        with open(path / "manifest.json", "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+
+        loaded = load_artifact(path)
+        assert loaded.precision is None
+        from repro.runtime import active_policy
+
+        assert loaded.network.policy_spec == active_policy().name
+
+    def test_conversion_save_records_precision(self, trained_tcl_model, tiny_data, tmp_path):
+        model, _ = trained_tcl_model
+        _, _, test_images, _ = tiny_data
+        from repro.core import Converter
+
+        conversion = (
+            Converter(model).strategy("tcl").precision("infer32").calibrate(test_images).convert()
+        )
+        loaded = load_artifact(conversion.save(tmp_path / "fast"))
+        assert loaded.metadata["precision"] == "infer32"
+        assert loaded.network.policy_spec == "infer32"
+        reference = conversion.snn.simulate(test_images, timesteps=30)
+        replay = loaded.network.simulate(test_images, timesteps=30)
+        assert np.array_equal(reference.scores[30], replay.scores[30])
 
 
 class TestConversionResultExport:
