@@ -1,0 +1,129 @@
+"""Scheduler benchmark: layer-pipelined and batch-sharded simulation vs sequential.
+
+The executor refactor's pitch is that a feed-forward SNN's timestep loop
+parallelises without changing results: layer ``l`` can integrate timestep
+``t`` while layer ``l+1`` integrates ``t-1`` (the pipelined wavefront), and
+batch shards can run on independent network replicas (sharding).  This
+benchmark proves both properties on the ConvNet4 fixture:
+
+1. **Parity** — a converted ConvNet4 simulated under the sequential,
+   pipelined and sharded schedulers produces bit-identical class scores at
+   every checkpoint and the same total spike count.
+2. **Speedup** — on a multi-core runner, the better of the pipelined and
+   sharded schedulers must finish a full simulation in at most 1/1.5 of the
+   sequential wall-clock.  (Single-core runners skip the speedup assertion —
+   there is nothing to parallelise onto — but still verify parity.)
+
+The numpy kernels release the GIL for the heavy GEMM/im2col work, which is
+what makes thread-level scheduling real parallelism here.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Converter
+from repro.models import ConvNet4
+from repro.snn import SpikingNetwork
+
+from bench_utils import print_benchmark_header
+
+BATCH = 16
+TIMESTEPS = 20
+CHECKPOINTS = (10,)
+REPEATS = 3
+CORES = os.cpu_count() or 1
+
+
+def build_fixture() -> SpikingNetwork:
+    """A ConvNet4 converted at benchmark width (no training needed).
+
+    The weights are the architecture's random initialisation — wall-clock
+    per timestep depends on shapes, not on weight values — converted through
+    the real compiler so the layer stack is exactly what serving runs.
+    """
+
+    model = ConvNet4(
+        num_classes=10,
+        in_channels=3,
+        image_size=32,
+        channels=(32, 32, 64, 64),
+        hidden_features=256,
+        batch_norm=False,
+        rng=np.random.default_rng(11),
+    )
+    return Converter(model).strategy("tcl").convert().snn
+
+
+@pytest.fixture(scope="module")
+def fixture_network() -> SpikingNetwork:
+    return build_fixture()
+
+
+@pytest.fixture(scope="module")
+def fixture_images() -> np.ndarray:
+    return np.random.default_rng(3).uniform(0.0, 1.0, (BATCH, 3, 32, 32))
+
+
+def time_simulation(network: SpikingNetwork, images: np.ndarray, scheduler: str) -> float:
+    """Best-of-``REPEATS`` wall-clock seconds for one full simulation."""
+
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        network.simulate(images, TIMESTEPS, collect_statistics=False, scheduler=scheduler)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+class TestSchedulerParity:
+    def test_pipelined_and_sharded_match_sequential_bit_for_bit(
+        self, fixture_network, fixture_images
+    ):
+        """Same scores at every checkpoint, same spikes — only the clock moves."""
+
+        results = {
+            spec: fixture_network.simulate(
+                fixture_images, TIMESTEPS, checkpoints=CHECKPOINTS, scheduler=spec
+            )
+            for spec in ("sequential", "pipelined", "sharded")
+        }
+        sequential = results["sequential"]
+        for spec in ("pipelined", "sharded"):
+            other = results[spec]
+            for t, scores in sequential.scores.items():
+                assert np.array_equal(scores, other.scores[t]), f"{spec} scores diverge at T={t}"
+            assert sequential.total_spikes == other.total_spikes
+
+
+class TestSchedulerSpeedup:
+    @pytest.mark.skipif(
+        CORES < 2, reason="scheduler speedup needs a multi-core runner to parallelise onto"
+    )
+    def test_parallel_scheduler_beats_sequential(self, fixture_network, fixture_images):
+        """≥1.5x end-to-end on the ConvNet4 fixture for the better scheduler."""
+
+        network = fixture_network
+        sequential_s = time_simulation(network, fixture_images, "sequential")
+
+        print_benchmark_header(
+            f"Execution schedulers: full simulation wall-clock ({CORES} cores, "
+            f"batch {BATCH}, T={TIMESTEPS})"
+        )
+        print(f"{'scheduler':>12s} {'wall':>10s} {'speedup':>8s}")
+        print(f"{'sequential':>12s} {sequential_s * 1e3:8.1f}ms {'1.00x':>8s}")
+        speedups = {}
+        for spec in ("pipelined", "sharded"):
+            elapsed = time_simulation(network, fixture_images, spec)
+            speedups[spec] = sequential_s / elapsed
+            print(f"{spec:>12s} {elapsed * 1e3:8.1f}ms {speedups[spec]:7.2f}x")
+
+        best = max(speedups, key=speedups.get)
+        assert speedups[best] >= 1.5, (
+            f"expected the better parallel scheduler to reach ≥1.5x over sequential on "
+            f"{CORES} cores; best was {best} at {speedups[best]:.2f}x"
+        )

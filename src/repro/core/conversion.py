@@ -53,6 +53,7 @@ from ..nn.module import Module
 from ..runtime import ComputePolicy, resolve_policy, validate_policy_spec
 from ..snn.backend import Backend, validate_backend_spec
 from ..snn.encoding import InputEncoder, RealCoding
+from ..snn.executor import Scheduler, validate_scheduler_spec
 from ..snn.network import SpikingNetwork
 from ..snn.neuron import ResetMode
 from .graph import ConversionError, ConversionGraph, Diagnostic, trace
@@ -119,6 +120,13 @@ def _validate_precision(precision) -> None:
         raise ConversionError(str(error)) from None
 
 
+def _validate_scheduler(scheduler) -> None:
+    try:
+        validate_scheduler_spec(scheduler)
+    except ValueError as error:
+        raise ConversionError(str(error)) from None
+
+
 @dataclass
 class ConversionConfig:
     """Declarative description of one conversion.
@@ -149,6 +157,13 @@ class ConversionConfig:
         arithmetic itself (folding, norm-factors) runs under the active
         policy; the profile chosen here is applied to the emitted spiking
         network and recorded in serving-artifact metadata.
+    scheduler:
+        Execution scheduler of the converted network — ``"sequential"``
+        (default, the bit-identical single-threaded loop), ``"pipelined"``
+        (layer-pipelined wavefront across worker threads), ``"sharded"``
+        (batch split across independent network replicas), or a
+        :class:`~repro.snn.Scheduler` instance.  Applied to the emitted
+        network and recorded in serving-artifact metadata.
     input_norm_factor:
         λ of the network input (1.0 when images are fed in their natural
         scale, as the paper does).
@@ -162,6 +177,7 @@ class ConversionConfig:
     encoder: Optional[InputEncoder] = None
     backend: Union[str, Backend] = "dense"
     precision: Union[None, str, ComputePolicy] = None
+    scheduler: Union[str, Scheduler] = "sequential"
     input_norm_factor: float = 1.0
     calibration_batch_size: int = 64
 
@@ -181,6 +197,7 @@ class ConversionConfig:
         _validate_strategy(config.strategy)
         _validate_backend(config.backend)
         _validate_precision(config.precision)
+        _validate_scheduler(config.scheduler)
         if config.input_norm_factor <= 0:
             raise ConversionError(f"input_norm_factor must be positive, got {config.input_norm_factor}")
         if config.calibration_batch_size <= 0:
@@ -270,6 +287,7 @@ class ConversionResult:
     readout: str = "spike_count"
     backend: str = "dense"
     precision: str = "train64"
+    scheduler: str = "sequential"
     report: Optional[ConversionReport] = None
 
     @property
@@ -290,6 +308,7 @@ class ConversionResult:
             "readout": self.readout,
             "backend": self.backend,
             "precision": self.precision,
+            "scheduler": self.scheduler,
         }
 
     def save(self, path) -> "object":
@@ -419,6 +438,27 @@ class Converter:
         self._config = replace(self._config, precision=precision)
         return self
 
+    def scheduler(self, scheduler: Union[str, Scheduler]) -> "Converter":
+        """Choose the execution scheduler of the converted network.
+
+        ``"sequential"`` (default), ``"pipelined"``, ``"sharded"``, or a
+        :class:`~repro.snn.Scheduler` instance.  The choice is applied to
+        the emitted spiking network
+        (:meth:`~repro.snn.SpikingNetwork.set_scheduler`) and recorded in
+        the artifact metadata so served copies run the way they were
+        benchmarked.  Schedulers are an execution choice, not a modelling
+        one: under the paper's deterministic real coding results are
+        identical across schedulers (pipelined is bit-identical for every
+        encoder; sharded membrane-readout scores agree to float precision);
+        a stochastic Poisson encoder redraws spike trains per shard under
+        ``"sharded"``, exactly as Poisson results already vary with batch
+        composition under adaptive compaction.
+        """
+
+        _validate_scheduler(scheduler)
+        self._config = replace(self._config, scheduler=scheduler)
+        return self
+
     def encode(self, encoder: InputEncoder) -> "Converter":
         """Choose the input coding (default: real / constant-current)."""
 
@@ -528,6 +568,7 @@ class Converter:
                     _output_norm_from_logits(logits) if config.readout == "spike_count" else 1.0
                 ),
                 backend=config.backend,
+                scheduler=config.scheduler,
             )
             self._pipeline.run(graph, ctx, strict=True)
         finally:
@@ -543,6 +584,9 @@ class Converter:
         # network switches to the requested inference profile (None inherits
         # the active policy, so the default stays bit-identical f64).
         snn.set_policy(resolve_policy(config.precision))
+        # The timestep loop is a network-level concern (layers hold no
+        # scheduler state), so the choice lands here rather than per layer.
+        snn.set_scheduler(config.scheduler)
         return ConversionResult(
             snn=snn,
             strategy_name=strategy.name,
@@ -553,6 +597,7 @@ class Converter:
             readout=config.readout,
             backend=snn.backend_spec,
             precision=snn.policy_spec,
+            scheduler=snn.scheduler_spec,
             report=_report_from_graph(graph, self._pipeline.names),
         )
 

@@ -71,6 +71,13 @@ class LoweringContext:
     passes stamp onto every spiking layer they produce; the
     :class:`~repro.core.conversion.Converter` additionally applies it at the
     network level, where ``"auto"`` can account for the input encoder.
+
+    ``scheduler`` is the execution-scheduler spec (``"sequential"``/
+    ``"pipelined"``/``"sharded"`` or a
+    :class:`~repro.snn.executor.Scheduler` instance).  Unlike the backend it
+    has no per-layer stamp — the timestep loop is a network-level concern —
+    but custom passes can read the configured choice here; the Converter
+    applies it to the emitted network and records it in artifact metadata.
     """
 
     strategy: NormFactorStrategy
@@ -78,6 +85,7 @@ class LoweringContext:
     readout: str = "spike_count"
     output_norm_factor: float = 1.0
     backend: object = "dense"
+    scheduler: object = "sequential"
 
 
 class LoweringRule:

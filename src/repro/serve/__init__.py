@@ -6,11 +6,12 @@ on-disk artifact and runs adaptive-latency inference against it:
 * :mod:`repro.serve.serialize` — ``.npz`` + JSON artifact bundles,
 * :mod:`repro.serve.registry` — versioned storage with a bounded LRU cache,
 * :mod:`repro.serve.engine` — per-sample early-exit simulation with batch
-  compaction and simulation-backend override (dense / event-driven / auto),
+  compaction, simulation-backend override (dense / event-driven / auto) and
+  execution-scheduler override (sequential / pipelined / sharded),
 * :mod:`repro.serve.batcher` — dynamic micro-batching of single requests,
 * :mod:`repro.serve.server` — threaded worker loop plus futures API,
-* :mod:`repro.serve.metrics` — p50/p95 latency, throughput and energy-proxy
-  telemetry,
+* :mod:`repro.serve.metrics` — p50/p95/p99 latency (queue and compute
+  components split out), throughput and energy-proxy telemetry,
 * :mod:`repro.serve.cli` — the ``repro-serve`` console entry point.
 """
 

@@ -58,6 +58,23 @@ class MicroBatcher:
     def pending(self) -> int:
         return self._queue.qsize()
 
+    def drain(self) -> List[InferenceRequest]:
+        """Remove and return every currently queued request.
+
+        The server calls this after its workers have exited: a request that
+        slipped into the queue during the shutdown drain would otherwise
+        keep an unresolved future forever.  The caller owns resolving the
+        returned requests' futures (the server fails them with an explicit
+        shutdown error).
+        """
+
+        drained: List[InferenceRequest] = []
+        while True:
+            try:
+                drained.append(self._queue.get_nowait())
+            except queue.Empty:
+                return drained
+
     def next_batch(self, timeout: Optional[float] = None) -> List[InferenceRequest]:
         """Block for the next batch of requests.
 

@@ -55,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="train64",
         help="compute-policy profile of the converted network (recorded in the artifact)",
     )
+    demo.add_argument(
+        "--scheduler",
+        choices=("sequential", "pipelined", "sharded"),
+        default="sequential",
+        help="execution scheduler of the converted network (recorded in the artifact)",
+    )
     demo.add_argument("--seed", type=int, default=7, help="experiment seed")
 
     inspect = sub.add_parser("inspect", help="print the manifest of an artifact bundle")
@@ -83,6 +89,7 @@ def _run_demo(args: argparse.Namespace) -> int:
         stability_window=args.stability_window,
         backend=args.backend,
         precision=args.precision,
+        scheduler=args.scheduler,
     )
 
     config = ExperimentConfig(
@@ -104,12 +111,16 @@ def _run_demo(args: argparse.Namespace) -> int:
     model, ann_accuracy, _ = train_ann(config, train_images, train_labels, test_images, test_labels, clip_enabled=True)
     print(f"  ANN accuracy: {ann_accuracy:.3f}")
 
-    print(f"· converting to SNN (TCL norm-factors, {args.backend} backend, {args.precision} precision) …")
+    print(
+        f"· converting to SNN (TCL norm-factors, {args.backend} backend, "
+        f"{args.precision} precision, {args.scheduler} scheduler) …"
+    )
     conversion = (
         Converter(model)
         .strategy("tcl")
         .backend(args.backend)
         .precision(args.precision)
+        .scheduler(args.scheduler)
         .calibrate(train_images)
         .convert()
     )

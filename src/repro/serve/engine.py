@@ -27,12 +27,19 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
 from ..runtime import ComputePolicy, resolve_policy, validate_policy_spec
 from ..snn.backend import Backend, validate_backend_spec
+from ..snn.executor import (
+    ExecutionPlan,
+    Scheduler,
+    StepHook,
+    resolve_scheduler,
+    validate_scheduler_spec,
+)
 from ..snn.network import SpikingNetwork
 
 __all__ = ["AdaptiveConfig", "InferenceOutcome", "AdaptiveEngine"]
@@ -58,6 +65,18 @@ class AdaptiveConfig:
     (``"train64"``/``"infer32"`` or a :class:`~repro.runtime.ComputePolicy`
     instance); ``None`` keeps the network's current policy — typically the
     loaded artifact's recorded profile.
+
+    ``scheduler`` chooses the execution scheduler of every engine run
+    (``"sequential"``/``"pipelined"``/``"sharded"`` or a
+    :class:`~repro.snn.Scheduler` instance); ``None`` keeps the network's
+    current scheduler — typically the loaded artifact's recorded choice.
+    Early exit needs every layer at one consistent timestep before it can
+    retire samples, so the pipelined wavefront degrades to sequential for
+    adaptive runs; sharding composes fully — each batch shard runs the
+    early-exit loop on its own replica and compacts independently, with
+    per-sample results identical under the deterministic real coding
+    (Poisson draws redraw per shard, as they already vary with batch
+    composition under compaction).
     """
 
     max_timesteps: int = 200
@@ -67,6 +86,7 @@ class AdaptiveConfig:
     adaptive: bool = True
     backend: Optional[Union[str, Backend]] = None
     precision: Optional[Union[str, ComputePolicy]] = None
+    scheduler: Optional[Union[str, Scheduler]] = None
 
     def __post_init__(self) -> None:
         if self.max_timesteps <= 0:
@@ -84,6 +104,7 @@ class AdaptiveConfig:
             raise ValueError(f"margin_threshold must lie in (0, 1], got {self.margin_threshold}")
         validate_backend_spec(self.backend, allow_none=True)
         validate_policy_spec(self.precision, allow_none=True)
+        validate_scheduler_spec(self.scheduler, allow_none=True)
 
 
 @dataclass
@@ -124,6 +145,102 @@ def _softmax_margin(scores: np.ndarray, t: int) -> np.ndarray:
     return top2[:, 1] - top2[:, 0]
 
 
+@dataclass
+class _EarlyExitResult:
+    """One hook's payload: final scores, exit latencies, spike total."""
+
+    scores: np.ndarray
+    exit_timesteps: np.ndarray
+    total_spikes: float
+
+
+class _EarlyExitHook(StepHook):
+    """The adaptive retirement loop as an executor :class:`StepHook`.
+
+    One instance observes one run over one network (or shard replica): after
+    every timestep it reads the output scores, applies the stability-window
+    and softmax-margin retirement rules, records retired samples' scores and
+    spike budget, and compacts the network and encoder down to the undecided
+    remainder.  Under the sharded scheduler each shard gets its own hook, so
+    compaction stays shard-local and the per-shard payloads concatenate back
+    in order.
+    """
+
+    def __init__(self, config: AdaptiveConfig) -> None:
+        self.config = config
+
+    def start(self, network: SpikingNetwork, batch_size: int) -> None:
+        cfg = self.config
+        self.network = network
+        self.num_samples = batch_size
+        self.final_scores: Optional[np.ndarray] = None
+        self.exit_timesteps = np.full(batch_size, cfg.max_timesteps, dtype=np.int64)
+        self.active_indices = np.arange(batch_size)
+        self.last_prediction = np.full(batch_size, -1, dtype=np.int64)
+        self.stable_steps = np.zeros(batch_size, dtype=np.int64)
+        self.total_spikes = 0.0
+
+    def _active_spikes(self, mask: np.ndarray) -> float:
+        """Total spikes recorded so far for the masked samples of the active batch."""
+
+        total = 0.0
+        for layer in self.network.layers:
+            for pool in layer.neuron_pools:
+                if pool.spike_count is not None:
+                    total += float(pool.spike_count[mask].sum())
+        return total
+
+    def after_step(self, t: int) -> bool:
+        cfg = self.config
+        network = self.network
+        scores = network.output_layer.scores()
+        if self.final_scores is None:
+            self.final_scores = np.zeros((self.num_samples, scores.shape[1]), dtype=scores.dtype)
+
+        predictions = scores.argmax(axis=1)
+        self.stable_steps = np.where(predictions == self.last_prediction, self.stable_steps + 1, 1)
+        self.last_prediction = predictions
+        # A sample whose classes are all tied (typically all-zero scores
+        # before the first output spike arrives) has no prediction yet:
+        # its arg-max is an artefact of tie-breaking, so it must not
+        # accumulate stability credit or clear a margin threshold.
+        undecided = scores.max(axis=1) == scores.min(axis=1)
+        self.stable_steps[undecided] = 0
+
+        retire = np.zeros(len(self.active_indices), dtype=bool)
+        if cfg.adaptive and t >= cfg.min_timesteps:
+            retire |= self.stable_steps >= cfg.stability_window
+            if cfg.margin_threshold is not None:
+                retire |= _softmax_margin(scores, t) >= cfg.margin_threshold
+        if t == cfg.max_timesteps:
+            retire[:] = True
+        if not retire.any():
+            return False
+
+        retired_indices = self.active_indices[retire]
+        self.final_scores[retired_indices] = scores[retire]
+        self.exit_timesteps[retired_indices] = t
+        self.total_spikes += self._active_spikes(retire)
+
+        keep = ~retire
+        if not keep.any():
+            return True
+        network.compact(keep)
+        network.encoder.compact(keep)
+        self.active_indices = self.active_indices[keep]
+        self.last_prediction = self.last_prediction[keep]
+        self.stable_steps = self.stable_steps[keep]
+        return False
+
+    def result(self) -> _EarlyExitResult:
+        assert self.final_scores is not None  # max_timesteps >= 1 guarantees one step
+        return _EarlyExitResult(
+            scores=self.final_scores,
+            exit_timesteps=self.exit_timesteps,
+            total_spikes=self.total_spikes,
+        )
+
+
 class AdaptiveEngine:
     """Drives a spiking network timestep-by-timestep with per-sample early exit."""
 
@@ -148,18 +265,17 @@ class AdaptiveEngine:
             return
         network.set_backend(backend)
 
-    def _active_spikes(self, mask: np.ndarray) -> float:
-        """Total spikes recorded so far for the masked samples of the active batch."""
-
-        total = 0.0
-        for layer in self.network.layers:
-            for pool in layer.neuron_pools:
-                if pool.spike_count is not None:
-                    total += float(pool.spike_count[mask].sum())
-        return total
-
     def infer(self, images: np.ndarray) -> InferenceOutcome:
-        """Run the adaptive simulation over a batch of analog images."""
+        """Run the adaptive simulation over a batch of analog images.
+
+        The timestep loop is the executor's (:mod:`repro.snn.executor`):
+        the engine compiles an :class:`~repro.snn.ExecutionPlan` whose
+        :class:`StepHook` carries the retirement logic and hands it to the
+        configured scheduler.  Under ``"sharded"`` each batch shard runs the
+        early-exit loop on its own network replica (compacting
+        independently) and the per-shard payloads concatenate back in
+        sample order.
+        """
 
         cfg = self.config
         # Cast once at the boundary to the network's policy dtype (copy-free
@@ -167,65 +283,25 @@ class AdaptiveEngine:
         images = self.network.policy.asarray(images)
         if images.ndim < 2:
             raise ValueError(f"expected a batched input, got shape {images.shape}")
-        num_samples = images.shape[0]
 
         network = self.network
+        scheduler = (
+            network.scheduler if cfg.scheduler is None else resolve_scheduler(cfg.scheduler)
+        )
         started = time.perf_counter()
-        network.reset_state()
-        network.encoder.reset(images)
-
-        final_scores: Optional[np.ndarray] = None
-        exit_timesteps = np.full(num_samples, cfg.max_timesteps, dtype=np.int64)
-        active_indices = np.arange(num_samples)
-        last_prediction = np.full(num_samples, -1, dtype=np.int64)
-        stable_steps = np.zeros(num_samples, dtype=np.int64)
-        total_spikes = 0.0
-
-        for t in range(1, cfg.max_timesteps + 1):
-            network.step(network.encoder.step(t))
-            scores = network.output_layer.scores()
-            if final_scores is None:
-                final_scores = np.zeros((num_samples, scores.shape[1]), dtype=scores.dtype)
-
-            predictions = scores.argmax(axis=1)
-            stable_steps = np.where(predictions == last_prediction, stable_steps + 1, 1)
-            last_prediction = predictions
-            # A sample whose classes are all tied (typically all-zero scores
-            # before the first output spike arrives) has no prediction yet:
-            # its arg-max is an artefact of tie-breaking, so it must not
-            # accumulate stability credit or clear a margin threshold.
-            undecided = scores.max(axis=1) == scores.min(axis=1)
-            stable_steps[undecided] = 0
-
-            retire = np.zeros(len(active_indices), dtype=bool)
-            if cfg.adaptive and t >= cfg.min_timesteps:
-                retire |= stable_steps >= cfg.stability_window
-                if cfg.margin_threshold is not None:
-                    retire |= _softmax_margin(scores, t) >= cfg.margin_threshold
-            if t == cfg.max_timesteps:
-                retire[:] = True
-            if not retire.any():
-                continue
-
-            retired_indices = active_indices[retire]
-            final_scores[retired_indices] = scores[retire]
-            exit_timesteps[retired_indices] = t
-            total_spikes += self._active_spikes(retire)
-
-            keep = ~retire
-            if not keep.any():
-                break
-            network.compact(keep)
-            network.encoder.compact(keep)
-            active_indices = active_indices[keep]
-            last_prediction = last_prediction[keep]
-            stable_steps = stable_steps[keep]
-
-        assert final_scores is not None  # max_timesteps >= 1 guarantees one step
+        plan = ExecutionPlan.compile(
+            network,
+            cfg.max_timesteps,
+            collect_statistics=False,
+            hook_factory=lambda: _EarlyExitHook(cfg),
+            record_final=False,
+        )
+        execution = scheduler.execute(plan, images)
+        parts: List[_EarlyExitResult] = execution.hook_results
         return InferenceOutcome(
-            scores=final_scores,
-            exit_timesteps=exit_timesteps,
+            scores=np.concatenate([part.scores for part in parts], axis=0),
+            exit_timesteps=np.concatenate([part.exit_timesteps for part in parts]),
             max_timesteps=cfg.max_timesteps,
-            total_spikes=total_spikes,
+            total_spikes=float(sum(part.total_spikes for part in parts)),
             wall_seconds=time.perf_counter() - started,
         )

@@ -111,6 +111,24 @@ class LoadedArtifact:
         value = self.metadata.get("precision")
         return None if value is None else str(value)
 
+    @property
+    def scheduler(self) -> Optional[str]:
+        """Execution scheduler recorded by the exporter ("sequential"/"pipelined"/"sharded").
+
+        ``load_artifact`` already applied it to the rebuilt network; bundles
+        written before schedulers existed return None and run sequentially.
+        Only the spec *name* round-trips: a custom ``Scheduler`` instance
+        (or a non-default shard count / queue depth) must be re-applied with
+        ``set_scheduler`` after loading — unknown recorded names degrade to
+        the sequential scheduler with a warning.  For real-coded bundles
+        the degradation changes wall-clock only; a Poisson-coded bundle
+        additionally stops redrawing per shard (see
+        :class:`~repro.snn.ShardedScheduler`).
+        """
+
+        value = self.metadata.get("scheduler")
+        return None if value is None else str(value)
+
 
 def _jsonable(value):
     """Coerce exporter metadata into JSON-compatible values."""
@@ -160,11 +178,11 @@ def save_artifact(
 ) -> Path:
     """Write ``network`` (and optional exporter metadata) as a bundle at ``path``.
 
-    The network's compute-policy profile is recorded under the ``precision``
-    metadata key unless the caller already supplied one (as
-    ``ConversionResult.export_metadata`` does), so a directly-saved
-    ``infer32`` network reloads under ``infer32`` instead of as a
-    mixed-precision bundle.
+    The network's compute-policy profile and execution scheduler are
+    recorded under the ``precision`` / ``scheduler`` metadata keys unless
+    the caller already supplied them (as ``ConversionResult.export_metadata``
+    does), so a directly-saved ``infer32`` network reloads under ``infer32``
+    and a pipelined network reloads pipelined.
 
     ``path`` is created as a directory (parents included); an existing bundle
     at the same location is replaced.  The bundle is written into a staging
@@ -197,6 +215,7 @@ def save_artifact(
 
     recorded = dict(metadata or {})
     recorded.setdefault("precision", network.policy_spec)
+    recorded.setdefault("scheduler", network.scheduler_spec)
     manifest = {
         "format_version": FORMAT_VERSION,
         "name": network.name,
@@ -310,6 +329,23 @@ def load_artifact(path: Union[str, Path]) -> LoadedArtifact:
                 stacklevel=2,
             )
             network.set_policy("train64")
+    scheduler = metadata.get("scheduler")
+    if scheduler is not None:
+        # The exporter's execution-scheduler choice travels with the bundle
+        # so a served copy parallelises the way it was benchmarked.  Like
+        # the backend it is an execution hint, never semantics: unknown
+        # recorded names (custom Scheduler instances, future schedulers)
+        # degrade to the sequential loop, changing wall-clock only.
+        try:
+            network.set_scheduler(str(scheduler))
+        except ValueError:
+            warnings.warn(
+                f"artifact at {path} records unknown execution scheduler {scheduler!r}; "
+                "running sequentially (custom Scheduler instances do not round-trip "
+                "through bundles — re-apply with set_scheduler)",
+                UserWarning,
+                stacklevel=2,
+            )
     backend = metadata.get("backend")
     if backend is not None:
         # The exporter's simulation-backend choice travels with the bundle so

@@ -70,6 +70,11 @@ class InferenceServer:
         self._stop = threading.Event()
         self._model_locks: Dict[Tuple[str, str], threading.Lock] = defaultdict(threading.Lock)
         self._locks_guard = threading.Lock()
+        # Guards the closed flag against submits racing a stop(): a submit
+        # either enqueues before stop() flips the flag (and is then caught
+        # by the post-join drain) or fails fast on a stopped server.
+        self._closed = False
+        self._submit_guard = threading.Lock()
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -81,6 +86,8 @@ class InferenceServer:
         if self._workers:
             raise RuntimeError("server is already running")
         self._stop.clear()
+        with self._submit_guard:
+            self._closed = False
         for index in range(self.num_workers):
             worker = threading.Thread(target=self._worker_loop, name=f"repro-serve-{index}", daemon=True)
             worker.start()
@@ -88,9 +95,26 @@ class InferenceServer:
         return self
 
     def stop(self, drain: bool = True) -> None:
-        """Stop the workers; with ``drain`` the queue is emptied first."""
+        """Stop the workers; with ``drain`` the queue is emptied first.
+
+        Every future accepted by :meth:`submit` before this call returns is
+        guaranteed to complete: requests the workers picked up resolve
+        normally, and any request still queued when the workers exit — a
+        request can slip in after the drain loop saw an empty queue but
+        before the workers observed the stop signal — is failed with a
+        ``RuntimeError`` instead of being dropped with its future forever
+        pending.  Once the server is marked closed, further :meth:`submit`
+        calls fail fast, so no request can sneak in behind the final drain.
+        """
 
         if not self._workers:
+            # Never started (or already stopped): there are no workers to
+            # join, but the completion guarantee still applies — close the
+            # intake and fail anything queued before start() was ever
+            # called, instead of leaving those futures pending forever.
+            with self._submit_guard:
+                self._closed = True
+            self._fail_drained()
             return
         if drain:
             while self.batcher.pending:
@@ -99,6 +123,24 @@ class InferenceServer:
         for worker in self._workers:
             worker.join()
         self._workers = []
+        # Flip the flag under the submit guard *before* the final drain: a
+        # concurrent submit either already enqueued (the drain below catches
+        # it) or observes the closed server and raises.
+        with self._submit_guard:
+            self._closed = True
+        self._fail_drained()
+
+    def _fail_drained(self) -> None:
+        """Fail every request still queued — no worker will ever serve it."""
+
+        for request in self.batcher.drain():
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(
+                    RuntimeError(
+                        f"inference server stopped before request for model "
+                        f"{request.model!r} was served"
+                    )
+                )
 
     def __enter__(self) -> "InferenceServer":
         return self.start()
@@ -115,10 +157,19 @@ class InferenceServer:
         batch once to the target model's compute-policy dtype, so a float32
         request served by an ``infer32`` model is never round-tripped
         through float64.
+
+        Raises ``RuntimeError`` once the server has been stopped: with the
+        workers gone the request could never be served, and enqueueing it
+        would strand its future forever.  (Submitting *before* ``start()``
+        is still allowed — the queue is simply drained when the workers
+        come up.)
         """
 
         request = InferenceRequest(image=np.asarray(image), model=model, version=version)
-        return self.batcher.submit(request)
+        with self._submit_guard:
+            if self._closed:
+                raise RuntimeError("inference server has been stopped; no workers will serve this request")
+            return self.batcher.submit(request)
 
     def infer(self, image: np.ndarray, model: str, version: Optional[str] = None, timeout: Optional[float] = None) -> InferenceReply:
         """Blocking single-sample inference."""

@@ -64,6 +64,22 @@ class InputEncoder:
         self._policy = resolve_policy(policy)
         return self
 
+    def clone(self) -> "InputEncoder":
+        """A fresh, state-free copy of this encoder (same configuration).
+
+        The sharded execution scheduler gives each batch shard its own
+        network replica, and every replica needs its own encoder — per-batch
+        state (the encoded images) must not leak between shards.  Subclasses
+        whose ``__init__`` takes configuration must override (a seeded
+        stochastic encoder should restart from its seed so replicas draw
+        deterministically).
+        """
+
+        twin = type(self)()
+        twin._dtype = self._dtype
+        twin._policy = self._policy
+        return twin
+
     def reset(self, images: np.ndarray) -> None:
         """Prepare the encoder for a new batch of analog images.
 
@@ -103,6 +119,14 @@ class PoissonCoding(InputEncoder):
         self.gain = gain
         self.seed = seed
         self._rng = np.random.default_rng(seed)
+
+    def clone(self) -> "PoissonCoding":
+        # Restart the twin's stream from the seed: replica draws are then a
+        # deterministic function of (seed, shard contents), not of how many
+        # steps the original has already taken.
+        twin = PoissonCoding(gain=self.gain, seed=self.seed, dtype=self._dtype)
+        twin._policy = self._policy
+        return twin
 
     def reset(self, images: np.ndarray) -> None:
         super().reset(images)

@@ -168,6 +168,25 @@ class SpikingLayer:
         for pool in self.neuron_pools:
             pool.compact(keep)
 
+    def clone(self) -> "SpikingLayer":
+        """An independent stateful twin of this layer (shared weights).
+
+        The twin round-trips through :meth:`state_dict`/:meth:`from_state`,
+        which is dtype-preserving and copy-free for arrays: synaptic weights
+        are shared (they are read-only during simulation) while membrane
+        state, spike counters and the backend cache start fresh.  The
+        simulation backend is carried over by instance (backends are
+        stateless) and the compute policy follows.  The sharded execution
+        scheduler builds its per-shard network replicas this way.
+        """
+
+        twin = layer_from_state(self.state_dict())
+        if self._backend is not None:
+            twin.set_backend(self._backend)
+        if self._policy is not None:
+            twin.set_policy(self._policy)
+        return twin
+
     # -- serialization --------------------------------------------------------
 
     def state_dict(self) -> Dict[str, object]:

@@ -6,11 +6,16 @@ presents a batch of analog images for ``timesteps`` cycles and returns the
 accumulated class scores — optionally at several intermediate latencies in a
 single pass, which is how the Table-1 benchmarks sweep T ∈ {50, 100, 150, …}
 without re-simulating from scratch for every latency.
+
+The timestep loop itself lives in :mod:`repro.snn.executor`: ``simulate``
+and ``simulate_batched`` compile an :class:`~repro.snn.executor.ExecutionPlan`
+and hand it to the network's execution scheduler (sequential by default;
+layer-pipelined and batch-sharded schedulers exploit multiple cores without
+changing results — see :meth:`SpikingNetwork.set_scheduler`).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
@@ -19,8 +24,15 @@ import numpy as np
 from ..runtime import ComputePolicy, active_policy, resolve_policy
 from .backend import DEFAULT_CROSSOVER, Backend, resolve_backend, select_backends
 from .encoding import InputEncoder, RealCoding
+from .executor import (
+    ExecutionPlan,
+    Scheduler,
+    merge_execution_results,
+    resolve_scheduler,
+    sequential_scheduler,
+)
 from .layers import SpikingLayer, SpikingOutputLayer
-from .statistics import LayerSpikeStats, collect_spike_stats, merge_spike_stats
+from .statistics import LayerSpikeStats
 
 __all__ = ["SimulationResult", "SpikingNetwork"]
 
@@ -94,6 +106,10 @@ class SpikingNetwork:
         #: construction; :meth:`set_policy` switches it everywhere at once).
         self._policy: ComputePolicy = active_policy()
         self.policy_spec: str = self._policy.name
+        #: Execution scheduler driving the timestep loop (see
+        #: :mod:`repro.snn.executor`); :meth:`set_scheduler` switches it.
+        self._scheduler: Scheduler = sequential_scheduler()
+        self.scheduler_spec: str = self._scheduler.name
 
     # -- bookkeeping ----------------------------------------------------------
 
@@ -186,6 +202,30 @@ class SpikingNetwork:
         self.policy_spec = policy.name
         return self
 
+    # -- execution scheduler ---------------------------------------------------
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The execution scheduler driving this network's timestep loop."""
+
+        return self._scheduler
+
+    def set_scheduler(self, spec: Union[str, Scheduler]) -> "SpikingNetwork":
+        """Choose the execution scheduler; returns ``self``.
+
+        ``spec`` is ``"sequential"`` (the bit-identical single-threaded
+        default), ``"pipelined"`` (layer-pipelined wavefront, one worker
+        thread per layer), ``"sharded"`` (batch split across independent
+        network replicas), or a
+        :class:`~repro.snn.executor.Scheduler` instance.  Schedulers are an
+        execution choice, not a modelling one — see the caveat on Poisson
+        coding under sharding in :mod:`repro.snn.executor`.
+        """
+
+        self._scheduler = resolve_scheduler(spec)
+        self.scheduler_spec = self._scheduler.name
+        return self
+
     @property
     def output_layer(self) -> SpikingOutputLayer:
         return self.layers[-1]  # type: ignore[return-value]
@@ -206,6 +246,11 @@ class SpikingNetwork:
             signal = layer.step(signal)
         return signal
 
+    def _scheduler_for(self, spec: Optional[Union[str, Scheduler]]) -> Scheduler:
+        """Per-call scheduler override (``None`` keeps the network's choice)."""
+
+        return self._scheduler if spec is None else resolve_scheduler(spec)
+
     def simulate(
         self,
         images: np.ndarray,
@@ -213,6 +258,7 @@ class SpikingNetwork:
         checkpoints: Optional[Iterable[int]] = None,
         collect_statistics: bool = True,
         backend: Optional[Union[str, Backend]] = None,
+        scheduler: Optional[Union[str, Scheduler]] = None,
     ) -> SimulationResult:
         """Present ``images`` for ``timesteps`` cycles.
 
@@ -231,35 +277,27 @@ class SpikingNetwork:
         backend:
             Optional simulation-backend spec applied via :meth:`set_backend`
             before the run (``None`` keeps the current selection).
+        scheduler:
+            Optional execution-scheduler spec for this run only
+            (``"sequential"``/``"pipelined"``/``"sharded"`` or a
+            :class:`~repro.snn.executor.Scheduler` instance; ``None`` keeps
+            the network's current scheduler).
         """
 
-        if timesteps <= 0:
-            raise ValueError(f"timesteps must be positive, got {timesteps}")
+        # Validate everything (timesteps, checkpoints, scheduler spec) before
+        # the backend override mutates the network, so a failing call leaves
+        # the stack — including every layer's backend cache — untouched.
+        plan = ExecutionPlan.compile(
+            self, timesteps, checkpoints=checkpoints, collect_statistics=collect_statistics
+        )
+        chosen = self._scheduler_for(scheduler)
         if backend is not None:
             self.set_backend(backend)
         images = self._policy.asarray(images)
-        requested = {int(t) for t in (checkpoints or [])}
-        out_of_range = sorted(t for t in requested if not 0 < t <= timesteps)
-        if out_of_range:
-            warnings.warn(
-                f"checkpoints {out_of_range} lie outside 1..{timesteps} and will not be recorded; "
-                "extend `timesteps` to capture them",
-                UserWarning,
-                stacklevel=2,
-            )
-        checkpoint_set = {t for t in requested if 0 < t <= timesteps}
-        checkpoint_set.add(timesteps)
-
-        self.reset_state()
-        self.encoder.reset(images)
-        scores: Dict[int, np.ndarray] = {}
-        for t in range(1, timesteps + 1):
-            self.step(self.encoder.step(t))
-            if t in checkpoint_set:
-                scores[t] = self.output_layer.scores().copy()
-
-        stats = collect_spike_stats(self.layers, timesteps) if collect_statistics else []
-        return SimulationResult(scores=scores, timesteps=timesteps, spike_stats=stats)
+        result = chosen.execute(plan, images)
+        return SimulationResult(
+            scores=result.scores, timesteps=timesteps, spike_stats=result.spike_stats
+        )
 
     def simulate_batched(
         self,
@@ -268,22 +306,25 @@ class SpikingNetwork:
         batch_size: int = 64,
         checkpoints: Optional[Iterable[int]] = None,
         backend: Optional[Union[str, Backend]] = None,
+        scheduler: Optional[Union[str, Scheduler]] = None,
     ) -> SimulationResult:
         """Simulate a large evaluation set in smaller batches and merge scores."""
 
+        # One compiled plan covers every batch (and validates before the
+        # backend override mutates the network, mirroring `simulate`).
+        plan = ExecutionPlan.compile(self, timesteps, checkpoints=checkpoints)
+        chosen = self._scheduler_for(scheduler)
         if backend is not None:
             self.set_backend(backend)
         images = self._policy.asarray(images)
-        merged: Dict[int, List[np.ndarray]] = {}
-        per_batch_stats: List[List[LayerSpikeStats]] = []
+        results = []
         for start in range(0, len(images), batch_size):
             batch = images[start: start + batch_size]
-            result = self.simulate(batch, timesteps, checkpoints=checkpoints)
-            for t, score in result.scores.items():
-                merged.setdefault(t, []).append(score)
-            per_batch_stats.append(result.spike_stats)
-        scores = {t: np.concatenate(parts, axis=0) for t, parts in merged.items()}
-        # Aggregate statistics so each layer appears exactly once regardless of
-        # how many batches the evaluation set was split into.
-        stats = merge_spike_stats(per_batch_stats)
-        return SimulationResult(scores=scores, timesteps=timesteps, spike_stats=stats)
+            results.append(chosen.execute(plan, batch))
+        # Merging (score concatenation + one stats entry per layer however
+        # many batches the evaluation set was split into) is shared with the
+        # sharded scheduler.
+        merged = merge_execution_results(results)
+        return SimulationResult(
+            scores=merged.scores, timesteps=timesteps, spike_stats=merged.spike_stats
+        )

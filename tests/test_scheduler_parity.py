@@ -1,0 +1,207 @@
+"""Property-based scheduler parity (hypothesis).
+
+The execution schedulers claim to be pure execution strategies: for *any*
+weights, stimulus, reset mode, readout, input coding, and retirement
+schedule, the pipelined and sharded schedulers must reproduce the sequential
+loop.  These properties drive the claim across the whole configuration
+space rather than a handful of fixtures:
+
+* whole-network simulation parity across reset modes × readouts × encoders
+  (bit-identical scores and identical per-layer spike statistics),
+* pipelined parity under stochastic Poisson coding (the wavefront steps the
+  encoder in the same timestep order, so the spike draws are identical),
+* :class:`~repro.serve.AdaptiveEngine` parity under ragged batch
+  compaction — each shard replica compacts mid-run independently, so
+  early-exit scores, exit latencies and spike totals must all agree.
+
+Sharded membrane-readout scores are compared to float precision rather than
+bit-for-bit, mirroring ``tests/test_backend_parity.py``: per-shard GEMMs may
+reduce in a different blocking order, which the IF threshold quantizes away
+for spike counts but which stays visible in raw integrated currents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import active_policy
+from repro.serve import AdaptiveConfig, AdaptiveEngine
+from repro.snn import (
+    PipelinedScheduler,
+    PoissonCoding,
+    RealCoding,
+    ResetMode,
+    ShardedScheduler,
+    SpikingConv2d,
+    SpikingFlatten,
+    SpikingLinear,
+    SpikingNetwork,
+    SpikingOutputLayer,
+)
+
+# Every example simulates a real (small) network; keep the counts moderate.
+COMMON_SETTINGS = settings(max_examples=12, deadline=None)
+
+reset_modes = st.sampled_from([ResetMode.SUBTRACT, ResetMode.ZERO])
+readouts = st.sampled_from(["spike_count", "membrane"])
+encoders = st.sampled_from(["real", "poisson"])
+
+#: Tolerance for the membrane comparisons that are float- rather than
+#: bit-exact, scaled to the active profile (the CI smoke job re-runs this
+#: suite under ``REPRO_COMPUTE_PROFILE=infer32``, where ulps are ~1e-7).
+MEMBRANE_TOL = 1e-12 if active_policy().dtype == np.float64 else 1e-5
+
+
+def build_encoder(kind: str):
+    return RealCoding() if kind == "real" else PoissonCoding(gain=0.8, seed=17)
+
+
+def build_network(
+    seed: int,
+    reset_mode: ResetMode = ResetMode.SUBTRACT,
+    readout: str = "spike_count",
+    encoder: str = "real",
+) -> SpikingNetwork:
+    """Conv + linear + head with random weights — rebuilt identically per seed."""
+
+    rng = np.random.default_rng(seed)
+    return SpikingNetwork(
+        [
+            SpikingConv2d(
+                rng.standard_normal((4, 2, 3, 3)) * 0.4,
+                rng.standard_normal(4) * 0.05,
+                stride=1,
+                padding=1,
+                reset_mode=reset_mode,
+            ),
+            SpikingFlatten(),
+            SpikingLinear(rng.standard_normal((6, 4 * 6 * 6)) * 0.15, None, reset_mode=reset_mode),
+            SpikingOutputLayer(
+                rng.standard_normal((3, 6)) * 0.5,
+                rng.standard_normal(3) * 0.1,
+                readout=readout,
+                reset_mode=reset_mode,
+            ),
+        ],
+        encoder=build_encoder(encoder),
+    )
+
+
+class TestSimulationParity:
+    @COMMON_SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        reset_mode=reset_modes,
+        readout=readouts,
+        encoder=encoders,
+        batch=st.integers(min_value=1, max_value=6),
+        timesteps=st.integers(min_value=1, max_value=35),
+    )
+    def test_pipelined_matches_sequential_bit_for_bit(
+        self, seed, reset_mode, readout, encoder, batch, timesteps
+    ):
+        """The wavefront performs the same ops in the same per-layer order,
+        so every configuration — including stochastic coding — is exact."""
+
+        images = np.random.default_rng(seed + 1).uniform(0.0, 1.0, (batch, 2, 6, 6))
+        checkpoints = (max(1, timesteps // 2),)
+        sequential = build_network(seed, reset_mode, readout, encoder).simulate(
+            images, timesteps, checkpoints=checkpoints
+        )
+        pipelined = build_network(seed, reset_mode, readout, encoder).simulate(
+            images, timesteps, checkpoints=checkpoints, scheduler="pipelined"
+        )
+        for t, scores in sequential.scores.items():
+            assert np.array_equal(scores, pipelined.scores[t]), f"scores diverge at T={t}"
+        assert sequential.spike_stats == pipelined.spike_stats
+
+    @COMMON_SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        reset_mode=reset_modes,
+        readout=readouts,
+        batch=st.integers(min_value=2, max_value=7),
+        timesteps=st.integers(min_value=1, max_value=35),
+        shards=st.integers(min_value=2, max_value=4),
+    )
+    def test_sharded_matches_sequential(self, seed, reset_mode, readout, batch, timesteps, shards):
+        """Contiguous shards concatenate back in order; spike-count scores
+        are exact, membrane scores agree to float precision (see module
+        docstring), and merged statistics equal the full-batch run's."""
+
+        images = np.random.default_rng(seed + 2).uniform(0.0, 1.0, (batch, 2, 6, 6))
+        sequential = build_network(seed, reset_mode, readout).simulate(images, timesteps)
+        sharded = build_network(seed, reset_mode, readout).simulate(
+            images, timesteps, scheduler=ShardedScheduler(num_shards=shards)
+        )
+        for t, scores in sequential.scores.items():
+            if readout == "spike_count":
+                assert np.array_equal(scores, sharded.scores[t])
+            else:
+                np.testing.assert_allclose(
+                    sharded.scores[t], scores, rtol=MEMBRANE_TOL, atol=MEMBRANE_TOL
+                )
+                assert np.array_equal(scores.argmax(axis=1), sharded.scores[t].argmax(axis=1))
+        assert sequential.spike_stats == sharded.spike_stats
+
+    @COMMON_SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        shards=st.integers(min_value=2, max_value=4),
+    )
+    def test_sharded_poisson_equals_per_shard_replica_runs(self, seed, shards):
+        """Stochastic coding draws per shard: each replica restarts the seeded
+        stream, so a sharded run equals stitching independent fresh runs of
+        the same contiguous slices."""
+
+        images = np.random.default_rng(seed + 3).uniform(0.0, 1.0, (5, 2, 6, 6))
+        sharded = build_network(seed, encoder="poisson").simulate(
+            images, 15, scheduler=ShardedScheduler(num_shards=shards)
+        )
+        bounds = np.linspace(0, len(images), min(shards, len(images)) + 1, dtype=int)
+        parts = [
+            build_network(seed, encoder="poisson").simulate(images[lo:hi], 15).scores[15]
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
+        assert np.array_equal(sharded.scores[15], np.concatenate(parts, axis=0))
+
+
+class TestAdaptiveEngineParity:
+    @COMMON_SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        reset_mode=reset_modes,
+        batch=st.integers(min_value=2, max_value=7),
+        stability_window=st.integers(min_value=2, max_value=10),
+        margin=st.one_of(st.none(), st.floats(min_value=0.05, max_value=0.5)),
+        scheduler=st.sampled_from(["pipelined", "sharded"]),
+    )
+    def test_ragged_compaction_parity(
+        self, seed, reset_mode, batch, stability_window, margin, scheduler
+    ):
+        """Early exit retires samples at different steps; per-shard replicas
+        compacting independently (and the pipelined lockstep fallback) must
+        not perturb scores, exit latencies or the spike budget."""
+
+        images = np.random.default_rng(seed + 4).uniform(0.0, 1.0, (batch, 2, 6, 6))
+        config = dict(
+            max_timesteps=35,
+            min_timesteps=3,
+            stability_window=stability_window,
+            margin_threshold=margin,
+        )
+        chosen = (
+            PipelinedScheduler() if scheduler == "pipelined" else ShardedScheduler(num_shards=3)
+        )
+        sequential = AdaptiveEngine(
+            build_network(seed, reset_mode), AdaptiveConfig(**config)
+        ).infer(images)
+        parallel = AdaptiveEngine(
+            build_network(seed, reset_mode), AdaptiveConfig(scheduler=chosen, **config)
+        ).infer(images)
+
+        assert np.array_equal(sequential.scores, parallel.scores)
+        assert np.array_equal(sequential.exit_timesteps, parallel.exit_timesteps)
+        assert np.array_equal(sequential.predictions, parallel.predictions)
+        assert sequential.total_spikes == parallel.total_spikes

@@ -80,6 +80,16 @@ class TestMicroBatcher:
         with pytest.raises(ValueError):
             MicroBatcher(max_wait_ms=-1.0)
 
+    def test_drain_empties_queue_in_fifo_order(self, rng):
+        batcher = MicroBatcher()
+        submitted = [_request(rng, model=f"m{i}") for i in range(4)]
+        for request in submitted:
+            batcher.submit(request)
+        drained = batcher.drain()
+        assert drained == submitted
+        assert batcher.pending == 0
+        assert batcher.drain() == []
+
 
 class TestModelRegistry:
     def test_publish_get_roundtrip(self, rng, tmp_path):
@@ -87,8 +97,13 @@ class TestModelRegistry:
         network = _tiny_network(0)
         registry.publish("model", network, metadata={"strategy": "tcl"})
         artifact = registry.get("model")
-        # save_artifact auto-records the network's compute-policy profile.
-        assert artifact.metadata == {"strategy": "tcl", "precision": network.policy_spec}
+        # save_artifact auto-records the network's compute-policy profile
+        # and execution scheduler.
+        assert artifact.metadata == {
+            "strategy": "tcl",
+            "precision": network.policy_spec,
+            "scheduler": network.scheduler_spec,
+        }
         images = rng.uniform(0, 1, (4, 4))
         reference = network.simulate(images, timesteps=15)
         replay = artifact.network.simulate(images, timesteps=15)
@@ -171,6 +186,38 @@ class TestServingMetrics:
         assert snapshot.spikes_per_inference == pytest.approx(100.0)
         assert "requests served" in snapshot.report()
 
+    def test_percentiles_split_queue_and_compute(self):
+        metrics = ServingMetrics()
+        # wall = queue + compute; queue fixed at 2ms, compute spans 8..98ms.
+        for compute in range(8, 99, 10):
+            metrics.record(
+                RequestRecord(
+                    model="m",
+                    timesteps=10,
+                    wall_ms=2.0 + compute,
+                    queue_ms=2.0,
+                    batch_size=1,
+                    spikes=1.0,
+                )
+            )
+        snapshot = metrics.snapshot()
+        assert snapshot.p50_queue_ms == pytest.approx(2.0)
+        assert snapshot.p99_queue_ms == pytest.approx(2.0)
+        assert snapshot.mean_compute_ms == pytest.approx(53.0)
+        assert snapshot.p50_compute_ms == pytest.approx(53.0)
+        assert snapshot.p95_compute_ms <= snapshot.p99_compute_ms <= 98.0
+        assert snapshot.p99_wall_ms == pytest.approx(snapshot.p99_compute_ms + 2.0)
+        # The CLI's telemetry block surfaces all three percentile rows.
+        report = snapshot.report()
+        assert "p99" in report and "queue wait" in report and "compute" in report
+
+    def test_empty_snapshot_has_zero_percentiles(self):
+        snapshot = ServingMetrics().snapshot()
+        assert snapshot.count == 0
+        assert snapshot.p99_wall_ms == 0.0
+        assert snapshot.p99_compute_ms == 0.0
+        assert snapshot.report()
+
     def test_per_model_filter_and_reset(self):
         metrics = ServingMetrics()
         metrics.record(RequestRecord(model="a", timesteps=10, wall_ms=1.0, queue_ms=0.0, batch_size=1, spikes=1.0))
@@ -227,6 +274,76 @@ class TestInferenceServer:
             future = server.submit(rng.uniform(0, 1, 4), "missing")
             with pytest.raises(ArtifactError):
                 future.result(timeout=30)
+
+    def test_stop_resolves_requests_stranded_in_the_queue(self, rng, tmp_path):
+        # The shutdown race: a request that enters the queue after the drain
+        # loop saw it empty — or while draining is disabled — must not leave
+        # its future pending forever once the workers are gone.  A batcher
+        # that never releases batches makes the stranding deterministic.
+        class StuckBatcher(MicroBatcher):
+            def next_batch(self, timeout=None):
+                time.sleep(timeout or 0.01)
+                raise queue.Empty
+
+        registry = ModelRegistry(tmp_path)
+        registry.publish("model", _tiny_network(3))
+        server = InferenceServer(registry, batcher=StuckBatcher())
+        server.start()
+        futures = [server.submit(rng.uniform(0, 1, 4), "model") for _ in range(3)]
+        server.stop(drain=False)
+        for future in futures:
+            assert future.done()
+            with pytest.raises(RuntimeError, match="stopped before request"):
+                future.result()
+
+    def test_stop_with_drain_completes_every_accepted_future(self, rng, tmp_path):
+        # Futures in flight when stop() is called resolve with a result;
+        # anything left in the queue when the workers exit resolves with an
+        # error — either way, nothing submitted before stop() hangs.
+        registry = ModelRegistry(tmp_path)
+        registry.publish("model", _tiny_network(3))
+        server = InferenceServer(
+            registry,
+            engine_config=AdaptiveConfig(max_timesteps=10, adaptive=False),
+            batcher=MicroBatcher(max_batch_size=4, max_wait_ms=1.0),
+            num_workers=2,
+        )
+        server.start()
+        futures = [server.submit(rng.uniform(0, 1, 4), "model") for _ in range(12)]
+        server.stop(drain=True)
+        assert all(future.done() for future in futures)
+        replies = [future.result() for future in futures]
+        assert all(reply.timesteps == 10 for reply in replies)
+
+    def test_stop_without_start_fails_queued_futures(self, rng, tmp_path):
+        # Submitting before start() is allowed (the queue drains when the
+        # workers come up), so stopping a never-started server must close
+        # the intake and fail what was queued rather than strand it.
+        server = InferenceServer(ModelRegistry(tmp_path))
+        future = server.submit(rng.uniform(0, 1, 4), "model")
+        server.stop()
+        with pytest.raises(RuntimeError, match="stopped before request"):
+            future.result(timeout=5)
+        with pytest.raises(RuntimeError, match="has been stopped"):
+            server.submit(rng.uniform(0, 1, 4), "model")
+
+    def test_submit_after_stop_fails_fast(self, rng, tmp_path):
+        # With the workers gone a queued request could never be served, so
+        # submitting to a stopped server raises instead of stranding a
+        # future (this closes the submit-vs-stop race: a submit either
+        # enqueues before stop() flips the closed flag — and is then failed
+        # by the final drain — or raises here).
+        registry = ModelRegistry(tmp_path)
+        registry.publish("model", _tiny_network(3))
+        server = InferenceServer(registry, engine_config=AdaptiveConfig(max_timesteps=10, adaptive=False))
+        with server:
+            server.infer(rng.uniform(0, 1, 4), "model", timeout=30)
+        with pytest.raises(RuntimeError, match="has been stopped"):
+            server.submit(rng.uniform(0, 1, 4), "model")
+        # Restarting reopens the intake.
+        with server:
+            reply = server.infer(rng.uniform(0, 1, 4), "model", timeout=30)
+        assert reply.timesteps == 10
 
     def test_start_twice_rejected(self, tmp_path):
         server = InferenceServer(ModelRegistry(tmp_path))

@@ -164,8 +164,13 @@ class TestArtifactBundles:
         path = save_artifact(network, tmp_path / "toy", metadata={"note": "test"})
         loaded = load_artifact(path)
         assert loaded.network.name == "toy"
-        # The network's compute-policy profile is recorded automatically.
-        assert loaded.metadata == {"note": "test", "precision": network.policy_spec}
+        # The network's compute-policy profile and execution scheduler are
+        # recorded automatically.
+        assert loaded.metadata == {
+            "note": "test",
+            "precision": network.policy_spec,
+            "scheduler": network.scheduler_spec,
+        }
 
         replay = loaded.network.simulate(images, timesteps=25, checkpoints=[10])
         for t in (10, 25):
@@ -311,6 +316,63 @@ class TestPrecisionRoundTrip:
         assert loaded.metadata["precision"] == "infer32"
         assert loaded.network.policy_spec == "infer32"
         reference = conversion.snn.simulate(test_images, timesteps=30)
+        replay = loaded.network.simulate(test_images, timesteps=30)
+        assert np.array_equal(reference.scores[30], replay.scores[30])
+
+
+class TestSchedulerRoundTrip:
+    """Artifact bundles must re-apply the recorded execution scheduler
+    (unknown names degrade to sequential, mirroring the unknown-backend and
+    unknown-precision fallbacks)."""
+
+    def test_scheduler_choice_roundtrips(self, rng, tmp_path):
+        network = _toy_network(rng).set_scheduler("pipelined")
+        # No explicit metadata: save_artifact records the live choice itself.
+        path = save_artifact(network, tmp_path / "piped")
+        loaded = load_artifact(path)
+        assert loaded.scheduler == "pipelined"
+        assert loaded.network.scheduler_spec == "pipelined"
+
+        images = rng.uniform(0, 1, (4, 3, 8, 8))
+        reference = network.simulate(images, timesteps=20, scheduler="sequential")
+        replay = loaded.network.simulate(images, timesteps=20)
+        assert np.array_equal(reference.scores[20], replay.scores[20])
+
+    def test_unknown_recorded_scheduler_degrades_to_sequential(self, rng, tmp_path):
+        network = _toy_network(rng)
+        path = save_artifact(network, tmp_path / "odd", metadata={"scheduler": "warp-speed"})
+        with pytest.warns(UserWarning, match="unknown execution scheduler"):
+            loaded = load_artifact(path)
+        assert loaded.scheduler == "warp-speed"  # what the bundle records
+        assert loaded.network.scheduler_spec == "sequential"  # what actually runs
+
+    def test_bundle_without_scheduler_runs_sequential(self, rng, tmp_path):
+        # Simulate a bundle written before schedulers existed by stripping
+        # the auto-recorded key from the manifest.
+        path = save_artifact(_toy_network(rng), tmp_path / "legacy")
+        manifest = read_manifest(path)
+        del manifest["metadata"]["scheduler"]
+        with open(path / "manifest.json", "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+
+        loaded = load_artifact(path)
+        assert loaded.scheduler is None
+        assert loaded.network.scheduler_spec == "sequential"
+
+    def test_conversion_save_records_scheduler(self, trained_tcl_model, tiny_data, tmp_path):
+        model, _ = trained_tcl_model
+        _, _, test_images, _ = tiny_data
+        from repro.core import Converter
+
+        conversion = (
+            Converter(model).strategy("tcl").scheduler("sharded").calibrate(test_images).convert()
+        )
+        assert conversion.scheduler == "sharded"
+        assert conversion.snn.scheduler_spec == "sharded"
+        loaded = load_artifact(conversion.save(tmp_path / "wide"))
+        assert loaded.metadata["scheduler"] == "sharded"
+        assert loaded.network.scheduler_spec == "sharded"
+        reference = conversion.snn.simulate(test_images, timesteps=30, scheduler="sequential")
         replay = loaded.network.simulate(test_images, timesteps=30)
         assert np.array_equal(reference.scores[30], replay.scores[30])
 

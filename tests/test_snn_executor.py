@@ -1,0 +1,432 @@
+"""Tests of the execution engine: plans, schedulers, replicas, golden parity.
+
+The executor refactor's core promise is that extracting the timestep loop
+changed *nothing*: the golden fingerprints below were captured from the
+pre-executor ``SpikingNetwork.simulate`` / ``simulate_batched`` /
+``AdaptiveEngine.infer`` implementations, so the sequential scheduler is
+pinned bit-identical to the historical behaviour — and the pipelined and
+sharded schedulers are pinned against the sequential one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import AdaptiveConfig, AdaptiveEngine
+from repro.snn import (
+    ExecutionPlan,
+    ExecutionResult,
+    LayerSpikeStats,
+    PipelinedScheduler,
+    PoissonCoding,
+    ResetMode,
+    Scheduler,
+    SequentialScheduler,
+    ShardedScheduler,
+    SpikingConv2d,
+    SpikingFlatten,
+    SpikingLinear,
+    SpikingNetwork,
+    SpikingOutputLayer,
+    StepHook,
+    clone_network,
+    merge_execution_results,
+    resolve_scheduler,
+)
+from repro.snn.executor import normalize_checkpoints
+
+
+def build_network(
+    seed: int = 42,
+    reset_mode: ResetMode = ResetMode.SUBTRACT,
+    readout: str = "spike_count",
+    encoder=None,
+) -> SpikingNetwork:
+    """Conv + linear + head with random weights — rebuilt identically per seed."""
+
+    rng = np.random.default_rng(seed)
+    return SpikingNetwork(
+        [
+            SpikingConv2d(
+                rng.standard_normal((4, 2, 3, 3)) * 0.4,
+                rng.standard_normal(4) * 0.05,
+                stride=1,
+                padding=1,
+                reset_mode=reset_mode,
+            ),
+            SpikingFlatten(),
+            SpikingLinear(rng.standard_normal((6, 4 * 6 * 6)) * 0.15, None, reset_mode=reset_mode),
+            SpikingOutputLayer(
+                rng.standard_normal((3, 6)) * 0.5,
+                rng.standard_normal(3) * 0.1,
+                readout=readout,
+                reset_mode=reset_mode,
+            ),
+        ],
+        encoder=encoder,
+    )
+
+
+GOLDEN_IMAGES = np.random.default_rng(99).uniform(0.0, 1.0, (5, 2, 6, 6))
+
+#: sha256 prefixes of the checkpoint scores the *pre-executor* simulate
+#: produced on ``build_network(42)`` / ``GOLDEN_IMAGES`` (T=25, checkpoints
+#: 10 and 20), per (reset_mode, readout), plus the total spike count.
+GOLDEN_SIMULATE = {
+    ("subtract", "spike_count"): (
+        {10: "249b16e6d801ef67", 20: "a73bbb3072e09088", 25: "9ac22286c657424b"},
+        4976.0,
+    ),
+    ("subtract", "membrane"): (
+        {10: "0bbfdcc32f08bb3b", 20: "20dfef4ca95e15da", 25: "b1d8fc0e758f1221"},
+        4929.0,
+    ),
+    ("zero", "spike_count"): (
+        {10: "e124fc7528a4c639", 20: "d351801233f74b15", 25: "aca3797820014cc1"},
+        3973.0,
+    ),
+    ("zero", "membrane"): (
+        {10: "3d34e4cb0c4c8896", 20: "2da6803a6f441d43", 25: "17eb0c604f79ae13"},
+        3944.0,
+    ),
+}
+#: Pre-executor ``simulate_batched`` (batch_size=2, checkpoint 10).
+GOLDEN_BATCHED = {10: "249b16e6d801ef67", 25: "9ac22286c657424b"}
+#: Pre-executor Poisson-coded simulate (gain 0.8, seed 5, T=25).
+GOLDEN_POISSON = "a39bddf69111ae19"
+#: Pre-executor AdaptiveEngine (max 30, min 3, window 4) on the same fixture.
+GOLDEN_ADAPTIVE = ("6e75a6a13ec6b0c4", [5, 10, 5, 15, 14], 1855.0)
+
+
+def fingerprint(array: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()[:16]
+
+
+class TestGoldenParityWithPreExecutorLoop:
+    @pytest.mark.parametrize("reset_mode", [ResetMode.SUBTRACT, ResetMode.ZERO])
+    @pytest.mark.parametrize("readout", ["spike_count", "membrane"])
+    def test_simulate_matches_pre_refactor_bits(self, reset_mode, readout):
+        result = build_network(42, reset_mode, readout).simulate(
+            GOLDEN_IMAGES, 25, checkpoints=(10, 20)
+        )
+        expected_scores, expected_spikes = GOLDEN_SIMULATE[(reset_mode.value, readout)]
+        assert {t: fingerprint(s) for t, s in result.scores.items()} == expected_scores
+        assert result.total_spikes == expected_spikes
+
+    def test_simulate_batched_matches_pre_refactor_bits(self):
+        result = build_network(42).simulate_batched(
+            GOLDEN_IMAGES, 25, batch_size=2, checkpoints=(10,)
+        )
+        assert {t: fingerprint(s) for t, s in result.scores.items()} == GOLDEN_BATCHED
+        # Statistics merge to one entry per layer with the full batch size.
+        assert [(s.layer_name, s.batch_size) for s in result.spike_stats] == [
+            ("0:spiking_conv2d", 5),
+            ("2:spiking_linear", 5),
+            ("3:spiking_output", 5),
+        ]
+
+    def test_poisson_simulate_matches_pre_refactor_bits(self):
+        network = build_network(42, encoder=PoissonCoding(gain=0.8, seed=5))
+        result = network.simulate(GOLDEN_IMAGES, 25)
+        assert fingerprint(result.scores[25]) == GOLDEN_POISSON
+
+    def test_adaptive_engine_matches_pre_refactor_bits(self):
+        outcome = AdaptiveEngine(
+            build_network(42),
+            AdaptiveConfig(max_timesteps=30, min_timesteps=3, stability_window=4),
+        ).infer(GOLDEN_IMAGES)
+        scores_hash, exits, spikes = GOLDEN_ADAPTIVE
+        assert fingerprint(outcome.scores) == scores_hash
+        assert outcome.exit_timesteps.tolist() == exits
+        assert outcome.total_spikes == spikes
+
+
+class TestPlanCompilation:
+    def test_rejects_non_positive_timesteps(self):
+        with pytest.raises(ValueError, match="timesteps must be positive"):
+            ExecutionPlan.compile(build_network(), 0)
+        # The same shared validation guards every entry point.
+        with pytest.raises(ValueError, match="timesteps must be positive"):
+            build_network().simulate(GOLDEN_IMAGES, 0)
+        with pytest.raises(ValueError, match="timesteps must be positive"):
+            build_network().simulate_batched(GOLDEN_IMAGES, -3)
+
+    def test_failing_simulate_leaves_backend_untouched(self):
+        # Validation runs before the per-call backend override mutates the
+        # network, so a bad call has no side effects (pre-executor behaviour).
+        network = build_network()
+        with pytest.raises(ValueError, match="timesteps must be positive"):
+            network.simulate(GOLDEN_IMAGES, 0, backend="event")
+        assert network.backend_spec == "dense"
+        with pytest.raises(ValueError, match="unknown execution scheduler"):
+            network.simulate(GOLDEN_IMAGES, 5, backend="event", scheduler="warp")
+        assert network.backend_spec == "dense"
+
+    def test_normalize_checkpoints_drops_out_of_range_with_warning(self):
+        with pytest.warns(UserWarning, match=r"checkpoints \[0, 50\]"):
+            kept = normalize_checkpoints(20, [10, 0, 50])
+        assert kept == frozenset({10})
+
+    def test_final_timestep_always_recorded(self):
+        plan = ExecutionPlan.compile(build_network(), 20, checkpoints=[5])
+        assert plan.checkpoints == frozenset({5, 20})
+        hookless = ExecutionPlan.compile(build_network(), 20, record_final=False)
+        assert hookless.checkpoints == frozenset()
+
+    def test_simulate_batched_warns_like_simulate(self):
+        # The historical duplicate validation now lives in one place; both
+        # entry points still surface it.
+        with pytest.warns(UserWarning, match="will not be recorded"):
+            build_network().simulate_batched(GOLDEN_IMAGES, 10, batch_size=3, checkpoints=[99])
+
+
+class TestMergeExecutionResults:
+    def test_concatenates_scores_and_merges_stats_in_order(self):
+        parts = [
+            ExecutionResult(
+                scores={5: np.array([[1.0, 2.0]]), 10: np.array([[3.0, 4.0]])},
+                timesteps=10,
+                spike_stats=[LayerSpikeStats("0:layer", 7.0, 4, 10, batch_size=1)],
+                hook_results=["first"],
+            ),
+            ExecutionResult(
+                scores={5: np.array([[5.0, 6.0], [7.0, 8.0]]), 10: np.array([[9.0, 10.0], [11.0, 12.0]])},
+                timesteps=10,
+                spike_stats=[LayerSpikeStats("0:layer", 3.0, 4, 10, batch_size=2)],
+                hook_results=["second"],
+            ),
+        ]
+        merged = merge_execution_results(parts)
+        assert merged.timesteps == 10
+        assert np.array_equal(merged.scores[5], np.array([[1.0, 2.0], [5.0, 6.0], [7.0, 8.0]]))
+        assert np.array_equal(merged.scores[10], np.array([[3.0, 4.0], [9.0, 10.0], [11.0, 12.0]]))
+        assert len(merged.spike_stats) == 1
+        stat = merged.spike_stats[0]
+        assert (stat.total_spikes, stat.batch_size, stat.num_neurons) == (10.0, 3, 4)
+        assert merged.hook_results == ["first", "second"]
+
+
+class TestSchedulerResolution:
+    def test_names_resolve_to_shared_singletons(self):
+        assert resolve_scheduler("sequential") is resolve_scheduler("SEQUENTIAL")
+        assert isinstance(resolve_scheduler("pipelined"), PipelinedScheduler)
+        assert isinstance(resolve_scheduler("sharded"), ShardedScheduler)
+        custom = ShardedScheduler(num_shards=2)
+        assert resolve_scheduler(custom) is custom
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution scheduler"):
+            resolve_scheduler("warp")
+        with pytest.raises(ValueError, match="unknown execution scheduler"):
+            build_network().set_scheduler(object())
+
+    def test_network_level_selection_sticks(self):
+        network = build_network()
+        assert network.scheduler_spec == "sequential"
+        network.set_scheduler("pipelined")
+        assert network.scheduler_spec == "pipelined"
+        assert isinstance(network.scheduler, PipelinedScheduler)
+        # Per-call override does not rebind the network's choice.
+        network.simulate(GOLDEN_IMAGES, 5, scheduler="sequential")
+        assert network.scheduler_spec == "pipelined"
+
+    def test_invalid_scheduler_parameters(self):
+        with pytest.raises(ValueError, match="queue_depth"):
+            PipelinedScheduler(queue_depth=0)
+        with pytest.raises(ValueError, match="num_shards"):
+            ShardedScheduler(num_shards=0)
+
+
+class TestSchedulerEquivalence:
+    def test_pipelined_is_bit_identical_to_sequential(self):
+        sequential = build_network(7).simulate(GOLDEN_IMAGES, 25, checkpoints=(10, 20))
+        pipelined = build_network(7).simulate(
+            GOLDEN_IMAGES, 25, checkpoints=(10, 20), scheduler="pipelined"
+        )
+        for t, scores in sequential.scores.items():
+            assert np.array_equal(scores, pipelined.scores[t])
+        assert sequential.spike_stats == pipelined.spike_stats
+
+    def test_pipelined_poisson_draws_identical_stream(self):
+        # Stage 0 steps the encoder in the same t order, so stochastic
+        # coding produces the identical spike draw sequence.
+        sequential = build_network(7, encoder=PoissonCoding(gain=0.7, seed=3)).simulate(
+            GOLDEN_IMAGES, 20
+        )
+        pipelined = build_network(7, encoder=PoissonCoding(gain=0.7, seed=3)).simulate(
+            GOLDEN_IMAGES, 20, scheduler="pipelined"
+        )
+        assert np.array_equal(sequential.scores[20], pipelined.scores[20])
+
+    def test_sharded_matches_sequential_scores_and_stats(self):
+        sequential = build_network(7).simulate(GOLDEN_IMAGES, 25, checkpoints=(10,))
+        sharded = build_network(7).simulate(
+            GOLDEN_IMAGES, 25, checkpoints=(10,), scheduler=ShardedScheduler(num_shards=3)
+        )
+        for t, scores in sequential.scores.items():
+            assert np.array_equal(scores, sharded.scores[t])
+        assert sequential.spike_stats == sharded.spike_stats
+
+    def test_sharded_leaves_primary_network_untouched(self):
+        network = build_network(7)
+        network.simulate(GOLDEN_IMAGES, 10, scheduler=ShardedScheduler(num_shards=2))
+        # All stepping happened on replicas: the primary holds no state.
+        for layer in network.layers:
+            for pool in layer.neuron_pools:
+                assert pool.membrane is None
+
+    def test_single_sample_batch_degrades_to_sequential(self):
+        result = build_network(7).simulate(
+            GOLDEN_IMAGES[:1], 10, scheduler=ShardedScheduler(num_shards=4)
+        )
+        reference = build_network(7).simulate(GOLDEN_IMAGES[:1], 10)
+        assert np.array_equal(result.scores[10], reference.scores[10])
+
+
+class TestCloneNetwork:
+    def test_replica_is_stateful_and_independent(self):
+        original = build_network(11).set_backend("event")
+        original.simulate(GOLDEN_IMAGES, 5)
+        replica = clone_network(original)
+        assert replica.backend_names() == original.backend_names()
+        assert replica.policy is original.policy
+        # Weights are shared (read-only), state is not.
+        assert replica.layers[0].weight is original.layers[0].weight
+        for layer in replica.layers:
+            for pool in layer.neuron_pools:
+                assert pool.membrane is None
+        # Stepping the replica leaves the original's counters alone.
+        before = original.layers[0].neurons.spike_count.copy()
+        replica.simulate(GOLDEN_IMAGES, 5)
+        assert np.array_equal(original.layers[0].neurons.spike_count, before)
+        assert np.array_equal(
+            original.simulate(GOLDEN_IMAGES, 8).scores[8],
+            clone_network(original).simulate(GOLDEN_IMAGES, 8).scores[8],
+        )
+
+    def test_poisson_encoder_clone_restarts_from_seed(self):
+        original = build_network(11, encoder=PoissonCoding(gain=0.6, seed=9))
+        original.simulate(GOLDEN_IMAGES, 7)  # advances the original's stream
+        replica = clone_network(original)
+        fresh = build_network(11, encoder=PoissonCoding(gain=0.6, seed=9))
+        assert np.array_equal(
+            replica.simulate(GOLDEN_IMAGES, 7).scores[7],
+            fresh.simulate(GOLDEN_IMAGES, 7).scores[7],
+        )
+
+
+class _StopAtHook(StepHook):
+    """Stops the run after a fixed number of timesteps; records what it saw."""
+
+    def __init__(self, stop_at: int) -> None:
+        self.stop_at = stop_at
+        self.seen = []
+
+    def start(self, network, batch_size):
+        self.network = network
+        self.batch = batch_size
+
+    def after_step(self, t):
+        self.seen.append(t)
+        return t >= self.stop_at
+
+    def result(self):
+        return list(self.seen)
+
+
+class TestStepHooks:
+    def test_hook_can_stop_a_run_early(self):
+        network = build_network(5)
+        plan = ExecutionPlan.compile(
+            network, 30, hook_factory=lambda: _StopAtHook(4), record_final=False
+        )
+        result = SequentialScheduler().execute(plan, GOLDEN_IMAGES)
+        assert result.hook_results == [[1, 2, 3, 4]]
+        assert network.layers[0].neurons.steps == 4
+
+    def test_pipelined_degrades_to_lockstep_for_hooked_plans(self):
+        # A hook must observe every layer at one consistent timestep, which
+        # the wavefront cannot provide — the pipelined scheduler runs the
+        # sequential loop instead and the hook still works.
+        network = build_network(5)
+        plan = ExecutionPlan.compile(
+            network, 30, hook_factory=lambda: _StopAtHook(4), record_final=False
+        )
+        result = PipelinedScheduler().execute(plan, GOLDEN_IMAGES)
+        assert result.hook_results == [[1, 2, 3, 4]]
+
+    def test_sharded_runs_one_hook_per_shard_in_order(self):
+        plan = ExecutionPlan.compile(
+            build_network(5), 6, hook_factory=lambda: _StopAtHook(99), record_final=False
+        )
+        result = ShardedScheduler(num_shards=2).execute(plan, GOLDEN_IMAGES)
+        assert result.hook_results == [[1, 2, 3, 4, 5, 6], [1, 2, 3, 4, 5, 6]]
+
+
+class _ExplodingLayer(SpikingFlatten):
+    """A stateless layer that raises after a fixed number of steps."""
+
+    def __init__(self, fail_at: int) -> None:
+        self.fail_at = fail_at
+        self.count = 0
+
+    def step(self, inputs):
+        self.count += 1
+        if self.count >= self.fail_at:
+            raise RuntimeError("boom")
+        return super().step(inputs)
+
+    def clone(self):
+        # The default clone round-trips through the kind registry, which
+        # would rebuild this unregistered subclass as a plain flatten;
+        # custom layers that want sharded execution override clone().
+        return _ExplodingLayer(self.fail_at)
+
+
+class TestFailurePropagation:
+    @pytest.mark.parametrize("scheduler", ["pipelined", "sharded"])
+    def test_worker_failures_surface_on_the_caller(self, scheduler):
+        rng = np.random.default_rng(0)
+        network = SpikingNetwork(
+            [
+                SpikingLinear(rng.uniform(-0.3, 0.5, (6, 4))),
+                _ExplodingLayer(fail_at=3),
+                SpikingOutputLayer(rng.uniform(-0.3, 0.5, (3, 6))),
+            ]
+        )
+        chosen = (
+            PipelinedScheduler() if scheduler == "pipelined" else ShardedScheduler(num_shards=2)
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            network.simulate(rng.uniform(0, 1, (4, 4)), 10, scheduler=chosen)
+        # No worker thread may linger after the failure unwound.
+        assert not [
+            t for t in threading.enumerate() if t.name.startswith(("repro-pipeline", "repro-shard"))
+        ]
+
+
+class TestCustomScheduler:
+    def test_scheduler_protocol_is_open(self):
+        """A user-defined scheduler slots into simulate() like the built-ins."""
+
+        class CountingScheduler(Scheduler):
+            name = "counting"
+
+            def __init__(self):
+                self.calls = 0
+
+            def execute(self, plan, images):
+                self.calls += 1
+                return SequentialScheduler().execute(plan, images)
+
+        scheduler = CountingScheduler()
+        network = build_network(3).set_scheduler(scheduler)
+        assert network.scheduler_spec == "counting"
+        reference = build_network(3).simulate(GOLDEN_IMAGES, 8)
+        result = network.simulate(GOLDEN_IMAGES, 8)
+        assert scheduler.calls == 1
+        assert np.array_equal(result.scores[8], reference.scores[8])
