@@ -6,6 +6,9 @@ layering — each module depends only on the ones before it):
 
 * :mod:`repro.runtime` — compute policies (``train64`` / ``infer32``
   precision profiles), scratch-buffer pools and the dtype-audit harness,
+* :mod:`repro.obs` — observability: the execution tracer (spans exported as
+  Chrome trace-event JSON for Perfetto), the metrics registry, and the
+  hooks every layer above reports into,
 * :mod:`repro.autograd` — numpy reverse-mode autodiff (the PyTorch substitute),
 * :mod:`repro.nn` — layers, containers, residual blocks,
 * :mod:`repro.optim` — SGD / Adam and LR schedules,
@@ -47,7 +50,7 @@ Converting a single trained model uses the fluent builder::
     result.snn.simulate(test_images, timesteps=200)
 """
 
-from . import runtime, autograd, nn, optim, data, models, training, snn, core, serve, analysis
+from . import runtime, obs, autograd, nn, optim, data, models, training, snn, core, serve, analysis
 from .core import (
     ConversionConfig,
     ConversionError,

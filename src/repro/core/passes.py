@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..nn.residual import BasicBlock
+from ..obs import active_tracer
 from .folding import EffectiveWeights
 from .graph import ConversionGraph, ConversionError, GraphNode
 from .lowering import LoweringContext, lowering_for
@@ -303,14 +304,25 @@ class PassPipeline:
         the pipeline stops after that pass without raising, leaving the full
         diagnostics list on the graph for the caller — later passes are
         skipped either way, since they assume a validated graph.
+
+        With a tracer active (:func:`repro.obs.active_tracer`) the run emits
+        one ``compiler`` span per pass, annotated with the pass name, the
+        active node count it saw, and how many diagnostics it raised.
         """
 
-        for pass_ in self.passes:
-            pass_.run(graph, ctx)
-            if graph.diagnostics:
-                if strict:
-                    graph.raise_on_diagnostics()
-                break
+        tracer = active_tracer()
+        with tracer.span("pipeline:run", category="compiler", passes=len(self.passes)):
+            for pass_ in self.passes:
+                with tracer.span(f"pass:{pass_.name}", category="compiler") as span:
+                    if span.recording:
+                        span.annotate(nodes=len(list(graph.active_nodes())))
+                    pass_.run(graph, ctx)
+                    if span.recording:
+                        span.annotate(diagnostics=len(graph.diagnostics))
+                if graph.diagnostics:
+                    if strict:
+                        graph.raise_on_diagnostics()
+                    break
         return graph
 
 

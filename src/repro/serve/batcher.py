@@ -18,6 +18,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..obs import active_tracer
+
 __all__ = ["InferenceRequest", "MicroBatcher"]
 
 
@@ -101,4 +103,12 @@ class MicroBatcher:
                 batch.append(self._queue.get(timeout=remaining))
             except queue.Empty:
                 break
+        tracer = active_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "batch-coalesced",
+                category="serve",
+                size=len(batch),
+                coalesce_wait_ms=(time.perf_counter() - first.enqueued_at) * 1000.0,
+            )
         return batch

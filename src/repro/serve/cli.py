@@ -62,6 +62,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution scheduler of the converted network (recorded in the artifact)",
     )
     demo.add_argument("--seed", type=int, default=7, help="experiment seed")
+    demo.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record a trace of the demo and write it to PATH — Chrome "
+            "trace-event JSON (open in Perfetto / chrome://tracing), or "
+            "span-per-line JSONL when PATH ends in .jsonl"
+        ),
+    )
 
     inspect = sub.add_parser("inspect", help="print the manifest of an artifact bundle")
     inspect.add_argument("path", help="artifact bundle directory")
@@ -73,6 +83,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_demo(args: argparse.Namespace) -> int:
+    # Imported lazily so `repro-serve inspect` stays fast and dependency-light.
+    from ..obs import Tracer, using_tracer, write_chrome_trace, write_jsonl
+
+    if args.trace is None:
+        return _demo_body(args)
+    tracer = Tracer()
+    with using_tracer(tracer):
+        status = _demo_body(args)
+    if str(args.trace).endswith(".jsonl"):
+        count = write_jsonl(tracer, args.trace)
+        print(f"· trace: {count} spans → {args.trace}")
+    else:
+        write_chrome_trace(tracer, args.trace, process_name="repro-serve demo")
+        print(f"· trace: {len(tracer)} spans → {args.trace} (open in Perfetto or chrome://tracing)")
+    return status
+
+
+def _demo_body(args: argparse.Namespace) -> int:
     # Imported lazily so `repro-serve inspect` stays fast and dependency-light.
     from ..core import Converter, ExperimentConfig
     from ..core.pipeline import prepare_data, train_ann

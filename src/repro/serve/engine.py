@@ -31,6 +31,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from ..obs import active_tracer
 from ..runtime import ComputePolicy, resolve_policy, validate_policy_spec
 from ..snn.backend import Backend, validate_backend_spec
 from ..snn.executor import (
@@ -296,12 +297,30 @@ class AdaptiveEngine:
             hook_factory=lambda: _EarlyExitHook(cfg),
             record_final=False,
         )
-        execution = scheduler.execute(plan, images)
-        parts: List[_EarlyExitResult] = execution.hook_results
-        return InferenceOutcome(
-            scores=np.concatenate([part.scores for part in parts], axis=0),
-            exit_timesteps=np.concatenate([part.exit_timesteps for part in parts]),
-            max_timesteps=cfg.max_timesteps,
-            total_spikes=float(sum(part.total_spikes for part in parts)),
-            wall_seconds=time.perf_counter() - started,
-        )
+        tracer = active_tracer()
+        with tracer.span("engine:infer", category="serve") as span:
+            if span.recording:
+                span.annotate(
+                    network=network.name,
+                    batch=len(images),
+                    max_timesteps=cfg.max_timesteps,
+                    adaptive=cfg.adaptive,
+                    scheduler=scheduler.name,
+                    backend=network.backend_spec,
+                    precision=network.policy_spec,
+                )
+            execution = scheduler.execute(plan, images)
+            parts: List[_EarlyExitResult] = execution.hook_results
+            outcome = InferenceOutcome(
+                scores=np.concatenate([part.scores for part in parts], axis=0),
+                exit_timesteps=np.concatenate([part.exit_timesteps for part in parts]),
+                max_timesteps=cfg.max_timesteps,
+                total_spikes=float(sum(part.total_spikes for part in parts)),
+                wall_seconds=time.perf_counter() - started,
+            )
+            if span.recording:
+                span.annotate(
+                    mean_exit_timesteps=outcome.mean_timesteps,
+                    spikes_per_inference=outcome.spikes_per_inference,
+                )
+        return outcome

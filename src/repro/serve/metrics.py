@@ -7,6 +7,22 @@ would plot: p50/p95/p99 latency in both units — wall-clock additionally split
 into its queue-wait and compute components, so a scheduler speedup (which
 moves compute, not queueing) is visible from the CLI — requests-per-second,
 mean batch size, and spikes per inference (the SNN energy proxy).
+
+Retention is bounded: records live in a ring buffer (``capacity`` entries,
+default 65 536) so a long-running server's memory stays constant however
+much traffic it serves.  ``total_count`` streams over *every* record ever
+seen, while percentile aggregation runs over the retained window — the same
+window/stream split :class:`repro.obs.Histogram` uses.  Throughput is
+derived from the first→last record timestamps of the window actually
+aggregated, not from the accumulator's construction time, so idle time
+before traffic arrives (or after it stops) no longer dilutes the rate.
+
+Every :meth:`ServingMetrics.record` also feeds the observability registry
+(:func:`repro.obs.global_registry` unless one is injected): the
+``serve.requests`` counter and the ``serve.wall_ms`` / ``serve.queue_ms`` /
+``serve.compute_ms`` / ``serve.batch_size`` / ``serve.timesteps``
+histograms, so serving latency shows up next to executor metrics (pipeline
+handoff waits, shard walls) in one ``MetricsRegistry.snapshot()``.
 """
 
 from __future__ import annotations
@@ -14,17 +30,29 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
 
 import numpy as np
 
-__all__ = ["RequestRecord", "MetricsSnapshot", "ServingMetrics"]
+from ..obs import MetricsRegistry, global_registry
+
+__all__ = ["DEFAULT_CAPACITY", "RequestRecord", "MetricsSnapshot", "ServingMetrics"]
+
+#: Default ring-buffer capacity: ~65k records ≈ a few MB, hours of traffic
+#: at serving rates, constant forever after.
+DEFAULT_CAPACITY = 65536
 
 
 @dataclass
 class RequestRecord:
-    """Telemetry of one served request."""
+    """Telemetry of one served request.
+
+    ``recorded_at`` (``time.perf_counter`` at construction) is the
+    timestamp throughput derives from — the span between the first and last
+    record of a window is the time traffic actually flowed.
+    """
 
     model: str
     timesteps: int
@@ -32,20 +60,28 @@ class RequestRecord:
     queue_ms: float
     batch_size: int
     spikes: float
+    recorded_at: float = field(default_factory=time.perf_counter)
 
 
 @dataclass
 class MetricsSnapshot:
-    """Aggregate view over every record seen so far.
+    """Aggregate view over the retained record window.
 
     Wall-clock latency is reported whole (``*_wall_ms`` — queue wait plus
     simulation) and split into its two components: ``*_queue_ms`` (time
     coalescing in the micro-batcher) and ``*_compute_ms`` (time inside the
     engine).  Each carries mean/p50/p95/p99 so tail behaviour — the number a
     latency SLO is written against — is visible next to the median.
+
+    ``count`` is the number of records aggregated (bounded by the ring
+    buffer); ``total_count`` the number ever recorded.  ``elapsed_seconds``
+    spans the first→last aggregated record and is what ``throughput_rps``
+    divides by, so idle periods outside the traffic window don't skew the
+    rate (a single-record window has no measurable span and reports 0).
     """
 
     count: int
+    total_count: int
     elapsed_seconds: float
     throughput_rps: float
     p50_timesteps: float
@@ -71,8 +107,8 @@ class MetricsSnapshot:
 
     def report(self) -> str:
         lines = [
-            f"requests served      : {self.count}",
-            f"throughput           : {self.throughput_rps:.2f} req/s over {self.elapsed_seconds:.2f}s",
+            f"requests served      : {self.total_count}",
+            f"throughput           : {self.throughput_rps:.2f} req/s over {self.elapsed_seconds:.2f}s of traffic",
             f"latency (timesteps)  : mean {self.mean_timesteps:.1f} · p50 {self.p50_timesteps:.0f} · p95 {self.p95_timesteps:.0f}",
             f"latency (wall-clock) : mean {self.mean_wall_ms:.1f}ms · p50 {self.p50_wall_ms:.1f}ms · p95 {self.p95_wall_ms:.1f}ms · p99 {self.p99_wall_ms:.1f}ms",
             f"  queue wait         : mean {self.mean_queue_ms:.1f}ms · p50 {self.p50_queue_ms:.1f}ms · p95 {self.p95_queue_ms:.1f}ms · p99 {self.p99_queue_ms:.1f}ms",
@@ -80,22 +116,44 @@ class MetricsSnapshot:
             f"batch size           : mean {self.mean_batch_size:.1f}",
             f"spikes per inference : {self.spikes_per_inference:.0f}",
         ]
+        if self.count < self.total_count:
+            lines.append(
+                f"(percentiles over the most recent {self.count} of {self.total_count} requests)"
+            )
         return "\n".join(lines)
 
 
 class ServingMetrics:
-    """Thread-safe accumulator of :class:`RequestRecord` entries."""
+    """Thread-safe, bounded accumulator of :class:`RequestRecord` entries."""
 
-    def __init__(self) -> None:
-        self._records: List[RequestRecord] = []
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._records: Deque[RequestRecord] = deque(maxlen=capacity)
+        self._total = 0
         self._lock = threading.Lock()
-        self._started = time.perf_counter()
+        self._registry = registry if registry is not None else global_registry()
 
     def record(self, record: RequestRecord) -> None:
         with self._lock:
             self._records.append(record)
+            self._total += 1
+        registry = self._registry
+        registry.counter("serve.requests").add()
+        registry.histogram("serve.wall_ms").observe(record.wall_ms)
+        registry.histogram("serve.queue_ms").observe(record.queue_ms)
+        registry.histogram("serve.compute_ms").observe(record.wall_ms - record.queue_ms)
+        registry.histogram("serve.batch_size").observe(record.batch_size)
+        registry.histogram("serve.timesteps").observe(record.timesteps)
 
     def records(self, model: Optional[str] = None) -> List[RequestRecord]:
+        """The retained window (oldest first), optionally filtered by model."""
+
         with self._lock:
             records = list(self._records)
         if model is not None:
@@ -104,20 +162,37 @@ class ServingMetrics:
 
     @property
     def count(self) -> int:
+        """Records ever seen (streaming — not capped by the ring buffer)."""
+
+        with self._lock:
+            return self._total
+
+    @property
+    def retained(self) -> int:
+        """Records currently held in the ring buffer."""
+
         with self._lock:
             return len(self._records)
 
     def reset(self) -> None:
         with self._lock:
             self._records.clear()
-            self._started = time.perf_counter()
+            self._total = 0
 
     def snapshot(self, model: Optional[str] = None) -> MetricsSnapshot:
         records = self.records(model)
-        elapsed = time.perf_counter() - self._started
+        with self._lock:
+            total = self._total
         if not records:
             zeros = {f.name: 0.0 for f in dataclasses.fields(MetricsSnapshot)}
-            return MetricsSnapshot(**{**zeros, "count": 0, "elapsed_seconds": elapsed})
+            return MetricsSnapshot(
+                **{**zeros, "count": 0, "total_count": total if model is None else 0}
+            )
+        # Throughput over the window traffic actually spanned: first→last
+        # record timestamp.  One record has no measurable span, so the rate
+        # is reported as 0 rather than an idle-time-diluted guess.
+        elapsed = records[-1].recorded_at - records[0].recorded_at
+        throughput = (len(records) / elapsed) if elapsed > 0 else 0.0
         timesteps = np.array([r.timesteps for r in records], dtype=np.float64)
         wall = np.array([r.wall_ms for r in records], dtype=np.float64)
         queue = np.array([r.queue_ms for r in records], dtype=np.float64)
@@ -128,8 +203,9 @@ class ServingMetrics:
         spikes = np.array([r.spikes for r in records], dtype=np.float64)
         return MetricsSnapshot(
             count=len(records),
-            elapsed_seconds=elapsed,
-            throughput_rps=len(records) / elapsed if elapsed > 0 else 0.0,
+            total_count=total if model is None else len(records),
+            elapsed_seconds=float(elapsed),
+            throughput_rps=float(throughput),
             p50_timesteps=float(np.percentile(timesteps, 50)),
             p95_timesteps=float(np.percentile(timesteps, 95)),
             mean_timesteps=float(timesteps.mean()),

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import active_tracer
 from .batcher import InferenceRequest, MicroBatcher
 from .engine import AdaptiveConfig, AdaptiveEngine
 from .metrics import RequestRecord, ServingMetrics
@@ -207,16 +208,36 @@ class InferenceServer:
         if not requests:
             return
         queue_ms = [request.queue_ms for request in requests]
-        try:
-            artifact = self.registry.get(model, version)
-            resolved_version = artifact.path.name if artifact.path is not None else (version or "")
-            images = np.stack([request.image for request in requests])
-            with self._model_lock((model, resolved_version)):
-                outcome = AdaptiveEngine(artifact.network, self.engine_config).infer(images)
-        except Exception as error:  # surface the failure on every waiting future
-            for request in requests:
-                request.future.set_exception(error)
-            return
+        # The request-lifecycle span: by the time the group reaches a worker
+        # the queue→batch phase is already behind it (its duration is the
+        # recorded queue wait), so the span covers lookup + engine compute,
+        # with the engine's own span (and the scheduler's run/layer spans)
+        # nested beneath it on this worker thread.
+        tracer = active_tracer()
+        with tracer.span("serve:batch", category="serve") as span:
+            if span.recording:
+                span.annotate(
+                    model=model,
+                    version=version,
+                    batch_size=len(requests),
+                    mean_queue_ms=sum(queue_ms) / len(queue_ms),
+                    max_queue_ms=max(queue_ms),
+                )
+            try:
+                artifact = self.registry.get(model, version)
+                resolved_version = artifact.path.name if artifact.path is not None else (version or "")
+                images = np.stack([request.image for request in requests])
+                with self._model_lock((model, resolved_version)):
+                    outcome = AdaptiveEngine(artifact.network, self.engine_config).infer(images)
+            except Exception as error:  # surface the failure on every waiting future
+                for request in requests:
+                    request.future.set_exception(error)
+                return
+            if span.recording:
+                span.annotate(
+                    mean_exit_timesteps=outcome.mean_timesteps,
+                    spikes_per_inference=outcome.spikes_per_inference,
+                )
 
         wall_ms = outcome.wall_seconds * 1000.0
         for position, request in enumerate(requests):

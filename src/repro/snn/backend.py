@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..obs import active_tracer
 from ..runtime import BufferPool
 from .functional import (
     active_channels,
@@ -358,6 +359,7 @@ def select_backends(
     else:
         rates = layer_input_rates(layers, stats)
 
+    tracer = active_tracer()
     chosen: List[Backend] = []
     for index, rate in enumerate(rates):
         if rate is None:
@@ -369,6 +371,16 @@ def select_backends(
             chosen.append(event)
         else:
             chosen.append(_DENSE)
+        if tracer.enabled:
+            layer = layers[index]
+            tracer.event(
+                "backend-select",
+                category="backend",
+                layer=f"{index}:{getattr(layer, 'name', type(layer).__name__)}",
+                backend=chosen[-1].name,
+                input_rate=float(rate) if rate is not None else None,
+                crossover=crossover,
+            )
     return chosen
 
 

@@ -54,12 +54,14 @@ from __future__ import annotations
 import os
 import queue
 import threading
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..obs import active_tracer, global_registry
 from .statistics import LayerSpikeStats, collect_spike_stats, merge_spike_stats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (network imports us)
@@ -257,28 +259,65 @@ def clone_network(network: "SpikingNetwork") -> "SpikingNetwork":
     return replica
 
 
-def _run_plan(plan: ExecutionPlan, network: "SpikingNetwork", images: np.ndarray) -> ExecutionResult:
+def _run_plan(
+    plan: ExecutionPlan,
+    network: "SpikingNetwork",
+    images: np.ndarray,
+    span_name: str = "run:sequential",
+    parent=None,
+) -> ExecutionResult:
     """The canonical single-threaded timestep loop over one network.
 
     This is the historical ``simulate`` body, verbatim: reset, encode, step
     every layer once per timestep, snapshot checkpoint scores, let the hook
     observe (and possibly stop the run), collect statistics.  The sequential
     scheduler is a direct wrapper; the sharded scheduler runs it once per
-    replica; the pipelined scheduler falls back to it for hooked plans.
+    replica (``span_name``/``parent`` label and link the per-shard spans);
+    the pipelined scheduler falls back to it for hooked plans.
+
+    With a tracer active the loop emits one run span, one span per timestep
+    and one per layer × timestep.  With the tracer disabled the loop below
+    runs with zero instrumentation — not even a null-span context — so the
+    uninstrumented wall-clock is preserved (the ≤2% overhead gate in
+    ``benchmarks/test_obs_overhead.py`` pins this).
     """
 
+    tracer = active_tracer()
     network.reset_state()
     network.encoder.reset(images)
     hook = plan.hook_factory() if plan.hook_factory is not None else None
     if hook is not None:
         hook.start(network, len(images))
     scores: Dict[int, np.ndarray] = {}
-    for t in range(1, plan.timesteps + 1):
-        network.step(network.encoder.step(t))
-        if t in plan.checkpoints:
-            scores[t] = network.output_layer.scores().copy()
-        if hook is not None and hook.after_step(t):
-            break
+    if not tracer.enabled:
+        for t in range(1, plan.timesteps + 1):
+            network.step(network.encoder.step(t))
+            if t in plan.checkpoints:
+                scores[t] = network.output_layer.scores().copy()
+            if hook is not None and hook.after_step(t):
+                break
+    else:
+        with tracer.span(span_name, category="executor", parent=parent) as run_span:
+            run_span.annotate(
+                network=network.name,
+                timesteps=plan.timesteps,
+                batch=len(images),
+                hooked=hook is not None,
+            )
+            for t in range(1, plan.timesteps + 1):
+                with tracer.span("timestep", category="executor") as step_span:
+                    step_span.annotate(t=t)
+                    signal = network.encoder.step(t)
+                    for index, layer in enumerate(network.layers):
+                        with tracer.span("layer-step", category="executor") as layer_span:
+                            layer_span.annotate(layer=f"{index}:{layer.name}", t=t)
+                            signal = layer.step(signal)
+                    if t in plan.checkpoints:
+                        scores[t] = network.output_layer.scores().copy()
+                    stop = hook is not None and hook.after_step(t)
+                if stop:
+                    run_span.annotate(exited_at=t)
+                    break
     stats = collect_spike_stats(network.layers, plan.timesteps) if plan.collect_statistics else []
     return ExecutionResult(
         scores=scores,
@@ -349,6 +388,7 @@ class PipelinedScheduler(Scheduler):
         if plan.hook_factory is not None or len(layers) < 2 or plan.timesteps < 2:
             return _run_plan(plan, network, images)
 
+        tracer = active_tracer()
         network.reset_state()
         network.encoder.reset(images)
         handoffs: List["queue.Queue"] = [
@@ -357,6 +397,16 @@ class PipelinedScheduler(Scheduler):
         failed = threading.Event()
         errors: List[BaseException] = []
         scores: Dict[int, np.ndarray] = {}
+
+        run_span = tracer.span(
+            "run:pipelined",
+            category="executor",
+            network=network.name,
+            timesteps=plan.timesteps,
+            batch=len(images),
+            stages=len(layers),
+            queue_depth=self.queue_depth,
+        )
 
         def put(handoff: "queue.Queue", item: np.ndarray) -> None:
             while True:
@@ -385,33 +435,70 @@ class PipelinedScheduler(Scheduler):
             # timesteps; the downstream stage may still be reading the
             # previous tensor, so hand over a copy instead.
             copy_out = outbound is not None and layer.policy.in_place
+            # Each stage thread roots its own subtree under the run span
+            # (explicit cross-thread parent) and accounts the time it spends
+            # blocked on its handoff queues — the pipeline's stall signal.
+            stage_span = tracer.span(
+                f"stage:{index}:{layer.name}", category="executor", parent=run_span
+            )
+            recording = stage_span.recording
+            inbound_wait = 0.0
+            outbound_wait = 0.0
             try:
-                for t in range(1, plan.timesteps + 1):
-                    if inbound is None:
-                        if failed.is_set():
-                            raise _StageCancelled
-                        signal = network.encoder.step(t)
-                    else:
-                        signal = get(inbound)
-                    out = layer.step(signal)
-                    if outbound is not None:
-                        put(outbound, np.copy(out) if copy_out else out)
-                    elif t in plan.checkpoints:
-                        scores[t] = network.output_layer.scores().copy()
+                with stage_span:
+                    for t in range(1, plan.timesteps + 1):
+                        if inbound is None:
+                            if failed.is_set():
+                                raise _StageCancelled
+                            signal = network.encoder.step(t)
+                        elif recording:
+                            waited = time.perf_counter()
+                            signal = get(inbound)
+                            inbound_wait += time.perf_counter() - waited
+                        else:
+                            signal = get(inbound)
+                        if recording:
+                            with tracer.span("layer-step", category="executor") as layer_span:
+                                layer_span.annotate(layer=f"{index}:{layer.name}", t=t)
+                                out = layer.step(signal)
+                        else:
+                            out = layer.step(signal)
+                        if outbound is not None:
+                            item = np.copy(out) if copy_out else out
+                            if recording:
+                                waited = time.perf_counter()
+                                put(outbound, item)
+                                outbound_wait += time.perf_counter() - waited
+                            else:
+                                put(outbound, item)
+                        elif t in plan.checkpoints:
+                            scores[t] = network.output_layer.scores().copy()
+                    if recording:
+                        handoff_wait_ms = (inbound_wait + outbound_wait) * 1e3
+                        stage_span.annotate(
+                            timesteps=plan.timesteps,
+                            inbound_wait_ms=inbound_wait * 1e3,
+                            outbound_wait_ms=outbound_wait * 1e3,
+                            handoff_wait_ms=handoff_wait_ms,
+                        )
+                        global_registry().histogram(
+                            "executor.pipeline.handoff_wait_ms"
+                        ).observe(handoff_wait_ms)
             except _StageCancelled:
                 pass
             except BaseException as error:
                 errors.append(error)
                 failed.set()
 
-        workers = [
-            threading.Thread(target=stage, args=(index,), name=f"repro-pipeline-{index}", daemon=True)
-            for index in range(len(layers))
-        ]
-        for worker in workers:
-            worker.start()
-        for worker in workers:
-            worker.join()
+        with run_span:
+            workers = [
+                threading.Thread(target=stage, args=(index,), name=f"repro-pipeline-{index}", daemon=True)
+                for index in range(len(layers))
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
         if errors:
             raise errors[0]
 
@@ -456,26 +543,52 @@ class ShardedScheduler(Scheduler):
         if shards <= 1:
             return _run_plan(plan, plan.network, images)
 
+        tracer = active_tracer()
         bounds = np.linspace(0, len(images), shards + 1, dtype=int)
         slices = [images[bounds[i]: bounds[i + 1]] for i in range(shards)]
         replicas = [clone_network(plan.network) for _ in range(shards)]
         results: List[Optional[ExecutionResult]] = [None] * shards
         errors: List[BaseException] = []
+        run_span = tracer.span(
+            "run:sharded",
+            category="executor",
+            network=plan.network.name,
+            timesteps=plan.timesteps,
+            batch=len(images),
+            shards=shards,
+            shard_sizes=[len(part) for part in slices],
+        )
 
         def work(index: int) -> None:
+            # Per-shard timing lands both in the trace (the shard's run span,
+            # rooted under this run across the worker-thread boundary) and in
+            # the shard-wall histogram, where straggler shards show up.
+            started = time.perf_counter()
             try:
-                results[index] = _run_plan(plan, replicas[index], slices[index])
+                results[index] = _run_plan(
+                    plan,
+                    replicas[index],
+                    slices[index],
+                    span_name=f"shard:{index}",
+                    parent=run_span,
+                )
             except BaseException as error:  # re-raised on the caller's thread
                 errors.append(error)
+            finally:
+                if run_span.recording:
+                    global_registry().histogram("executor.shard.wall_ms").observe(
+                        (time.perf_counter() - started) * 1e3
+                    )
 
-        workers = [
-            threading.Thread(target=work, args=(index,), name=f"repro-shard-{index}", daemon=True)
-            for index in range(shards)
-        ]
-        for worker in workers:
-            worker.start()
-        for worker in workers:
-            worker.join()
+        with run_span:
+            workers = [
+                threading.Thread(target=work, args=(index,), name=f"repro-shard-{index}", daemon=True)
+                for index in range(shards)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
         if errors:
             raise errors[0]
         return merge_execution_results([result for result in results if result is not None])

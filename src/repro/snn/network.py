@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..obs import active_tracer
 from ..runtime import ComputePolicy, active_policy, resolve_policy
 from .backend import DEFAULT_CROSSOVER, Backend, resolve_backend, select_backends
 from .encoding import InputEncoder, RealCoding
@@ -167,6 +168,15 @@ class SpikingNetwork:
             for layer in self.layers:
                 layer.set_backend(backend)
             self.backend_spec = backend.name
+            tracer = active_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "backend-set",
+                    category="backend",
+                    network=self.name,
+                    backend=backend.name,
+                    layers=len(self.layers),
+                )
         return self
 
     def backend_names(self) -> List[str]:

@@ -1,0 +1,153 @@
+"""Tests for the perf-trajectory harness (``tools/bench_report.py``).
+
+The generator run here uses the ``--fast`` fixture — a few seconds — and the
+committed ``BENCH_<date>.json`` baseline is validated so a malformed report
+can never land in the repository.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import bench_report  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def fast_report():
+    return bench_report.generate_report(fast=True, date="2026-01-01")
+
+
+class TestGeneration:
+    def test_fast_report_covers_the_full_matrix(self, fast_report):
+        bench_report.validate_report(fast_report)
+        expected = {
+            f"{b}/{p}/{s}"
+            for b in bench_report.BACKENDS
+            for p in bench_report.PRECISIONS
+            for s in bench_report.SCHEDULERS
+        }
+        assert set(fast_report["results"]) == expected
+        assert len(expected) == 12
+
+    def test_cells_carry_sane_numbers(self, fast_report):
+        for key, cell in fast_report["results"].items():
+            wall = cell["wall_ms"]
+            assert 0 < wall["best"] <= wall["mean"], key
+            assert wall["p50"] <= wall["p95"] <= wall["p99"], key
+            assert cell["throughput"]["samples_per_s"] > 0, key
+            assert cell["throughput"]["timesteps_per_s"] > cell["throughput"]["samples_per_s"], key
+            assert cell["allocation"]["peak_kb"] > 0, key
+
+    def test_report_is_json_serialisable_and_dated(self, fast_report):
+        json.dumps(fast_report)
+        assert fast_report["generated"] == "2026-01-01"
+        assert fast_report["schema"] == bench_report.SCHEMA
+
+    def test_main_writes_dated_file(self, tmp_path):
+        status = bench_report.main(["--fast", "--out", str(tmp_path)])
+        assert status == 0
+        (path,) = tmp_path.glob("BENCH_*.json")
+        bench_report.validate_report(json.loads(path.read_text()))
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_is_valid(self):
+        baselines = sorted(REPO_ROOT.glob("BENCH_*.json"))
+        assert baselines, "the repository must carry a committed BENCH_<date>.json baseline"
+        for path in baselines:
+            report = json.loads(path.read_text())
+            bench_report.validate_report(report)
+            assert path.name == f"BENCH_{report['generated']}.json"
+            assert not report["config"]["fast"], "the committed baseline must be a full-matrix run"
+
+
+class TestValidation:
+    def test_rejects_wrong_schema(self, fast_report):
+        bad = copy.deepcopy(fast_report)
+        bad["schema"] = "something/else"
+        with pytest.raises(ValueError, match="schema"):
+            bench_report.validate_report(bad)
+
+    def test_rejects_missing_cells(self, fast_report):
+        bad = copy.deepcopy(fast_report)
+        del bad["results"]["dense/train64/sequential"]
+        with pytest.raises(ValueError, match="missing matrix cells"):
+            bench_report.validate_report(bad)
+
+    def test_rejects_non_numeric_fields(self, fast_report):
+        bad = copy.deepcopy(fast_report)
+        bad["results"]["dense/train64/sequential"]["wall_ms"]["best"] = "fast"
+        with pytest.raises(ValueError, match="not numeric"):
+            bench_report.validate_report(bad)
+
+    def test_rejects_non_reports(self):
+        with pytest.raises(ValueError):
+            bench_report.validate_report([])
+        with pytest.raises(ValueError):
+            bench_report.validate_report({"schema": bench_report.SCHEMA})
+
+
+class TestDiff:
+    def test_identical_reports_show_no_regressions(self, fast_report, capsys):
+        regressions = bench_report.diff_reports(fast_report, copy.deepcopy(fast_report))
+        assert regressions == []
+        assert "dense/train64/sequential" in capsys.readouterr().out
+
+    def test_slowdown_beyond_threshold_is_flagged(self, fast_report, capsys):
+        slower = copy.deepcopy(fast_report)
+        cell = slower["results"]["dense/train64/sequential"]
+        cell["wall_ms"]["best"] *= 1.5
+        regressions = bench_report.diff_reports(fast_report, slower, threshold=0.10)
+        capsys.readouterr()
+        assert len(regressions) == 1
+        assert "dense/train64/sequential" in regressions[0]
+        assert "wall best" in regressions[0]
+
+    def test_throughput_drop_is_a_regression_in_the_right_direction(self, fast_report, capsys):
+        # Higher throughput must NOT flag; lower throughput must.
+        faster = copy.deepcopy(fast_report)
+        slower = copy.deepcopy(fast_report)
+        faster["results"]["event/infer32/sequential"]["throughput"]["samples_per_s"] *= 2.0
+        slower["results"]["event/infer32/sequential"]["throughput"]["samples_per_s"] *= 0.5
+        assert bench_report.diff_reports(fast_report, faster, threshold=0.10) == []
+        regressions = bench_report.diff_reports(fast_report, slower, threshold=0.10)
+        capsys.readouterr()
+        assert len(regressions) == 1 and "throughput" in regressions[0]
+
+    def test_small_changes_stay_under_threshold(self, fast_report, capsys):
+        wobble = copy.deepcopy(fast_report)
+        for cell in wobble["results"].values():
+            cell["wall_ms"]["best"] *= 1.05  # inside the 10% band
+        assert bench_report.diff_reports(fast_report, wobble, threshold=0.10) == []
+        capsys.readouterr()
+
+    def test_matrix_drift_is_reported_but_not_a_regression(self, fast_report, capsys):
+        drifted = copy.deepcopy(fast_report)
+        cell = drifted["results"].pop("dense/train64/sequential")
+        drifted["results"]["dense/train64/brand-new"] = cell
+        regressions = bench_report.diff_reports(fast_report, drifted)
+        out = capsys.readouterr().out
+        assert regressions == []
+        assert "new cell" in out and "dropped" in out
+
+    def test_diff_cli_emits_github_annotations(self, fast_report, tmp_path, capsys):
+        slower = copy.deepcopy(fast_report)
+        slower["results"]["dense/train64/sequential"]["wall_ms"]["best"] *= 2.0
+        base_path = tmp_path / "base.json"
+        curr_path = tmp_path / "curr.json"
+        base_path.write_text(json.dumps(fast_report))
+        curr_path.write_text(json.dumps(slower))
+        status = bench_report.main(
+            ["--diff", str(base_path), str(curr_path), "--github-annotations"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0  # regressions warn, they never fail the build
+        assert "::warning" in out and "wall best" in out

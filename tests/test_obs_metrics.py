@@ -1,0 +1,122 @@
+"""Metrics unit tests: counters, gauges, histograms and the registry."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, global_registry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("requests")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == pytest.approx(3.5)
+        assert counter.summary() == {"value": pytest.approx(3.5)}
+
+    def test_rejects_negative_amounts(self):
+        with pytest.raises(ValueError, match="only increase"):
+            Counter("requests").add(-1.0)
+
+    def test_thread_safe_increments(self):
+        counter = Counter("requests")
+
+        def worker():
+            for _ in range(1000):
+                counter.add()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_keeps_last_written_value(self):
+        gauge = Gauge("depth")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == pytest.approx(1.5)
+        assert gauge.summary() == {"value": pytest.approx(1.5)}
+
+
+class TestHistogram:
+    def test_streaming_stats_are_exact(self):
+        hist = Histogram("latency")
+        for value in (5.0, 1.0, 3.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(9.0)
+        assert hist.mean == pytest.approx(3.0)
+        summary = hist.summary()
+        assert summary["min"] == 1.0 and summary["max"] == 5.0
+
+    def test_percentiles_over_window(self):
+        hist = Histogram("latency")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(50) == pytest.approx(50.0, abs=1.0)
+        assert hist.percentile(100) == 100.0
+
+    def test_window_bounds_memory_but_not_streaming_stats(self):
+        hist = Histogram("latency", window_size=10)
+        for value in range(1, 101):
+            hist.observe(float(value))
+        # Exact over all 100 observations…
+        assert hist.count == 100
+        assert hist.sum == pytest.approx(5050.0)
+        assert hist.summary()["min"] == 1.0
+        # …but percentiles only see the last 10.
+        assert hist.percentile(0) == 91.0
+
+    def test_empty_histogram_is_well_defined(self):
+        hist = Histogram("latency")
+        assert hist.count == 0 and hist.mean == 0.0
+        assert hist.percentile(50) == 0.0
+        assert hist.summary()["min"] == 0.0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError, match="window_size"):
+            Histogram("latency", window_size=0)
+        with pytest.raises(ValueError, match="percentile"):
+            Histogram("latency").percentile(101)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("b") is registry.histogram("b")
+        assert registry.names() == ["a", "b"]
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("metric")
+        with pytest.raises(ValueError, match="already registered as a counter"):
+            registry.gauge("metric")
+
+    def test_snapshot_covers_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").add(2)
+        registry.gauge("depth").set(4)
+        registry.histogram("latency").observe(10.0)
+        snapshot = registry.snapshot()
+        assert snapshot["requests"]["value"] == 2
+        assert snapshot["depth"]["value"] == 4
+        assert snapshot["latency"]["count"] == 1
+
+    def test_clear_empties_the_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.clear()
+        assert registry.names() == []
+
+    def test_global_registry_is_a_shared_singleton(self):
+        assert global_registry() is global_registry()
+        assert isinstance(global_registry(), MetricsRegistry)

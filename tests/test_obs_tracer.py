@@ -1,0 +1,409 @@
+"""Tracer unit tests: span lifecycle, nesting, threading, env override, export."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_CAPACITY,
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    active_tracer,
+    chrome_trace_events,
+    read_jsonl,
+    set_active_tracer,
+    span_record,
+    tracer_from_env,
+    using_tracer,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+class TestSpanLifecycle:
+    def test_span_records_on_exit(self):
+        tracer = Tracer()
+        with tracer.span("work", category="test") as span:
+            assert span.recording
+            assert len(tracer) == 0  # open spans are not yet in the buffer
+        finished = tracer.finished()
+        assert [s.name for s in finished] == ["work"]
+        assert finished[0].category == "test"
+        assert finished[0].duration_s is not None and finished[0].duration_s >= 0.0
+
+    def test_nesting_links_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner") as inner:
+                    pass
+        assert outer.parent_id is None
+        assert middle.parent_id == outer.span_id
+        assert inner.parent_id == middle.span_id
+        # Finished order is innermost-first (exit order).
+        assert [s.name for s in tracer.finished()] == ["inner", "middle", "outer"]
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == parent.span_id
+        assert b.parent_id == parent.span_id
+        assert a.span_id != b.span_id
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = Tracer()
+        root = tracer.span("root")
+        with root:
+            pass
+        with tracer.span("other"):
+            with tracer.span("adopted", parent=root) as adopted:
+                pass
+        assert adopted.parent_id == root.span_id
+
+    def test_annotate_merges_attributes(self):
+        tracer = Tracer()
+        with tracer.span("work", batch=4) as span:
+            span.annotate(t=1)
+            span.annotate(t=2, layer="conv1")
+        assert span.attributes == {"batch": 4, "t": 2, "layer": "conv1"}
+
+    def test_exception_annotates_and_records(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished()
+        assert "boom" in span.attributes["error"]
+
+    def test_event_is_an_instant_span(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            tracer.event("mark", category="test", size=3)
+        events = [s for s in tracer.finished() if s.name == "mark"]
+        assert len(events) == 1
+        assert events[0].duration_s == 0.0
+        assert events[0].parent_id == outer.span_id
+        assert events[0].attributes == {"size": 3}
+
+    def test_span_event_helper_roots_under_the_span(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            outer.event("mark")
+        mark = next(s for s in tracer.finished() if s.name == "mark")
+        assert mark.parent_id == outer.span_id
+
+    def test_capacity_bounds_buffer_and_counts_drops(self):
+        tracer = Tracer(capacity=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [s.name for s in tracer.finished()] == ["s2", "s3", "s4"]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Tracer(capacity=0)
+
+    def test_clear_resets_buffer_and_drop_count(self):
+        tracer = Tracer(capacity=1)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert tracer.dropped == 1
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.dropped == 0
+
+    def test_default_capacity_is_bounded(self):
+        assert Tracer().capacity == DEFAULT_CAPACITY
+
+
+class TestThreading:
+    def test_threads_keep_independent_stacks(self):
+        """A span open on the main thread must not adopt worker spans."""
+
+        tracer = Tracer()
+        done = threading.Event()
+
+        def worker():
+            with tracer.span("worker-span"):
+                pass
+            done.set()
+
+        with tracer.span("main-span"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert done.is_set()
+        worker_span = next(s for s in tracer.finished() if s.name == "worker-span")
+        assert worker_span.parent_id is None  # not adopted by main-span
+        main_span = next(s for s in tracer.finished() if s.name == "main-span")
+        assert worker_span.thread_id != main_span.thread_id
+
+    def test_explicit_parent_links_across_threads(self):
+        tracer = Tracer()
+        run = tracer.span("run")
+        with run:
+            def worker():
+                with tracer.span("stage", parent=run):
+                    pass
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        stages = [s for s in tracer.finished() if s.name == "stage"]
+        assert len(stages) == 4
+        assert all(s.parent_id == run.span_id for s in stages)
+
+    def test_concurrent_spans_all_recorded(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(8)
+
+        def worker(index: int):
+            barrier.wait()
+            for step in range(25):
+                with tracer.span(f"w{index}-{step}"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer) == 8 * 25
+        ids = [s.span_id for s in tracer.finished()]
+        assert len(set(ids)) == len(ids)  # ids unique across threads
+
+
+class TestActiveTracer:
+    def test_default_is_the_null_tracer(self):
+        assert active_tracer() is NULL_TRACER
+
+    def test_using_tracer_scopes_installation(self):
+        tracer = Tracer()
+        with using_tracer(tracer) as installed:
+            assert installed is tracer
+            assert active_tracer() is tracer
+        assert active_tracer() is NULL_TRACER
+
+    def test_using_tracer_restores_previous_on_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with using_tracer(tracer):
+                raise RuntimeError("boom")
+        assert active_tracer() is NULL_TRACER
+
+    def test_set_active_tracer_returns_previous(self):
+        tracer = Tracer()
+        previous = set_active_tracer(tracer)
+        try:
+            assert previous is NULL_TRACER
+            assert active_tracer() is tracer
+        finally:
+            set_active_tracer(previous)
+
+    def test_none_installs_the_null_tracer(self):
+        previous = set_active_tracer(Tracer())
+        try:
+            set_active_tracer(None)
+            assert active_tracer() is NULL_TRACER
+        finally:
+            set_active_tracer(NULL_TRACER)
+
+
+class TestNullPath:
+    def test_null_tracer_span_is_the_shared_singleton(self):
+        assert NULL_TRACER.span("anything", category="x", batch=4) is NULL_SPAN
+        assert not NULL_TRACER.enabled
+        assert len(NULL_TRACER) == 0 and NULL_TRACER.finished() == []
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            assert span is NULL_SPAN
+            assert not span.recording
+            assert span.annotate(ignored=1) is NULL_SPAN
+            span.event("ignored")
+        assert NULL_SPAN.attributes is None
+
+    def test_null_tracer_event_records_nothing(self):
+        NULL_TRACER.event("mark", size=3)
+        assert NULL_TRACER.finished() == []
+
+
+class TestEnvOverride:
+    def test_unset_and_falsy_disable(self):
+        for value in (None, "", "0", "false", "off"):
+            tracer, path = tracer_from_env(value)
+            if value in (None, ""):
+                assert tracer is NULL_TRACER
+                assert path is None
+            else:
+                # "0"/"false"/"off" are not truthy flags and not sensible
+                # paths either — but the contract is: any non-empty,
+                # non-truthy value is an export path.  Documented behaviour.
+                assert tracer.enabled
+                assert path == value
+
+    def test_truthy_flags_enable_without_export(self):
+        for value in ("1", "true", "on", "yes", " TRUE "):
+            tracer, path = tracer_from_env(value)
+            assert isinstance(tracer, Tracer) and tracer.enabled
+            assert path is None
+
+    def test_path_value_enables_with_export_path(self):
+        tracer, path = tracer_from_env("out/trace.json")
+        assert isinstance(tracer, Tracer)
+        assert path == "out/trace.json"
+
+    def test_env_installs_in_subprocess(self, tmp_path):
+        """End-to-end: REPRO_TRACE=<path> traces a run and exports at exit."""
+
+        import os
+        import subprocess
+        import sys
+
+        out = tmp_path / "trace.json"
+        code = (
+            "from repro.obs import active_tracer\n"
+            "tracer = active_tracer()\n"
+            "assert tracer.enabled\n"
+            "with tracer.span('probe'):\n"
+            "    pass\n"
+        )
+        env = dict(os.environ, REPRO_TRACE=str(out))
+        env["PYTHONPATH"] = os.pathsep.join(filter(None, [os.path.abspath("src"), env.get("PYTHONPATH")]))
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)
+        payload = json.loads(out.read_text())
+        events = validate_chrome_trace(payload)
+        assert any(event["name"] == "probe" for event in events)
+
+
+class TestExport:
+    def _traced(self) -> Tracer:
+        tracer = Tracer()
+        with tracer.span("outer", category="test", batch=4) as outer:
+            with tracer.span("inner", category="test"):
+                pass
+            outer.event("mark", size=2)
+        return tracer
+
+    def test_jsonl_round_trip_preserves_records(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "trace.jsonl"
+        count = write_jsonl(tracer, path)
+        assert count == 3
+        records = read_jsonl(path)
+        expected = [span_record(span, tracer.epoch_s) for span in tracer.finished()]
+        assert records == json.loads(json.dumps(expected))  # exact round-trip
+
+    def test_jsonl_records_are_flat_and_complete(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer, path)
+        for record in read_jsonl(path):
+            for field in (
+                "name", "category", "span_id", "parent_id",
+                "thread_id", "thread_name", "start_us", "duration_us", "attributes",
+            ):
+                assert field in record
+
+    def test_chrome_payload_validates(self):
+        payload = chrome_trace_events(self._traced(), process_name="unit-test")
+        events = validate_chrome_trace(payload)
+        names = [event["name"] for event in events]
+        assert "process_name" in names and "thread_name" in names
+        assert "outer" in names and "inner" in names and "mark" in names
+
+    def test_chrome_spans_and_instants_use_their_phases(self):
+        events = validate_chrome_trace(chrome_trace_events(self._traced()))
+        by_name = {event["name"]: event for event in events}
+        assert by_name["outer"]["ph"] == "X" and by_name["outer"]["dur"] > 0
+        assert by_name["mark"]["ph"] == "i" and by_name["mark"]["s"] == "t"
+        assert by_name["outer"]["args"]["batch"] == 4
+        assert by_name["inner"]["args"]["parent_id"] == by_name["outer"]["args"]["span_id"]
+
+    def test_chrome_trace_file_is_loadable_json(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(tracer, path, metadata={"run": "unit"})
+        assert count == 3
+        payload = json.loads(path.read_text())
+        validate_chrome_trace(payload)
+        assert payload["otherData"]["run"] == "unit"
+
+    def test_dropped_spans_surface_in_other_data(self):
+        tracer = Tracer(capacity=1)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        payload = chrome_trace_events(tracer)
+        assert payload["otherData"]["dropped_spans"] == 1
+
+    def test_exporters_accept_plain_span_lists(self, tmp_path):
+        tracer = self._traced()
+        spans = tracer.finished()
+        payload = chrome_trace_events(spans)
+        validate_chrome_trace(payload)
+        assert write_jsonl(spans, tmp_path / "subset.jsonl") == len(spans)
+
+    def test_non_json_attributes_are_coerced(self):
+        import numpy as np
+
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            span.annotate(rate=np.float64(0.5), shape=(3, 4), obj=object())
+        payload = chrome_trace_events(tracer)
+        json.dumps(payload)  # must be serialisable
+        args = validate_chrome_trace(payload)[-1]["args"]
+        assert args["rate"] == 0.5
+        assert args["shape"] == [3, 4]
+        assert isinstance(args["obj"], str)
+
+    def test_validate_rejects_malformed_payloads(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({})
+        with pytest.raises(ValueError, match="name"):
+            validate_chrome_trace({"traceEvents": [{"ph": "X", "pid": 1, "tid": 1}]})
+        with pytest.raises(ValueError, match="phase"):
+            validate_chrome_trace({"traceEvents": [{"name": "x", "ph": "?", "pid": 1, "tid": 1}]})
+        with pytest.raises(ValueError, match="ts"):
+            validate_chrome_trace({"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": -1}]})
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace({"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0}]})
+
+
+class TestNullTracerType:
+    def test_null_tracer_type_is_reusable(self):
+        # Fresh instances behave like the singleton (the export helpers
+        # accept either).
+        tracer = NullTracer()
+        assert tracer.span("x") is NULL_SPAN
+        assert chrome_trace_events(tracer)["traceEvents"][0]["ph"] == "M"
+
+
+class TestSpanRepr:
+    def test_span_ids_increase_monotonically(self):
+        tracer = Tracer()
+        first = tracer.span("a")
+        second = tracer.span("b")
+        assert second.span_id > first.span_id
+
+    def test_span_is_a_real_span_type(self):
+        assert isinstance(Tracer().span("a"), Span)

@@ -226,6 +226,64 @@ class TestServingMetrics:
         metrics.reset()
         assert metrics.snapshot().count == 0
 
+    def test_ring_buffer_bounds_retention_but_not_the_count(self):
+        metrics = ServingMetrics(capacity=4)
+        for timesteps in range(10):
+            metrics.record(
+                RequestRecord(model="m", timesteps=timesteps, wall_ms=1.0, queue_ms=0.0, batch_size=1, spikes=1.0)
+            )
+        assert metrics.count == 10  # streaming total survives eviction
+        assert metrics.retained == 4
+        # Aggregation sees only the newest `capacity` records…
+        retained = [record.timesteps for record in metrics.records()]
+        assert retained == [6, 7, 8, 9]
+        snapshot = metrics.snapshot()
+        assert snapshot.count == 4
+        assert snapshot.total_count == 10
+        assert snapshot.mean_timesteps == pytest.approx(7.5)
+        # …and the report says the window is partial.
+        assert "most recent 4 of 10" in snapshot.report()
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ServingMetrics(capacity=0)
+
+    def test_throughput_derives_from_record_timestamps(self):
+        # Two records one (synthetic) second apart: 2 requests over 1s of
+        # traffic.  Idle time before/after must not appear in the rate, so
+        # the records' own timestamps are doctored instead of sleeping.
+        metrics = ServingMetrics()
+        first = RequestRecord(model="m", timesteps=1, wall_ms=1.0, queue_ms=0.0, batch_size=1, spikes=1.0)
+        second = RequestRecord(model="m", timesteps=1, wall_ms=1.0, queue_ms=0.0, batch_size=1, spikes=1.0)
+        second.recorded_at = first.recorded_at + 1.0
+        metrics.record(first)
+        metrics.record(second)
+        snapshot = metrics.snapshot()
+        assert snapshot.elapsed_seconds == pytest.approx(1.0)
+        assert snapshot.throughput_rps == pytest.approx(2.0)
+
+    def test_throughput_ignores_idle_time_before_traffic(self):
+        # The old implementation divided by "seconds since the accumulator
+        # was constructed", so construct-then-wait deflated the rate.  Now
+        # only the records' own span counts.
+        metrics = ServingMetrics()
+        records = [
+            RequestRecord(model="m", timesteps=1, wall_ms=1.0, queue_ms=0.0, batch_size=1, spikes=1.0)
+            for _ in range(3)
+        ]
+        base = records[0].recorded_at + 100.0  # as if traffic started 100s later
+        for offset, record in enumerate(records):
+            record.recorded_at = base + offset * 0.5
+            metrics.record(record)
+        assert metrics.snapshot().throughput_rps == pytest.approx(3 / 1.0)
+
+    def test_single_record_reports_zero_throughput(self):
+        metrics = ServingMetrics()
+        metrics.record(RequestRecord(model="m", timesteps=1, wall_ms=1.0, queue_ms=0.0, batch_size=1, spikes=1.0))
+        snapshot = metrics.snapshot()
+        assert snapshot.count == 1
+        assert snapshot.throughput_rps == 0.0  # no measurable traffic span
+
 
 class TestInferenceServer:
     def test_served_predictions_match_direct_engine(self, rng, tmp_path):

@@ -1,0 +1,346 @@
+#!/usr/bin/env python3
+"""Generate (and diff) the per-PR performance-trajectory report.
+
+The report is one JSON file — ``BENCH_<date>.json`` — covering the full
+backend × precision × scheduler matrix on the reference ConvNet-4 fixture.
+Each cell records wall-clock latency (best/mean/p50/p95/p99 over repeats),
+derived throughput (samples/s and layer-timesteps/s), and allocation stats
+(``tracemalloc`` peak and net growth), so a perf regression introduced by a
+PR shows up as a diff against the committed baseline rather than as a vague
+"it feels slower".
+
+Workflow::
+
+    python tools/bench_report.py --out .                    # full matrix
+    python tools/bench_report.py --fast --out /tmp/bench    # CI-sized subset
+    python tools/bench_report.py --diff BENCH_2026-08-07.json current.json
+
+``--diff`` compares two reports cell by cell and prints a table of relative
+changes; cells slower (or hungrier) than ``--threshold`` (default 10 %) emit
+GitHub ``::warning::`` annotations.  The diff never fails the build — noisy
+CI runners would make a hard gate flaky — it makes the trajectory visible.
+
+The generator only *reads* the repository (no artifacts beyond the report),
+needs nothing outside the standard toolchain, and seeds everything, so two
+runs on the same machine produce comparable numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _datetime
+import json
+import platform
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.core import Converter  # noqa: E402
+from repro.models import ConvNet4  # noqa: E402
+from repro.snn.executor import (  # noqa: E402
+    PipelinedScheduler,
+    ShardedScheduler,
+    sequential_scheduler,
+)
+
+#: Schema tag — bump when the report layout changes incompatibly.
+SCHEMA = "repro.bench_report/v1"
+
+BACKENDS = ("dense", "event")
+PRECISIONS = ("train64", "infer32")
+SCHEDULERS = ("sequential", "pipelined", "sharded")
+
+#: Metrics compared by ``--diff``: (json path under the cell, label, unit,
+#: +1 when larger is worse / -1 when smaller is worse).
+_DIFF_METRICS = (
+    (("wall_ms", "best"), "wall best", "ms", +1),
+    (("wall_ms", "p95"), "wall p95", "ms", +1),
+    (("throughput", "samples_per_s"), "throughput", "samples/s", -1),
+    (("allocation", "peak_kb"), "alloc peak", "KiB", +1),
+)
+
+
+def _fixture(fast: bool):
+    """Train-free reference fixture: an untrained ConvNet-4 converted via TCL.
+
+    Random weights exercise exactly the same simulation kernels as trained
+    ones (im2col, matmuls, threshold compares); skipping training keeps the
+    full matrix in the seconds-to-minutes range and removes the training
+    loop's noise from the measurement.
+    """
+
+    rng = np.random.default_rng(7)
+    if fast:
+        model = ConvNet4(
+            channels=(4, 4, 8, 8), hidden_features=16, image_size=12, num_classes=4, batch_norm=False
+        )
+        images = rng.random((8, 3, 12, 12))
+        calibration = rng.random((16, 3, 12, 12))
+        timesteps, repeats = 10, 2
+    else:
+        model = ConvNet4(
+            channels=(16, 16, 32, 32), hidden_features=64, image_size=16, num_classes=10, batch_norm=False
+        )
+        images = rng.random((16, 3, 16, 16))
+        calibration = rng.random((32, 3, 16, 16))
+        timesteps, repeats = 20, 3
+    return model, images, calibration, timesteps, repeats
+
+
+def _resolve_scheduler(name: str):
+    # Pin shard/stage counts so the matrix measures the same execution shape
+    # on every machine (a 1-core CI runner would otherwise silently collapse
+    # "sharded" into the sequential path).
+    if name == "sequential":
+        return sequential_scheduler()
+    if name == "pipelined":
+        return PipelinedScheduler()
+    if name == "sharded":
+        return ShardedScheduler(num_shards=2)
+    raise ValueError(f"unknown scheduler {name!r}")
+
+
+def _measure_cell(network, images, timesteps: int, scheduler, repeats: int) -> Dict:
+    """Best-of-``repeats`` wall clock + one tracemalloc'd allocation pass."""
+
+    batch = len(images)
+    layers = len(network.layers)
+    # Warm-up: fills backend caches (im2col geometry, cached operands) so the
+    # timed repeats measure steady state, like a warmed-up serving process.
+    network.simulate(images, timesteps, collect_statistics=False, scheduler=scheduler)
+    walls: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        network.simulate(images, timesteps, collect_statistics=False, scheduler=scheduler)
+        walls.append((time.perf_counter() - started) * 1000.0)
+    # Allocation is measured outside the timed repeats: tracemalloc hooks
+    # every allocation and slows the run severely, so mixing it into the
+    # wall-clock numbers would corrupt them.
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    network.simulate(images, timesteps, collect_statistics=False, scheduler=scheduler)
+    after, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    arr = np.asarray(walls, dtype=np.float64)
+    best = float(arr.min())
+    return {
+        "wall_ms": {
+            "best": best,
+            "mean": float(arr.mean()),
+            "p50": float(np.percentile(arr, 50)),
+            "p95": float(np.percentile(arr, 95)),
+            "p99": float(np.percentile(arr, 99)),
+            "repeats": repeats,
+        },
+        "throughput": {
+            # Derived from the best repeat: the least-interfered-with run is
+            # the closest estimate of what the code itself costs.
+            "samples_per_s": batch / (best / 1000.0),
+            "timesteps_per_s": (batch * timesteps * layers) / (best / 1000.0),
+        },
+        "allocation": {
+            "peak_kb": peak / 1024.0,
+            "net_kb": (after - before) / 1024.0,
+        },
+    }
+
+
+def generate_report(fast: bool = False, date: Optional[str] = None) -> Dict:
+    """Run the backend × precision × scheduler matrix and return the report."""
+
+    model, images, calibration, timesteps, repeats = _fixture(fast)
+    cells: Dict[str, Dict] = {}
+    for precision in PRECISIONS:
+        # Fresh conversion per precision: downcasting float64 → float32 is
+        # lossy, so reusing one network across precisions would measure a
+        # round-tripped hybrid instead of a cleanly converted one.
+        conversion = (
+            Converter(model).strategy("tcl").precision(precision).calibrate(calibration).convert()
+        )
+        for backend in BACKENDS:
+            network = conversion.snn.set_backend(backend)
+            batch = network.policy.asarray(images)
+            for scheduler_name in SCHEDULERS:
+                key = f"{backend}/{precision}/{scheduler_name}"
+                cells[key] = _measure_cell(
+                    network, batch, timesteps, _resolve_scheduler(scheduler_name), repeats
+                )
+                print(
+                    f"  {key:<32} best {cells[key]['wall_ms']['best']:8.1f} ms · "
+                    f"{cells[key]['throughput']['samples_per_s']:7.1f} samples/s · "
+                    f"peak {cells[key]['allocation']['peak_kb']:8.0f} KiB",
+                    file=sys.stderr,
+                )
+    return {
+        "schema": SCHEMA,
+        "generated": date or _datetime.date.today().isoformat(),
+        "config": {
+            "fast": fast,
+            "backends": list(BACKENDS),
+            "precisions": list(PRECISIONS),
+            "schedulers": list(SCHEDULERS),
+            "batch": len(images),
+            "timesteps": timesteps,
+            "repeats": repeats,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "results": cells,
+    }
+
+
+def validate_report(report: Dict) -> None:
+    """Raise ``ValueError`` unless ``report`` is a well-formed v1 report."""
+
+    if not isinstance(report, dict):
+        raise ValueError(f"report must be an object, got {type(report).__name__}")
+    if report.get("schema") != SCHEMA:
+        raise ValueError(f"unknown schema {report.get('schema')!r} (expected {SCHEMA!r})")
+    for field in ("generated", "config", "environment", "results"):
+        if field not in report:
+            raise ValueError(f"report is missing the {field!r} field")
+    results = report["results"]
+    if not isinstance(results, dict) or not results:
+        raise ValueError("report has no result cells")
+    config = report["config"]
+    expected = {
+        f"{b}/{p}/{s}"
+        for b in config["backends"]
+        for p in config["precisions"]
+        for s in config["schedulers"]
+    }
+    missing = expected - set(results)
+    if missing:
+        raise ValueError(f"report is missing matrix cells: {sorted(missing)}")
+    for key, cell in results.items():
+        for section, fields in (
+            ("wall_ms", ("best", "mean", "p50", "p95", "p99")),
+            ("throughput", ("samples_per_s", "timesteps_per_s")),
+            ("allocation", ("peak_kb", "net_kb")),
+        ):
+            if section not in cell:
+                raise ValueError(f"cell {key!r} is missing the {section!r} section")
+            for name in fields:
+                value = cell[section].get(name)
+                if not isinstance(value, (int, float)):
+                    raise ValueError(f"cell {key!r} field {section}.{name} is not numeric: {value!r}")
+                if section != "allocation" and value < 0:
+                    raise ValueError(f"cell {key!r} field {section}.{name} is negative")
+
+
+def _cell_metric(cell: Dict, path) -> Optional[float]:
+    value: object = cell
+    for part in path:
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def diff_reports(baseline: Dict, current: Dict, threshold: float = 0.10) -> List[str]:
+    """Compare two reports; return regression descriptions beyond ``threshold``.
+
+    Prints a per-cell table of relative changes as a side effect.  A cell
+    present on only one side is reported (matrix drift is itself a change
+    worth noticing) but never counted as a regression.
+    """
+
+    regressions: List[str] = []
+    base_results, curr_results = baseline["results"], current["results"]
+    for key in sorted(set(base_results) | set(curr_results)):
+        if key not in base_results:
+            print(f"{key:<32} (new cell — no baseline)")
+            continue
+        if key not in curr_results:
+            print(f"{key:<32} (cell dropped from current report)")
+            continue
+        parts = []
+        for path, label, unit, direction in _DIFF_METRICS:
+            base = _cell_metric(base_results[key], path)
+            curr = _cell_metric(curr_results[key], path)
+            if not base or curr is None:
+                continue
+            change = (curr - base) / base
+            parts.append(f"{label} {change:+6.1%}")
+            if change * direction > threshold:
+                regressions.append(
+                    f"{key}: {label} regressed {abs(change):.1%} "
+                    f"({base:.1f} → {curr:.1f} {unit})"
+                )
+        print(f"{key:<32} {' · '.join(parts)}")
+    return regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true", help="CI-sized subset (small fixture, fewer repeats)")
+    parser.add_argument("--out", default=".", help="directory to write BENCH_<date>.json into")
+    parser.add_argument(
+        "--diff",
+        nargs="+",
+        metavar="REPORT",
+        default=None,
+        help="diff mode: BASELINE [CURRENT] — with one argument, a fresh fast report is the CURRENT side",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.10, help="relative regression threshold for --diff (default 0.10)"
+    )
+    parser.add_argument(
+        "--github-annotations",
+        action="store_true",
+        help="emit ::warning:: lines for regressions (for GitHub Actions logs)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.diff is not None:
+        if len(args.diff) > 2:
+            parser.error("--diff takes at most two reports (BASELINE [CURRENT])")
+        baseline = json.loads(Path(args.diff[0]).read_text())
+        validate_report(baseline)
+        if len(args.diff) == 2:
+            current = json.loads(Path(args.diff[1]).read_text())
+        else:
+            print("generating fresh --fast report for the current side …", file=sys.stderr)
+            current = generate_report(fast=True)
+        validate_report(current)
+        if baseline["config"].get("fast") != current["config"].get("fast"):
+            print(
+                "note: comparing reports generated at different scales "
+                "(--fast vs full) — relative changes are still meaningful, absolutes are not"
+            )
+        regressions = diff_reports(baseline, current, threshold=args.threshold)
+        if regressions:
+            print(f"\n{len(regressions)} metric(s) beyond the ±{args.threshold:.0%} threshold:")
+            for line in regressions:
+                print(f"  {line}")
+                if args.github_annotations:
+                    print(f"::warning title=bench regression::{line}")
+        else:
+            print(f"\nno regressions beyond the ±{args.threshold:.0%} threshold")
+        return 0
+
+    report = generate_report(fast=args.fast)
+    validate_report(report)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{report['generated']}.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
