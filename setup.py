@@ -1,22 +1,26 @@
 """Setuptools configuration for the TCL reproduction package.
 
-Installs the ``repro`` package from ``src/`` and registers the
-``repro-serve`` console script (the inference-serving CLI).
+Installs the ``repro`` package from ``src/`` and registers two console
+scripts: ``repro-serve`` (the inference-serving CLI) and ``repro-lint``
+(the project's AST invariant checker, which lives under ``tools/`` so it
+never becomes a runtime dependency of ``repro`` itself).
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro-tcl",
-    version="1.3.0",
+    version="1.4.0",
     description="Reproduction of 'TCL: an ANN-to-SNN Conversion with Trainable Clipping Layers' (DAC 2021)",
-    package_dir={"": "src"},
-    packages=find_packages("src"),
+    package_dir={"": "src", "reprolint": "tools/reprolint"},
+    packages=find_packages("src") + ["reprolint", "reprolint.checkers"],
+    package_data={"reprolint": ["baseline.json"]},
     python_requires=">=3.9",
     install_requires=["numpy"],
     entry_points={
         "console_scripts": [
             "repro-serve=repro.serve.cli:main",
+            "repro-lint=reprolint.cli:main",
         ],
     },
 )

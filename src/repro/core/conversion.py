@@ -71,12 +71,33 @@ __all__ = [
     "ConversionReport",
     "ConversionResult",
     "Converter",
+    "register_artifact_writer",
     "run_calibration",
     "convert_ann_to_snn",
 ]
 
 #: Readout modes the output layer supports, validated at the API boundary.
 VALID_READOUTS = ("spike_count", "membrane")
+
+#: The artifact persistence hook :meth:`ConversionResult.save` calls.
+#:
+#: ``repro.serve`` sits *above* ``repro.core`` in the package layering, so
+#: this module must not import it (the checker in ``tools/reprolint`` flags
+#: exactly that).  Instead the serving tier registers its writer when it is
+#: imported — ``repro/__init__`` imports core before serve, so any code that
+#: can reach ``ConversionResult`` has the writer installed already.
+_ARTIFACT_WRITER = None
+
+
+def register_artifact_writer(writer) -> None:
+    """Install the callable ``save(snn, path, metadata=...)`` delegates to.
+
+    Called by ``repro.serve`` at import time with
+    :func:`repro.serve.serialize.save_artifact`; tests may install a stub.
+    """
+
+    global _ARTIFACT_WRITER
+    _ARTIFACT_WRITER = writer
 
 
 def _coerce_reset_mode(mode: Union[ResetMode, str]) -> ResetMode:
@@ -319,11 +340,13 @@ class ConversionResult:
         bit-identical simulation behaviour.
         """
 
-        # Imported lazily: repro.serve sits above repro.core in the package
-        # layering, so a module-level import would be circular.
-        from ..serve.serialize import save_artifact
-
-        return save_artifact(self.snn, path, metadata=self.export_metadata())
+        writer = _ARTIFACT_WRITER
+        if writer is None:
+            raise RuntimeError(
+                "no artifact writer is registered; import repro.serve (importing "
+                "the top-level repro package does) before calling save()"
+            )
+        return writer(self.snn, path, metadata=self.export_metadata())
 
 
 def run_calibration(model: Module, images: np.ndarray, batch_size: int = 64) -> np.ndarray:

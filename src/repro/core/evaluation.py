@@ -18,6 +18,7 @@ import numpy as np
 
 from ..autograd import Tensor, no_grad
 from ..nn.container import Sequential
+from ..runtime import resolve_dtype
 from ..snn.network import SimulationResult, SpikingNetwork
 from .conversion import ConversionResult
 from .observers import ActivationObserver, attach_observers, detach_observers
@@ -132,8 +133,12 @@ class ActivationSiteReport:
     p999: float
     mean: float
     trained_lambda: Optional[float]
-    histogram_counts: np.ndarray = field(repr=False, default_factory=lambda: np.zeros(0))
-    histogram_edges: np.ndarray = field(repr=False, default_factory=lambda: np.zeros(0))
+    histogram_counts: np.ndarray = field(
+        repr=False, default_factory=lambda: np.zeros(0, dtype=resolve_dtype())
+    )
+    histogram_edges: np.ndarray = field(
+        repr=False, default_factory=lambda: np.zeros(0, dtype=resolve_dtype())
+    )
 
     @property
     def lambda_vs_percentile_ratio(self) -> Optional[float]:

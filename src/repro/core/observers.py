@@ -82,8 +82,9 @@ class ActivationObserver:
         """Histogram of observed activations (counts, bin edges)."""
 
         if self._reservoir is None or self._reservoir.size == 0:
-            edges = np.linspace(0.0, 1.0, bins + 1)
-            return np.zeros(bins), edges
+            dtype = active_policy().dtype
+            edges = np.linspace(0.0, 1.0, bins + 1, dtype=dtype)
+            return np.zeros(bins, dtype=dtype), edges
         return np.histogram(self._reservoir, bins=bins, range=value_range)
 
     def summary(self) -> Dict[str, float]:

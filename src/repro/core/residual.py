@@ -28,6 +28,7 @@ import numpy as np
 
 from ..nn.layers import Identity
 from ..nn.residual import BasicBlock
+from ..runtime import resolve_dtype
 from ..snn.layers import SpikingResidualBlock
 from ..snn.neuron import ResetMode
 from .folding import EffectiveWeights
@@ -57,7 +58,7 @@ def identity_shortcut_kernel(in_channels: int, out_channels: int) -> np.ndarray:
             "a type-A (identity-shortcut) block must preserve the channel count; "
             f"got {in_channels} -> {out_channels}"
         )
-    kernel = np.zeros((out_channels, in_channels, 1, 1))
+    kernel = np.zeros((out_channels, in_channels, 1, 1), dtype=resolve_dtype())
     for channel in range(out_channels):
         kernel[channel, channel, 0, 0] = 1.0
     return kernel

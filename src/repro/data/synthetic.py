@@ -103,10 +103,12 @@ def make_class_prototypes(config: SyntheticImageConfig, rng: np.random.Generator
 
     size = config.image_size
     ys, xs = np.mgrid[0:size, 0:size]
-    prototypes = np.zeros((config.num_classes, config.channels, size, size))
+    # reprolint: allow[dtype] -- synthetic data is generated at full precision; loaders cast to the active policy
+    prototypes = np.zeros((config.num_classes, config.channels, size, size), dtype=np.float64)
     for cls in range(config.num_classes):
         for channel in range(config.channels):
-            image = np.zeros((size, size))
+            # reprolint: allow[dtype] -- full-precision accumulator for the Gaussian bumps
+            image = np.zeros((size, size), dtype=np.float64)
             for _ in range(config.prototype_bumps):
                 cy, cx = rng.uniform(0, size, size=2)
                 sigma = rng.uniform(size / 8.0, size / 3.0)
@@ -140,7 +142,8 @@ def generate_synthetic_images(config: SyntheticImageConfig) -> Tuple[np.ndarray,
     rng = np.random.default_rng(config.seed)
     prototypes = make_class_prototypes(config, rng)
     total = config.num_classes * config.samples_per_class
-    images = np.zeros((total, config.channels, config.image_size, config.image_size))
+    # reprolint: allow[dtype] -- synthetic data is generated at full precision; loaders cast to the active policy
+    images = np.zeros((total, config.channels, config.image_size, config.image_size), dtype=np.float64)
     labels = np.zeros(total, dtype=np.int64)
 
     index = 0
@@ -208,13 +211,13 @@ class SyntheticImageNet(ArrayDataset):
         seed: int = 1,
         **overrides,
     ) -> None:
-        defaults = dict(
-            prototype_bumps=6,
-            contrast_sigma=0.5,
-            outlier_fraction=0.04,
-            outlier_scale=4.0,
-            noise_std=0.2,
-        )
+        defaults = {
+            "prototype_bumps": 6,
+            "contrast_sigma": 0.5,
+            "outlier_fraction": 0.04,
+            "outlier_scale": 4.0,
+            "noise_std": 0.2,
+        }
         defaults.update(overrides)
         config = SyntheticImageConfig(
             num_classes=num_classes,

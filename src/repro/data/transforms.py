@@ -51,8 +51,9 @@ class Normalize:
 
     def __init__(self, mean: Sequence[float], std: Sequence[float], dtype=None) -> None:
         self.dtype = np.dtype(dtype) if dtype is not None else None
+        # reprolint: allow[dtype] -- statistics are kept at full precision by design; __call__ casts to the active policy
         self.mean = np.asarray(mean, dtype=np.float64).reshape(-1, 1, 1)
-        self.std = np.asarray(std, dtype=np.float64).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float64).reshape(-1, 1, 1)  # reprolint: allow[dtype] -- same as mean above
         if np.any(self.std <= 0):
             raise ValueError("std values must be positive")
 

@@ -79,7 +79,7 @@ class ConvNet4(Sequential):
         size = image_size
         prev = in_channels
         # Two conv stages, each: conv, conv, pool.
-        for stage, (c1, c2) in enumerate(((channels[0], channels[1]), (channels[2], channels[3]))):
+        for c1, c2 in ((channels[0], channels[1]), (channels[2], channels[3])):
             self.add(Conv2d(prev, c1, 3, padding=1, rng=rng))
             if batch_norm:
                 self.add(BatchNorm2d(c1))

@@ -13,6 +13,7 @@ import numpy as np
 
 from ..autograd import Tensor
 from ..autograd.norm import batch_norm1d, batch_norm2d
+from ..runtime import resolve_dtype
 from .module import Module, Parameter
 
 __all__ = ["BatchNorm2d", "BatchNorm1d"]
@@ -26,10 +27,11 @@ class BatchNorm2d(Module):
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self.gamma = Parameter(np.ones(num_features), name="gamma")
-        self.beta = Parameter(np.zeros(num_features), name="beta")
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+        dtype = resolve_dtype()
+        self.gamma = Parameter(np.ones(num_features, dtype=dtype), name="gamma")
+        self.beta = Parameter(np.zeros(num_features, dtype=dtype), name="beta")
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=dtype))
+        self.register_buffer("running_var", np.ones(num_features, dtype=dtype))
 
     def forward(self, inputs: Tensor) -> Tensor:
         return batch_norm2d(
@@ -55,10 +57,11 @@ class BatchNorm1d(Module):
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self.gamma = Parameter(np.ones(num_features), name="gamma")
-        self.beta = Parameter(np.zeros(num_features), name="beta")
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+        dtype = resolve_dtype()
+        self.gamma = Parameter(np.ones(num_features, dtype=dtype), name="gamma")
+        self.beta = Parameter(np.zeros(num_features, dtype=dtype), name="beta")
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=dtype))
+        self.register_buffer("running_var", np.ones(num_features, dtype=dtype))
 
     def forward(self, inputs: Tensor) -> Tensor:
         return batch_norm1d(

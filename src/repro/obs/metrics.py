@@ -51,10 +51,12 @@ class Counter:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
     def summary(self) -> Dict[str, float]:
-        return {"value": self._value}
+        with self._lock:
+            return {"value": self._value}
 
 
 class Gauge:
@@ -110,15 +112,25 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def sum(self) -> float:
-        return self._sum
+        with self._lock:
+            return self._sum
 
     @property
     def mean(self) -> float:
-        return self._sum / self._count if self._count else 0.0
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    @staticmethod
+    def _nearest_rank(window: List[float], q: float) -> float:
+        if not window:
+            return 0.0
+        rank = min(len(window) - 1, max(0, round(q / 100.0 * (len(window) - 1))))
+        return window[rank]
 
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile over the retained window (0 when empty)."""
@@ -127,21 +139,27 @@ class Histogram:
             raise ValueError(f"percentile must lie in [0, 100], got {q}")
         with self._lock:
             window: List[float] = sorted(self._window)
-        if not window:
-            return 0.0
-        rank = min(len(window) - 1, max(0, round(q / 100.0 * (len(window) - 1))))
-        return window[rank]
+        return self._nearest_rank(window, q)
 
     def summary(self) -> Dict[str, float]:
+        # One locked snapshot so count/sum/percentiles describe the same
+        # instant; percentiles come from the local copy rather than
+        # self.percentile(), which would re-take the non-reentrant lock.
+        with self._lock:
+            count = self._count
+            total = self._sum
+            lo = self._min
+            hi = self._max
+            window: List[float] = sorted(self._window)
         return {
-            "count": float(self._count),
-            "sum": self._sum,
-            "mean": self.mean,
-            "min": self._min if self._min is not None else 0.0,
-            "max": self._max if self._max is not None else 0.0,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+            "count": float(count),
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": lo if lo is not None else 0.0,
+            "max": hi if hi is not None else 0.0,
+            "p50": self._nearest_rank(window, 50),
+            "p95": self._nearest_rank(window, 95),
+            "p99": self._nearest_rank(window, 99),
         }
 
 

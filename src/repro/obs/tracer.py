@@ -256,6 +256,7 @@ class Tracer:
     ) -> None:
         """Record an instant (zero-duration) event."""
 
+        # reprolint: allow[tracer] -- instant event: the span is finalised inline below, never entered
         span = self.span(name, category=category, parent=parent, **attributes)
         span.start_s = time.perf_counter()
         span.duration_s = 0.0
@@ -342,6 +343,7 @@ class _ActiveTracer:
         self._tracer: Union[Tracer, NullTracer] = NULL_TRACER
 
     def get(self) -> Union[Tracer, NullTracer]:
+        # reprolint: allow[lock] -- single reference read; swaps in set() are atomic, a lock here is hot-path cost for nothing
         return self._tracer
 
     def set(self, tracer: Union[Tracer, NullTracer, None]) -> Union[Tracer, NullTracer]:

@@ -41,7 +41,7 @@ class SGD(Optimizer):
             raise ValueError(f"momentum must be non-negative, got {momentum}")
         if nesterov and momentum == 0.0:
             raise ValueError("Nesterov momentum requires momentum > 0")
-        defaults = dict(lr=lr, momentum=momentum, weight_decay=weight_decay, nesterov=nesterov)
+        defaults = {"lr": lr, "momentum": momentum, "weight_decay": weight_decay, "nesterov": nesterov}
         super().__init__(params, defaults)
 
     def step(self) -> None:

@@ -184,6 +184,7 @@ class _ActivePolicy:
         self._policy = _profile_from_env(os.environ.get(PROFILE_ENV_VAR))
 
     def get(self) -> ComputePolicy:
+        # reprolint: allow[lock] -- single reference read; swaps in set() are atomic, a lock here is hot-path cost for nothing
         return self._policy
 
     def set(self, policy: ComputePolicy) -> ComputePolicy:

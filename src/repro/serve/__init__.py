@@ -15,12 +15,17 @@ on-disk artifact and runs adaptive-latency inference against it:
 * :mod:`repro.serve.cli` — the ``repro-serve`` console entry point.
 """
 
+from ..core.conversion import register_artifact_writer
 from .serialize import FORMAT_VERSION, ArtifactError, LoadedArtifact, load_artifact, read_manifest, save_artifact
 from .registry import ModelRegistry
 from .engine import AdaptiveConfig, AdaptiveEngine, InferenceOutcome
 from .batcher import InferenceRequest, MicroBatcher
 from .metrics import MetricsSnapshot, RequestRecord, ServingMetrics
 from .server import InferenceReply, InferenceServer
+
+# Close the dependency inversion: core's ConversionResult.save persists via
+# whatever writer the serving tier registers, so core never imports upward.
+register_artifact_writer(save_artifact)
 
 __all__ = [
     "FORMAT_VERSION",

@@ -193,14 +193,15 @@ class ServingMetrics:
         # is reported as 0 rather than an idle-time-diluted guess.
         elapsed = records[-1].recorded_at - records[0].recorded_at
         throughput = (len(records) / elapsed) if elapsed > 0 else 0.0
+        # reprolint: allow[dtype] -- telemetry aggregation stays at full precision regardless of the compute policy
         timesteps = np.array([r.timesteps for r in records], dtype=np.float64)
-        wall = np.array([r.wall_ms for r in records], dtype=np.float64)
-        queue = np.array([r.queue_ms for r in records], dtype=np.float64)
+        wall = np.array([r.wall_ms for r in records], dtype=np.float64)  # reprolint: allow[dtype] -- telemetry
+        queue = np.array([r.queue_ms for r in records], dtype=np.float64)  # reprolint: allow[dtype] -- telemetry
         # The wall-clock a client saw decomposes into queue wait + engine
         # compute; recording keeps the sum, so the component is recovered.
         compute = wall - queue
-        batches = np.array([r.batch_size for r in records], dtype=np.float64)
-        spikes = np.array([r.spikes for r in records], dtype=np.float64)
+        batches = np.array([r.batch_size for r in records], dtype=np.float64)  # reprolint: allow[dtype] -- telemetry
+        spikes = np.array([r.spikes for r in records], dtype=np.float64)  # reprolint: allow[dtype] -- telemetry
         return MetricsSnapshot(
             count=len(records),
             total_count=total if model is None else len(records),

@@ -6,6 +6,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..runtime import resolve_dtype
+
 __all__ = ["top_k_accuracy", "confusion_matrix", "classification_report", "RunningAverage"]
 
 
@@ -39,9 +41,10 @@ def classification_report(predictions: np.ndarray, targets: np.ndarray, num_clas
     """Accuracy, macro precision / recall / F1 from predictions and targets."""
 
     matrix = confusion_matrix(predictions, targets, num_classes)
-    true_positive = np.diag(matrix).astype(np.float64)
-    predicted = matrix.sum(axis=0).astype(np.float64)
-    actual = matrix.sum(axis=1).astype(np.float64)
+    dtype = resolve_dtype()
+    true_positive = np.diag(matrix).astype(dtype)
+    predicted = matrix.sum(axis=0).astype(dtype)
+    actual = matrix.sum(axis=1).astype(dtype)
     precision = np.divide(true_positive, predicted, out=np.zeros_like(true_positive), where=predicted > 0)
     recall = np.divide(true_positive, actual, out=np.zeros_like(true_positive), where=actual > 0)
     denom = precision + recall

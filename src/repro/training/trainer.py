@@ -63,11 +63,11 @@ class Trainer:
     def __init__(
         self,
         model: Module,
-        config: TrainingConfig = TrainingConfig(),
+        config: Optional[TrainingConfig] = None,
         log_fn: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.model = model
-        self.config = config
+        self.config = config if config is not None else TrainingConfig()
         self.log_fn = log_fn
         self.history = History()
         self.optimizer = self._build_optimizer()

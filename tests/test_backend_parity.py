@@ -158,12 +158,12 @@ class TestAdaptiveEngineParity:
         must not perturb the event backend (nor vice versa)."""
 
         images = np.random.default_rng(seed + 3).uniform(0.0, 1.0, (batch, 2, 6, 6))
-        config = dict(
-            max_timesteps=35,
-            min_timesteps=3,
-            stability_window=stability_window,
-            margin_threshold=margin,
-        )
+        config = {
+            "max_timesteps": 35,
+            "min_timesteps": 3,
+            "stability_window": stability_window,
+            "margin_threshold": margin,
+        }
         dense = AdaptiveEngine(
             build_network(seed, reset_mode), AdaptiveConfig(backend="dense", **config)
         ).infer(images)

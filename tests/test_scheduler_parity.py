@@ -185,12 +185,12 @@ class TestAdaptiveEngineParity:
         not perturb scores, exit latencies or the spike budget."""
 
         images = np.random.default_rng(seed + 4).uniform(0.0, 1.0, (batch, 2, 6, 6))
-        config = dict(
-            max_timesteps=35,
-            min_timesteps=3,
-            stability_window=stability_window,
-            margin_threshold=margin,
-        )
+        config = {
+            "max_timesteps": 35,
+            "min_timesteps": 3,
+            "stability_window": stability_window,
+            "margin_threshold": margin,
+        }
         chosen = (
             PipelinedScheduler() if scheduler == "pipelined" else ShardedScheduler(num_shards=3)
         )

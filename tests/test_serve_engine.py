@@ -116,7 +116,7 @@ class TestAdaptiveEngine:
     def test_scheduler_override_keeps_results_identical(self, rng):
         network = _stable_network()
         images = rng.uniform(0.2, 1.0, (8, 4))
-        config = dict(max_timesteps=40, min_timesteps=3, stability_window=6)
+        config = {"max_timesteps": 40, "min_timesteps": 3, "stability_window": 6}
         sequential = AdaptiveEngine(_stable_network(), AdaptiveConfig(**config)).infer(images)
         for scheduler in ("pipelined", "sharded"):
             outcome = AdaptiveEngine(

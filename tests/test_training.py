@@ -41,7 +41,7 @@ def _toy_loaders(num_classes=3, n_per_class=10, image_size=8, seed=0):
 
 
 def _tiny_model(seed=0, **kwargs):
-    defaults = dict(num_classes=3, image_size=8, channels=(4, 4, 8, 8), hidden_features=16)
+    defaults = {"num_classes": 3, "image_size": 8, "channels": (4, 4, 8, 8), "hidden_features": 16}
     defaults.update(kwargs)
     return ConvNet4(rng=np.random.default_rng(seed), **defaults)
 

@@ -67,8 +67,12 @@ def run_snippet(snippet: Snippet) -> subprocess.CompletedProcess:
     """Execute one snippet in a fresh interpreter inside a scratch directory."""
 
     env = dict(os.environ)
-    src = str(REPO_ROOT / "src")
-    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    # src/ for the repro package, tools/ so docs/static-analysis.md examples
+    # can import reprolint.
+    paths = [str(REPO_ROOT / "src"), str(REPO_ROOT / "tools")]
+    if env.get("PYTHONPATH"):
+        paths.append(env["PYTHONPATH"])
+    env["PYTHONPATH"] = os.pathsep.join(paths)
     with tempfile.TemporaryDirectory(prefix="repro-docs-") as scratch:
         script = Path(scratch) / f"{snippet.source.stem}_{snippet.index}.py"
         script.write_text(snippet.code + "\n", encoding="utf-8")

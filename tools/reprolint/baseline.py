@@ -1,0 +1,96 @@
+"""The committed baseline: a ratchet that may shrink but never grow.
+
+A baseline entry grandfathers one pre-existing violation (by fingerprint —
+path + rule + message, deliberately not line number, so unrelated edits
+don't churn the file).  The comparison is strict in both directions:
+
+* a finding *not* in the baseline is new debt → the run fails;
+* a baseline entry with no matching finding is stale — the violation was
+  fixed, so the entry must be deleted (``--update-baseline``) before the
+  run passes.  That is what makes the ratchet one-way: the only legal
+  baseline edit is removal.
+
+The file is JSON (sorted fingerprints → counts) so diffs are reviewable and
+merge conflicts are honest.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+from .core import Finding
+
+__all__ = ["Baseline", "BaselineComparison", "compare_to_baseline"]
+
+FORMAT_VERSION = "reprolint-baseline/v1"
+
+
+@dataclass
+class Baseline:
+    """Fingerprint → occurrence count of the grandfathered findings."""
+
+    entries: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unknown baseline version {data.get('version')!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        entries = data.get("entries", {})
+        if not all(isinstance(v, int) and v > 0 for v in entries.values()):
+            raise ValueError(f"{path}: baseline counts must be positive integers")
+        return cls(entries=dict(entries))
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        return cls(entries=dict(Counter(f.fingerprint for f in findings)))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": FORMAT_VERSION,
+            "entries": {key: self.entries[key] for key in sorted(self.entries)},
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+@dataclass
+class BaselineComparison:
+    """The three-way split of a run against the baseline."""
+
+    new: List[Finding] = field(default_factory=list)  # not grandfathered → fail
+    baselined: List[Finding] = field(default_factory=list)  # known debt → pass
+    stale: List[str] = field(default_factory=list)  # fixed debt → shrink the file
+
+    @property
+    def ok(self) -> bool:
+        return not self.new and not self.stale
+
+
+def compare_to_baseline(findings: List[Finding], baseline: Baseline) -> BaselineComparison:
+    """Split findings into new vs baselined, and surface stale entries.
+
+    Counts matter: two identical violations in one file share a fingerprint,
+    so a baseline count of 1 grandfathers only one of them — adding a second
+    copy of old debt still fails.
+    """
+
+    comparison = BaselineComparison()
+    budget = dict(baseline.entries)
+    for finding in findings:
+        remaining = budget.get(finding.fingerprint, 0)
+        if remaining > 0:
+            budget[finding.fingerprint] = remaining - 1
+            comparison.baselined.append(finding)
+        else:
+            comparison.new.append(finding)
+    comparison.stale = sorted(key for key, count in budget.items() if count > 0)
+    return comparison

@@ -1,0 +1,150 @@
+"""BufferPool escape analysis: scratch must not outlive the call that took it.
+
+The kernel workspace contract (PR-4/PR-5): a kernel *receives* its
+workspace pool as a parameter, ``take``s scratch from it, and may hand a
+taken array back to its caller — the caller owns the pool and knows the
+array's lifetime.  What is never legal:
+
+* storing a taken array on ``self`` — the pool will recycle the block on
+  the next timestep and the attribute silently aliases fresh scratch;
+* returning scratch taken from a pool the function *owns* (``self._pool``
+  or one it constructed) — the caller has no idea the array is pooled and
+  will keep it across the next ``take``.
+
+So: ``return workspace.take(...)`` with ``workspace`` a parameter is fine
+(that is the kernel contract); ``return self._pool.take(...)`` and
+``self._scratch = pool.take(...)`` are escapes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from ..core import Checker, Finding, Module, register_checker
+
+
+def _take_root(node: ast.expr) -> Optional[ast.expr]:
+    """For a ``<pool>.take(...)`` call, the root of the pool expression
+    (a Name or the ``self`` of an attribute chain); None otherwise."""
+
+    if not (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "take"
+    ):
+        return None
+    root = node.func.value
+    while isinstance(root, (ast.Attribute, ast.Subscript)):
+        root = root.value
+    return root
+
+
+def _param_names(func: ast.FunctionDef) -> Set[str]:
+    args = func.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return set(names)
+
+
+@register_checker
+class BufferPoolChecker(Checker):
+    rule = "bufferpool"
+    description = "BufferPool scratch must not be stored on self or returned from a pool the function owns"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: Module, func: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        params = _param_names(func)
+
+        def pool_owned(call: ast.expr) -> Optional[bool]:
+            """True: taken from a pool this function owns.  False: taken from
+            a caller-supplied (parameter) pool.  None: not a take call."""
+
+            root = _take_root(call)
+            if root is None:
+                return None
+            if isinstance(root, ast.Name) and root.id in params and root.id != "self":
+                return False
+            return True
+
+        # names bound to taken scratch, and whether their pool was owned
+        taken_names: Dict[str, bool] = {}
+
+        def visit(node: ast.AST) -> Iterator[Finding]:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not func:
+                return  # nested functions are checked as their own scope
+
+            if isinstance(node, ast.Assign):
+                owned = pool_owned(node.value)
+                for target in node.targets:
+                    if owned is not None and isinstance(target, ast.Name):
+                        taken_names[target.id] = owned
+                    if owned is not None and self._is_self_attr(target):
+                        yield self.finding(
+                            module,
+                            node,
+                            "BufferPool scratch stored on self escapes the call; "
+                            "the pool recycles the block and the attribute will "
+                            "alias the next take",
+                        )
+                    # storing a previously-taken name on self also escapes
+                    if (
+                        isinstance(node.value, ast.Name)
+                        and node.value.id in taken_names
+                        and self._is_self_attr(target)
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"BufferPool scratch '{node.value.id}' stored on self "
+                            "escapes the call; copy it into an owned array instead",
+                        )
+
+            if isinstance(node, ast.Return) and node.value is not None:
+                yield from self._check_return(module, node, pool_owned, taken_names)
+
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child)
+
+        for stmt in func.body:
+            yield from visit(stmt)
+
+    @staticmethod
+    def _is_self_attr(target: ast.expr) -> bool:
+        return (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        )
+
+    def _check_return(self, module, stmt, pool_owned, taken_names) -> Iterator[Finding]:
+        exprs = [stmt.value]
+        if isinstance(stmt.value, ast.Tuple):
+            exprs = list(stmt.value.elts)
+        for expr in exprs:
+            owned = pool_owned(expr)
+            if owned is True:
+                yield self.finding(
+                    module,
+                    stmt,
+                    "returning scratch taken from a pool this function owns; "
+                    "the caller cannot see the pooled lifetime — copy first "
+                    "or take from a caller-supplied workspace",
+                )
+            elif isinstance(expr, ast.Name) and taken_names.get(expr.id) is True:
+                yield self.finding(
+                    module,
+                    stmt,
+                    f"returning '{expr.id}', scratch taken from a pool this "
+                    "function owns; copy first or take from a caller-supplied "
+                    "workspace",
+                )

@@ -1,0 +1,160 @@
+"""Dtype discipline: allocations must route through the ComputePolicy.
+
+PR-4 made precision a runtime policy (``repro.runtime.resolve_dtype``):
+under ``train64`` everything is float64 (bit-identical to the paper runs),
+under ``infer32`` the converted SNN runs float32.  That only works if no
+allocation hardcodes a width.  Three patterns are flagged inside the
+policy-managed packages:
+
+* ``d1`` — ``np.zeros/ones/empty/full`` (and ``*_like``) with no ``dtype=``:
+  numpy defaults to float64, silently widening the ``infer32`` path.
+* ``d2`` — ``np.array``/``np.asarray`` of a *literal* (list/tuple/number)
+  with no ``dtype=``: the result dtype is whatever Python inference picks.
+  Array-to-array ``asarray(x)`` passthroughs are dtype-preserving and
+  deliberately not flagged.
+* ``d3`` — a literal ``np.float64``/``np.float32``/``float`` dtype argument
+  (including ``.astype(np.float64)``): hardcodes a width the policy should
+  own.  Deliberate full-precision sites (statistics, telemetry) carry an
+  ``allow[dtype]`` with the rationale.
+
+Scope: autograd, nn, snn, core, serve, data, training.  ``runtime`` is the
+policy's home, ``obs``/``analysis`` are off the numeric path, and tests/
+tools may pin dtypes freely.
+
+This is the static complement of ``repro.runtime.audit`` (dynamic dtype
+tracing), which only sees paths a test actually executes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..core import Checker, Finding, Module, register_checker
+
+#: repro subpackages whose allocations must consult the policy.
+POLICY_MANAGED = {"autograd", "nn", "snn", "core", "serve", "data", "training"}
+
+#: allocators that default to float64 when dtype is omitted.  The ``*_like``
+#: variants are deliberately absent: they inherit the prototype's dtype, the
+#: same dtype-preserving property that exempts ``asarray(x)`` passthroughs.
+_DEFAULTING_ALLOCATORS = {"zeros", "ones", "empty", "full"}
+
+_CONVERTERS = {"array", "asarray", "ascontiguousarray"}
+
+#: dtype expressions that hardcode a width.
+_LITERAL_DTYPES = {"float64", "float32", "float16"}
+
+
+def _np_func(node: ast.Call) -> Optional[str]:
+    """Name of a ``np.<func>(...)`` / ``numpy.<func>(...)`` call, else None."""
+
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in {"np", "numpy"}
+    ):
+        return func.attr
+    return None
+
+
+def _has_kwarg(node: ast.Call, name: str) -> bool:
+    return any(kw.arg == name for kw in node.keywords)
+
+
+def _is_literal_arg(node: ast.expr) -> bool:
+    """Is this expression a literal (constants all the way down) whose dtype
+    numpy would pick by inference?  Comprehensions and lists of names carry
+    their elements' dtype, like an ``asarray(x)`` passthrough — not flagged."""
+
+    if isinstance(node, (ast.List, ast.Tuple)):
+        return all(_is_literal_arg(elt) for elt in node.elts)
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float, complex, bool))
+    if isinstance(node, ast.UnaryOp):
+        return _is_literal_arg(node.operand)
+    return False
+
+
+def _literal_dtype_name(node: ast.expr) -> Optional[str]:
+    """'float64' for ``np.float64``, 'float' for the builtin, else None."""
+
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in {"np", "numpy"}
+        and node.attr in _LITERAL_DTYPES
+    ):
+        return node.attr
+    if isinstance(node, ast.Name) and node.id == "float":
+        return "float"
+    if isinstance(node, ast.Constant) and node.value in {"float64", "float32", "float16"}:
+        return str(node.value)
+    return None
+
+
+@register_checker
+class DtypeChecker(Checker):
+    rule = "dtype"
+    description = "allocations in policy-managed packages must use resolve_dtype(), not numpy defaults or literal widths"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        pkg = module.repro_package()
+        if pkg not in POLICY_MANAGED:
+            return
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+
+            func_name = _np_func(node)
+            if func_name in _DEFAULTING_ALLOCATORS and not _has_kwarg(node, "dtype"):
+                yield self.finding(
+                    module,
+                    node,
+                    f"np.{func_name} without dtype= defaults to float64; "
+                    "pass dtype=resolve_dtype(...) so the active ComputePolicy decides",
+                )
+                continue
+
+            if (
+                func_name in _CONVERTERS
+                and not _has_kwarg(node, "dtype")
+                and node.args
+                and _is_literal_arg(node.args[0])
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"np.{func_name} of a literal without dtype= leaves the width "
+                    "to inference; pass dtype=resolve_dtype(...)",
+                )
+                continue
+
+            # d3: literal widths — dtype= kwargs and .astype(...) calls.
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    name = _literal_dtype_name(kw.value)
+                    if name is not None:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"literal dtype={name} hardcodes a width the "
+                            "ComputePolicy should own; use resolve_dtype() "
+                            "(or allow[dtype] with a rationale)",
+                        )
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in {"astype", "view"}
+                and node.args
+            ):
+                name = _literal_dtype_name(node.args[0])
+                if name is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f".{node.func.attr}({name}) hardcodes a width the "
+                        "ComputePolicy should own; use resolve_dtype() "
+                        "(or allow[dtype] with a rationale)",
+                    )

@@ -1,0 +1,110 @@
+"""Layering: the declared import contract for the ``repro`` package DAG.
+
+The contract (mirrored in docs/architecture.md, "Layering contract"):
+
+    rank 0   obs, runtime          leaf services: tracing, policy, buffers
+    rank 1   autograd              tensor ops + tape
+    rank 2   nn, data, optim       layers, loaders, optimizers
+    rank 3   models, snn, core,    architectures, spiking engine, TCL
+             training              conversion, training loops
+    rank 4   serve, analysis       serving tier, reporting
+
+A module may import from its own rank or below.  Importing *upward* —
+``rank(target) > rank(source)`` — is an inversion and gets flagged, no
+matter where the import hides: module level, function body (lazy imports
+are the classic dodge, e.g. the old ``conversion.py`` → ``serve``
+inversion), or ``TYPE_CHECKING`` blocks.  Same-rank imports are allowed;
+the mutual ``core ↔ training`` and ``models ↔ core`` edges are deliberate
+and cycle-free at import time because each side lazy-loads.
+
+Relative imports are resolved against the file's package path, so
+``from ..serve import x`` inside ``repro/core/`` is seen for what it is.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..core import Checker, Finding, Module, register_checker
+
+#: package name → rank in the layer DAG.  Lower ranks must not import higher.
+LAYER_RANKS = {
+    "obs": 0,
+    "runtime": 0,
+    "autograd": 1,
+    "nn": 2,
+    "data": 2,
+    "optim": 2,
+    "models": 3,
+    "snn": 3,
+    "core": 3,
+    "training": 3,
+    "serve": 4,
+    "analysis": 4,
+}
+
+
+def resolve_relative(
+    package_parts: Tuple[str, ...], level: int, module: Optional[str]
+) -> Optional[Tuple[str, ...]]:
+    """Absolute dotted parts of a relative import target, or None if the
+    import climbs past the package root."""
+
+    if level == 0:
+        return tuple(module.split(".")) if module else None
+    if level > len(package_parts):
+        return None
+    base = package_parts[: len(package_parts) - (level - 1)]
+    if module:
+        base = base + tuple(module.split("."))
+    return base
+
+
+def _target_repro_package(parts: Optional[Tuple[str, ...]]) -> Optional[str]:
+    if parts and len(parts) >= 2 and parts[0] == "repro":
+        return parts[1]
+    return None
+
+
+@register_checker
+class LayeringChecker(Checker):
+    rule = "layering"
+    description = "imports must follow the declared repro layer DAG (no upward imports)"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        source_pkg = module.repro_package()
+        if source_pkg is None or source_pkg not in LAYER_RANKS:
+            return
+        source_rank = LAYER_RANKS[source_pkg]
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                targets = [tuple(alias.name.split(".")) for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                resolved = resolve_relative(module.package_parts, node.level, node.module)
+                if resolved is None:
+                    continue
+                targets = [resolved]
+                # ``from . import serve`` style: the imported names may be
+                # subpackages — resolve each name as a child of the base.
+                if node.level > 0 and not node.module:
+                    targets = [resolved + (alias.name,) for alias in node.names]
+            else:
+                continue
+
+            for target in targets:
+                target_pkg = _target_repro_package(target)
+                if target_pkg is None or target_pkg not in LAYER_RANKS:
+                    continue
+                if target_pkg == source_pkg:
+                    continue
+                target_rank = LAYER_RANKS[target_pkg]
+                if target_rank > source_rank:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"upward import: {source_pkg} (rank {source_rank}) imports "
+                        f"{target_pkg} (rank {target_rank}); invert the dependency "
+                        "or move the code down the stack",
+                    )

@@ -1,0 +1,196 @@
+"""Command-line entry point for ``repro-lint``.
+
+Exit codes: 0 clean (or all findings baselined), 1 new findings or a stale
+baseline, 2 usage errors.  Output formats: ``text`` (one line per finding),
+``json`` (machine-readable, stable ordering), ``github`` (``::error``
+workflow annotations so findings land on the PR diff).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import Baseline, compare_to_baseline
+from .core import CHECKERS, Finding, Module, run_checkers
+
+__all__ = ["main", "discover_modules"]
+
+
+def discover_modules(paths: Sequence[Path], root: Path) -> List[Module]:
+    """Load every ``*.py`` file under the given paths (skipping caches),
+    with repo-relative posix paths so fingerprints are machine-independent."""
+
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p for p in sorted(path.rglob("*.py")) if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+
+    modules: List[Module] = []
+    for file in files:
+        resolved = file.resolve()
+        try:
+            relpath = resolved.relative_to(root).as_posix()
+        except ValueError:
+            relpath = file.as_posix()
+        modules.append(Module.load(file, relpath))
+    return modules
+
+
+def _emit_text(findings: List[Finding], stream) -> None:
+    for finding in findings:
+        print(finding, file=stream)
+
+
+def _emit_json(findings: List[Finding], stream) -> None:
+    payload = [
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "message": f.message,
+        }
+        for f in findings
+    ]
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+def _emit_github(findings: List[Finding], stream) -> None:
+    for f in findings:
+        # GitHub annotation syntax: properties are comma-separated, the
+        # message follows ``::``; newlines/percent must be URL-escaped.
+        message = f.message.replace("%", "%25").replace("\n", "%0A")
+        print(
+            f"::error file={f.path},line={f.line},col={f.col},title=reprolint {f.rule}::{message}",
+            file=stream,
+        )
+
+
+_EMITTERS = {"text": _emit_text, "json": _emit_json, "github": _emit_github}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Project-specific AST invariant checks for the repro stack.",
+    )
+    parser.add_argument("paths", nargs="*", type=Path, help="files or directories to lint")
+    parser.add_argument(
+        "--format", choices=sorted(_EMITTERS), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file of grandfathered findings (default: <repo>/tools/reprolint/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline and report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run's findings (shrink-only: refuses to add entries)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only these rules (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max((len(rule) for rule in CHECKERS), default=0)
+        for rule, checker_cls in sorted(CHECKERS.items()):
+            print(f"{rule:<{width}}  {checker_cls.description}")
+        return 0
+
+    if not args.paths:
+        parser.error("no paths given")
+
+    select = None
+    if args.select:
+        select = set(args.select)
+        unknown = select - set(CHECKERS)
+        if unknown:
+            parser.error(f"unknown rule(s): {', '.join(sorted(unknown))}")
+
+    root = Path.cwd().resolve()
+    baseline_path = args.baseline or Path(__file__).resolve().parent / "baseline.json"
+
+    try:
+        modules = discover_modules(args.paths, root)
+    except (FileNotFoundError, SyntaxError) as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    findings = run_checkers(modules, select=select)
+
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"repro-lint: bad baseline: {exc}", file=sys.stderr)
+            return 2
+
+    comparison = compare_to_baseline(findings, baseline)
+
+    if args.update_baseline:
+        refreshed = Baseline.from_findings(comparison.baselined)
+        grew = any(
+            count > baseline.entries.get(key, 0) for key, count in refreshed.entries.items()
+        )
+        if comparison.new or grew:
+            print(
+                "repro-lint: refusing to grow the baseline — fix or suppress new findings instead",
+                file=sys.stderr,
+            )
+            _emit_text(comparison.new, sys.stderr)
+            return 1
+        refreshed.save(baseline_path)
+        removed = sum(baseline.entries.values()) - sum(refreshed.entries.values())
+        print(f"repro-lint: baseline updated ({removed} entr{'y' if removed == 1 else 'ies'} removed)")
+        return 0
+
+    _EMITTERS[args.format](comparison.new, sys.stdout)
+
+    status = 0
+    if comparison.new:
+        status = 1
+        if args.format != "json":
+            print(
+                f"repro-lint: {len(comparison.new)} finding(s)"
+                + (f" ({len(comparison.baselined)} baselined)" if comparison.baselined else ""),
+                file=sys.stderr,
+            )
+    if comparison.stale:
+        status = 1
+        for fingerprint in comparison.stale:
+            print(
+                f"repro-lint: stale baseline entry (violation fixed — run --update-baseline): {fingerprint}",
+                file=sys.stderr,
+            )
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

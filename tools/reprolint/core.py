@@ -1,0 +1,246 @@
+"""The checker framework: findings, parsed modules, registry, suppressions.
+
+A *checker* is a class with a ``rule`` name and a ``check(module)`` method
+yielding :class:`Finding` objects.  Checkers register themselves with
+:func:`register_checker`, so adding a rule is one new module under
+``checkers/`` — the CLI, suppression handling, baseline ratchet and output
+formats all come for free.
+
+Suppressions are inline and must carry a reason::
+
+    self.mean = np.asarray(mean, dtype=np.float64)  # reprolint: allow[dtype] -- full-precision statistics, cast at call time
+
+A comment on the finding's line (or the line directly above, for lines that
+would otherwise overflow) suppresses matching rules.  An ``allow`` without a
+``-- reason`` suppresses nothing and is itself reported, so rationale can
+never silently rot out of the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "Module",
+    "Checker",
+    "CHECKERS",
+    "register_checker",
+    "run_checkers",
+]
+
+#: ``# reprolint: allow[rule1,rule2] -- reason`` (the reason is mandatory).
+_ALLOW_PATTERN = re.compile(
+    r"#\s*reprolint:\s*allow\[(?P<rules>[\w\s,-]+)\]\s*(?:--\s*(?P<reason>\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative posix path — stable across machines
+    line: int
+    col: int
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Baseline identity: deliberately excludes line/col so unrelated
+        edits above a baselined violation don't churn the baseline file."""
+
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Suppression:
+    """One parsed ``allow`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: Optional[str]
+    used: bool = False
+
+
+@dataclass
+class Module:
+    """One parsed source file handed to every checker."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.AST
+    suppressions: List[Suppression] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path, relpath: str) -> "Module":
+        source = path.read_text(encoding="utf-8")
+        return cls(
+            path=path,
+            relpath=relpath,
+            source=source,
+            tree=ast.parse(source, filename=str(path)),
+            suppressions=_parse_suppressions(source),
+        )
+
+    @property
+    def package_parts(self) -> Tuple[str, ...]:
+        """Dotted-module parts of the *package* containing this file, derived
+        from the repo-relative path (``src/repro/core/conversion.py`` →
+        ``("repro", "core")``) — what relative-import resolution needs."""
+
+        parts = Path(self.relpath).with_suffix("").parts
+        if parts and parts[0] == "src":
+            parts = parts[1:]
+        return tuple(parts[:-1])
+
+    def repro_package(self) -> Optional[str]:
+        """The top-level ``repro`` subpackage this file belongs to, if any."""
+
+        parts = self.package_parts
+        if len(parts) >= 2 and parts[0] == "repro":
+            return parts[1]
+        return None
+
+
+def _parse_suppressions(source: str) -> List[Suppression]:
+    """Every ``reprolint: allow`` comment in the file, via tokenize (so the
+    marker is never matched inside a string literal)."""
+
+    suppressions: List[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_PATTERN.search(token.string)
+            if match is None:
+                continue
+            rules = tuple(r.strip() for r in match.group("rules").split(",") if r.strip())
+            suppressions.append(
+                Suppression(line=token.start[0], rules=rules, reason=match.group("reason"))
+            )
+    except tokenize.TokenizeError:  # pragma: no cover - ast.parse raised first
+        pass
+    return suppressions
+
+
+class Checker:
+    """Base class for one rule.  Subclass, set ``rule``/``description``,
+    implement :meth:`check`, and decorate with :func:`register_checker`."""
+
+    rule: str = ""
+    description: str = ""
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.rule,
+            path=module.relpath,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+#: rule name → checker class.  Populated by :func:`register_checker`.
+CHECKERS: Dict[str, Type[Checker]] = {}
+
+
+def register_checker(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the registry (name collisions are
+    a programming error and fail loudly)."""
+
+    if not cls.rule:
+        raise ValueError(f"checker {cls.__name__} declares no rule name")
+    if cls.rule in CHECKERS:
+        raise ValueError(f"duplicate checker rule {cls.rule!r}")
+    CHECKERS[cls.rule] = cls
+    return cls
+
+
+def _apply_suppressions(module: Module, findings: Iterable[Finding]) -> List[Finding]:
+    """Drop findings covered by a valid ``allow`` on their line (or the line
+    above); report invalid allows (missing reason) and unused allows."""
+
+    by_line: Dict[int, List[Suppression]] = {}
+    for suppression in module.suppressions:
+        by_line.setdefault(suppression.line, []).append(suppression)
+
+    kept: List[Finding] = []
+    for finding in findings:
+        suppressed = False
+        for line in (finding.line, finding.line - 1):
+            for suppression in by_line.get(line, []):
+                if finding.rule in suppression.rules and suppression.reason:
+                    suppression.used = True
+                    suppressed = True
+        if not suppressed:
+            kept.append(finding)
+
+    for suppression in module.suppressions:
+        if not suppression.reason:
+            kept.append(
+                Finding(
+                    rule="suppression",
+                    path=module.relpath,
+                    line=suppression.line,
+                    col=0,
+                    message=(
+                        f"allow[{','.join(suppression.rules)}] has no '-- reason'; "
+                        "suppressions must say why"
+                    ),
+                )
+            )
+        elif not suppression.used:
+            kept.append(
+                Finding(
+                    rule="suppression",
+                    path=module.relpath,
+                    line=suppression.line,
+                    col=0,
+                    message=(
+                        f"allow[{','.join(suppression.rules)}] suppresses nothing; "
+                        "remove the stale comment"
+                    ),
+                )
+            )
+    return kept
+
+
+def run_checkers(
+    modules: Iterable[Module],
+    select: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Run every (selected) registered checker over every module.
+
+    Findings are returned sorted by location; suppressions have already been
+    applied (including the ``suppression`` meta-rule findings for invalid or
+    stale ``allow`` comments).
+    """
+
+    selected = [
+        checker_cls()
+        for rule, checker_cls in sorted(CHECKERS.items())
+        if select is None or rule in select
+    ]
+    findings: List[Finding] = []
+    for module in modules:
+        module_findings: List[Finding] = []
+        for checker in selected:
+            module_findings.extend(checker.check(module))
+        findings.extend(_apply_suppressions(module, module_findings))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
