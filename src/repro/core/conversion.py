@@ -50,7 +50,7 @@ import numpy as np
 from ..autograd import Tensor, no_grad
 from ..nn.container import Sequential
 from ..nn.module import Module
-from ..runtime import ComputePolicy, resolve_policy, validate_policy_spec
+from ..runtime import ComputePolicy, resolve_policy, using_policy, validate_policy_spec
 from ..snn.backend import Backend, validate_backend_spec
 from ..snn.encoding import InputEncoder, RealCoding
 from ..snn.executor import Scheduler, validate_scheduler_spec
@@ -172,7 +172,9 @@ class ConversionConfig:
     precision:
         Compute-policy profile of the converted network — ``"train64"``
         (float64, bit-identical historical behaviour), ``"infer32"``
-        (float32 inference profile with in-place scratch reuse), a
+        (float32 inference profile with in-place scratch reuse),
+        ``"infer8"`` (int8 weights on per-layer λ-derived scales with
+        integer accumulation, quantized by the ``QuantizeWeights`` pass), a
         :class:`~repro.runtime.ComputePolicy` instance, or ``None``
         (default) to inherit the process-wide active policy.  Conversion
         arithmetic itself (folding, norm-factors) runs under the active
@@ -309,6 +311,9 @@ class ConversionResult:
     backend: str = "dense"
     precision: str = "train64"
     scheduler: str = "sequential"
+    #: Per-layer quantization scales (``"<site>.<scale_attr>"`` → scale) the
+    #: ``QuantizeWeights`` pass chose; empty for float precisions.
+    weight_scales: Dict[str, float] = field(default_factory=dict)
     report: Optional[ConversionReport] = None
 
     @property
@@ -330,6 +335,7 @@ class ConversionResult:
             "backend": self.backend,
             "precision": self.precision,
             "scheduler": self.scheduler,
+            "weight_scales": {name: float(value) for name, value in self.weight_scales.items()},
         }
 
     def save(self, path) -> "object":
@@ -451,7 +457,9 @@ class Converter:
 
         ``"train64"`` (float64, the bit-identical historical behaviour),
         ``"infer32"`` (float32 inference profile with in-place scratch
-        reuse), or a :class:`~repro.runtime.ComputePolicy` instance.  The
+        reuse), ``"infer8"`` (int8 weights on λ-derived scales; the
+        ``QuantizeWeights`` pass chooses the per-layer grids at compile
+        time), or a :class:`~repro.runtime.ComputePolicy` instance.  The
         profile is applied to the emitted spiking network
         (:meth:`~repro.snn.SpikingNetwork.set_policy`) and recorded in the
         artifact metadata so served copies run the way they were exported.
@@ -592,6 +600,7 @@ class Converter:
                 ),
                 backend=config.backend,
                 scheduler=config.scheduler,
+                precision=config.precision,
             )
             self._pipeline.run(graph, ctx, strict=True)
         finally:
@@ -599,14 +608,20 @@ class Converter:
                 detach_observers(model)
 
         encoder = config.encoder if config.encoder is not None else RealCoding()
-        snn = SpikingNetwork(graph.emitted_layers(), encoder=encoder)
+        # Construction happens under the *target* profile: building under a
+        # different quantized active policy would transiently snap the
+        # emitted float weights onto int8 grids, and the later switch to the
+        # requested profile cannot undo that rounding.
+        target = resolve_policy(config.precision)
+        with using_policy(target):
+            snn = SpikingNetwork(graph.emitted_layers(), encoder=encoder)
         # Re-apply at the network level: the per-layer stamps from the emit
         # passes cannot see the encoder, which "auto" accounts for.
         snn.set_backend(config.backend)
         # Conversion arithmetic ran under the active policy; the emitted
         # network switches to the requested inference profile (None inherits
         # the active policy, so the default stays bit-identical f64).
-        snn.set_policy(resolve_policy(config.precision))
+        snn.set_policy(target)
         # The timestep loop is a network-level concern (layers hold no
         # scheduler state), so the choice lands here rather than per layer.
         snn.set_scheduler(config.scheduler)
@@ -621,6 +636,7 @@ class Converter:
             backend=snn.backend_spec,
             precision=snn.policy_spec,
             scheduler=snn.scheduler_spec,
+            weight_scales=dict(graph.weight_scales),
             report=_report_from_graph(graph, self._pipeline.names),
         )
 

@@ -124,6 +124,9 @@ class ConversionGraph:
     norm_factors: Dict[str, float] = field(default_factory=dict)
     residual_factors: List["ResidualNormFactors"] = field(default_factory=list)
     output_norm_factor: float = 1.0
+    #: Per-layer quantization scales recorded by the ``QuantizeWeights`` pass
+    #: (``"<site>.<scale_attr>"`` → scale); empty for float precisions.
+    weight_scales: Dict[str, float] = field(default_factory=dict)
 
     def active_nodes(self) -> Iterator[GraphNode]:
         """Nodes still participating in the conversion (not elided)."""

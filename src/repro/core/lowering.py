@@ -78,6 +78,13 @@ class LoweringContext:
     has no per-layer stamp — the timestep loop is a network-level concern —
     but custom passes can read the configured choice here; the Converter
     applies it to the emitted network and records it in artifact metadata.
+
+    ``precision`` is the compute-policy spec the conversion targets
+    (``"train64"``/``"infer32"``/``"infer8"``, a
+    :class:`~repro.runtime.ComputePolicy`, or ``None`` to inherit the active
+    policy).  The emit rules ignore it — layers are emitted under the active
+    policy as always — but the ``QuantizeWeights`` pass consults it to decide
+    whether the emitted weights move onto int8 grids at compile time.
     """
 
     strategy: NormFactorStrategy
@@ -86,6 +93,7 @@ class LoweringContext:
     output_norm_factor: float = 1.0
     backend: object = "dense"
     scheduler: object = "sequential"
+    precision: object = None
 
 
 class LoweringRule:

@@ -20,6 +20,12 @@ the conversion recipe of the paper, one concern per pass — is:
    (paper Section 5) via the registered lowering rule.
 6. :class:`EmitSpiking` — lower every remaining node to spiking layers
    through the lowering registry.
+7. :class:`QuantizeWeights` — under a quantized precision (``infer8``), move
+   every emitted layer's weights onto per-layer int8 grids whose scales
+   derive from the λ lineage the earlier passes threaded (the λ-scaled
+   weight range *is* the quantization range), recording the scales on the
+   graph.  A no-op for float precisions, so the default pipeline is safe to
+   run unchanged everywhere.
 
 A strict pipeline run raises :class:`~repro.core.graph.ConversionError` with
 the first diagnostic after each pass; ``Converter.dry_run`` runs only the
@@ -32,6 +38,7 @@ from typing import List, Optional, Sequence
 
 from ..nn.residual import BasicBlock
 from ..obs import active_tracer
+from ..runtime import resolve_policy
 from .folding import EffectiveWeights
 from .graph import ConversionGraph, ConversionError, GraphNode
 from .lowering import LoweringContext, lowering_for
@@ -45,6 +52,7 @@ __all__ = [
     "AssignNormFactors",
     "LowerResidual",
     "EmitSpiking",
+    "QuantizeWeights",
     "PassPipeline",
     "default_passes",
     "default_pipeline",
@@ -285,6 +293,47 @@ class EmitSpiking(Pass):
         return graph
 
 
+class QuantizeWeights(Pass):
+    """Quantize emitted layers onto λ-derived int8 grids (``infer8`` only).
+
+    Runs after the emission passes, when every layer carries its
+    data-normalized weights ``Ŵ = W · λ_in / λ_out`` — so each layer's weight
+    range, and hence its quantization scale, is a pure function of the λ
+    lineage ``AssignNormFactors`` threaded (``max|Ŵ| = (λ_in/λ_out)·max|W|``).
+    The pass resolves ``ctx.precision`` (``None`` inherits the active policy,
+    matching the Converter) and does nothing unless it is quantized; under a
+    quantized precision every emitted layer's :meth:`SpikingLayer.quantize`
+    runs at this defined compiler point and the chosen scales are recorded in
+    ``graph.weight_scales`` keyed ``"<site>.<scale_attr>"`` for the
+    conversion report and artifact metadata.
+    """
+
+    name = "quantize-weights"
+
+    def run(self, graph: ConversionGraph, ctx: LoweringContext) -> ConversionGraph:
+        policy = resolve_policy(ctx.precision)
+        if not policy.quantized:
+            return graph
+        graph.weight_scales = {}
+        for node in graph.active_nodes():
+            if not node.emitted:
+                continue
+            scales = {}
+            for layer in node.emitted:
+                layer.quantize()
+                scales.update(layer.quantization_scales())
+            if not scales:
+                continue
+            site = node.site_name or f"module{node.index}"
+            for attr, scale in scales.items():
+                graph.weight_scales[f"{site}.{attr}"] = scale
+            node.stamp(
+                self.name,
+                ", ".join(f"{attr} 1/{1.0 / scale:g}" for attr, scale in scales.items()),
+            )
+        return graph
+
+
 class PassPipeline:
     """An ordered list of passes run strictly (or leniently, for dry runs)."""
 
@@ -336,6 +385,7 @@ def default_passes() -> List[Pass]:
         AssignNormFactors(),
         LowerResidual(),
         EmitSpiking(),
+        QuantizeWeights(),
     ]
 
 

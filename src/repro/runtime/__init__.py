@@ -14,7 +14,10 @@
   the process-wide default consulted where no policy was threaded
   explicitly (overridable per process with ``REPRO_COMPUTE_PROFILE``);
 * :func:`audit_network_dtypes` — the parity harness proving no intermediate
-  array of a simulated timestep escapes the policy dtype.
+  array of a simulated timestep escapes the policy dtype;
+* :mod:`~repro.runtime.quantize` — the λ-aware int8 helpers behind the
+  quantized ``"infer8"`` profile (per-layer scales snapped so the firing
+  threshold is a whole number of quantization levels).
 """
 
 from .buffers import BufferPool
@@ -31,14 +34,26 @@ from .policy import (
     validate_policy_spec,
 )
 from .audit import audit_network_dtypes
+from .quantize import (
+    QMAX,
+    dequantize_array,
+    quantization_params,
+    quantize_array,
+    quantize_bias,
+)
 
 __all__ = [
     "BufferPool",
     "PROFILE_NAMES",
     "PROFILES",
+    "QMAX",
     "ComputePolicy",
     "active_policy",
     "as_float_array",
+    "dequantize_array",
+    "quantization_params",
+    "quantize_array",
+    "quantize_bias",
     "resolve_dtype",
     "resolve_policy",
     "set_active_policy",

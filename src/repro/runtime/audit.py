@@ -14,6 +14,14 @@ and inspects every seam a timestep touches:
   buffer-pool scratch workspaces),
 * the output layer's accumulated class scores.
 
+Under a *quantized* policy (``infer8``) the audit additionally checks the
+integer side of the contract: every quantized weight group must actually sit
+on an integer grid (a float weight tensor there means a cast silently undid
+the quantization), and every spiking layer must emit spikes in the policy's
+``spike_dtype``.  The float checks above still apply to the accumulate path
+— the membrane and current lanes are policy-dtype floats, so a stray
+float64 upcast is caught exactly as in the unquantized profiles.
+
 It returns a list of human-readable violations (empty = clean), so the test
 suite asserts ``audit_network_dtypes(net, images) == []`` and a failure names
 the exact seam that leaked.
@@ -74,6 +82,8 @@ def audit_network_dtypes(
     if policy is None:
         policy = network.policy
     dtype = policy.dtype
+    quantized = bool(getattr(policy, "quantized", False))
+    spike_dtype = getattr(policy, "spike_dtype", dtype)
     violations: List[str] = []
 
     network.reset_state()
@@ -87,6 +97,23 @@ def audit_network_dtypes(
             _check(violations, f"{where} output", signal, dtype)
             for attr in getattr(layer, "_array_attrs", ()):
                 _check(violations, f"{where}.{attr}", getattr(layer, attr, None), dtype)
+            if quantized:
+                if layer.neuron_pools and isinstance(signal, np.ndarray) and signal.dtype != spike_dtype:
+                    violations.append(
+                        f"{where} output: {signal.dtype.name} spikes "
+                        f"(quantized policy wants {np.dtype(spike_dtype).name})"
+                    )
+                for scale_attr, weight_attrs, _biases, _pools in getattr(layer, "_quant_groups", ()):
+                    if getattr(layer, scale_attr, None) is None:
+                        violations.append(f"{where}.{scale_attr}: unset under a quantized policy")
+                        continue
+                    for attr in weight_attrs:
+                        value = getattr(layer, attr, None)
+                        if isinstance(value, np.ndarray) and value.dtype.kind not in "iu":
+                            violations.append(
+                                f"{where}.{attr}: {value.dtype.name} "
+                                "(quantized weights must sit on an integer grid)"
+                            )
             for pool_index, pool in enumerate(layer.neuron_pools):
                 _check(violations, f"{where} pool{pool_index}.membrane", pool.membrane, dtype)
                 _check(violations, f"{where} pool{pool_index}.spike_count", pool.spike_count, dtype)

@@ -25,6 +25,10 @@ Two named profiles ship:
 * ``"infer32"`` — float32, in-place kernels with scratch reuse.  The
   inference profile: identical predictions on the benchmark fixtures at
   ≥1.5× the per-timestep throughput of float64 dense simulation.
+* ``"infer8"`` — int8 weights on per-layer λ-derived scales with integer
+  membrane accumulation (see :mod:`repro.runtime.quantize`).  The first
+  *lossy* profile: ~4× smaller artifacts, faster on the memory-bound event
+  conv path, accuracy pinned within 0.5% of ``infer32`` by the parity suite.
 
 The *active* policy is a process-wide default consulted wherever no explicit
 policy has been threaded (tensor constructors, freshly built pools/layers).
@@ -72,21 +76,38 @@ class ComputePolicy:
     :meth:`buffer_pool` (spiking layers keep theirs in ``backend_cache``).
     """
 
-    __slots__ = ("name", "dtype", "in_place")
+    __slots__ = ("name", "dtype", "in_place", "quantized", "spike_dtype")
 
-    def __init__(self, name: str, dtype, in_place: bool = False) -> None:
+    def __init__(
+        self,
+        name: str,
+        dtype,
+        in_place: bool = False,
+        quantized: bool = False,
+        spike_dtype=None,
+    ) -> None:
         object.__setattr__(self, "name", str(name))
         dtype = np.dtype(dtype)
         if dtype.kind != "f":
             raise ValueError(f"compute policies need a floating dtype, got {dtype}")
         object.__setattr__(self, "dtype", dtype)
         object.__setattr__(self, "in_place", bool(in_place))
+        # quantized: layer weights live on per-layer integer grids (snapped so
+        # threshold/scale is a whole number of levels); set_policy quantizes
+        # live parameters on entry and dequantizes on exit.  dtype stays a
+        # float — it is the *accumulator* lane the integer semantics ride in.
+        object.__setattr__(self, "quantized", bool(quantized))
+        spike_dtype = dtype if spike_dtype is None else np.dtype(spike_dtype)
+        object.__setattr__(self, "spike_dtype", spike_dtype)
 
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("ComputePolicy is immutable")
 
     def __repr__(self) -> str:
-        return f"ComputePolicy(name={self.name!r}, dtype={self.dtype.name}, in_place={self.in_place})"
+        detail = f"name={self.name!r}, dtype={self.dtype.name}, in_place={self.in_place}"
+        if self.quantized:
+            detail += f", quantized=True, spike_dtype={self.spike_dtype.name}"
+        return f"ComputePolicy({detail})"
 
     # -- array helpers ---------------------------------------------------------
 
@@ -118,6 +139,14 @@ class ComputePolicy:
 PROFILES = {
     "train64": ComputePolicy("train64", np.float64, in_place=False),
     "infer32": ComputePolicy("infer32", np.float32, in_place=True),
+    # infer8 accumulates in float32 lanes whose values are exact integers
+    # (< 2**24), so BLAS still does the heavy lifting; spikes travel as int8
+    # (a quarter of the float32 memory traffic) and the in-place machinery
+    # reuses the same scratch pools as infer32, plus reused cast buffers for
+    # the int8 → accumulator hops.
+    "infer8": ComputePolicy(
+        "infer8", np.float32, in_place=True, quantized=True, spike_dtype=np.int8
+    ),
 }
 
 #: Profile names, in preference order (config, CLI choices, docs).

@@ -1,0 +1,116 @@
+"""λ-aware int8 quantization helpers for the ``infer8`` compute profile.
+
+The TCL conversion already computes, per layer, the exact activation ceiling
+λ the paper trains (the clipping bound of every ``ClippedReLU`` site), and
+folds it into the data-normalized weights ``Ŵ = W · λ_in / λ_out``.  That
+bound is precisely what post-training quantizers estimate blindly from
+min/max sweeps — so the quantization grid here is *derived*, not estimated:
+the per-layer scale comes from the λ-scaled weight range
+``max|Ŵ| = (λ_in / λ_out) · max|W|``.
+
+Integer-threshold snap
+----------------------
+A spiking layer's arithmetic is ``V += Ŵ @ s`` with binary spikes ``s`` and
+threshold comparison ``V >= V_thr``.  Quantizing ``Ŵ`` to integers ``q`` with
+``Ŵ ≈ q · scale`` makes every input current an integer multiple of ``scale``
+— *if* the threshold is too, the whole membrane recursion stays on the
+integer grid (subtract-reset removes exactly ``threshold/scale`` units).
+:func:`quantization_params` therefore snaps the scale so that
+``threshold / scale`` is an exact integer (the number of quantization
+*levels* between 0 and the threshold)::
+
+    raw    = max_abs / qmax                  # finest scale covering ±max_abs
+    levels = floor(threshold / raw)          # integer levels under V_thr
+    scale  = threshold / levels              # >= raw, so |q| <= qmax holds
+
+Because ``scale >= raw``, quantized magnitudes never exceed ``qmax``; and
+because ``threshold / scale == levels`` exactly, the integer accumulate
+contract of the ``infer8`` kernels holds bit-for-bit (integers below 2**24
+are exact in the float32 accumulator lanes the kernels use).
+
+These helpers are the only place in the package that names the integer
+widths — the policy-managed packages (``snn``, ``core``, …) call through
+here, which keeps ``tools/reprolint``'s dtype rule meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "QMAX",
+    "quantization_params",
+    "quantize_array",
+    "quantize_bias",
+    "dequantize_array",
+]
+
+#: Largest quantized magnitude of a symmetric int8 grid.  -128 is excluded so
+#: the grid is symmetric (q(-w) == -q(w)) and negation never overflows.
+QMAX = 127
+
+#: Quantized weight / bias storage dtypes.  Weights fit int8; biases keep
+#: int32 so a bias of many scale units never saturates the weight grid.
+WEIGHT_DTYPE = np.dtype(np.int8)
+BIAS_DTYPE = np.dtype(np.int32)
+
+
+def quantization_params(max_abs: float, threshold: float = 1.0, qmax: int = QMAX) -> Tuple[float, int]:
+    """The ``(scale, levels)`` pair for a weight range and firing threshold.
+
+    ``scale`` is snapped so ``threshold / scale == levels`` exactly (see the
+    module docstring); ``levels`` is that integer.  Degenerate ranges
+    (``max_abs <= 0``, e.g. an all-zero weight tensor) quantize trivially on
+    a one-level grid: ``(threshold, 1)``.
+    """
+
+    max_abs = float(max_abs)
+    threshold = float(threshold)
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    if not math.isfinite(max_abs) or max_abs <= 0.0:
+        return threshold, 1
+    raw = max_abs / qmax
+    levels = max(1, int(math.floor(threshold / raw)))
+    return threshold / levels, levels
+
+
+def quantize_array(array: np.ndarray, scale: float, qmax: int = QMAX) -> np.ndarray:
+    """Symmetric round-to-nearest int8 quantization: ``rint(w / scale)``.
+
+    Values are clipped to ``[-qmax, qmax]``; with a scale from
+    :func:`quantization_params` the clip is a no-op for the tensor the scale
+    was derived from (``scale >= max_abs / qmax``).
+    """
+
+    q = np.rint(np.asarray(array) / float(scale))
+    return np.clip(q, -qmax, qmax).astype(WEIGHT_DTYPE)
+
+
+def quantize_bias(bias: Optional[np.ndarray], scale: float) -> Optional[np.ndarray]:
+    """Quantize a bias vector onto the *same* grid as its weights (int32).
+
+    Biases join the accumulate as one more addend per timestep, so they share
+    the weight scale; int32 storage means a bias many multiples of the scale
+    never saturates.
+    """
+
+    if bias is None:
+        return None
+    return np.rint(np.asarray(bias) / float(scale)).astype(BIAS_DTYPE)
+
+
+def dequantize_array(array: np.ndarray, scale: float, dtype) -> np.ndarray:
+    """Map quantized integers back to floats: ``q * scale`` in ``dtype``.
+
+    The inverse of :func:`quantize_array` up to the rounding the forward map
+    discarded (error at most ``scale / 2`` per element) — switching an
+    ``infer8`` network back to a float profile cannot restore the original
+    bits, exactly as a float64 → float32 → float64 round trip cannot.
+    """
+
+    dtype = np.dtype(dtype)
+    return np.asarray(array).astype(dtype) * dtype.type(scale)

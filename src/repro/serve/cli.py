@@ -51,7 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo.add_argument(
         "--precision",
-        choices=("train64", "infer32"),
+        choices=("train64", "infer32", "infer8"),
         default="train64",
         help="compute-policy profile of the converted network (recorded in the artifact)",
     )

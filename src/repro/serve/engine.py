@@ -63,9 +63,13 @@ class AdaptiveConfig:
     down, which is exactly where the sparse kernels win.
 
     ``precision`` likewise overrides the network's compute-policy profile
-    (``"train64"``/``"infer32"`` or a :class:`~repro.runtime.ComputePolicy`
-    instance); ``None`` keeps the network's current policy — typically the
-    loaded artifact's recorded profile.
+    (``"train64"``/``"infer32"``/``"infer8"`` or a
+    :class:`~repro.runtime.ComputePolicy` instance); ``None`` keeps the
+    network's current policy — typically the loaded artifact's recorded
+    profile.  Overriding a float profile with ``"infer8"`` quantizes the
+    live network's weights (and ``"train64"`` on an ``infer8`` network
+    dequantizes them), with the loss documented on
+    :meth:`~repro.snn.SpikingLayer.set_policy`.
 
     ``scheduler`` chooses the execution scheduler of every engine run
     (``"sequential"``/``"pipelined"``/``"sharded"`` or a

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from ..runtime import active_policy, using_policy, validate_policy_spec
 from ..snn.encoding import InputEncoder, PoissonCoding, RealCoding
 from ..snn.layers import layer_from_state
 from ..snn.network import SpikingNetwork
@@ -96,7 +97,8 @@ class LoadedArtifact:
 
     @property
     def precision(self) -> Optional[str]:
-        """Compute-policy profile recorded by the exporter ("train64"/"infer32").
+        """Compute-policy profile recorded by the exporter
+        ("train64"/"infer32"/"infer8").
 
         ``load_artifact`` already applied it to the rebuilt network; bundles
         written before compute policies existed return None and run under
@@ -105,7 +107,11 @@ class LoadedArtifact:
         after loading — unknown recorded names degrade to ``train64`` with a
         warning, which casts the bundle's arrays to float64 exactly as
         ``set_policy("train64")`` would (re-apply the custom policy to get
-        its dtype back; the on-disk bundle is untouched).
+        its dtype back; the on-disk bundle is untouched).  ``infer8``
+        bundles store int8 weights and per-layer scales in their layer
+        states (the npz payload preserves integer dtypes), so the degraded
+        ``train64`` fallback *dequantizes* — lossy, like any float cast of
+        a quantized grid.
         """
 
         value = self.metadata.get("precision")
@@ -306,20 +312,17 @@ def load_artifact(path: Union[str, Path]) -> LoadedArtifact:
                     state[key[len(prefix):]] = arrays[key]
             layers.append(layer_from_state(state))
 
-    network = SpikingNetwork(
-        layers,
-        encoder=_encoder_from_state(manifest.get("encoder", {})),
-        name=manifest.get("name", "snn"),
-    )
     metadata = manifest.get("metadata", {})
     precision = metadata.get("precision")
+    target: Optional[str] = None
     if precision is not None:
         # The exporter's compute-policy profile travels with the bundle so a
         # served copy runs (and allocates) the way it was benchmarked.  The
         # npz arrays already carry the right dtypes; re-applying the profile
         # aligns the pools, encoder and kernel mode with them.
         try:
-            network.set_policy(str(precision))
+            validate_policy_spec(str(precision))
+            target = str(precision)
         except ValueError:
             warnings.warn(
                 f"artifact at {path} records unknown compute-policy profile {precision!r}; "
@@ -328,7 +331,19 @@ def load_artifact(path: Union[str, Path]) -> LoadedArtifact:
                 UserWarning,
                 stacklevel=2,
             )
-            network.set_policy("train64")
+            target = "train64"
+    # Construction happens under the bundle's own profile: building under a
+    # *different* quantized active policy would transiently snap the float
+    # payloads onto int8 grids, and the quantize → dequantize round trip is
+    # lossy (weights come back as q·scale, not the saved bits).
+    with using_policy(target if target is not None else active_policy()):
+        network = SpikingNetwork(
+            layers,
+            encoder=_encoder_from_state(manifest.get("encoder", {})),
+            name=manifest.get("name", "snn"),
+        )
+    if target is not None:
+        network.set_policy(target)
     scheduler = metadata.get("scheduler")
     if scheduler is not None:
         # The exporter's execution-scheduler choice travels with the bundle

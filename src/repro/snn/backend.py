@@ -93,6 +93,39 @@ def _workspace(cache: Dict[str, object]) -> Optional[BufferPool]:
     return workspace
 
 
+def _accum_dtype(cache: Dict[str, object]):
+    """The accumulator dtype for quantized policies, else ``None``.
+
+    Quantized (``infer8``) layers store int8 weights and emit int8 spikes;
+    the kernels accumulate in the policy's float dtype, whose lanes carry
+    the integer semantics exactly (values stay far below 2**24).
+    """
+
+    policy = cache.get("policy")
+    if policy is None or not getattr(policy, "quantized", False):
+        return None
+    return policy.dtype
+
+
+def _acc_operand(cache: Dict[str, object], key: str, array, accum):
+    """A cached accumulator-dtype cast of a static operand (weight / bias).
+
+    Integer weights would force numpy's type promotion through slow or
+    float64 paths inside the kernels; casting them once per layer (the
+    arrays are read-only during simulation) keeps every per-timestep product
+    a plain float BLAS call.  Pass-through when ``accum`` is ``None`` (the
+    unquantized profiles) or the operand is absent.
+    """
+
+    if accum is None or array is None:
+        return array
+    cached = cache.get(key)
+    if cached is None or cached.shape != array.shape:
+        cached = np.ascontiguousarray(array.astype(accum, copy=False))
+        cache[key] = cached
+    return cached
+
+
 class Backend:
     """One strategy for computing a layer's weighted spike input.
 
@@ -154,16 +187,36 @@ class DenseBackend(Backend):
     name = "dense"
 
     def linear(self, spikes, weight, bias, cache):
-        return linear_raw(spikes, weight, bias, workspace=_workspace(cache))
+        accum = _accum_dtype(cache)
+        return linear_raw(
+            spikes,
+            _acc_operand(cache, "weight_acc", weight, accum),
+            _acc_operand(cache, "bias_acc", bias, accum),
+            workspace=_workspace(cache),
+            accum_dtype=accum,
+        )
 
     def conv2d(self, spikes, weight, bias, stride, padding, cache):
-        return conv2d_raw(spikes, weight, bias, stride, padding, workspace=_workspace(cache))
+        accum = _accum_dtype(cache)
+        return conv2d_raw(
+            spikes,
+            _acc_operand(cache, "weight_acc", weight, accum),
+            _acc_operand(cache, "bias_acc", bias, accum),
+            stride,
+            padding,
+            workspace=_workspace(cache),
+            accum_dtype=accum,
+        )
 
     def avg_pool2d(self, spikes, kernel_size, stride, cache):
-        return avg_pool2d_raw(spikes, kernel_size, stride, workspace=_workspace(cache))
+        return avg_pool2d_raw(
+            spikes, kernel_size, stride, workspace=_workspace(cache), accum_dtype=_accum_dtype(cache)
+        )
 
     def global_avg_pool2d(self, spikes, cache):
-        return global_avg_pool2d_raw(spikes, workspace=_workspace(cache))
+        return global_avg_pool2d_raw(
+            spikes, workspace=_workspace(cache), accum_dtype=_accum_dtype(cache)
+        )
 
 
 class EventDrivenBackend(Backend):
@@ -196,46 +249,69 @@ class EventDrivenBackend(Backend):
         cache[key] = int(cache.get(key, 0)) + 1
 
     def linear(self, spikes, weight, bias, cache):
+        accum = _accum_dtype(cache)
+        bias = _acc_operand(cache, "bias_acc", bias, accum)
         active = active_neurons(spikes)
         fraction = active.size / spikes.shape[-1]
         if fraction > self.crossover:
             self._observe(cache, fraction, event=False)
-            return linear_raw(spikes, weight, bias, workspace=_workspace(cache))
+            return linear_raw(
+                spikes,
+                _acc_operand(cache, "weight_acc", weight, accum),
+                bias,
+                workspace=_workspace(cache),
+                accum_dtype=accum,
+            )
         self._observe(cache, fraction, event=True)
         weight_t = cache.get("weight_t")
         if weight_t is None:
             # Contiguous (in_features, out_features) copy: gathering the rows
             # of the fired neurons is then a block copy, not a column stride.
-            weight_t = np.ascontiguousarray(weight.T)
+            # Quantized layers store the copy pre-cast to the accumulator.
+            source = weight.T if accum is None else weight.T.astype(accum)
+            weight_t = np.ascontiguousarray(source)
             cache["weight_t"] = weight_t
-        return linear_active_raw(spikes, weight_t, bias, active)
+        return linear_active_raw(spikes, weight_t, bias, active, accum_dtype=accum)
 
     def conv2d(self, spikes, weight, bias, stride, padding, cache):
+        accum = _accum_dtype(cache)
+        weight = _acc_operand(cache, "weight_acc", weight, accum)
+        bias = _acc_operand(cache, "bias_acc", bias, accum)
         active = active_channels(spikes)
         fraction = active.size / spikes.shape[1]
         if fraction > self.crossover:
             self._observe(cache, fraction, event=False)
-            return conv2d_raw(spikes, weight, bias, stride, padding, workspace=_workspace(cache))
+            return conv2d_raw(
+                spikes, weight, bias, stride, padding, workspace=_workspace(cache), accum_dtype=accum
+            )
         self._observe(cache, fraction, event=True)
-        return conv2d_active_raw(spikes, weight, bias, stride, padding, active)
+        return conv2d_active_raw(spikes, weight, bias, stride, padding, active, accum_dtype=accum)
 
     def avg_pool2d(self, spikes, kernel_size, stride, cache):
+        accum = _accum_dtype(cache)
         active = active_channels(spikes)
         fraction = active.size / spikes.shape[1]
         if fraction > self.crossover:
             self._observe(cache, fraction, event=False)
-            return avg_pool2d_raw(spikes, kernel_size, stride, workspace=_workspace(cache))
+            return avg_pool2d_raw(
+                spikes, kernel_size, stride, workspace=_workspace(cache), accum_dtype=accum
+            )
         self._observe(cache, fraction, event=True)
-        return avg_pool2d_active_raw(spikes, kernel_size, stride, active, workspace=_workspace(cache))
+        return avg_pool2d_active_raw(
+            spikes, kernel_size, stride, active, workspace=_workspace(cache), accum_dtype=accum
+        )
 
     def global_avg_pool2d(self, spikes, cache):
+        accum = _accum_dtype(cache)
         active = active_channels(spikes)
         fraction = active.size / spikes.shape[1]
         if fraction > self.crossover:
             self._observe(cache, fraction, event=False)
-            return global_avg_pool2d_raw(spikes, workspace=_workspace(cache))
+            return global_avg_pool2d_raw(spikes, workspace=_workspace(cache), accum_dtype=accum)
         self._observe(cache, fraction, event=True)
-        return global_avg_pool2d_active_raw(spikes, active, workspace=_workspace(cache))
+        return global_avg_pool2d_active_raw(
+            spikes, active, workspace=_workspace(cache), accum_dtype=accum
+        )
 
 
 #: Shared default instances — backends are stateless, per-layer scratch lives

@@ -62,6 +62,7 @@ from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, Iterable, List, Opt
 import numpy as np
 
 from ..obs import active_tracer, global_registry
+from ..runtime import using_policy
 from .statistics import LayerSpikeStats, collect_spike_stats, merge_spike_stats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (network imports us)
@@ -248,11 +249,16 @@ def clone_network(network: "SpikingNetwork") -> "SpikingNetwork":
 
     from .network import SpikingNetwork  # local: network.py imports this module
 
-    replica = SpikingNetwork(
-        [layer.clone() for layer in network.layers],
-        encoder=network.encoder.clone(),
-        name=network.name,
-    )
+    # Construct under the original's policy: under a pinned *quantized*
+    # active policy, constructing a replica of an unquantized network would
+    # otherwise snap the cloned weights onto int8 grids and the shards would
+    # diverge from the sequential reference.
+    with using_policy(network._policy):
+        replica = SpikingNetwork(
+            [layer.clone() for layer in network.layers],
+            encoder=network.encoder.clone(),
+            name=network.name,
+        )
     replica.backend_spec = network.backend_spec
     replica._policy = network._policy
     replica.policy_spec = network.policy_spec

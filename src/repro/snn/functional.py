@@ -32,6 +32,14 @@ byte-for-byte the historical allocation-per-call implementations (including
 the einsum contraction, whose BLAS blocking the ``train64`` golden suites
 pin).  All kernels preserve their operands' dtype; nothing in this module
 names a floating dtype.
+
+Quantized (``infer8``) execution reuses these same kernels through the
+optional ``accum_dtype`` parameter: spike operands arrive as int8 and are
+cast (contiguously) into the policy's float accumulator lane right before
+the BLAS product, weights/biases arrive *pre-cast* by the backend (cached
+once per layer), and reductions pin their accumulator dtype so nothing
+silently promotes to float64.  Every value in the accumulator is an exact
+small integer, so the float lanes carry integer semantics bit-for-bit.
 """
 
 from __future__ import annotations
@@ -66,12 +74,19 @@ def conv2d_raw(
     stride: IntPair = 1,
     padding: IntPair = 0,
     workspace: Optional[BufferPool] = None,
+    accum_dtype=None,
 ) -> np.ndarray:
     """Plain-numpy 2-D convolution (NCHW inputs, OIHW weights).
 
     With a ``workspace`` the unfold and the output reuse scratch buffers and
     the contraction is a batched ``matmul`` into a preallocated output; the
     result is overwritten by the next same-shape call.
+
+    ``accum_dtype`` (quantized execution) casts the unfolded spike columns
+    into the accumulator dtype and routes the contraction through ``matmul``
+    — integer einsum has no BLAS path and the float einsum's blocking is
+    pinned only for the unquantized profiles.  ``weight``/``bias`` must
+    already carry the accumulator dtype (the backend caches that cast).
     """
 
     n, c_in, h, w = inputs.shape
@@ -79,11 +94,22 @@ def conv2d_raw(
     kh, kw = weight.shape[2], weight.shape[3]
     out_h, out_w = conv_output_shape(h, w, (kh, kw), stride, padding)
     cols = im2col(inputs, (kh, kw), stride, padding, workspace=workspace)
+    if accum_dtype is not None and cols.dtype != accum_dtype:
+        # The int8 unfold is a quarter of the float traffic; the hop into the
+        # accumulator lane reuses a scratch buffer when a workspace is given.
+        if workspace is None:
+            cols = cols.astype(accum_dtype)
+        else:
+            acc = workspace.take("conv_cols_acc", cols.shape, accum_dtype)
+            np.copyto(acc, cols)
+            cols = acc
     w_mat = weight.reshape(c_out, -1)
-    if workspace is None:
+    if workspace is None and accum_dtype is not None:
+        out = np.matmul(w_mat, cols).reshape(n, c_out, out_h, out_w)
+    elif workspace is None:
         out = np.einsum("ok,nkl->nol", w_mat, cols, optimize=True).reshape(n, c_out, out_h, out_w)
     else:
-        flat = workspace.take("conv_out", (n, c_out, out_h * out_w), inputs.dtype)
+        flat = workspace.take("conv_out", (n, c_out, out_h * out_w), cols.dtype)
         # Per-sample 2-D GEMMs go straight to BLAS; the broadcast 3-D matmul
         # would route through numpy's buffered iterator and allocate a
         # scratch block every call.
@@ -100,9 +126,21 @@ def linear_raw(
     weight: np.ndarray,
     bias: Optional[np.ndarray] = None,
     workspace: Optional[BufferPool] = None,
+    accum_dtype=None,
 ) -> np.ndarray:
-    """Plain-numpy affine map with ``(out_features, in_features)`` weights."""
+    """Plain-numpy affine map with ``(out_features, in_features)`` weights.
 
+    ``accum_dtype`` casts integer spike inputs into the accumulator lane;
+    ``weight``/``bias`` must already carry it (the backend caches that cast).
+    """
+
+    if accum_dtype is not None and inputs.dtype != accum_dtype:
+        if workspace is None:
+            inputs = inputs.astype(accum_dtype)
+        else:
+            acc = workspace.take("linear_in_acc", inputs.shape, accum_dtype)
+            np.copyto(acc, inputs)
+            inputs = acc
     if workspace is None:
         out = inputs @ weight.T
     else:
@@ -118,8 +156,15 @@ def avg_pool2d_raw(
     kernel_size: IntPair,
     stride: Optional[IntPair] = None,
     workspace: Optional[BufferPool] = None,
+    accum_dtype=None,
 ) -> np.ndarray:
-    """Plain-numpy average pooling over NCHW inputs."""
+    """Plain-numpy average pooling over NCHW inputs.
+
+    Pooling is the float-fallback path of quantized execution: int8 spikes
+    come in, fractional window means go out in ``accum_dtype`` (pinning the
+    reduction dtype — numpy's default would promote integer input to
+    float64), and the downstream IF pool re-binarises them.
+    """
 
     if isinstance(kernel_size, int):
         kernel_size = (kernel_size, kernel_size)
@@ -130,8 +175,12 @@ def avg_pool2d_raw(
     cols = im2col(inputs, (kh, kw), stride, 0, workspace=workspace)
     cols = cols.reshape(n, c, kh * kw, out_h * out_w)
     if workspace is None:
+        if accum_dtype is not None:
+            return cols.mean(axis=2, dtype=accum_dtype).reshape(n, c, out_h, out_w)
         return cols.mean(axis=2).reshape(n, c, out_h, out_w)
-    out = workspace.take("pool_out", (n, c, out_h * out_w), inputs.dtype)
+    out = workspace.take(
+        "pool_out", (n, c, out_h * out_w), inputs.dtype if accum_dtype is None else accum_dtype
+    )
     # Accumulate the kernel taps with plain strided adds: `np.mean(axis=2,
     # out=...)` routes through the buffered reduce machinery and allocates a
     # scratch block every call.
@@ -142,13 +191,26 @@ def avg_pool2d_raw(
     return out.reshape(n, c, out_h, out_w)
 
 
-def global_avg_pool2d_raw(inputs: np.ndarray, workspace: Optional[BufferPool] = None) -> np.ndarray:
+def global_avg_pool2d_raw(
+    inputs: np.ndarray,
+    workspace: Optional[BufferPool] = None,
+    accum_dtype=None,
+) -> np.ndarray:
     """Plain-numpy global average pooling returning ``(N, C)``."""
 
     if workspace is None:
+        if accum_dtype is not None:
+            return inputs.mean(axis=(2, 3), dtype=accum_dtype)
         return inputs.mean(axis=(2, 3))
-    out = workspace.take("gap_out", (inputs.shape[0], inputs.shape[1]), inputs.dtype)
-    np.mean(inputs, axis=(2, 3), out=out)
+    out = workspace.take(
+        "gap_out",
+        (inputs.shape[0], inputs.shape[1]),
+        inputs.dtype if accum_dtype is None else accum_dtype,
+    )
+    if accum_dtype is not None:
+        np.mean(inputs, axis=(2, 3), dtype=accum_dtype, out=out)
+    else:
+        np.mean(inputs, axis=(2, 3), out=out)
     return out
 
 
@@ -182,15 +244,21 @@ def linear_active_raw(
     weight_t: np.ndarray,
     bias: Optional[np.ndarray],
     active: np.ndarray,
+    accum_dtype=None,
 ) -> np.ndarray:
     """Affine map restricted to the ``active`` input features.
 
     ``weight_t`` is the transposed weight matrix ``(in_features, out_features)``
     stored C-contiguous, so gathering the rows of the neurons that fired is a
-    block copy instead of a strided column gather.
+    block copy instead of a strided column gather.  Under ``accum_dtype``
+    the gathered spikes are cast into the accumulator lane (``weight_t`` and
+    ``bias`` arrive pre-cast from the backend).
     """
 
-    out = spikes[:, active] @ weight_t[active]
+    gathered = spikes[:, active]
+    if accum_dtype is not None:
+        gathered = gathered.astype(accum_dtype, copy=False)
+    out = gathered @ weight_t[active]
     if bias is not None:
         out = out + bias
     return out
@@ -203,6 +271,7 @@ def conv2d_active_raw(
     stride: IntPair,
     padding: IntPair,
     active: np.ndarray,
+    accum_dtype=None,
 ) -> np.ndarray:
     """2-D convolution restricted to the ``active`` input channels.
 
@@ -210,7 +279,9 @@ def conv2d_active_raw(
     the patch gather and the following matrix product by the active-channel
     fraction — the analogue of gathering only the fired columns of ``W``.
     The reduced product runs through ``np.matmul`` (a batched GEMM), which
-    beats the dense kernel's einsum at gathered operand shapes.
+    beats the dense kernel's einsum at gathered operand shapes.  Under
+    ``accum_dtype`` the int8 unfold (a quarter of the float32 memory
+    traffic) is cast into the accumulator lane right before the GEMM.
     """
 
     inputs = inputs[:, active]
@@ -220,6 +291,8 @@ def conv2d_active_raw(
     kh, kw = weight.shape[2], weight.shape[3]
     out_h, out_w = conv_output_shape(h, w, (kh, kw), stride, padding)
     cols = im2col(inputs, (kh, kw), stride, padding)
+    if accum_dtype is not None:
+        cols = cols.astype(accum_dtype, copy=False)
     out = np.matmul(weight.reshape(c_out, -1), cols).reshape(n, c_out, out_h, out_w)
     if bias is not None:
         out += bias.reshape(1, c_out, 1, 1)
@@ -232,6 +305,7 @@ def avg_pool2d_active_raw(
     stride: Optional[IntPair],
     active: np.ndarray,
     workspace: Optional[BufferPool] = None,
+    accum_dtype=None,
 ) -> np.ndarray:
     """Average pooling over the ``active`` channels; silent channels pool to 0.
 
@@ -239,15 +313,18 @@ def avg_pool2d_active_raw(
     bit-identical to pooling the silent channels densely.  The gathered
     operands vary in shape with the active set, but the scatter target is
     stable, so a ``workspace`` reuses it across timesteps (re-zeroed each
-    call because the active set changes).
+    call because the active set changes).  Under ``accum_dtype`` the scatter
+    buffer carries the accumulator dtype — an int8 buffer would truncate the
+    fractional window means.
     """
 
-    pooled = avg_pool2d_raw(inputs[:, active], kernel_size, stride)
+    pooled = avg_pool2d_raw(inputs[:, active], kernel_size, stride, accum_dtype=accum_dtype)
     n, _, out_h, out_w = pooled.shape
+    out_dtype = inputs.dtype if accum_dtype is None else accum_dtype
     if workspace is None:
-        out = np.zeros((n, inputs.shape[1], out_h, out_w), dtype=inputs.dtype)
+        out = np.zeros((n, inputs.shape[1], out_h, out_w), dtype=out_dtype)
     else:
-        out = workspace.take("pool_scatter", (n, inputs.shape[1], out_h, out_w), inputs.dtype)
+        out = workspace.take("pool_scatter", (n, inputs.shape[1], out_h, out_w), out_dtype)
         out[...] = 0.0
     out[:, active] = pooled
     return out
@@ -257,13 +334,18 @@ def global_avg_pool2d_active_raw(
     inputs: np.ndarray,
     active: np.ndarray,
     workspace: Optional[BufferPool] = None,
+    accum_dtype=None,
 ) -> np.ndarray:
     """Global average pooling over the ``active`` channels (others read 0)."""
 
+    out_dtype = inputs.dtype if accum_dtype is None else accum_dtype
     if workspace is None:
-        out = np.zeros((inputs.shape[0], inputs.shape[1]), dtype=inputs.dtype)
+        out = np.zeros((inputs.shape[0], inputs.shape[1]), dtype=out_dtype)
     else:
-        out = workspace.take("gap_scatter", (inputs.shape[0], inputs.shape[1]), inputs.dtype)
+        out = workspace.take("gap_scatter", (inputs.shape[0], inputs.shape[1]), out_dtype)
         out[...] = 0.0
-    out[:, active] = inputs[:, active].mean(axis=(2, 3))
+    if accum_dtype is not None:
+        out[:, active] = inputs[:, active].mean(axis=(2, 3), dtype=accum_dtype)
+    else:
+        out[:, active] = inputs[:, active].mean(axis=(2, 3))
     return out

@@ -24,7 +24,16 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..runtime import ComputePolicy, active_policy, as_float_array, resolve_policy
+from ..runtime import (
+    ComputePolicy,
+    active_policy,
+    as_float_array,
+    dequantize_array,
+    quantization_params,
+    quantize_array,
+    quantize_bias,
+    resolve_policy,
+)
 from .backend import Backend, dense_backend, resolve_backend
 from .neuron import IFNeuronPool, ResetMode
 
@@ -89,6 +98,12 @@ class SpikingLayer:
     _policy: Optional[ComputePolicy] = None
     #: Array-valued attributes :meth:`set_policy` casts (subclasses override).
     _array_attrs: Tuple[str, ...] = ()
+    #: Quantization groups: ``(scale_attr, weight_attrs, bias_attrs,
+    #: pool_attrs)`` tuples.  Each group shares one λ-derived scale — weights
+    #: whose currents sum into the same membrane must live on the same grid
+    #: (the residual block's two OS paths are the motivating case).  Empty for
+    #: layers without synaptic weights, which simply pass spikes through.
+    _quant_groups: Tuple[Tuple[str, Tuple[str, ...], Tuple[str, ...], Tuple[str, ...]], ...] = ()
 
     @property
     def backend(self) -> Backend:
@@ -137,18 +152,149 @@ class SpikingLayer:
         owned IF pool follows, and the backend cache is dropped because its
         cached operands (transposed weight copies, scratch buffers) carry
         the old dtype.  Returns ``self``.
+
+        A *quantized* policy additionally moves the weights onto their
+        per-group int8 grids via :meth:`quantize` (a no-op when already
+        quantized); switching back to a float policy reconstructs float
+        weights via :meth:`dequantize` — lossy by the quantization rounding,
+        exactly as the float32 downcast above is lossy.
         """
 
         policy = resolve_policy(spec)
         self._policy = policy
         self._backend_cache = None
+        if policy.quantized:
+            self.quantize()
+        else:
+            self.dequantize()
+        skip = self._quantized_attrs()
         for attr in self._array_attrs:
+            if attr in skip:
+                continue
             value = getattr(self, attr, None)
             if value is not None:
                 setattr(self, attr, policy.cast(value))
         for pool in self.neuron_pools:
             pool.set_policy(policy)
         return self
+
+    # -- quantization ---------------------------------------------------------
+
+    def quantize(self) -> "SpikingLayer":
+        """Move synaptic weights onto per-group λ-derived int8 grids.
+
+        For each :attr:`_quant_groups` entry the scale comes from
+        :func:`repro.runtime.quantization_params` over the group's weight
+        range and the pool threshold (snapped so the threshold is a whole
+        number of levels); weights become int8, biases int32 on the same
+        grid, and every pool in the group learns its quantized threshold.
+        Groups that already carry a scale are left untouched, so the method
+        is idempotent and the ``QuantizeWeights`` compiler pass composes with
+        a later ``set_policy("infer8")``.  Returns ``self``.
+        """
+
+        for scale_attr, weight_attrs, bias_attrs, pool_attrs in self._quant_groups:
+            if getattr(self, scale_attr, None) is not None:
+                continue
+            pools = [getattr(self, attr) for attr in pool_attrs]
+            max_abs = 0.0
+            for attr in weight_attrs:
+                value = getattr(self, attr, None)
+                if value is not None and value.size:
+                    max_abs = max(max_abs, float(np.abs(value).max()))
+            threshold = pools[0].threshold if pools else 1.0
+            scale, _levels = quantization_params(max_abs, threshold)
+            for attr in weight_attrs:
+                value = getattr(self, attr, None)
+                if value is not None:
+                    setattr(self, attr, quantize_array(value, scale))
+            for attr in bias_attrs:
+                setattr(self, attr, quantize_bias(getattr(self, attr, None), scale))
+            setattr(self, scale_attr, scale)
+            for pool in pools:
+                pool.set_quantization(scale)
+        if self._quant_groups:
+            self._backend_cache = None
+        return self
+
+    def dequantize(self) -> "SpikingLayer":
+        """Reconstruct float weights (``q * scale``) and clear the scales.
+
+        The inverse of :meth:`quantize` up to its rounding — restored
+        weights differ from the originals by at most ``scale / 2`` per
+        element.  A no-op for layers that are not quantized.  Returns
+        ``self``.
+        """
+
+        changed = False
+        for scale_attr, weight_attrs, bias_attrs, pool_attrs in self._quant_groups:
+            scale = getattr(self, scale_attr, None)
+            if scale is None:
+                continue
+            changed = True
+            for attr in (*weight_attrs, *bias_attrs):
+                value = getattr(self, attr, None)
+                if value is not None:
+                    setattr(self, attr, dequantize_array(value, scale, self.policy.dtype))
+            setattr(self, scale_attr, None)
+            for attr in pool_attrs:
+                getattr(self, attr).set_quantization(None)
+        if changed:
+            self._backend_cache = None
+        return self
+
+    def quantization_scales(self) -> Dict[str, float]:
+        """The λ-derived scales currently applied, keyed by scale attribute.
+
+        Empty for unquantized (or weight-free) layers; the
+        ``QuantizeWeights`` pass records these into the conversion graph and
+        artifact metadata.
+        """
+
+        scales: Dict[str, float] = {}
+        for scale_attr, _weights, _biases, _pools in self._quant_groups:
+            value = getattr(self, scale_attr, None)
+            if value is not None:
+                scales[scale_attr] = float(value)
+        return scales
+
+    def _quantized_attrs(self) -> frozenset:
+        """Attributes currently holding quantized integer arrays."""
+
+        attrs = set()
+        for scale_attr, weight_attrs, bias_attrs, _pools in self._quant_groups:
+            if getattr(self, scale_attr, None) is not None:
+                attrs.update(weight_attrs)
+                attrs.update(bias_attrs)
+        return frozenset(attrs)
+
+    def _scales_state(self) -> Dict[str, object]:
+        """Scale entries for :meth:`state_dict` (empty when unquantized)."""
+
+        return self.quantization_scales()
+
+    def _restore_quantization(self, state: Dict[str, object]) -> None:
+        """Re-apply quantized arrays after ``from_state``'s float coercion.
+
+        ``from_state`` constructors funnel every array through
+        :func:`~repro.runtime.as_float_array`, which would silently promote
+        int8 payloads loaded from an ``infer8`` artifact.  When the state
+        carries a group's scale, the original (dtype-preserving) arrays are
+        put back verbatim and the pools relearn their quantized thresholds.
+        """
+
+        for scale_attr, weight_attrs, bias_attrs, pool_attrs in self._quant_groups:
+            scale = state.get(scale_attr)
+            if scale is None:
+                continue
+            scale = float(scale)
+            setattr(self, scale_attr, scale)
+            for attr in (*weight_attrs, *bias_attrs):
+                value = state.get(attr)
+                if value is not None:
+                    setattr(self, attr, np.asarray(value))
+            for attr in pool_attrs:
+                getattr(self, attr).set_quantization(scale)
 
     def reset_state(self) -> None:
         """Clear membrane potentials / counters before a new stimulus."""
@@ -211,6 +357,8 @@ class SpikingConv2d(SpikingLayer):
 
     name = "spiking_conv2d"
     _array_attrs = ("weight", "bias")
+    _quant_groups = (("weight_scale", ("weight",), ("bias",), ("neurons",)),)
+    weight_scale: Optional[float] = None
 
     def __init__(
         self,
@@ -249,6 +397,7 @@ class SpikingConv2d(SpikingLayer):
             "padding": _pair_to_state(self.padding),
             "threshold": self.neurons.threshold,
             "reset_mode": self.neurons.reset_mode.value,
+            **self._scales_state(),
         }
 
     @classmethod
@@ -268,6 +417,8 @@ class SpikingLinear(SpikingLayer):
 
     name = "spiking_linear"
     _array_attrs = ("weight", "bias")
+    _quant_groups = (("weight_scale", ("weight",), ("bias",), ("neurons",)),)
+    weight_scale: Optional[float] = None
 
     def __init__(
         self,
@@ -298,6 +449,7 @@ class SpikingLinear(SpikingLayer):
             "bias": self.bias,
             "threshold": self.neurons.threshold,
             "reset_mode": self.neurons.reset_mode.value,
+            **self._scales_state(),
         }
 
     @classmethod
@@ -434,6 +586,14 @@ class SpikingResidualBlock(SpikingLayer):
 
     name = "spiking_residual_block"
     _array_attrs = ("ns_weight", "ns_bias", "osn_weight", "osi_weight", "os_bias")
+    # The osn and osi currents sum into the OS membrane, so both weight
+    # tensors must share one grid; NS quantizes independently.
+    _quant_groups = (
+        ("ns_scale", ("ns_weight",), ("ns_bias",), ("ns_neurons",)),
+        ("os_scale", ("osn_weight", "osi_weight"), ("os_bias",), ("os_neurons",)),
+    )
+    ns_scale: Optional[float] = None
+    os_scale: Optional[float] = None
 
     def __init__(
         self,
@@ -512,6 +672,7 @@ class SpikingResidualBlock(SpikingLayer):
             "block_type": self.block_type,
             "threshold": self.ns_neurons.threshold,
             "reset_mode": self.ns_neurons.reset_mode.value,
+            **self._scales_state(),
         }
 
     @classmethod
@@ -547,6 +708,8 @@ class SpikingOutputLayer(SpikingLayer):
 
     name = "spiking_output"
     _array_attrs = ("weight", "bias")
+    _quant_groups = (("weight_scale", ("weight",), ("bias",), ("neurons",)),)
+    weight_scale: Optional[float] = None
     #: Reused all-zero spike output of the (never firing) membrane readout;
     #: nothing may write into it.
     _zero_scratch: Optional[np.ndarray] = None
@@ -623,6 +786,7 @@ class SpikingOutputLayer(SpikingLayer):
             "readout": self.readout,
             "threshold": self.neurons.threshold,
             "reset_mode": self.neurons.reset_mode.value,
+            **self._scales_state(),
         }
 
     @classmethod
@@ -658,4 +822,8 @@ def layer_from_state(state: Dict[str, object]) -> SpikingLayer:
     kind = state.get("kind")
     if kind not in LAYER_REGISTRY:
         raise ValueError(f"unknown spiking layer kind {kind!r}; known: {sorted(LAYER_REGISTRY)}")
-    return LAYER_REGISTRY[kind].from_state(state)
+    layer = LAYER_REGISTRY[kind].from_state(state)
+    # Quantized (infer8) states carry per-group scales alongside integer
+    # arrays; re-apply them after the constructors' float coercion.
+    layer._restore_quantization(state)
+    return layer

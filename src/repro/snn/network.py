@@ -107,6 +107,14 @@ class SpikingNetwork:
         #: construction; :meth:`set_policy` switches it everywhere at once).
         self._policy: ComputePolicy = active_policy()
         self.policy_spec: str = self._policy.name
+        if self._policy.quantized:
+            # A quantized active policy is a *state* contract, not just a
+            # dtype: reporting "infer8" while the handed-over layers still
+            # carry float weights would lie to every downstream seam (the
+            # engine's precision override skips matching names, artifacts
+            # record the spec verbatim).  Idempotent for layers that already
+            # sit on their grids (e.g. restored from an int8 artifact).
+            self.set_policy(self._policy)
         #: Execution scheduler driving the timestep loop (see
         #: :mod:`repro.snn.executor`); :meth:`set_scheduler` switches it.
         self._scheduler: Scheduler = sequential_scheduler()

@@ -79,6 +79,11 @@ class IFNeuronPool:
         # the float spike output) so `step` allocates nothing after warmup.
         self._fired_scratch: Optional[np.ndarray] = None
         self._spike_scratch: Optional[np.ndarray] = None
+        # Quantized threshold in scale units (``rint(threshold / scale)``),
+        # set by the owning layer when its weights quantize.  With integer
+        # input currents (in scale units) the whole membrane recursion then
+        # stays on the integer grid — compare and subtract both use it.
+        self.threshold_q: Optional[float] = None
         # When enabled (SpikeNorm-style threshold balancing), the pool tracks
         # the largest weighted input current it has ever received.
         self.track_input_stats = False
@@ -99,6 +104,20 @@ class IFNeuronPool:
         self._fired_scratch = None
         self._spike_scratch = None
         return self
+
+    def set_quantization(self, scale: Optional[float]) -> None:
+        """Pin (or clear, with ``None``) the quantized firing threshold.
+
+        The owning layer calls this when its weights move on or off a
+        quantized grid; ``scale`` is the layer's weight scale, so membrane
+        units become multiples of it and the threshold snaps to the integer
+        number of levels :func:`repro.runtime.quantization_params` chose.
+        """
+
+        if scale is None:
+            self.threshold_q = None
+        else:
+            self.threshold_q = max(1.0, float(np.rint(self.threshold / float(scale))))
 
     def reset_state(self) -> None:
         """Forget membrane potential and spike counts (start of a new stimulus)."""
@@ -127,10 +146,12 @@ class IFNeuronPool:
             self.spike_count = policy.zeros(shape) if self.record_spikes else None
             self.steps = 0
         if policy.in_place and (
-            self._fired_scratch is None or self._fired_scratch.shape != shape
+            self._fired_scratch is None
+            or self._fired_scratch.shape != shape
+            or self._spike_scratch.dtype != policy.spike_dtype
         ):
             self._fired_scratch = np.empty(shape, dtype=bool)
-            self._spike_scratch = policy.empty(shape)
+            self._spike_scratch = np.empty(shape, dtype=policy.spike_dtype)
 
     def step(self, input_current: np.ndarray) -> np.ndarray:
         """Advance one timestep with the given input current ``z``.
@@ -155,15 +176,21 @@ class IFNeuronPool:
         # subtract is bit-identical to the textbook ``membrane -= V_thr * Θ``
         # (subtracting ``V_thr * 0.0`` never changes a float).
         self.membrane += input_current
+        threshold = self.threshold
+        if self.policy.quantized and self.threshold_q is not None:
+            # Quantized layers accumulate in scale units; the threshold in
+            # those units is the integer number of levels chosen at
+            # quantization time, keeping the recursion on the integer grid.
+            threshold = self.threshold_q
         if self.policy.in_place:
-            fired = np.greater_equal(self.membrane, self.threshold, out=self._fired_scratch)
+            fired = np.greater_equal(self.membrane, threshold, out=self._fired_scratch)
             spikes = self._spike_scratch
             spikes[...] = fired
         else:
-            fired = self.membrane >= self.threshold
-            spikes = fired.astype(self.policy.dtype)
+            fired = self.membrane >= threshold
+            spikes = fired.astype(self.policy.spike_dtype)
         if self.reset_mode is ResetMode.SUBTRACT:
-            np.subtract(self.membrane, self.threshold, out=self.membrane, where=fired)
+            np.subtract(self.membrane, threshold, out=self.membrane, where=fired)
         else:
             self.membrane[fired] = 0.0
         if self.record_spikes:

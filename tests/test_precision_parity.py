@@ -157,6 +157,126 @@ class TestInfer32Parity:
         assert [pool.allocations for pool in pools] == before
 
 
+@pytest.fixture(scope="module")
+def quantized_conversion(trained_tcl_model, tiny_data):
+    """The trained ConvNet4 converted under the int8 profile (train64 scope
+    so the comparison stays meaningful under the CI smoke jobs)."""
+
+    model, _ = trained_tcl_model
+    _, _, test_images, _ = tiny_data
+    with using_policy("train64"):
+        test_images = np.asarray(test_images, dtype=np.float64)
+        result = (
+            Converter(model).strategy("tcl").precision("infer8").calibrate(test_images).convert()
+        )
+    return result, test_images
+
+
+class TestInfer8Parity:
+    def test_infer8_conversion_records_profile_and_scales(self, quantized_conversion):
+        result, _ = quantized_conversion
+        assert result.precision == "infer8"
+        assert result.snn.policy_spec == "infer8"
+        assert result.weight_scales
+        assert result.export_metadata()["weight_scales"] == result.weight_scales
+
+    def test_infer8_weights_sit_on_the_int8_grid(self, quantized_conversion):
+        result, _ = quantized_conversion
+        quantized_layers = 0
+        for layer in result.snn.layers:
+            for scale_attr, weight_attrs, bias_attrs, _ in layer._quant_groups:
+                assert getattr(layer, scale_attr) is not None, layer.name
+                for attr in weight_attrs:
+                    assert getattr(layer, attr).dtype == np.int8, f"{layer.name}.{attr}"
+                for attr in bias_attrs:
+                    value = getattr(layer, attr)
+                    if value is not None:
+                        assert value.dtype == np.int32, f"{layer.name}.{attr}"
+                quantized_layers += 1
+        assert quantized_layers >= 5  # conv x4 + hidden + head on ConvNet4
+
+    def test_infer8_top1_accuracy_matches_infer32(
+        self, converted_pair, quantized_conversion, tiny_data
+    ):
+        """The headline gate: top-1 accuracy under int8 must stay within
+        0.5% of infer32.  On the 32-image fixture accuracy moves in 3.125%
+        steps, so the gate effectively demands *identical* accuracy — int8
+        rounding may flip an already-misclassified sample between wrong
+        classes, but must not lose a correct prediction."""
+
+        _, fast, images = converted_pair
+        quantized, _ = quantized_conversion
+        _, _, _, test_labels = tiny_data
+        reference = fast.snn.simulate(images, timesteps=60).predictions()
+        result = quantized.snn.simulate(images, timesteps=60).predictions()
+        acc32 = float((reference == test_labels).mean())
+        acc8 = float((result == test_labels).mean())
+        assert abs(acc32 - acc8) <= 0.005, f"infer32 {acc32:.4f} vs infer8 {acc8:.4f}"
+
+    @pytest.mark.parametrize("backend", ["dense", "event", "auto"])
+    def test_infer8_backend_parity_and_no_dtype_leaks(self, quantized_conversion, backend):
+        """Backends are pure execution strategies under int8 too: scores are
+        bit-identical to the dense reference, and the dtype audit stays
+        clean on every seam (int8 spikes, f32 integer-valued membranes)."""
+
+        quantized, images = quantized_conversion
+        reference = quantized.snn.simulate(images[:8], timesteps=40).scores[40]
+        quantized.snn.set_backend(backend)
+        try:
+            result = quantized.snn.simulate(images[:8], timesteps=40)
+            assert np.array_equal(result.scores[40], reference)
+            violations = audit_network_dtypes(quantized.snn, images[:3], timesteps=4)
+            assert violations == [], "\n".join(violations)
+        finally:
+            quantized.snn.set_backend("dense")
+
+    @pytest.mark.parametrize("scheduler", ["sequential", "pipelined", "sharded"])
+    def test_infer8_scheduler_parity(self, quantized_conversion, scheduler):
+        quantized, images = quantized_conversion
+        reference = quantized.snn.simulate(images[:8], timesteps=40).scores[40]
+        result = quantized.snn.simulate(images[:8], timesteps=40, scheduler=scheduler)
+        assert np.array_equal(result.scores[40], reference)
+
+    def test_integer_accumulate_keeps_membrane_on_the_grid(self, rng):
+        """Binary spikes through int8 weights: the membrane of a downstream
+        layer stays integer-valued (the contract the kernels rely on)."""
+
+        network = _toy_network(rng)
+        network.set_policy("infer8")
+        images = rng.uniform(0, 1, (3, 10))
+        network.reset_state()
+        network.encoder.reset(images)
+        for t in range(1, 6):
+            spikes = network.step(network.encoder.step(t))
+            assert spikes.dtype == np.int8
+            membrane = network.layers[1].neurons.membrane  # spike-fed layer
+            assert np.array_equal(membrane, np.rint(membrane))
+
+    def test_infer8_to_train64_dequantizes(self, rng):
+        # Pinned scope: the restored-weight assertions below need float64
+        # originals (the infer8 smoke job would otherwise quantize the toy
+        # network at construction).
+        with using_policy("train64"):
+            network = _toy_network(rng)
+        original = network.layers[0].weight.copy()
+        network.set_policy("infer8")
+        scale = network.layers[0].weight_scale
+        assert network.layers[0].weight.dtype == np.int8
+        network.set_policy("train64")
+        restored = network.layers[0].weight
+        assert restored.dtype == np.float64
+        assert network.layers[0].weight_scale is None
+        assert np.max(np.abs(restored - original)) <= scale / 2 + 1e-12
+
+    def test_engine_applies_infer8_override(self, rng):
+        network = _toy_network(rng)
+        engine = AdaptiveEngine(network, AdaptiveConfig(max_timesteps=20, precision="infer8"))
+        outcome = engine.infer(rng.uniform(0, 1, (3, 10)))
+        assert network.policy_spec == "infer8"
+        assert network.layers[0].weight.dtype == np.int8
+        assert outcome.scores.shape == (3, 3)
+
+
 class TestPolicySwitching:
     def test_set_policy_casts_live_state(self, rng):
         network = _toy_network(rng)

@@ -1,0 +1,268 @@
+"""Quantization grid properties and per-layer scale derivation (infer8).
+
+The ``infer8`` profile rests on two claims, each pinned here:
+
+1. **The grid is sound** — symmetric round-to-nearest int8 with the
+   integer-threshold snap of :func:`repro.runtime.quantization_params`:
+   round-trip error is at most ``scale / 2`` on the λ-bounded range the
+   scale was derived from, zero maps to exactly zero, the grid is symmetric
+   (``q(-w) == -q(w)``, never hitting the -128 asymmetry of two's
+   complement), and ``threshold / scale`` is an exact integer so the
+   membrane recursion stays on the integer grid.
+2. **The scale is λ-derived, not estimated** — a layer's ``weight_scale``
+   is computed from the range of its data-normalized weights
+   ``max|Ŵ| = (λ_in / λ_out) · max|W|``, which the TCL conversion knows
+   exactly.  The unit tests below hand-compute that λ lineage and compare
+   against what ``quantize()`` and the ``QuantizeWeights`` pass record.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import Converter
+from repro.runtime import (
+    QMAX,
+    dequantize_array,
+    quantization_params,
+    quantize_array,
+    quantize_bias,
+    using_policy,
+)
+from repro.runtime.quantize import BIAS_DTYPE, WEIGHT_DTYPE
+from repro.snn import (
+    SpikingConv2d,
+    SpikingLinear,
+    SpikingOutputLayer,
+    SpikingResidualBlock,
+)
+
+COMMON_SETTINGS = settings(max_examples=50, deadline=None)
+
+#: λ-like weight ranges: positive, finite, spanning tiny to large bounds.
+lambdas = st.floats(min_value=1e-3, max_value=50.0, allow_nan=False, allow_infinity=False)
+thresholds = st.floats(min_value=1e-2, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+class TestQuantizationParams:
+    @COMMON_SETTINGS
+    @given(lambdas, thresholds)
+    def test_threshold_over_scale_is_an_exact_integer(self, max_abs, threshold):
+        scale, levels = quantization_params(max_abs, threshold)
+        assert levels >= 1
+        # threshold/scale reconstructs `levels` to within float rounding, and
+        # the kernels snap it with rint — that integer is the quantized
+        # threshold the membrane recursion subtracts, exactly.
+        assert int(np.rint(threshold / scale)) == levels
+        assert threshold / scale == pytest.approx(levels, rel=1e-9)
+        assert scale * levels == pytest.approx(threshold, rel=1e-9)
+
+    @COMMON_SETTINGS
+    @given(lambdas, thresholds)
+    def test_scale_covers_the_range_without_clipping(self, max_abs, threshold):
+        # The covered regime: at least one level fits under the threshold.
+        # (Data-normalized weights sit well inside it — max|Ŵ| is O(1) while
+        # threshold * QMAX is O(100).)
+        assume(max_abs <= threshold * QMAX)
+        scale, _ = quantization_params(max_abs, threshold)
+        # scale >= max_abs / QMAX (up to float rounding), so the extreme
+        # weight quantizes within the symmetric grid and the np.clip in
+        # quantize_array is a no-op in practice.
+        assert scale >= max_abs / QMAX * (1 - 1e-9)
+        assert abs(int(np.rint(max_abs / scale))) <= QMAX
+
+    def test_oversized_range_clamps_to_one_level_and_clips(self):
+        """Beyond threshold * QMAX the snap keeps the integer threshold and
+        lets the grid clip the extremes instead of breaking the recursion."""
+
+        scale, levels = quantization_params(32.0, threshold=0.25)
+        assert (scale, levels) == (0.25, 1)
+        q = quantize_array(np.array([32.0, -32.0]), scale)
+        assert np.array_equal(q, np.array([QMAX, -QMAX], dtype=WEIGHT_DTYPE))
+
+    def test_degenerate_range_uses_one_level_grid(self):
+        assert quantization_params(0.0) == (1.0, 1)
+        assert quantization_params(-1.0) == (1.0, 1)
+        assert quantization_params(float("nan"), threshold=0.5) == (0.5, 1)
+
+    def test_nonpositive_threshold_is_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            quantization_params(1.0, threshold=0.0)
+
+
+class TestGridProperties:
+    @COMMON_SETTINGS
+    @given(
+        lambdas,
+        hnp.arrays(
+            np.float64,
+            hnp.array_shapes(min_dims=1, max_dims=2, max_side=8),
+            elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        ),
+    )
+    def test_roundtrip_error_bounded_by_half_scale(self, max_abs, unit):
+        """On [0, λ] (and by symmetry [-λ, 0]) the grid loses ≤ scale/2."""
+
+        values = unit * max_abs  # stretch the unit interval onto [0, λ]
+        scale, _ = quantization_params(max_abs)
+        restored = dequantize_array(quantize_array(values, scale), scale, np.float64)
+        assert np.max(np.abs(restored - values)) <= scale / 2 + 1e-12
+
+    @COMMON_SETTINGS
+    @given(
+        lambdas,
+        hnp.arrays(
+            np.float64,
+            (4, 4),
+            elements=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+        ),
+    )
+    def test_grid_is_symmetric(self, max_abs, unit):
+        """q(-w) == -q(w): the -128 code is never produced."""
+
+        values = unit * max_abs
+        scale, _ = quantization_params(max_abs)
+        q_pos = quantize_array(values, scale)
+        q_neg = quantize_array(-values, scale)
+        assert q_pos.dtype == WEIGHT_DTYPE
+        assert np.array_equal(q_neg, -q_pos)
+        assert q_pos.min() >= -QMAX and q_pos.max() <= QMAX
+
+    @COMMON_SETTINGS
+    @given(lambdas)
+    def test_zero_is_preserved_exactly(self, max_abs):
+        scale, _ = quantization_params(max_abs)
+        zeros = np.zeros((3, 3))
+        q = quantize_array(zeros, scale)
+        assert np.array_equal(q, np.zeros((3, 3), dtype=WEIGHT_DTYPE))
+        assert np.array_equal(dequantize_array(q, scale, np.float64), zeros)
+
+    def test_bias_shares_the_weight_grid_in_int32(self):
+        scale, _ = quantization_params(0.5)
+        bias = np.array([0.25, -0.125, 3.0])
+        q = quantize_bias(bias, scale)
+        assert q.dtype == BIAS_DTYPE
+        assert np.array_equal(q, np.rint(bias / scale).astype(np.int64))
+        assert quantize_bias(None, scale) is None
+
+
+def _hand_scale(weights, threshold=1.0):
+    """The scale the integer-threshold snap should produce for a tensor."""
+
+    max_abs = max(float(np.max(np.abs(w))) for w in weights)
+    levels = max(1, math.floor(threshold * QMAX / max_abs))
+    return threshold / levels, levels
+
+
+class TestPerLayerScales:
+    def test_linear_scale_matches_hand_computed_range(self, rng):
+        weight = rng.uniform(-0.5, 0.5, (6, 10))
+        weight.flat[0] = 0.5  # pin the range so the expectation is exact
+        layer = SpikingLinear(weight.copy(), rng.uniform(-0.1, 0.1, 6))
+        layer.quantize()
+        scale, levels = _hand_scale([weight])
+        assert layer.weight_scale == pytest.approx(scale, rel=1e-12)
+        assert layer.weight.dtype == WEIGHT_DTYPE
+        assert layer.bias.dtype == BIAS_DTYPE
+        assert layer.neurons.threshold_q == levels
+
+    def test_conv_scale_respects_custom_threshold(self, rng):
+        weight = rng.uniform(-0.25, 0.25, (4, 3, 3, 3))
+        weight.flat[0] = 0.25
+        layer = SpikingConv2d(weight.copy(), threshold=0.75)
+        layer.quantize()
+        scale, levels = _hand_scale([weight], threshold=0.75)
+        assert layer.weight_scale == pytest.approx(scale, rel=1e-12)
+        assert layer.neurons.threshold_q == levels
+
+    def test_residual_block_shares_one_scale_across_merge_weights(self, rng):
+        """osn and osi currents sum into one membrane — one grid for both."""
+
+        ns_w = rng.uniform(-0.3, 0.3, (4, 4, 3, 3))
+        osn_w = rng.uniform(-0.2, 0.2, (4, 4, 3, 3))
+        osi_w = rng.uniform(-0.6, 0.6, (4, 4, 1, 1))
+        osi_w.flat[0] = 0.6  # the merge range is set by the identity path
+        block = SpikingResidualBlock(
+            ns_w.copy(), None, osn_w.copy(), osi_w.copy(), None, ns_stride=1, osi_stride=1
+        )
+        block.quantize()
+        os_scale, _ = _hand_scale([osn_w, osi_w])
+        ns_scale, _ = _hand_scale([ns_w])
+        assert block.os_scale == pytest.approx(os_scale, rel=1e-12)
+        assert block.ns_scale == pytest.approx(ns_scale, rel=1e-12)
+        assert block.osn_weight.dtype == WEIGHT_DTYPE
+        assert block.osi_weight.dtype == WEIGHT_DTYPE
+
+    def test_quantize_is_idempotent(self, rng):
+        layer = SpikingLinear(rng.uniform(-0.5, 0.5, (4, 8)))
+        layer.quantize()
+        first = layer.weight.copy()
+        scale = layer.weight_scale
+        layer.quantize()  # must not re-quantize the already-int8 grid
+        assert layer.weight_scale == scale
+        assert np.array_equal(layer.weight, first)
+
+    def test_dequantize_restores_within_half_scale(self, rng):
+        # Pinned scope: the layer's dequantize target is its policy dtype,
+        # so the float64 assertion below needs train64 (the smoke jobs run
+        # this suite with other profiles pinned process-wide).
+        with using_policy("train64"):
+            weight = rng.uniform(-0.4, 0.4, (5, 7))
+            layer = SpikingLinear(weight.copy())
+            layer.quantize()
+            scale = layer.weight_scale
+            layer.dequantize()
+            assert layer.weight_scale is None
+            assert layer.weight.dtype == np.float64
+            assert np.max(np.abs(layer.weight - weight)) <= scale / 2 + 1e-12
+            assert layer.neurons.threshold_q is None
+
+
+class TestQuantizeWeightsPass:
+    def test_converter_records_lambda_derived_scales(self, trained_tcl_model, tiny_data):
+        """The pass quantizes at conversion time and the recorded scales
+        match a hand computation from the float twin's normalized weights."""
+
+        model, _ = trained_tcl_model
+        _, _, test_images, _ = tiny_data
+        with using_policy("train64"):
+            plain = Converter(model).strategy("tcl").calibrate(test_images).convert()
+            quantized = (
+                Converter(model).strategy("tcl").precision("infer8").calibrate(test_images).convert()
+            )
+        assert quantized.weight_scales, "QuantizeWeights recorded no scales"
+        assert quantized.export_metadata()["weight_scales"] == quantized.weight_scales
+
+        # Pair layers positionally: both conversions lower the same module
+        # graph, so layer i of the float twin holds the Ŵ the scale of layer
+        # i of the quantized twin was derived from.
+        float_layers = {layer.name + str(i): layer for i, layer in enumerate(plain.snn.layers)}
+        for i, layer in enumerate(quantized.snn.layers):
+            scales = layer.quantization_scales()
+            if not scales:
+                continue
+            twin = float_layers[layer.name + str(i)]
+            for attr, scale in scales.items():
+                group = next(g for g in layer._quant_groups if g[0] == attr)
+                weights = [getattr(twin, weight_attr) for weight_attr in group[1]]
+                threshold = twin.neuron_pools[0].threshold if twin.neuron_pools else 1.0
+                expected, _ = _hand_scale(weights, threshold=threshold)
+                assert scale == pytest.approx(expected, rel=1e-12), f"layer{i}.{attr}"
+
+    def test_float_profiles_skip_the_pass(self, trained_tcl_model):
+        model, _ = trained_tcl_model
+        with using_policy("train64"):
+            result = Converter(model).strategy("tcl").precision("infer32").convert()
+        assert result.weight_scales == {}
+        assert all(layer.quantization_scales() == {} for layer in result.snn.layers)
+
+    def test_output_layer_quantizes_like_any_other(self, rng):
+        head = SpikingOutputLayer(rng.uniform(-0.3, 0.3, (3, 6)), rng.uniform(-0.1, 0.1, 3))
+        head.set_policy("infer8")
+        assert head.weight.dtype == WEIGHT_DTYPE
+        assert head.weight_scale is not None

@@ -121,6 +121,55 @@ class TestDtype:
         )
         assert rules_of(findings) == ["dtype"]
 
+    def test_catches_literal_int8_dtype(self):
+        """infer8 landed the narrow-int extension: quantized storage widths
+        belong to repro.runtime.quantize, not to call sites."""
+
+        findings = lint_source(
+            "import numpy as np\ngrid = np.zeros(4, dtype=np.int8)\n",
+            "src/repro/snn/helper.py",
+        )
+        assert rules_of(findings) == ["dtype"]
+        assert "int8" in findings[0].message
+
+    def test_catches_astype_of_literal_int32(self):
+        findings = lint_source(
+            "def f(bias):\n    return bias.astype(np.int32)\n",
+            "src/repro/core/helper.py",
+        )
+        assert rules_of(findings) == ["dtype"]
+
+    def test_catches_int8_string_dtype(self):
+        findings = lint_source(
+            'import numpy as np\nbuf = np.zeros(4, dtype="int8")\n',
+            "src/repro/snn/helper.py",
+        )
+        assert rules_of(findings) == ["dtype"]
+
+    def test_int64_label_width_is_exempt(self):
+        """int64 / builtin int is the index-and-label width, not a grid."""
+
+        findings = lint_source(
+            """
+            import numpy as np
+            labels = np.zeros(4, dtype=np.int64)
+            def f(x):
+                return x.astype(int)
+            """,
+            "src/repro/training/helper.py",
+        )
+        assert findings == []
+
+    def test_runtime_quantize_module_is_exempt(self):
+        """The quantization grid lives in runtime — int8 literals are its job."""
+
+        findings = lint_source(
+            "import numpy as np\nWEIGHT_DTYPE = np.dtype(np.int8)\n"
+            "grid = np.zeros(4, dtype=np.int8)\n",
+            "src/repro/runtime/quantize.py",
+        )
+        assert findings == []
+
     def test_catches_literal_array_without_dtype(self):
         findings = lint_source(
             "import numpy as np\nscale = np.array([1.0, 2.0])\n",

@@ -28,11 +28,18 @@ from repro.runtime.policy import _profile_from_env
 
 class TestProfiles:
     def test_named_profiles(self):
-        assert set(PROFILE_NAMES) == {"train64", "infer32"}
+        assert set(PROFILE_NAMES) == {"train64", "infer32", "infer8"}
         assert PROFILES["train64"].dtype == np.float64
         assert PROFILES["train64"].in_place is False
+        assert PROFILES["train64"].quantized is False
         assert PROFILES["infer32"].dtype == np.float32
         assert PROFILES["infer32"].in_place is True
+        assert PROFILES["infer32"].spike_dtype == np.float32
+        # infer8: int8 spikes and weights, float32 *accumulator* lanes.
+        assert PROFILES["infer8"].dtype == np.float32
+        assert PROFILES["infer8"].in_place is True
+        assert PROFILES["infer8"].quantized is True
+        assert PROFILES["infer8"].spike_dtype == np.int8
 
     def test_resolve_by_name_returns_shared_singletons(self):
         assert resolve_policy("infer32") is PROFILES["infer32"]

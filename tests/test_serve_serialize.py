@@ -320,6 +320,100 @@ class TestPrecisionRoundTrip:
         assert np.array_equal(reference.scores[30], replay.scores[30])
 
 
+class TestInfer8RoundTrip:
+    """Quantized bundles: int8 payloads must survive the npz round trip
+    bit-for-bit, the λ-derived scales must ride along in the manifest, and
+    an int8 artifact must be dramatically smaller than its float64 twin."""
+
+    @staticmethod
+    def _bundle_bytes(path):
+        return sum(entry.stat().st_size for entry in path.rglob("*") if entry.is_file())
+
+    def test_infer8_bundle_preserves_int8_payloads_and_replay(self, rng, tmp_path):
+        network = _toy_network(rng).set_policy("infer8")
+        images = rng.uniform(0, 1, (4, 3, 8, 8))
+        reference = network.simulate(images, timesteps=20)
+
+        loaded = load_artifact(save_artifact(network, tmp_path / "q8"))
+        assert loaded.precision == "infer8"
+        assert loaded.network.policy_spec == "infer8"
+        for original, clone in zip(network.layers, loaded.network.layers):
+            assert clone.quantization_scales() == original.quantization_scales()
+            for _, weight_attrs, bias_attrs, _ in clone._quant_groups:
+                for attr in weight_attrs:
+                    restored = getattr(clone, attr)
+                    assert restored.dtype == np.int8, f"{clone.name}.{attr}"
+                    assert np.array_equal(restored, getattr(original, attr))
+                for attr in bias_attrs:
+                    restored = getattr(clone, attr)
+                    if restored is not None:
+                        assert restored.dtype == np.int32, f"{clone.name}.{attr}"
+                        assert np.array_equal(restored, getattr(original, attr))
+
+        replay = loaded.network.simulate(images, timesteps=20)
+        assert np.array_equal(reference.scores[20], replay.scores[20])
+
+    def test_scales_live_in_the_manifest_not_the_npz(self, rng, tmp_path):
+        path = save_artifact(_toy_network(rng).set_policy("infer8"), tmp_path / "q8")
+        manifest = read_manifest(path)
+        by_kind = {entry["kind"]: entry for entry in manifest["layers"]}
+        assert by_kind["spiking_linear"]["weight_scale"] > 0
+        assert by_kind["spiking_residual_block"]["ns_scale"] > 0
+        assert by_kind["spiking_residual_block"]["os_scale"] > 0
+        with np.load(path / "arrays.npz") as arrays:
+            assert not any(name.endswith("_scale") for name in arrays.files)
+
+    def test_quantized_layer_state_dict_roundtrip(self, rng):
+        layer = SpikingLinear(rng.uniform(-0.3, 0.5, (6, 10)), rng.uniform(-0.1, 0.1, 6))
+        layer.quantize()
+        clone = layer_from_state(layer.state_dict())
+        assert clone.weight.dtype == np.int8
+        assert clone.weight_scale == layer.weight_scale
+        assert clone.neurons.threshold_q == layer.neurons.threshold_q
+        inputs = (rng.uniform(0, 1, (3, 10)) > 0.5).astype(np.int8)
+        layer.reset_state()
+        clone.reset_state()
+        for _ in range(5):
+            assert np.array_equal(layer.step(inputs), clone.step(inputs))
+
+    def test_infer8_bundle_is_under_a_third_of_train64(
+        self, trained_tcl_model, tiny_data, tmp_path
+    ):
+        from repro.core import Converter
+        from repro.runtime import using_policy
+
+        model, _ = trained_tcl_model
+        _, _, test_images, _ = tiny_data
+        with using_policy("train64"):
+            plain = Converter(model).strategy("tcl").calibrate(test_images).convert()
+            quantized = (
+                Converter(model).strategy("tcl").precision("infer8").calibrate(test_images).convert()
+            )
+        float_bytes = self._bundle_bytes(plain.save(tmp_path / "f64"))
+        int8_bytes = self._bundle_bytes(quantized.save(tmp_path / "q8"))
+        assert int8_bytes <= 0.3 * float_bytes, f"{int8_bytes} vs {float_bytes}"
+
+    def test_unknown_profile_fallback_dequantizes_to_train64(self, rng, tmp_path):
+        """A quantized bundle whose recorded profile this build doesn't know
+        degrades to train64 — which must *dequantize*, not reinterpret the
+        int8 codes as float weights."""
+
+        network = _toy_network(rng).set_policy("infer8")
+        path = save_artifact(network, tmp_path / "odd")
+        manifest = read_manifest(path)
+        manifest["metadata"]["precision"] = "infer4"
+        with open(path / "manifest.json", "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+
+        with pytest.warns(UserWarning, match="unknown compute-policy profile"):
+            loaded = load_artifact(path)
+        assert loaded.network.policy_spec == "train64"
+        head = loaded.network.layers[-1]
+        assert head.weight.dtype == np.float64
+        assert head.weight_scale is None
+        assert np.max(np.abs(head.weight)) < 2.0  # dequantized, not raw codes
+
+
 class TestSchedulerRoundTrip:
     """Artifact bundles must re-apply the recorded execution scheduler
     (unknown names degrade to sequential, mirroring the unknown-backend and

@@ -71,7 +71,9 @@ class TestRateCoding:
     def test_rate_matches_constant_current(self, current):
         pool = IFNeuronPool(threshold=1.0, reset_mode=ResetMode.SUBTRACT)
         timesteps = 200
-        spikes = sum(pool.step(np.array([[current]]))[0, 0] for _ in range(timesteps))
+        # float() per step: under the infer8 profile spikes travel as int8,
+        # which a 200-step sum would overflow.
+        spikes = sum(float(pool.step(np.array([[current]]))[0, 0]) for _ in range(timesteps))
         assert spikes / timesteps == pytest.approx(current, abs=1.0 / timesteps + 1e-9)
 
     def test_rate_saturates_at_one(self):

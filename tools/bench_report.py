@@ -56,7 +56,7 @@ from repro.snn.executor import (  # noqa: E402
 SCHEMA = "repro.bench_report/v1"
 
 BACKENDS = ("dense", "event")
-PRECISIONS = ("train64", "infer32")
+PRECISIONS = ("train64", "infer32", "infer8")
 SCHEDULERS = ("sequential", "pipelined", "sharded")
 
 #: Metrics compared by ``--diff``: (json path under the cell, label, unit,

@@ -15,11 +15,18 @@ policy-managed packages:
 * ``d3`` — a literal ``np.float64``/``np.float32``/``float`` dtype argument
   (including ``.astype(np.float64)``): hardcodes a width the policy should
   own.  Deliberate full-precision sites (statistics, telemetry) carry an
-  ``allow[dtype]`` with the rationale.
+  ``allow[dtype]`` with the rationale.  Since the quantized ``infer8``
+  profile landed the same rule covers the narrow integer widths
+  (``np.int8``/``np.int16``/``np.int32``): quantized storage dtypes belong
+  to ``repro.runtime.quantize`` and ``ComputePolicy.spike_dtype``, so a
+  narrow-int literal in a policy-managed package is a width the
+  quantization helpers should own.  ``int64`` and the ``int`` builtin stay
+  exempt — labels and indices are not on any quantization grid.
 
 Scope: autograd, nn, snn, core, serve, data, training.  ``runtime`` is the
-policy's home, ``obs``/``analysis`` are off the numeric path, and tests/
-tools may pin dtypes freely.
+policy's home (the float profiles *and* the int8 quantization grid live
+there), ``obs``/``analysis`` are off the numeric path, and tests/tools may
+pin dtypes freely.
 
 This is the static complement of ``repro.runtime.audit`` (dynamic dtype
 tracing), which only sees paths a test actually executes.
@@ -42,8 +49,12 @@ _DEFAULTING_ALLOCATORS = {"zeros", "ones", "empty", "full"}
 
 _CONVERTERS = {"array", "asarray", "ascontiguousarray"}
 
-#: dtype expressions that hardcode a width.
-_LITERAL_DTYPES = {"float64", "float32", "float16"}
+#: dtype expressions that hardcode a width.  The narrow integer widths joined
+#: the set when the quantized ``infer8`` profile landed: int8 weight grids and
+#: int32 bias accumulators belong to ``repro.runtime.quantize``, not call
+#: sites.  ``int64`` (and the ``int`` builtin) stay exempt — that is the
+#: index-and-label width, which no compute profile rescales.
+_LITERAL_DTYPES = {"float64", "float32", "float16", "int8", "int16", "int32"}
 
 
 def _np_func(node: ast.Call) -> Optional[str]:
@@ -78,7 +89,11 @@ def _is_literal_arg(node: ast.expr) -> bool:
 
 
 def _literal_dtype_name(node: ast.expr) -> Optional[str]:
-    """'float64' for ``np.float64``, 'float' for the builtin, else None."""
+    """'float64' for ``np.float64``, 'float' for the builtin, else None.
+
+    The ``int`` builtin is deliberately not matched: it aliases int64, the
+    exempt index/label width, not a quantization grid.
+    """
 
     if (
         isinstance(node, ast.Attribute)
@@ -89,7 +104,7 @@ def _literal_dtype_name(node: ast.expr) -> Optional[str]:
         return node.attr
     if isinstance(node, ast.Name) and node.id == "float":
         return "float"
-    if isinstance(node, ast.Constant) and node.value in {"float64", "float32", "float16"}:
+    if isinstance(node, ast.Constant) and node.value in _LITERAL_DTYPES:
         return str(node.value)
     return None
 
