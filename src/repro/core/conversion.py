@@ -60,7 +60,13 @@ from .graph import ConversionError, ConversionGraph, Diagnostic, trace
 from .lowering import LoweringContext
 from .normfactor import STRATEGY_REGISTRY, NormFactorStrategy, TCLNormFactor, build_strategy
 from .observers import attach_observers, detach_observers
-from .passes import PassPipeline, ValidateTopology, default_pipeline
+from .passes import (
+    DEFAULT_LOW_LATENCY_TIMESTEPS,
+    LATENCY_MODES,
+    PassPipeline,
+    ValidateTopology,
+    default_pipeline,
+)
 from .residual import ResidualNormFactors
 
 __all__ = [
@@ -187,6 +193,15 @@ class ConversionConfig:
         (batch split across independent network replicas), or a
         :class:`~repro.snn.Scheduler` instance.  Applied to the emitted
         network and recorded in serving-artifact metadata.
+    latency_mode:
+        ``"standard"`` (default, the bit-identical historical pipeline) or
+        ``"low"`` — activate the ultra-low-latency conversion passes
+        (``ShiftThresholds`` / ``InitMembrane`` / ``ErrorCompensation``)
+        targeting ``timesteps`` simulation cycles.
+    timesteps:
+        Simulation budget T the low-latency passes optimize for; ``None``
+        under ``"low"`` selects ``DEFAULT_LOW_LATENCY_TIMESTEPS`` (8).
+        Recorded on the result as ``recommended_timesteps`` either way.
     input_norm_factor:
         λ of the network input (1.0 when images are fed in their natural
         scale, as the paper does).
@@ -201,6 +216,8 @@ class ConversionConfig:
     backend: Union[str, Backend] = "dense"
     precision: Union[None, str, ComputePolicy] = None
     scheduler: Union[str, Scheduler] = "sequential"
+    latency_mode: str = "standard"
+    timesteps: Optional[int] = None
     input_norm_factor: float = 1.0
     calibration_batch_size: int = 64
 
@@ -221,6 +238,15 @@ class ConversionConfig:
         _validate_backend(config.backend)
         _validate_precision(config.precision)
         _validate_scheduler(config.scheduler)
+        if config.latency_mode not in LATENCY_MODES:
+            valid = ", ".join(repr(m) for m in LATENCY_MODES)
+            raise ConversionError(
+                f"unknown latency mode {config.latency_mode!r}; valid modes: {valid}"
+            )
+        if config.timesteps is not None and config.timesteps <= 0:
+            raise ConversionError(f"timesteps must be positive, got {config.timesteps}")
+        if config.latency_mode == "low" and config.timesteps is None:
+            config = replace(config, timesteps=DEFAULT_LOW_LATENCY_TIMESTEPS)
         if config.input_norm_factor <= 0:
             raise ConversionError(f"input_norm_factor must be positive, got {config.input_norm_factor}")
         if config.calibration_batch_size <= 0:
@@ -311,6 +337,11 @@ class ConversionResult:
     backend: str = "dense"
     precision: str = "train64"
     scheduler: str = "sequential"
+    #: Latency mode of the conversion (``"standard"`` or ``"low"``) and the
+    #: simulation budget T the low-latency passes optimized for (``None``
+    #: in standard mode: any T works, longer is more accurate).
+    latency_mode: str = "standard"
+    timesteps: Optional[int] = None
     #: Per-layer quantization scales (``"<site>.<scale_attr>"`` → scale) the
     #: ``QuantizeWeights`` pass chose; empty for float precisions.
     weight_scales: Dict[str, float] = field(default_factory=dict)
@@ -320,12 +351,26 @@ class ConversionResult:
     def num_spiking_layers(self) -> int:
         return len(self.snn.layers)
 
+    @property
+    def recommended_timesteps(self) -> Optional[int]:
+        """The simulation budget this conversion was optimized for.
+
+        ``None`` for standard conversions (accuracy keeps improving with T,
+        so serving defaults apply); the calibrated T for low-latency
+        conversions — simulating longer than the budget the shift/init/
+        compensation passes targeted buys nothing and costs linearly.
+        """
+
+        if self.timesteps is not None:
+            return int(self.timesteps)
+        return DEFAULT_LOW_LATENCY_TIMESTEPS if self.latency_mode == "low" else None
+
     def export_metadata(self) -> Dict[str, object]:
         """The conversion bookkeeping in the JSON form serving artifacts store."""
 
         from dataclasses import asdict
 
-        return {
+        metadata = {
             "strategy_name": self.strategy_name,
             "norm_factors": {name: float(value) for name, value in self.norm_factors.items()},
             "residual_factors": [asdict(factors) for factors in self.residual_factors],
@@ -337,6 +382,13 @@ class ConversionResult:
             "scheduler": self.scheduler,
             "weight_scales": {name: float(value) for name, value in self.weight_scales.items()},
         }
+        # Only non-standard conversions record latency keys: absence means
+        # "standard", keeping pre-existing artifact manifests byte-identical.
+        if self.latency_mode != "standard":
+            metadata["latency_mode"] = self.latency_mode
+            if self.timesteps is not None:
+                metadata["timesteps"] = int(self.timesteps)
+        return metadata
 
     def save(self, path) -> "object":
         """Persist the converted network as a serving artifact bundle.
@@ -490,6 +542,37 @@ class Converter:
         self._config = replace(self._config, scheduler=scheduler)
         return self
 
+    def latency(self, mode: str, timesteps: Optional[int] = None) -> "Converter":
+        """Choose the conversion latency mode (and its timestep budget T).
+
+        ``"standard"`` (default) keeps the historical pipeline: conversions
+        are bit-identical to every previous release and accuracy improves
+        monotonically with T.  ``"low"`` activates the ultra-low-latency
+        passes — expected-error-minimizing threshold shift, λ/2 membrane
+        initialization, and residual error compensation on the calibration
+        batch — calibrated for ``timesteps`` simulation cycles (default
+        8), so the converted network reaches its accuracy with ~4× fewer
+        timesteps than an unshifted T=32 baseline::
+
+            result = Converter(model).latency("low", timesteps=8).convert()
+            result.snn.simulate(images, result.recommended_timesteps)
+
+        The mode and budget are recorded in artifact metadata; serving
+        re-applies them on load (``LoadedArtifact.latency``).
+        """
+
+        if mode not in LATENCY_MODES:
+            valid = ", ".join(repr(m) for m in LATENCY_MODES)
+            raise ConversionError(f"unknown latency mode {mode!r}; valid modes: {valid}")
+        if timesteps is not None and int(timesteps) <= 0:
+            raise ConversionError(f"timesteps must be positive, got {timesteps}")
+        self._config = replace(
+            self._config,
+            latency_mode=mode,
+            timesteps=None if timesteps is None else int(timesteps),
+        )
+        return self
+
     def encode(self, encoder: InputEncoder) -> "Converter":
         """Choose the input coding (default: real / constant-current)."""
 
@@ -601,6 +684,10 @@ class Converter:
                 backend=config.backend,
                 scheduler=config.scheduler,
                 precision=config.precision,
+                latency_mode=config.latency_mode,
+                timesteps=config.timesteps,
+                calibration=self._calibration_images,
+                encoder=config.encoder,
             )
             self._pipeline.run(graph, ctx, strict=True)
         finally:
@@ -636,6 +723,8 @@ class Converter:
             backend=snn.backend_spec,
             precision=snn.policy_spec,
             scheduler=snn.scheduler_spec,
+            latency_mode=config.latency_mode,
+            timesteps=config.timesteps,
             weight_scales=dict(graph.weight_scales),
             report=_report_from_graph(graph, self._pipeline.names),
         )

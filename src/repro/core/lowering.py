@@ -85,6 +85,14 @@ class LoweringContext:
     policy).  The emit rules ignore it — layers are emitted under the active
     policy as always — but the ``QuantizeWeights`` pass consults it to decide
     whether the emitted weights move onto int8 grids at compile time.
+
+    ``latency_mode`` / ``timesteps`` configure the low-latency conversion
+    passes (``"standard"`` keeps the historical bit-identical pipeline;
+    ``"low"`` activates ``ShiftThresholds`` / ``InitMembrane`` /
+    ``ErrorCompensation`` targeting the given simulation budget T).
+    ``calibration`` is the analog calibration batch the
+    ``ErrorCompensation`` pass replays through the emitted network (``None``
+    skips compensation), and ``encoder`` the input coding that replay uses.
     """
 
     strategy: NormFactorStrategy
@@ -94,6 +102,10 @@ class LoweringContext:
     backend: object = "dense"
     scheduler: object = "sequential"
     precision: object = None
+    latency_mode: str = "standard"
+    timesteps: Optional[int] = None
+    calibration: Optional[np.ndarray] = None
+    encoder: object = None
 
 
 class LoweringRule:

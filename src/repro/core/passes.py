@@ -27,6 +27,23 @@ the conversion recipe of the paper, one concern per pass — is:
    graph.  A no-op for float precisions, so the default pipeline is safe to
    run unchanged everywhere.
 
+Three further passes implement the **low-latency conversion mode**
+(``ctx.latency_mode == "low"``; all three are exact no-ops otherwise, so the
+standard pipeline stays bit-identical).  The recipe follows Bu et al.'s
+optimal ANN-to-SNN conversion (quantized clip-floor-shift activation,
+arXiv 2303.04347) plus error-compensation calibration (arXiv 2506.01968):
+
+* :class:`ShiftThresholds` (between validation and folding) — wraps the
+  norm-factor strategy so every site λ shrinks by the expected-error
+  minimizing factor ``2T/(2T+1)``, trading a sliver of clipping error
+  against the quantization error of simulating only T timesteps.
+* :class:`InitMembrane` (after emission) — λ/2 initial membrane potential
+  on every emitted IF pool, cancelling the floor bias of rate decoding.
+* :class:`ErrorCompensation` (last) — replays the calibration batch through
+  the emitted network for T timesteps, measures each pool's mean stranded
+  charge, and folds the per-channel residual back into the layer biases
+  (on the integer grid for quantized layers).
+
 A strict pipeline run raises :class:`~repro.core.graph.ConversionError` with
 the first diagnostic after each pass; ``Converter.dry_run`` runs only the
 validation prefix without strictness to collect the full diagnostics list.
@@ -36,27 +53,59 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from ..nn.residual import BasicBlock
 from ..obs import active_tracer
-from ..runtime import resolve_policy
+from ..runtime import resolve_policy, using_policy
 from .folding import EffectiveWeights
 from .graph import ConversionGraph, ConversionError, GraphNode
 from .lowering import LoweringContext, lowering_for
+from .normfactor import NormFactorStrategy
 from .tcl import ClippedReLU
 
 __all__ = [
     "Pass",
     "ValidateTopology",
+    "ShiftThresholds",
     "FoldBatchNorm",
     "ElideNoOps",
     "AssignNormFactors",
     "LowerResidual",
     "EmitSpiking",
+    "InitMembrane",
     "QuantizeWeights",
+    "ErrorCompensation",
     "PassPipeline",
     "default_passes",
     "default_pipeline",
+    "LATENCY_MODES",
+    "DEFAULT_LOW_LATENCY_TIMESTEPS",
+    "shift_factor",
 ]
+
+#: Latency modes the conversion pipeline understands.
+LATENCY_MODES = ("standard", "low")
+
+#: Simulation budget T the low-latency mode targets when none is given.
+DEFAULT_LOW_LATENCY_TIMESTEPS = 8
+
+
+def shift_factor(timesteps: int) -> float:
+    """The expected-error-minimizing threshold shrink factor ``2T/(2T+1)``.
+
+    A rate code with T timesteps quantizes activations onto the grid
+    ``{0, λ/T, …, λ}``; for activations uniform on ``[0, λ]`` the expected
+    squared conversion error (clipping above λ̂ plus rounding below it) is
+    minimized by clipping at ``λ̂ = λ · 2T/(2T+1)`` — the clip-floor-shift
+    threshold of Bu et al. (arXiv 2303.04347) with the half-step shift
+    folded in.  The factor tends to 1 as T grows, so the shift vanishes in
+    the long-latency limit.
+    """
+
+    if timesteps <= 0:
+        raise ConversionError(f"timesteps must be positive, got {timesteps}")
+    return (2.0 * timesteps) / (2.0 * timesteps + 1.0)
 
 
 class Pass:
@@ -128,6 +177,50 @@ class ValidateTopology(Pass):
             graph.diagnose(trailing, "the classifier head must be a Linear layer")
         else:
             trailing.stamp(self.name, "classifier head")
+        return graph
+
+
+class _ShiftedStrategy(NormFactorStrategy):
+    """A norm-factor strategy scaled by the clip-floor-shift factor.
+
+    Wrapping the strategy (rather than post-editing thresholds) means the
+    shifted λ flows through *every* downstream consumer untouched — the λ
+    lineage ``AssignNormFactors`` records, the residual-block triples, the
+    data-normalized weights, and the λ-derived int8 grids ``QuantizeWeights``
+    chooses — so a shifted threshold is still a whole number of quantization
+    levels by construction.
+    """
+
+    def __init__(self, inner: NormFactorStrategy, factor: float) -> None:
+        self.inner = inner
+        self.factor = float(factor)
+        self.name = inner.name
+        self.requires_observers = inner.requires_observers
+
+    def site_norm_factor(self, site_name: str, module) -> float:
+        return self._validated(self.inner.site_norm_factor(site_name, module) * self.factor, site_name)
+
+
+class ShiftThresholds(Pass):
+    """Shrink every site λ by ``2T/(2T+1)`` (low-latency mode only).
+
+    Runs before ``AssignNormFactors`` so the shift is applied at the single
+    point every λ decision flows through: the context's strategy is wrapped
+    in a :class:`_ShiftedStrategy` and the rest of the pipeline is none the
+    wiser.  A no-op in standard mode.
+    """
+
+    name = "shift-thresholds"
+
+    def run(self, graph: ConversionGraph, ctx: LoweringContext) -> ConversionGraph:
+        if ctx.latency_mode != "low":
+            return graph
+        timesteps = int(ctx.timesteps or DEFAULT_LOW_LATENCY_TIMESTEPS)
+        factor = shift_factor(timesteps)
+        ctx.strategy = _ShiftedStrategy(ctx.strategy, factor)
+        for node in graph.active_nodes():
+            if node.op in ("activation", "block"):
+                node.stamp(self.name, f"λ × {factor:g} (T={timesteps})")
         return graph
 
 
@@ -334,6 +427,144 @@ class QuantizeWeights(Pass):
         return graph
 
 
+class InitMembrane(Pass):
+    """λ/2 initial membrane potential on every emitted pool (low-latency).
+
+    Starting each membrane at half the threshold cancels the floor bias of
+    rate decoding (a neuron driven at rate r fires its first spike T/2 steps
+    earlier on average), the second ingredient of the clip-floor-shift
+    recipe.  The fraction is stored on the pools (``IFNeuronPool.v_init``)
+    rather than materialised, so it survives policy switches, artifact
+    round-trips, and quantized grids (where the absolute value snaps onto
+    the integer-level lattice at state allocation).  A no-op in standard
+    mode, leaving standard conversions bit-identical.
+    """
+
+    name = "init-membrane"
+
+    #: Initial membrane potential as a fraction of the firing threshold.
+    fraction = 0.5
+
+    def run(self, graph: ConversionGraph, ctx: LoweringContext) -> ConversionGraph:
+        if ctx.latency_mode != "low":
+            return graph
+        for node in graph.active_nodes():
+            if not node.emitted:
+                continue
+            touched = 0
+            for layer in node.emitted:
+                if layer.neuron_pools:
+                    layer.set_membrane_init(self.fraction)
+                    touched += 1
+            if touched:
+                node.stamp(self.name, f"v₀ = {self.fraction:g}·V_thr")
+        return graph
+
+
+class ErrorCompensation(Pass):
+    """Fold measured residual conversion error into biases (low-latency).
+
+    The shift/init passes fix the *expected* conversion error; what remains
+    is layer-specific: charge that arrives during the T-step window but
+    never crosses the threshold stays stranded on the membrane.  This pass
+    measures exactly that — it replays (a slice of) the calibration batch
+    through the emitted network for T timesteps, takes each pool's mean
+    membrane deviation from its initial value per output channel, and folds
+    ``residual / T`` into the layer's bias so the stranded charge is
+    released over the simulation window (arXiv 2506.01968's compensation,
+    computed in closed form instead of learned).
+
+    Runs *last*: after ``QuantizeWeights`` the measurement sees the actual
+    inference-time arithmetic (integer membranes under ``infer8``), and the
+    compensation lands on the quantized grid via the layer's declared
+    ``_bias_sites``.  Skipped without calibration data or in standard mode.
+    """
+
+    name = "error-compensation"
+
+    #: Upper bound on calibration samples replayed (keeps the pass O(batch)).
+    max_samples = 256
+
+    def run(self, graph: ConversionGraph, ctx: LoweringContext) -> ConversionGraph:
+        if ctx.latency_mode != "low" or ctx.calibration is None:
+            return graph
+        layers = graph.emitted_layers()
+        if not layers:
+            return graph
+        from ..snn.encoding import RealCoding
+        from ..snn.network import SpikingNetwork
+
+        timesteps = int(ctx.timesteps or DEFAULT_LOW_LATENCY_TIMESTEPS)
+        batch = np.asarray(ctx.calibration)[: self.max_samples]
+        encoder = ctx.encoder if ctx.encoder is not None else RealCoding()
+        policy = resolve_policy(ctx.precision)
+        # The replay must run under the *target* policy — the same arithmetic
+        # the converted network will serve with — so the measured residuals
+        # include quantization effects.  The network wrapper is temporary;
+        # the layers are the graph's own emitted layers, reset afterwards.
+        with using_policy(policy):
+            net = SpikingNetwork(layers, encoder=encoder.clone())
+            net.set_policy(policy)
+            net.simulate(batch, timesteps, collect_statistics=False)
+        try:
+            for node in graph.active_nodes():
+                notes = []
+                for layer in node.emitted:
+                    notes.extend(self._compensate_layer(layer, timesteps))
+                if notes:
+                    node.stamp(self.name, ", ".join(notes))
+        finally:
+            net.reset_state()
+        return graph
+
+    def _compensate_layer(self, layer, timesteps: int) -> List[str]:
+        """Measure and fold one layer's per-pool residuals; returns notes."""
+
+        notes = []
+        for pool_attr, _bias_attr, scale_attr in layer._bias_sites:
+            pool = getattr(layer, pool_attr)
+            membrane = pool.membrane
+            if membrane is None:
+                continue
+            scale = getattr(layer, scale_attr, None) if scale_attr else None
+            threshold = pool.threshold
+            if scale is not None and pool.threshold_q is not None:
+                threshold = pool.threshold_q
+            # Mean stranded charge per output channel: average the membrane
+            # deviation from its initial value over batch (and any spatial)
+            # axes, leaving the channel axis that aligns with the bias.
+            # The residual theorem (rate error = ΔV / (V_thr·T)) only holds
+            # for neurons that participate in the rate code, so dead neurons
+            # — whose membranes drift unboundedly negative and whose ANN
+            # activation is a clean ReLU zero — are masked out, and the
+            # deviation is clamped to one threshold either way.
+            deviation = np.clip(
+                np.asarray(membrane, dtype=np.float64) - pool.initial_membrane(),  # reprolint: allow[dtype] -- calibration statistics accumulate at full precision regardless of the serving policy
+                -threshold,
+                threshold,
+            )
+            axes = (0,) if membrane.ndim <= 2 else (0, *range(2, membrane.ndim))
+            if pool.spike_count is not None:
+                active = np.asarray(pool.spike_count, dtype=np.float64) > 0  # reprolint: allow[dtype] -- calibration statistics
+                counts = active.sum(axis=axes)
+                residual = np.where(
+                    counts > 0,
+                    (deviation * active).sum(axis=axes) / np.maximum(counts, 1.0),
+                    0.0,
+                )
+            else:
+                residual = deviation.mean(axis=axes)
+            if scale is not None:
+                # Quantized membranes live in scale units; bring the residual
+                # back to float units before folding (fold_compensation
+                # re-quantizes onto the int32 bias grid).
+                residual = residual * float(scale)
+            delta = residual / float(timesteps)
+            if layer.fold_compensation(pool_attr, delta):
+                notes.append(f"{pool_attr} |δ|={float(np.abs(delta).max()):.3g}")
+        return notes
+
+
 class PassPipeline:
     """An ordered list of passes run strictly (or leniently, for dry runs)."""
 
@@ -376,16 +607,24 @@ class PassPipeline:
 
 
 def default_passes() -> List[Pass]:
-    """The paper's conversion recipe as an ordered pass list."""
+    """The paper's conversion recipe as an ordered pass list.
+
+    The three low-latency passes are always present but gate themselves on
+    ``ctx.latency_mode``, so the standard-mode pipeline remains bit-identical
+    to the historical seven-pass recipe (pinned by the golden parity tests).
+    """
 
     return [
         ValidateTopology(),
+        ShiftThresholds(),
         FoldBatchNorm(),
         ElideNoOps(),
         AssignNormFactors(),
         LowerResidual(),
         EmitSpiking(),
+        InitMembrane(),
         QuantizeWeights(),
+        ErrorCompensation(),
     ]
 
 

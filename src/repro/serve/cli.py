@@ -61,6 +61,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="sequential",
         help="execution scheduler of the converted network (recorded in the artifact)",
     )
+    demo.add_argument(
+        "--latency",
+        choices=["standard", "low"],
+        default="standard",
+        help=(
+            "conversion latency mode: 'low' activates the ultra-low-latency "
+            "passes (threshold shift, λ/2 membrane init, error compensation) "
+            "and caps the serving timestep budget at the calibrated T"
+        ),
+    )
     demo.add_argument("--seed", type=int, default=7, help="experiment seed")
     demo.add_argument(
         "--trace",
@@ -141,7 +151,7 @@ def _demo_body(args: argparse.Namespace) -> int:
 
     print(
         f"· converting to SNN (TCL norm-factors, {args.backend} backend, "
-        f"{args.precision} precision, {args.scheduler} scheduler) …"
+        f"{args.precision} precision, {args.scheduler} scheduler, {args.latency} latency) …"
     )
     conversion = (
         Converter(model)
@@ -149,6 +159,7 @@ def _demo_body(args: argparse.Namespace) -> int:
         .backend(args.backend)
         .precision(args.precision)
         .scheduler(args.scheduler)
+        .latency(args.latency)
         .calibrate(train_images)
         .convert()
     )
@@ -157,11 +168,32 @@ def _demo_body(args: argparse.Namespace) -> int:
     path = registry.publish(args.model_name, conversion.snn, metadata=conversion.export_metadata())
     print(f"· published artifact: {path}")
 
+    artifact = registry.get(args.model_name)
+    fixed_timesteps = args.timesteps
+    if args.latency == "low":
+        # A low-latency bundle records the T it was calibrated for; size
+        # every serving budget to that instead of the generic defaults.
+        engine_config = AdaptiveConfig.for_artifact(
+            artifact,
+            backend=args.backend,
+            precision=args.precision,
+            scheduler=args.scheduler,
+        )
+        fixed_timesteps = engine_config.max_timesteps
+        print(f"· low-latency artifact: serving budget capped at T={fixed_timesteps}")
+
     fixed = AdaptiveEngine(
-        registry.get(args.model_name).network,
-        AdaptiveConfig(max_timesteps=args.timesteps, adaptive=False),
+        artifact.network,
+        AdaptiveConfig(
+            max_timesteps=fixed_timesteps,
+            # A small fixed budget (the low-latency cap, or --timesteps below
+            # the default floor) must not trip the min<=max validation.
+            min_timesteps=min(AdaptiveConfig.min_timesteps, fixed_timesteps),
+            stability_window=min(AdaptiveConfig.stability_window, fixed_timesteps),
+            adaptive=False,
+        ),
     ).infer(test_images)
-    print(f"· fixed-T baseline: accuracy {fixed.accuracy(test_labels):.3f} at T={args.timesteps}")
+    print(f"· fixed-T baseline: accuracy {fixed.accuracy(test_labels):.3f} at T={fixed_timesteps}")
 
     server = InferenceServer(
         registry,

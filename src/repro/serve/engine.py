@@ -111,6 +111,32 @@ class AdaptiveConfig:
         validate_policy_spec(self.precision, allow_none=True)
         validate_scheduler_spec(self.scheduler, allow_none=True)
 
+    @classmethod
+    def for_artifact(cls, artifact, **overrides) -> "AdaptiveConfig":
+        """Serving defaults sized to a loaded artifact's conversion.
+
+        Low-latency bundles record the simulation budget T their conversion
+        passes were calibrated for (``LoadedArtifact.recommended_timesteps``);
+        simulating past it buys no accuracy and costs linearly, so the
+        returned config caps ``max_timesteps`` at the budget — instead of
+        the generic 200-step default — and shrinks ``min_timesteps`` /
+        ``stability_window`` to fit inside it.  Standard bundles (and plain
+        ``ConversionResult`` objects, which expose the same attribute) get
+        the stock defaults.  Keyword overrides win over both.
+        """
+
+        recommended = getattr(artifact, "recommended_timesteps", None)
+        defaults = {}
+        if recommended is not None:
+            budget = int(recommended)
+            defaults = {
+                "max_timesteps": budget,
+                "min_timesteps": min(cls.min_timesteps, budget),
+                "stability_window": min(cls.stability_window, budget),
+            }
+        defaults.update(overrides)
+        return cls(**defaults)
+
 
 @dataclass
 class InferenceOutcome:

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from ..core.passes import DEFAULT_LOW_LATENCY_TIMESTEPS, LATENCY_MODES
 from ..runtime import active_policy, using_policy, validate_policy_spec
 from ..snn.encoding import InputEncoder, PoissonCoding, RealCoding
 from ..snn.layers import layer_from_state
@@ -134,6 +135,42 @@ class LoadedArtifact:
 
         value = self.metadata.get("scheduler")
         return None if value is None else str(value)
+
+    @property
+    def latency(self) -> Optional[str]:
+        """Conversion latency mode recorded by the exporter ("standard"/"low").
+
+        The mode itself needs no re-application — its effects (shifted
+        thresholds, λ/2 membrane-initialization fractions, compensated
+        biases) are baked into the layer states ``load_artifact`` rebuilds,
+        so a low-latency bundle simulates bit-identically to the exported
+        network.  The recorded mode is advisory: serving reads it (with
+        :attr:`recommended_timesteps`) to size simulation budgets.  Bundles
+        written before latency modes existed return None and are treated as
+        standard; unknown recorded modes degrade to standard with a warning
+        at load time.
+        """
+
+        value = self.metadata.get("latency_mode")
+        if value is None:
+            return None
+        value = str(value)
+        return value if value in LATENCY_MODES else "standard"
+
+    @property
+    def recommended_timesteps(self) -> Optional[int]:
+        """Simulation budget T the conversion was calibrated for (or None).
+
+        Low-latency bundles record the T their shift/init/compensation
+        passes targeted; simulating longer buys no accuracy and costs
+        linearly, so serving uses this to cap ``AdaptiveConfig`` budgets
+        (:meth:`repro.serve.AdaptiveConfig.for_artifact`).
+        """
+
+        value = self.metadata.get("timesteps")
+        if value is None:
+            return DEFAULT_LOW_LATENCY_TIMESTEPS if self.latency == "low" else None
+        return int(value)
 
 
 def _jsonable(value):
@@ -361,6 +398,18 @@ def load_artifact(path: Union[str, Path]) -> LoadedArtifact:
                 UserWarning,
                 stacklevel=2,
             )
+    latency = metadata.get("latency_mode")
+    if latency is not None and str(latency) not in LATENCY_MODES:
+        # Latency modes are baked into the layer states (thresholds, v_init,
+        # biases), so there is nothing to un-apply; the warning tells the
+        # operator the advisory mode is from a newer writer and serving will
+        # size its timestep budgets as for a standard conversion.
+        warnings.warn(
+            f"artifact at {path} records unknown latency mode {latency!r}; "
+            "treating it as 'standard' (the converted weights load unchanged)",
+            UserWarning,
+            stacklevel=2,
+        )
     backend = metadata.get("backend")
     if backend is not None:
         # The exporter's simulation-backend choice travels with the bundle so

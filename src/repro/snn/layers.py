@@ -104,6 +104,13 @@ class SpikingLayer:
     #: (the residual block's two OS paths are the motivating case).  Empty for
     #: layers without synaptic weights, which simply pass spikes through.
     _quant_groups: Tuple[Tuple[str, Tuple[str, ...], Tuple[str, ...], Tuple[str, ...]], ...] = ()
+    #: Bias-compensation sites: ``(pool_attr, bias_attr, scale_attr)``
+    #: tuples mapping each IF pool to the bias its stranded charge can be
+    #: released through.  The ``ErrorCompensation`` low-latency pass folds
+    #: its measured per-channel residuals here; ``scale_attr`` (or ``""``)
+    #: names the quantization-group scale the bias lives on, so quantized
+    #: layers receive their compensation on the integer grid.
+    _bias_sites: Tuple[Tuple[str, str, str], ...] = ()
 
     @property
     def backend(self) -> Backend:
@@ -296,6 +303,56 @@ class SpikingLayer:
             for attr in pool_attrs:
                 getattr(self, attr).set_quantization(scale)
 
+    # -- low-latency conversion support ---------------------------------------
+
+    def set_membrane_init(self, fraction: float) -> "SpikingLayer":
+        """Set every owned pool's initial membrane potential (as a threshold
+        fraction; λ/2 initialization passes 0.5).  Returns ``self``.
+        """
+
+        for pool in self.neuron_pools:
+            pool.v_init = float(fraction)
+        return self
+
+    def fold_compensation(self, pool_attr: str, delta: np.ndarray) -> bool:
+        """Fold a per-channel error-compensation current into a pool's bias.
+
+        ``delta`` is the additional per-timestep input current (in the
+        pool's *float* units) that releases the systematic residual charge
+        the ``ErrorCompensation`` pass measured on calibration data.  The
+        bias is created when the layer had none; on a quantized layer the
+        delta is snapped onto the group's int32 grid so the integer-membrane
+        invariant survives.  Returns whether this layer owns the pool.
+        """
+
+        for pool_name, bias_attr, scale_attr in self._bias_sites:
+            if pool_name != pool_attr:
+                continue
+            bias = getattr(self, bias_attr, None)
+            scale = getattr(self, scale_attr, None) if scale_attr else None
+            if scale is not None:
+                step = quantize_bias(np.asarray(delta, dtype=self.policy.dtype), scale)
+                bias = step if bias is None else bias + step
+            else:
+                step = self.policy.asarray(np.asarray(delta))
+                bias = step.copy() if bias is None else self.policy.cast(bias) + step
+            setattr(self, bias_attr, bias)
+            self._backend_cache = None
+            return True
+        return False
+
+    def _latency_state(self) -> Dict[str, object]:
+        """Membrane-init entry for :meth:`state_dict` (empty when zero).
+
+        Conditional so bundles converted without the low-latency passes stay
+        byte-identical to their historical form.
+        """
+
+        pools = self.neuron_pools
+        if pools and pools[0].v_init:
+            return {"v_init": pools[0].v_init}
+        return {}
+
     def reset_state(self) -> None:
         """Clear membrane potentials / counters before a new stimulus."""
 
@@ -358,6 +415,7 @@ class SpikingConv2d(SpikingLayer):
     name = "spiking_conv2d"
     _array_attrs = ("weight", "bias")
     _quant_groups = (("weight_scale", ("weight",), ("bias",), ("neurons",)),)
+    _bias_sites = (("neurons", "bias", "weight_scale"),)
     weight_scale: Optional[float] = None
 
     def __init__(
@@ -397,6 +455,7 @@ class SpikingConv2d(SpikingLayer):
             "padding": _pair_to_state(self.padding),
             "threshold": self.neurons.threshold,
             "reset_mode": self.neurons.reset_mode.value,
+            **self._latency_state(),
             **self._scales_state(),
         }
 
@@ -418,6 +477,7 @@ class SpikingLinear(SpikingLayer):
     name = "spiking_linear"
     _array_attrs = ("weight", "bias")
     _quant_groups = (("weight_scale", ("weight",), ("bias",), ("neurons",)),)
+    _bias_sites = (("neurons", "bias", "weight_scale"),)
     weight_scale: Optional[float] = None
 
     def __init__(
@@ -449,6 +509,7 @@ class SpikingLinear(SpikingLayer):
             "bias": self.bias,
             "threshold": self.neurons.threshold,
             "reset_mode": self.neurons.reset_mode.value,
+            **self._latency_state(),
             **self._scales_state(),
         }
 
@@ -503,6 +564,7 @@ class SpikingAvgPool2d(SpikingLayer):
             "stride": _pair_to_state(self.stride),
             "threshold": self.neurons.threshold,
             "reset_mode": self.neurons.reset_mode.value,
+            **self._latency_state(),
         }
 
     @classmethod
@@ -539,6 +601,7 @@ class SpikingGlobalAvgPool2d(SpikingLayer):
             "kind": self.name,
             "threshold": self.neurons.threshold,
             "reset_mode": self.neurons.reset_mode.value,
+            **self._latency_state(),
         }
 
     @classmethod
@@ -591,6 +654,10 @@ class SpikingResidualBlock(SpikingLayer):
     _quant_groups = (
         ("ns_scale", ("ns_weight",), ("ns_bias",), ("ns_neurons",)),
         ("os_scale", ("osn_weight", "osi_weight"), ("os_bias",), ("os_neurons",)),
+    )
+    _bias_sites = (
+        ("ns_neurons", "ns_bias", "ns_scale"),
+        ("os_neurons", "os_bias", "os_scale"),
     )
     ns_scale: Optional[float] = None
     os_scale: Optional[float] = None
@@ -672,6 +739,7 @@ class SpikingResidualBlock(SpikingLayer):
             "block_type": self.block_type,
             "threshold": self.ns_neurons.threshold,
             "reset_mode": self.ns_neurons.reset_mode.value,
+            **self._latency_state(),
             **self._scales_state(),
         }
 
@@ -709,6 +777,7 @@ class SpikingOutputLayer(SpikingLayer):
     name = "spiking_output"
     _array_attrs = ("weight", "bias")
     _quant_groups = (("weight_scale", ("weight",), ("bias",), ("neurons",)),)
+    _bias_sites = (("neurons", "bias", "weight_scale"),)
     weight_scale: Optional[float] = None
     #: Reused all-zero spike output of the (never firing) membrane readout;
     #: nothing may write into it.
@@ -786,6 +855,7 @@ class SpikingOutputLayer(SpikingLayer):
             "readout": self.readout,
             "threshold": self.neurons.threshold,
             "reset_mode": self.neurons.reset_mode.value,
+            **self._latency_state(),
             **self._scales_state(),
         }
 
@@ -826,4 +896,9 @@ def layer_from_state(state: Dict[str, object]) -> SpikingLayer:
     # Quantized (infer8) states carry per-group scales alongside integer
     # arrays; re-apply them after the constructors' float coercion.
     layer._restore_quantization(state)
+    # Low-latency states carry the λ/2 membrane-initialization fraction.
+    v_init = state.get("v_init")
+    if v_init is not None:
+        for pool in layer.neuron_pools:
+            pool.v_init = float(v_init)
     return layer

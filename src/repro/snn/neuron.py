@@ -84,6 +84,12 @@ class IFNeuronPool:
         # input currents (in scale units) the whole membrane recursion then
         # stays on the integer grid — compare and subtract both use it.
         self.threshold_q: Optional[float] = None
+        # Initial membrane potential as a *fraction* of the threshold,
+        # set by the ``InitMembrane`` low-latency pass (λ/2 initialization:
+        # 0.5).  Expressed as a fraction so it survives quantization — the
+        # absolute value follows whichever threshold (float or integer
+        # levels) is live when state allocates.
+        self.v_init: float = 0.0
         # When enabled (SpikeNorm-style threshold balancing), the pool tracks
         # the largest weighted input current it has ever received.
         self.track_input_stats = False
@@ -139,10 +145,28 @@ class IFNeuronPool:
         if self.spike_count is not None:
             self.spike_count = self.spike_count[keep]
 
+    def initial_membrane(self) -> float:
+        """The membrane potential a fresh stimulus starts from.
+
+        ``v_init * threshold`` in the pool's live units: under a quantized
+        grid the threshold is the integer number of levels and the initial
+        value is rounded onto the lattice, so integer-membrane accumulation
+        survives the λ/2 initialization of the low-latency passes.
+        """
+
+        if not self.v_init:
+            return 0.0
+        if self.policy.quantized and self.threshold_q is not None:
+            return float(np.rint(self.v_init * self.threshold_q))
+        return self.v_init * self.threshold
+
     def _ensure_state(self, shape: Tuple[int, ...]) -> None:
         policy = self.policy
         if self.membrane is None or self.membrane.shape != shape or self.membrane.dtype != policy.dtype:
             self.membrane = policy.zeros(shape)
+            initial = self.initial_membrane()
+            if initial:
+                self.membrane += initial
             self.spike_count = policy.zeros(shape) if self.record_spikes else None
             self.steps = 0
         if policy.in_place and (

@@ -29,14 +29,15 @@ class TestGeneration:
     def test_fast_report_covers_the_full_matrix(self, fast_report):
         bench_report.validate_report(fast_report)
         expected = {
-            f"{b}/{p}/{s}"
+            f"{b}/{p}/{s}/T{t}"
             for b in bench_report.BACKENDS
             for p in bench_report.PRECISIONS
             for s in bench_report.SCHEDULERS
+            for t in bench_report.TIMESTEPS_AXIS
         }
         assert set(fast_report["results"]) == expected
-        # 2 backends × 3 precisions (train64/infer32/infer8) × 3 schedulers.
-        assert len(expected) == 18
+        # 2 backends × 3 precisions × 3 schedulers × 2 simulation budgets.
+        assert len(expected) == 36
 
     def test_cells_carry_sane_numbers(self, fast_report):
         for key, cell in fast_report["results"].items():
@@ -79,13 +80,13 @@ class TestValidation:
 
     def test_rejects_missing_cells(self, fast_report):
         bad = copy.deepcopy(fast_report)
-        del bad["results"]["dense/train64/sequential"]
+        del bad["results"]["dense/train64/sequential/T8"]
         with pytest.raises(ValueError, match="missing matrix cells"):
             bench_report.validate_report(bad)
 
     def test_rejects_non_numeric_fields(self, fast_report):
         bad = copy.deepcopy(fast_report)
-        bad["results"]["dense/train64/sequential"]["wall_ms"]["best"] = "fast"
+        bad["results"]["dense/train64/sequential/T8"]["wall_ms"]["best"] = "fast"
         with pytest.raises(ValueError, match="not numeric"):
             bench_report.validate_report(bad)
 
@@ -100,24 +101,24 @@ class TestDiff:
     def test_identical_reports_show_no_regressions(self, fast_report, capsys):
         regressions = bench_report.diff_reports(fast_report, copy.deepcopy(fast_report))
         assert regressions == []
-        assert "dense/train64/sequential" in capsys.readouterr().out
+        assert "dense/train64/sequential/T8" in capsys.readouterr().out
 
     def test_slowdown_beyond_threshold_is_flagged(self, fast_report, capsys):
         slower = copy.deepcopy(fast_report)
-        cell = slower["results"]["dense/train64/sequential"]
+        cell = slower["results"]["dense/train64/sequential/T8"]
         cell["wall_ms"]["best"] *= 1.5
         regressions = bench_report.diff_reports(fast_report, slower, threshold=0.10)
         capsys.readouterr()
         assert len(regressions) == 1
-        assert "dense/train64/sequential" in regressions[0]
+        assert "dense/train64/sequential/T8" in regressions[0]
         assert "wall best" in regressions[0]
 
     def test_throughput_drop_is_a_regression_in_the_right_direction(self, fast_report, capsys):
         # Higher throughput must NOT flag; lower throughput must.
         faster = copy.deepcopy(fast_report)
         slower = copy.deepcopy(fast_report)
-        faster["results"]["event/infer32/sequential"]["throughput"]["samples_per_s"] *= 2.0
-        slower["results"]["event/infer32/sequential"]["throughput"]["samples_per_s"] *= 0.5
+        faster["results"]["event/infer32/sequential/T8"]["throughput"]["samples_per_s"] *= 2.0
+        slower["results"]["event/infer32/sequential/T8"]["throughput"]["samples_per_s"] *= 0.5
         assert bench_report.diff_reports(fast_report, faster, threshold=0.10) == []
         regressions = bench_report.diff_reports(fast_report, slower, threshold=0.10)
         capsys.readouterr()
@@ -132,8 +133,8 @@ class TestDiff:
 
     def test_matrix_drift_is_reported_but_not_a_regression(self, fast_report, capsys):
         drifted = copy.deepcopy(fast_report)
-        cell = drifted["results"].pop("dense/train64/sequential")
-        drifted["results"]["dense/train64/brand-new"] = cell
+        cell = drifted["results"].pop("dense/train64/sequential/T8")
+        drifted["results"]["dense/train64/brand-new/T8"] = cell
         regressions = bench_report.diff_reports(fast_report, drifted)
         out = capsys.readouterr().out
         assert regressions == []
@@ -141,7 +142,7 @@ class TestDiff:
 
     def test_diff_cli_emits_github_annotations(self, fast_report, tmp_path, capsys):
         slower = copy.deepcopy(fast_report)
-        slower["results"]["dense/train64/sequential"]["wall_ms"]["best"] *= 2.0
+        slower["results"]["dense/train64/sequential/T8"]["wall_ms"]["best"] *= 2.0
         base_path = tmp_path / "base.json"
         curr_path = tmp_path / "curr.json"
         base_path.write_text(json.dumps(fast_report))
@@ -152,3 +153,55 @@ class TestDiff:
         out = capsys.readouterr().out
         assert status == 0  # regressions warn, they never fail the build
         assert "::warning" in out and "wall best" in out
+
+
+class TestSchemaTransition:
+    """The v1 → v2 bump (T axis in cell keys) must not strand old baselines."""
+
+    def _as_v1(self, report):
+        """Rewrite a fast v2 report into the legacy v1 shape."""
+
+        v1 = copy.deepcopy(report)
+        v1["schema"] = bench_report.SCHEMA_V1
+        v1["config"].pop("low_latency_max_t", None)
+        v1["config"]["timesteps"] = 8  # v1 recorded a single int
+        suffix = f"/T{bench_report.TIMESTEPS_AXIS[0]}"
+        v1["results"] = {
+            key[: -len(suffix)]: cell
+            for key, cell in report["results"].items()
+            if key.endswith(suffix)
+        }
+        return v1
+
+    def test_v1_reports_still_validate(self, fast_report):
+        bench_report.validate_report(self._as_v1(fast_report))
+
+    def test_v1_baseline_diffs_as_drift_not_regression(self, fast_report, capsys):
+        v1 = self._as_v1(fast_report)
+        regressions = bench_report.diff_reports(v1, fast_report)
+        out = capsys.readouterr().out
+        assert regressions == []
+        assert "new cell" in out and "dropped" in out
+
+
+class TestTimestepsAxis:
+    def test_parse_timesteps_default_and_explicit(self):
+        assert bench_report._parse_timesteps(None) == bench_report.TIMESTEPS_AXIS
+        assert bench_report._parse_timesteps("4,16") == (4, 16)
+
+    def test_parse_timesteps_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            bench_report._parse_timesteps("fast")
+        with pytest.raises(SystemExit):
+            bench_report._parse_timesteps("0,8")
+        with pytest.raises(SystemExit):
+            bench_report._parse_timesteps("")
+
+    def test_low_budgets_use_low_latency_conversions(self, fast_report):
+        assert fast_report["config"]["low_latency_max_t"] == bench_report.LOW_LATENCY_MAX_T
+        assert fast_report["config"]["timesteps"] == list(bench_report.TIMESTEPS_AXIS)
+        # Low-T cells simulate fewer timesteps, so per-sample wall clock must
+        # be clearly below the same cell's T=32 measurement.
+        low = fast_report["results"]["dense/infer32/sequential/T8"]["wall_ms"]["best"]
+        base = fast_report["results"]["dense/infer32/sequential/T32"]["wall_ms"]["best"]
+        assert low < base

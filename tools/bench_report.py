@@ -53,11 +53,22 @@ from repro.snn.executor import (  # noqa: E402
 )
 
 #: Schema tag — bump when the report layout changes incompatibly.
-SCHEMA = "repro.bench_report/v1"
+SCHEMA = "repro.bench_report/v2"
+#: Previous schema, still accepted on the baseline side of ``--diff`` so the
+#: CI diff keeps working across the v1 → v2 transition (v1 cells have no T
+#: suffix; they diff as dropped/new cells, never as false regressions).
+SCHEMA_V1 = "repro.bench_report/v1"
 
 BACKENDS = ("dense", "event")
 PRECISIONS = ("train64", "infer32", "infer8")
 SCHEDULERS = ("sequential", "pipelined", "sharded")
+#: Simulation budgets measured per matrix cell (the T axis).  Budgets at or
+#: below the low-latency default are measured on a conversion compiled with
+#: ``.latency("low", timesteps=T)`` — the matrix answers "what does serving
+#: cost at equal accuracy", and equal accuracy at T=8 needs the low-latency
+#: passes; the T=32 cells stay on the standard conversion as the baseline.
+TIMESTEPS_AXIS = (8, 32)
+LOW_LATENCY_MAX_T = 8
 
 #: Metrics compared by ``--diff``: (json path under the cell, label, unit,
 #: +1 when larger is worse / -1 when smaller is worse).
@@ -85,15 +96,15 @@ def _fixture(fast: bool):
         )
         images = rng.random((8, 3, 12, 12))
         calibration = rng.random((16, 3, 12, 12))
-        timesteps, repeats = 10, 2
+        repeats = 2
     else:
         model = ConvNet4(
             channels=(16, 16, 32, 32), hidden_features=64, image_size=16, num_classes=10, batch_norm=False
         )
         images = rng.random((16, 3, 16, 16))
         calibration = rng.random((32, 3, 16, 16))
-        timesteps, repeats = 20, 3
-    return model, images, calibration, timesteps, repeats
+        repeats = 3
+    return model, images, calibration, repeats
 
 
 def _resolve_scheduler(name: str):
@@ -154,32 +165,42 @@ def _measure_cell(network, images, timesteps: int, scheduler, repeats: int) -> D
     }
 
 
-def generate_report(fast: bool = False, date: Optional[str] = None) -> Dict:
-    """Run the backend × precision × scheduler matrix and return the report."""
+def generate_report(
+    fast: bool = False, date: Optional[str] = None, timesteps_axis=TIMESTEPS_AXIS
+) -> Dict:
+    """Run the backend × precision × scheduler × T matrix and return the report."""
 
-    model, images, calibration, timesteps, repeats = _fixture(fast)
+    model, images, calibration, repeats = _fixture(fast)
+    timesteps_axis = tuple(int(t) for t in timesteps_axis)
     cells: Dict[str, Dict] = {}
     for precision in PRECISIONS:
-        # Fresh conversion per precision: downcasting float64 → float32 is
-        # lossy, so reusing one network across precisions would measure a
+        # Fresh conversion per precision *and* latency mode: downcasting
+        # float64 → float32 is lossy (and the low-latency passes shift the
+        # grids), so reusing one network across columns would measure a
         # round-tripped hybrid instead of a cleanly converted one.
-        conversion = (
-            Converter(model).strategy("tcl").precision(precision).calibrate(calibration).convert()
-        )
-        for backend in BACKENDS:
-            network = conversion.snn.set_backend(backend)
-            batch = network.policy.asarray(images)
-            for scheduler_name in SCHEDULERS:
-                key = f"{backend}/{precision}/{scheduler_name}"
-                cells[key] = _measure_cell(
-                    network, batch, timesteps, _resolve_scheduler(scheduler_name), repeats
-                )
-                print(
-                    f"  {key:<32} best {cells[key]['wall_ms']['best']:8.1f} ms · "
-                    f"{cells[key]['throughput']['samples_per_s']:7.1f} samples/s · "
-                    f"peak {cells[key]['allocation']['peak_kb']:8.0f} KiB",
-                    file=sys.stderr,
-                )
+        conversions: Dict[Optional[int], object] = {}
+        for t in timesteps_axis:
+            low_t = t if t <= LOW_LATENCY_MAX_T else None
+            if low_t not in conversions:
+                builder = Converter(model).strategy("tcl").precision(precision).calibrate(calibration)
+                if low_t is not None:
+                    builder.latency("low", timesteps=low_t)
+                conversions[low_t] = builder.convert()
+            conversion = conversions[low_t]
+            for backend in BACKENDS:
+                network = conversion.snn.set_backend(backend)
+                batch = network.policy.asarray(images)
+                for scheduler_name in SCHEDULERS:
+                    key = f"{backend}/{precision}/{scheduler_name}/T{t}"
+                    cells[key] = _measure_cell(
+                        network, batch, t, _resolve_scheduler(scheduler_name), repeats
+                    )
+                    print(
+                        f"  {key:<36} best {cells[key]['wall_ms']['best']:8.1f} ms · "
+                        f"{cells[key]['throughput']['samples_per_s']:7.1f} samples/s · "
+                        f"peak {cells[key]['allocation']['peak_kb']:8.0f} KiB",
+                        file=sys.stderr,
+                    )
     return {
         "schema": SCHEMA,
         "generated": date or _datetime.date.today().isoformat(),
@@ -188,8 +209,9 @@ def generate_report(fast: bool = False, date: Optional[str] = None) -> Dict:
             "backends": list(BACKENDS),
             "precisions": list(PRECISIONS),
             "schedulers": list(SCHEDULERS),
+            "timesteps": list(timesteps_axis),
+            "low_latency_max_t": LOW_LATENCY_MAX_T,
             "batch": len(images),
-            "timesteps": timesteps,
             "repeats": repeats,
         },
         "environment": {
@@ -203,12 +225,18 @@ def generate_report(fast: bool = False, date: Optional[str] = None) -> Dict:
 
 
 def validate_report(report: Dict) -> None:
-    """Raise ``ValueError`` unless ``report`` is a well-formed v1 report."""
+    """Raise ``ValueError`` unless ``report`` is a well-formed report.
+
+    Accepts the current v2 schema (T axis in the cell keys) and the legacy
+    v1 schema (single ``timesteps`` int, no T suffix), so pre-bump committed
+    baselines keep validating on the ``--diff`` baseline side.
+    """
 
     if not isinstance(report, dict):
         raise ValueError(f"report must be an object, got {type(report).__name__}")
-    if report.get("schema") != SCHEMA:
-        raise ValueError(f"unknown schema {report.get('schema')!r} (expected {SCHEMA!r})")
+    schema = report.get("schema")
+    if schema not in (SCHEMA, SCHEMA_V1):
+        raise ValueError(f"unknown schema {schema!r} (expected {SCHEMA!r} or legacy {SCHEMA_V1!r})")
     for field in ("generated", "config", "environment", "results"):
         if field not in report:
             raise ValueError(f"report is missing the {field!r} field")
@@ -216,12 +244,21 @@ def validate_report(report: Dict) -> None:
     if not isinstance(results, dict) or not results:
         raise ValueError("report has no result cells")
     config = report["config"]
-    expected = {
-        f"{b}/{p}/{s}"
-        for b in config["backends"]
-        for p in config["precisions"]
-        for s in config["schedulers"]
-    }
+    if schema == SCHEMA_V1:
+        expected = {
+            f"{b}/{p}/{s}"
+            for b in config["backends"]
+            for p in config["precisions"]
+            for s in config["schedulers"]
+        }
+    else:
+        expected = {
+            f"{b}/{p}/{s}/T{t}"
+            for b in config["backends"]
+            for p in config["precisions"]
+            for s in config["schedulers"]
+            for t in config["timesteps"]
+        }
     missing = expected - set(results)
     if missing:
         raise ValueError(f"report is missing matrix cells: {sorted(missing)}")
@@ -284,9 +321,32 @@ def diff_reports(baseline: Dict, current: Dict, threshold: float = 0.10) -> List
     return regressions
 
 
+def _parse_timesteps(spec: Optional[str]):
+    """Parse the ``--timesteps`` axis spec ("8,32") into a tuple of ints."""
+
+    if spec is None:
+        return TIMESTEPS_AXIS
+    try:
+        axis = tuple(int(part) for part in spec.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"--timesteps expects comma-separated integers, got {spec!r}")
+    if not axis or any(t <= 0 for t in axis):
+        raise SystemExit(f"--timesteps budgets must be positive integers, got {spec!r}")
+    return axis
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fast", action="store_true", help="CI-sized subset (small fixture, fewer repeats)")
+    parser.add_argument(
+        "--timesteps",
+        default=None,
+        help=(
+            "comma-separated simulation budgets for the T axis (default "
+            f"{','.join(str(t) for t in TIMESTEPS_AXIS)}); budgets ≤ {LOW_LATENCY_MAX_T} are "
+            "measured on a low-latency conversion calibrated for that T"
+        ),
+    )
     parser.add_argument("--out", default=".", help="directory to write BENCH_<date>.json into")
     parser.add_argument(
         "--diff",
@@ -314,7 +374,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             current = json.loads(Path(args.diff[1]).read_text())
         else:
             print("generating fresh --fast report for the current side …", file=sys.stderr)
-            current = generate_report(fast=True)
+            current = generate_report(fast=True, timesteps_axis=_parse_timesteps(args.timesteps))
         validate_report(current)
         if baseline["config"].get("fast") != current["config"].get("fast"):
             print(
@@ -332,7 +392,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"\nno regressions beyond the ±{args.threshold:.0%} threshold")
         return 0
 
-    report = generate_report(fast=args.fast)
+    report = generate_report(fast=args.fast, timesteps_axis=_parse_timesteps(args.timesteps))
     validate_report(report)
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
