@@ -282,6 +282,70 @@ class Tracer:
                 self.dropped += 1
             self._finished.append(span)
 
+    # -- cross-process stitching -----------------------------------------------
+
+    def adopt(
+        self,
+        records: List[dict],
+        parent: Optional[Union[Span, NullSpan]] = None,
+        epoch_s: float = 0.0,
+    ) -> List[Span]:
+        """Graft span records from another process into this tracer.
+
+        ``records`` are :func:`repro.obs.export.span_record` rows — the
+        shape a worker process ships over its reply queue (plain dicts,
+        pickle-cheap).  Each record becomes a finished :class:`Span` with a
+        *fresh* id from this tracer's counter; intra-batch parent links are
+        remapped through the old→new id table, and records whose parent is
+        missing from the batch (the worker's roots, or spans whose parent
+        fell out of the worker's bounded buffer) are rooted under
+        ``parent`` when given.
+
+        ``epoch_s`` is the epoch the records' ``start_us`` values are
+        relative to, in this process's ``time.perf_counter`` timebase.
+        Workers serialize with ``epoch_s=0.0`` — absolute ``perf_counter``
+        readings — which on Linux is ``CLOCK_MONOTONIC``, shared across
+        fork, so the default ``0.0`` here aligns worker spans with the
+        parent's timeline without any clock handshake.
+        """
+
+        parent_id = parent.span_id if parent is not None and parent.recording else None
+        remap: dict = {}
+        staged: List[Tuple[Span, Optional[int]]] = []
+        for record in records:
+            attributes = dict(record.get("attributes") or {})
+            span = Span(
+                tracer=self,
+                name=str(record.get("name", "")),
+                category=str(record.get("category", "repro")),
+                span_id=next(self._ids),
+                parent_id=None,
+                attributes=attributes or None,
+            )
+            # Overwrite the thread fields __init__ captured from *this*
+            # thread with the recording worker's own.
+            span.thread_id = int(record.get("thread_id") or 0)
+            span.thread_name = str(record.get("thread_name", ""))
+            span.start_s = epoch_s + float(record.get("start_us") or 0.0) / 1e6
+            span.duration_s = float(record.get("duration_us") or 0.0) / 1e6
+            old_id = record.get("span_id")
+            if old_id is not None:
+                remap[old_id] = span.span_id
+            staged.append((span, record.get("parent_id")))
+        adopted: List[Span] = []
+        for span, old_parent in staged:
+            if old_parent is not None and old_parent in remap:
+                span.parent_id = remap[old_parent]
+            else:
+                span.parent_id = parent_id
+            adopted.append(span)
+        with self._lock:
+            for span in adopted:
+                if len(self._finished) == self.capacity:
+                    self.dropped += 1
+                self._finished.append(span)
+        return adopted
+
     # -- inspection ------------------------------------------------------------
 
     def finished(self) -> List[Span]:

@@ -1,0 +1,120 @@
+"""Admission control: a bounded inflight budget with typed load-shedding.
+
+Both serving front-ends (:class:`~repro.serve.server.InferenceServer` and
+:class:`~repro.serve.pool.ProcessPoolServer`) guard their intake with an
+:class:`AdmissionController`.  The contract is deliberately synchronous:
+``submit`` either *admits* the request (it now counts against the inflight
+budget until its future completes) or raises :class:`Overloaded`
+immediately — the client learns it was shed before any queueing, copying or
+pickling happens, which is the whole point of load-shedding (reject work
+while rejecting is still cheap).
+
+Inflight means *admitted and not yet completed*: queued in the
+micro-batcher, coalescing, or executing.  The budget therefore bounds total
+server memory (requests hold their input arrays while inflight) and bounds
+the queueing component of tail latency — with ``max_inflight = B`` and
+service rate ``μ``, no admitted request waits behind more than ``B`` others,
+so p99 stays pinned while overload is converted into fast, typed failures
+the client can back off on.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+__all__ = ["Overloaded", "AdmissionController"]
+
+
+class Overloaded(RuntimeError):
+    """The server shed this request: the inflight budget is exhausted.
+
+    A typed reply, not a transport failure — clients should treat it as
+    back-pressure (retry with backoff, or divert traffic), never as a
+    server bug.  Carries the observed ``inflight`` count and the ``limit``
+    it hit for logging.
+    """
+
+    def __init__(self, inflight: int, limit: int) -> None:
+        super().__init__(
+            f"server overloaded: {inflight} requests inflight at the max_inflight={limit} budget"
+        )
+        self.inflight = inflight
+        self.limit = limit
+
+
+class AdmissionController:
+    """Thread-safe inflight counter enforcing an optional hard budget.
+
+    ``max_inflight=None`` disables shedding (every request admits) while
+    still counting inflight for the queue-depth gauge.  ``on_shed`` /
+    ``on_depth`` are metric hooks: called outside the lock, with the shed
+    event or the new inflight depth respectively.
+    """
+
+    def __init__(
+        self,
+        max_inflight: Optional[int] = None,
+        on_shed=None,
+        on_depth=None,
+    ) -> None:
+        if max_inflight is not None and max_inflight <= 0:
+            raise ValueError(f"max_inflight must be positive (or None), got {max_inflight}")
+        self.max_inflight = max_inflight
+        self._inflight = 0
+        self._shed = 0
+        self._lock = threading.Lock()
+        self._on_shed = on_shed
+        self._on_depth = on_depth
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def shed(self) -> int:
+        """Requests rejected with :class:`Overloaded` since construction."""
+
+        with self._lock:
+            return self._shed
+
+    def admit(self) -> None:
+        """Count one request in, or raise :class:`Overloaded` at the budget."""
+
+        with self._lock:
+            if self.max_inflight is not None and self._inflight >= self.max_inflight:
+                self._shed += 1
+                inflight, limit, shedding = self._inflight, self.max_inflight, True
+            else:
+                self._inflight += 1
+                depth, shedding = self._inflight, False
+        if shedding:
+            if self._on_shed is not None:
+                self._on_shed()
+            raise Overloaded(inflight, limit)
+        if self._on_depth is not None:
+            self._on_depth(depth)
+
+    def release(self) -> None:
+        """Count one admitted request out (its future completed)."""
+
+        with self._lock:
+            # Tolerate spurious releases (a future completed twice can't
+            # happen, but a defensive floor beats a negative gauge).
+            self._inflight = max(0, self._inflight - 1)
+            depth, depth_hook = self._inflight, self._on_depth
+        if depth_hook is not None:
+            depth_hook(depth)
+
+    def releaser(self):
+        """A one-shot ``release`` callback suitable for ``Future.add_done_callback``."""
+
+        released = threading.Event()
+
+        def _release(_future) -> None:
+            if not released.is_set():
+                released.set()
+                self.release()
+
+        return _release

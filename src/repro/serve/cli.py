@@ -42,7 +42,32 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--min-timesteps", type=int, default=10, help="earliest allowed exit")
     demo.add_argument("--max-batch-size", type=int, default=16, help="micro-batch size cap")
     demo.add_argument("--max-wait-ms", type=float, default=10.0, help="micro-batch wait budget")
-    demo.add_argument("--workers", type=int, default=1, help="server worker threads")
+    demo.add_argument("--workers", type=int, default=1, help="server worker threads (or processes with --serving-mode process)")
+    demo.add_argument(
+        "--serving-mode",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "'thread' runs the in-process InferenceServer; 'process' runs the "
+            "ProcessPoolServer — forked workers over one shared-memory copy of "
+            "the artifact, escaping the GIL entirely"
+        ),
+    )
+    demo.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="pool workers that hold the model resident (process mode; clamped to --workers)",
+    )
+    demo.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help=(
+            "admission-control budget: requests admitted but not yet completed; "
+            "beyond it submit sheds with the typed Overloaded error (default: unbounded)"
+        ),
+    )
     demo.add_argument(
         "--backend",
         choices=("dense", "event", "auto"),
@@ -117,6 +142,7 @@ def _demo_body(args: argparse.Namespace) -> int:
     from ..training import TrainingConfig
     from .batcher import MicroBatcher
     from .engine import AdaptiveConfig, AdaptiveEngine
+    from .pool import ProcessPoolServer
     from .registry import ModelRegistry
     from .server import InferenceServer
 
@@ -195,12 +221,27 @@ def _demo_body(args: argparse.Namespace) -> int:
     ).infer(test_images)
     print(f"· fixed-T baseline: accuracy {fixed.accuracy(test_labels):.3f} at T={fixed_timesteps}")
 
-    server = InferenceServer(
-        registry,
-        engine_config=engine_config,
-        batcher=MicroBatcher(max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms),
-        num_workers=args.workers,
-    )
+    if args.serving_mode == "process":
+        registry.set_replicas(args.model_name, args.replicas)
+        server = ProcessPoolServer(
+            registry,
+            engine_config=engine_config,
+            batcher=MicroBatcher(max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms),
+            num_workers=args.workers,
+            max_inflight=args.max_inflight,
+        )
+        print(
+            f"· process pool: {args.workers} forked workers × {args.replicas} replica(s) "
+            f"over one shared-memory artifact copy"
+        )
+    else:
+        server = InferenceServer(
+            registry,
+            engine_config=engine_config,
+            batcher=MicroBatcher(max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms),
+            num_workers=args.workers,
+            max_inflight=args.max_inflight,
+        )
     print(f"· serving {len(test_images)} single-sample requests …")
     with server:
         futures = [server.submit(image, args.model_name) for image in test_images]

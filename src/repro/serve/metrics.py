@@ -23,6 +23,15 @@ Every :meth:`ServingMetrics.record` also feeds the observability registry
 ``serve.compute_ms`` / ``serve.batch_size`` / ``serve.timesteps``
 histograms, so serving latency shows up next to executor metrics (pipeline
 handoff waits, shard walls) in one ``MetricsRegistry.snapshot()``.
+
+The admission-control surface adds three more instruments the servers
+drive directly: the ``serve.shed`` counter (:meth:`ServingMetrics.record_shed`
+— requests rejected with :class:`~repro.serve.admission.Overloaded`), the
+``serve.queue_depth`` gauge (:meth:`ServingMetrics.set_queue_depth` —
+admitted-but-uncompleted requests, updated on every admit/complete), and
+per-worker ``serve.worker.<id>.utilization`` gauges
+(:meth:`ServingMetrics.set_worker_utilization` — the fraction of wall time
+a pool worker spent computing since the last report).
 """
 
 from __future__ import annotations
@@ -32,7 +41,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -136,6 +145,7 @@ class ServingMetrics:
         self.capacity = capacity
         self._records: Deque[RequestRecord] = deque(maxlen=capacity)
         self._total = 0
+        self._sheds = 0
         self._lock = threading.Lock()
         self._registry = registry if registry is not None else global_registry()
 
@@ -150,6 +160,30 @@ class ServingMetrics:
         registry.histogram("serve.compute_ms").observe(record.wall_ms - record.queue_ms)
         registry.histogram("serve.batch_size").observe(record.batch_size)
         registry.histogram("serve.timesteps").observe(record.timesteps)
+
+    def record_shed(self) -> None:
+        """Count one request rejected by admission control (``serve.shed``)."""
+
+        with self._lock:
+            self._sheds += 1
+        self._registry.counter("serve.shed").add()
+
+    @property
+    def sheds(self) -> int:
+        """Requests shed with ``Overloaded`` since construction."""
+
+        with self._lock:
+            return self._sheds
+
+    def set_queue_depth(self, depth: int) -> None:
+        """Publish the admitted-but-uncompleted request count (``serve.queue_depth``)."""
+
+        self._registry.gauge("serve.queue_depth").set(float(depth))
+
+    def set_worker_utilization(self, worker: Union[int, str], fraction: float) -> None:
+        """Publish one worker's busy fraction (``serve.worker.<id>.utilization``)."""
+
+        self._registry.gauge(f"serve.worker.{worker}.utilization").set(float(fraction))
 
     def records(self, model: Optional[str] = None) -> List[RequestRecord]:
         """The retained window (oldest first), optionally filtered by model."""
@@ -178,6 +212,7 @@ class ServingMetrics:
         with self._lock:
             self._records.clear()
             self._total = 0
+            self._sheds = 0
 
     def snapshot(self, model: Optional[str] = None) -> MetricsSnapshot:
         records = self.records(model)

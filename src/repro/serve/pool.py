@@ -1,0 +1,640 @@
+"""Multi-process inference: a worker pool over shared-memory artifacts.
+
+The threaded :class:`~repro.serve.server.InferenceServer` tops out at
+roughly one core of useful conversion work — numpy releases the GIL inside
+kernels, but the per-timestep Python glue (layer dispatch, early-exit
+bookkeeping, batch compaction) serialises.  :class:`ProcessPoolServer`
+escapes the GIL entirely: ``num_workers`` forked processes each hold a
+:class:`~repro.snn.SpikingNetwork` reconstructed **zero-copy** over a
+shared-memory segment (:mod:`repro.serve.shm`), so N workers serving one
+model share one physical weight payload instead of N copies.
+
+Architecture — three parent threads plus N worker processes:
+
+* **dispatcher** pulls coalesced batches from the
+  :class:`~repro.serve.batcher.MicroBatcher`, groups them by
+  (model, version), shares the bundle into shared memory on first use (and
+  re-shares when the registry's write generation moves — a publish),
+  assigns each model to ``ModelRegistry.replicas(name)`` workers, and sends
+  ``("infer", ...)`` messages (job id + input batch, pickle-cheap) to the
+  least-loaded assigned worker.  Per-worker task queues are FIFO, so a
+  ``("load", ...)`` message always lands before the infers that need it.
+* **collector** reads one shared reply queue: resolves futures, feeds
+  :class:`~repro.serve.metrics.ServingMetrics`, grafts worker span records
+  into the parent tracer (:meth:`repro.obs.Tracer.adopt`), and publishes
+  per-worker utilization gauges.
+* **workers** (forked processes) loop over their task queue: ``load``
+  attaches a segment and rebuilds the network, ``infer`` runs the
+  :class:`~repro.serve.engine.AdaptiveEngine` (single-threaded per worker,
+  so no model lock is needed), ``stop`` detaches everything and exits.
+
+Fault model: a worker death is detected by the dispatcher's liveness sweep;
+its inflight jobs are retried once on a surviving assigned worker and
+failed with ``RuntimeError`` otherwise, so the ``stop(drain=True)``
+contract — *every future accepted by submit completes* — holds across
+process death.  Dead workers are not respawned; capacity degrades until
+the pool is restarted.
+
+Admission control mirrors the threaded server: ``max_inflight`` bounds
+admitted-but-uncompleted requests, and an exhausted budget raises the
+typed :class:`~repro.serve.admission.Overloaded` from ``submit`` before
+any queueing or pickling happens.
+
+The pool pins the ``fork`` start method: forked workers inherit the
+parent's resource-tracker process, which is what makes the shared-memory
+attach/unlink bookkeeping sound (see :mod:`repro.serve.shm`), and fork
+makes worker startup independent of artifact size (nothing is pickled).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import threading
+import time
+import warnings
+from multiprocessing import resource_tracker
+from collections import defaultdict, deque
+from concurrent.futures import Future
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..obs import Tracer, active_tracer, using_tracer
+from ..obs.export import span_record
+from .admission import AdmissionController
+from .batcher import InferenceRequest, MicroBatcher
+from .engine import AdaptiveConfig, AdaptiveEngine
+from .metrics import RequestRecord, ServingMetrics
+from .registry import ModelRegistry
+from .server import InferenceReply
+from .shm import SharedArtifact, attach_shared_artifact, share_artifact
+
+__all__ = ["ProcessPoolServer"]
+
+_POLL_SECONDS = 0.05
+_JOIN_SECONDS = 5.0
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _serialize_worker_spans(tracer: Tracer, worker_id: int) -> List[dict]:
+    """Worker-side span records, with thread ids made globally unique.
+
+    Forked children inherit the parent main thread's ident, so raw thread
+    ids would collide across processes and merge unrelated Chrome-trace
+    tracks; remap every distinct worker thread onto a pid-derived id and
+    prefix the track name with the worker.
+    """
+
+    records = [span_record(span, epoch_s=0.0) for span in tracer.finished()]
+    pid = os.getpid()
+    remap: Dict[int, int] = {}
+    for record in records:
+        original = int(record.get("thread_id") or 0)
+        record["thread_id"] = pid * 1000 + remap.setdefault(original, len(remap))
+        record["thread_name"] = f"worker-{worker_id}:{record.get('thread_name', '')}"
+    return records
+
+
+def _worker_main(worker_id: int, task_queue, reply_queue, engine_config: AdaptiveConfig) -> None:
+    """Entry point of one forked worker process."""
+
+    from ..obs import set_active_tracer
+
+    # The fork copied the parent's active tracer; records appended to the
+    # copy would never be seen, so drop it and trace per-request instead.
+    set_active_tracer(None)
+    resident: Dict[Tuple[str, str], Tuple[int, object]] = {}
+    busy_s = 0.0
+    window_start = time.perf_counter()
+    try:
+        while True:
+            message = task_queue.get()
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "load":
+                _, model, version, generation, shm_name, manifest = message
+                key = (model, version)
+                previous = resident.pop(key, None)
+                if previous is not None:
+                    try:
+                        previous[1].close()
+                    except BufferError:  # pragma: no cover - lingering view
+                        warnings.warn(f"worker {worker_id}: stale mapping for {key} leaked", RuntimeWarning)
+                try:
+                    attached = attach_shared_artifact(shm_name, manifest)
+                    resident[key] = (generation, attached)
+                except Exception as error:
+                    reply_queue.put(("load_error", worker_id, model, version, repr(error)))
+            elif kind == "infer":
+                _, job_id, model, version, images, trace = message
+                entry = resident.get((model, version))
+                if entry is None:
+                    reply_queue.put(
+                        ("error", worker_id, job_id, f"model {model}:{version} not resident in worker {worker_id}")
+                    )
+                    continue
+                tracer = Tracer() if trace else None
+                started = time.perf_counter()
+                try:
+                    if tracer is not None:
+                        with using_tracer(tracer):
+                            with tracer.span("serve:worker-batch", category="serve") as span:
+                                span.annotate(worker=worker_id, model=model, version=version, batch_size=len(images))
+                                outcome = AdaptiveEngine(entry[1].network, engine_config).infer(images)
+                    else:
+                        outcome = AdaptiveEngine(entry[1].network, engine_config).infer(images)
+                except Exception as error:
+                    reply_queue.put(("error", worker_id, job_id, repr(error)))
+                    continue
+                now = time.perf_counter()
+                busy_s += now - started
+                # Busy fraction over the window since the last report; the
+                # window resets so the gauge tracks recent load, not the
+                # lifetime average.
+                elapsed = max(now - window_start, 1e-9)
+                utilization = min(busy_s / elapsed, 1.0)
+                busy_s = 0.0
+                window_start = now
+                payload = {
+                    "predictions": np.asarray(outcome.predictions),
+                    "scores": np.asarray(outcome.scores),
+                    "exit_timesteps": np.asarray(outcome.exit_timesteps),
+                    "mean_timesteps": float(outcome.mean_timesteps),
+                    "spikes_per_inference": float(outcome.spikes_per_inference),
+                    "wall_seconds": float(outcome.wall_seconds),
+                }
+                spans = _serialize_worker_spans(tracer, worker_id) if tracer is not None else []
+                reply_queue.put(("result", worker_id, job_id, payload, spans, utilization))
+    finally:
+        for _, attached in resident.values():
+            try:
+                attached.close()
+            except BufferError:  # pragma: no cover - lingering view at exit
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Parent
+# ---------------------------------------------------------------------------
+
+
+class _Job:
+    """One dispatched batch: the requests behind it and enough to retry it."""
+
+    __slots__ = ("job_id", "model", "version", "requests", "images", "queue_ms", "worker", "attempts")
+
+    def __init__(self, job_id: int, model: str, version: str, requests: List[InferenceRequest], images: np.ndarray) -> None:
+        self.job_id = job_id
+        self.model = model
+        self.version = version
+        self.requests = requests
+        self.images = images
+        # Queue wait is frozen at dispatch: measuring it at completion
+        # would fold the worker's compute time into the queue component.
+        self.queue_ms = [request.queue_ms for request in requests]
+        self.worker: Optional[int] = None
+        self.attempts = 0
+
+
+class ProcessPoolServer:
+    """Micro-batching inference over a pool of forked worker processes.
+
+    Drop-in alternative to :class:`~repro.serve.server.InferenceServer`
+    (same ``submit``/``infer``/``stop`` surface, same drain contract) that
+    scales across cores: each worker process runs the engine free of the
+    parent's GIL, over weight buffers shared — not copied — between
+    workers.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        engine_config: Optional[AdaptiveConfig] = None,
+        batcher: Optional[MicroBatcher] = None,
+        metrics: Optional[ServingMetrics] = None,
+        num_workers: int = 2,
+        max_inflight: Optional[int] = None,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        self.registry = registry
+        self.engine_config = engine_config if engine_config is not None else AdaptiveConfig()
+        self.batcher = batcher if batcher is not None else MicroBatcher()
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self.num_workers = num_workers
+        self.admission = AdmissionController(
+            max_inflight,
+            on_shed=self.metrics.record_shed,
+            on_depth=self.metrics.set_queue_depth,
+        )
+        self._ctx = multiprocessing.get_context("fork")
+        self._processes: List = []
+        self._task_queues: List = []
+        self._reply_queue = None
+        self._dispatcher: Optional[threading.Thread] = None
+        self._collector: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self._collector_stop = threading.Event()
+        # Parent-side state, guarded by one lock: inflight jobs, per-worker
+        # outstanding counts, shared segments and worker residency.
+        self._state_lock = threading.Lock()
+        self._jobs: Dict[int, _Job] = {}
+        self._job_ids = iter(range(1, 2**62))
+        self._outstanding: Dict[int, int] = defaultdict(int)
+        self._retry: Deque[_Job] = deque()
+        self._shared: Dict[Tuple[str, str], Tuple[int, SharedArtifact]] = {}
+        self._resident: Dict[int, set] = defaultdict(set)
+        self._assignment: Dict[Tuple[str, str], List[int]] = {}
+        self._dead: set = set()
+        self._closed = False
+        self._submit_guard = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return bool(self._processes) and not self._stop_event.is_set()
+
+    def alive_workers(self) -> List[int]:
+        return [
+            index
+            for index, process in enumerate(self._processes)
+            if index not in self._dead and process.is_alive()
+        ]
+
+    def start(self) -> "ProcessPoolServer":
+        if self._processes:
+            raise RuntimeError("server is already running")
+        self._stop_event.clear()
+        self._collector_stop.clear()
+        with self._submit_guard:
+            self._closed = False
+        # Spawn the resource-tracker process *before* forking: workers then
+        # inherit the parent's tracker, whose register/unregister set dedupes
+        # across the whole pool.  Forked after-the-fact, each worker would
+        # lazily spawn its own tracker on first attach — and that tracker
+        # would unlink the "leaked" segment at worker exit, yanking the
+        # weights out from under the rest of the pool.
+        resource_tracker.ensure_running()
+        self._reply_queue = self._ctx.Queue()
+        for index in range(self.num_workers):
+            task_queue = self._ctx.Queue()
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(index, task_queue, self._reply_queue, self.engine_config),
+                name=f"repro-serve-pool-{index}",
+                daemon=True,
+            )
+            process.start()
+            self._task_queues.append(task_queue)
+            self._processes.append(process)
+        self._dispatcher = threading.Thread(target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True)
+        self._collector = threading.Thread(target=self._collect_loop, name="repro-serve-collect", daemon=True)
+        self._dispatcher.start()
+        self._collector.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the pool; with ``drain`` every inflight request completes first.
+
+        The contract matches the threaded server: every future accepted by
+        :meth:`submit` before this call returns is guaranteed to complete —
+        dispatched jobs resolve (or are retried/failed by the fault path),
+        and anything still queued when the pool shuts down is failed with a
+        ``RuntimeError`` instead of being stranded.
+        """
+
+        if not self._processes:
+            with self._submit_guard:
+                self._closed = True
+            self._fail_drained()
+            self._close_shared()
+            return
+        if drain:
+            while True:
+                with self._state_lock:
+                    inflight = bool(self._jobs) or bool(self._retry)
+                if not inflight and not self.batcher.pending:
+                    break
+                if self._dispatcher is not None and not self._dispatcher.is_alive():
+                    break  # dispatcher died; the leftovers are failed below
+                self._stop_event.wait(_POLL_SECONDS)
+        self._stop_event.set()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+            self._dispatcher = None
+        for index in self.alive_workers():
+            try:
+                self._task_queues[index].put(("stop",))
+            except (OSError, ValueError):  # queue already torn down
+                pass
+        for process in self._processes:
+            process.join(timeout=_JOIN_SECONDS)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=_JOIN_SECONDS)
+        # Only after every worker has exited (no more replies can arrive)
+        # is the collector told to do its final drain and stop.
+        self._collector_stop.set()
+        if self._collector is not None:
+            self._collector.join()
+            self._collector = None
+        for task_queue in self._task_queues:
+            task_queue.close()
+            task_queue.cancel_join_thread()
+        if self._reply_queue is not None:
+            self._reply_queue.close()
+            self._reply_queue.cancel_join_thread()
+            self._reply_queue = None
+        self._processes = []
+        self._task_queues = []
+        self._dead = set()
+        with self._submit_guard:
+            self._closed = True
+        with self._state_lock:
+            leftovers = list(self._jobs.values()) + list(self._retry)
+            self._jobs.clear()
+            self._retry.clear()
+            self._outstanding.clear()
+            self._resident.clear()
+            self._assignment.clear()
+        for job in leftovers:
+            self._fail_job(job, RuntimeError("process pool stopped before the request was served"))
+        self._fail_drained()
+        self._close_shared()
+
+    def _close_shared(self) -> None:
+        with self._state_lock:
+            shared = list(self._shared.values())
+            self._shared.clear()
+        for _, segment in shared:
+            segment.close()
+
+    def _fail_drained(self) -> None:
+        for request in self.batcher.drain():
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(
+                    RuntimeError(
+                        f"process pool stopped before request for model {request.model!r} was served"
+                    )
+                )
+
+    def _fail_job(self, job: _Job, error: Exception) -> None:
+        for request in job.requests:
+            if not request.future.done():
+                request.future.set_exception(error)
+
+    def __enter__(self) -> "ProcessPoolServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- request entry points --------------------------------------------------
+
+    def submit(self, image: np.ndarray, model: str, version: Optional[str] = None) -> Future:
+        """Enqueue one sample; the future resolves to an :class:`InferenceReply`.
+
+        Raises :class:`~repro.serve.admission.Overloaded` when the
+        ``max_inflight`` budget is exhausted, and ``RuntimeError`` once the
+        pool has been stopped.
+        """
+
+        request = InferenceRequest(image=np.asarray(image), model=model, version=version)
+        with self._submit_guard:
+            if self._closed:
+                raise RuntimeError("process pool has been stopped; no workers will serve this request")
+            self.admission.admit()
+            future = self.batcher.submit(request)
+        future.add_done_callback(self.admission.releaser())
+        return future
+
+    def infer(self, image: np.ndarray, model: str, version: Optional[str] = None, timeout: Optional[float] = None) -> InferenceReply:
+        """Blocking single-sample inference."""
+
+        return self.submit(image, model, version).result(timeout=timeout)
+
+    # -- dispatcher ------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop_event.is_set():
+            self._sweep_dead_workers()
+            while True:
+                with self._state_lock:
+                    job = self._retry.popleft() if self._retry else None
+                if job is None:
+                    break
+                self._dispatch_job(job)
+            try:
+                batch = self.batcher.next_batch(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                continue
+            groups: Dict[Tuple[str, Optional[str]], List[InferenceRequest]] = defaultdict(list)
+            for request in batch:
+                groups[(request.model, request.version)].append(request)
+            for (model, version), requests in groups.items():
+                # Claim every future before doing work, mirroring the
+                # threaded server: late-cancelled requests drop out here.
+                requests = [r for r in requests if r.future.set_running_or_notify_cancel()]
+                if not requests:
+                    continue
+                try:
+                    resolved = version if version is not None else self.registry.latest_version(model)
+                    images = np.stack([request.image for request in requests])
+                except Exception as error:
+                    for request in requests:
+                        if not request.future.done():
+                            request.future.set_exception(error)
+                    continue
+                job = _Job(next(self._job_ids), model, resolved, requests, images)
+                self._dispatch_job(job)
+
+    def _dispatch_job(self, job: _Job) -> None:
+        try:
+            worker = self._route(job.model, job.version)
+        except Exception as error:
+            self._fail_job(job, error)
+            return
+        if worker is None:
+            self._fail_job(job, RuntimeError("no alive workers left in the process pool"))
+            return
+        job.worker = worker
+        job.attempts += 1
+        with self._state_lock:
+            self._jobs[job.job_id] = job
+            self._outstanding[worker] += 1
+        trace = bool(active_tracer().enabled)
+        self._task_queues[worker].put(("infer", job.job_id, job.model, job.version, job.images, trace))
+
+    def _route(self, model: str, version: str) -> Optional[int]:
+        """Pick the worker for this (model, version), sharing/loading as needed."""
+
+        alive = self.alive_workers()
+        if not alive:
+            return None
+        key = (model, version)
+        generation = self.registry.generation(model, version)
+        with self._state_lock:
+            entry = self._shared.get(key)
+        if entry is None or entry[0] != generation:
+            segment = share_artifact(self.registry.artifact_path(model, version))
+            with self._state_lock:
+                stale = self._shared.get(key)
+                self._shared[key] = (generation, segment)
+                # Every worker's resident copy of this model is now stale;
+                # the load messages below re-attach the assigned ones.
+                for resident in self._resident.values():
+                    resident.discard(key)
+            if stale is not None:
+                # Unlink immediately: attached workers keep serving off the
+                # orphaned pages until their re-attach lands (POSIX keeps
+                # the segment alive until the last mapping drops).
+                stale[1].close()
+            entry = (generation, segment)
+        replicas = self.registry.replicas(model)
+        if replicas > len(alive):
+            warnings.warn(
+                f"model {model!r} declares {replicas} replicas but only {len(alive)} "
+                f"pool workers are alive; clamping to {len(alive)}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            replicas = len(alive)
+        with self._state_lock:
+            # Snapshot the load counts: the sort keys below must not touch
+            # guarded state from inside nested callables.
+            load = {w: self._outstanding[w] for w in alive}
+            assigned = [w for w in self._assignment.get(key, []) if w in alive]
+            if len(assigned) < replicas:
+                # Fill the replica set with the least-loaded unassigned workers.
+                spare = sorted((w for w in alive if w not in assigned), key=lambda w: load[w])
+                assigned = assigned + spare[: replicas - len(assigned)]
+                self._assignment[key] = assigned
+            needs_load = [w for w in assigned if key not in self._resident[w]]
+            for w in needs_load:
+                self._resident[w].add(key)
+            target = min(assigned, key=lambda w: load[w])
+        for w in needs_load:
+            # FIFO per-worker queues order this load before any infer sent
+            # after it, so optimistic residency marking is safe.
+            self._task_queues[w].put(("load", model, version, entry[0], entry[1].name, entry[1].manifest))
+        return target
+
+    def _sweep_dead_workers(self) -> None:
+        for index, process in enumerate(self._processes):
+            if index in self._dead or process.is_alive():
+                continue
+            self._dead.add(index)
+            with self._state_lock:
+                orphaned = [job for job in self._jobs.values() if job.worker == index]
+                for job in orphaned:
+                    del self._jobs[job.job_id]
+                self._outstanding.pop(index, None)
+                self._resident.pop(index, None)
+                for key, workers in list(self._assignment.items()):
+                    self._assignment[key] = [w for w in workers if w != index]
+            warnings.warn(
+                f"pool worker {index} (pid {process.pid}) died with exit code "
+                f"{process.exitcode}; retrying its {len(orphaned)} inflight job(s)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            for job in orphaned:
+                if job.attempts >= 2:
+                    self._fail_job(
+                        job,
+                        RuntimeError(
+                            f"pool worker died serving model {job.model!r} and the retry "
+                            f"was exhausted (exit code {process.exitcode})"
+                        ),
+                    )
+                else:
+                    with self._state_lock:
+                        self._retry.append(job)
+
+    # -- collector -------------------------------------------------------------
+
+    def _collect_loop(self) -> None:
+        while True:
+            try:
+                reply = self._reply_queue.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                if self._collector_stop.is_set():
+                    return
+                continue
+            except (OSError, ValueError):  # queue torn down under us
+                return
+            kind = reply[0]
+            if kind == "result":
+                _, worker, job_id, payload, spans, utilization = reply
+                self._finish_job(worker, job_id, payload, spans, utilization)
+            elif kind == "error":
+                _, worker, job_id, message = reply
+                self._error_job(worker, job_id, message)
+            elif kind == "load_error":
+                _, worker, model, version, message = reply
+                with self._state_lock:
+                    self._resident[worker].discard((model, version))
+                warnings.warn(
+                    f"pool worker {worker} failed to attach model {model}:{version}: {message}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+    def _pop_job(self, worker: int, job_id: int) -> Optional[_Job]:
+        with self._state_lock:
+            job = self._jobs.pop(job_id, None)
+            if job is not None and self._outstanding.get(worker, 0) > 0:
+                self._outstanding[worker] -= 1
+        return job
+
+    def _finish_job(self, worker: int, job_id: int, payload: Dict, spans: List[dict], utilization: float) -> None:
+        self.metrics.set_worker_utilization(worker, utilization)
+        job = self._pop_job(worker, job_id)
+        if job is None:
+            return  # already failed/retried by the fault path
+        tracer = active_tracer()
+        if tracer.enabled and spans:
+            tracer.adopt(spans)
+        wall_ms = payload["wall_seconds"] * 1000.0
+        queue_ms = job.queue_ms
+        for position, request in enumerate(job.requests):
+            reply = InferenceReply(
+                prediction=int(payload["predictions"][position]),
+                scores=payload["scores"][position],
+                timesteps=int(payload["exit_timesteps"][position]),
+                wall_ms=wall_ms,
+                model=job.model,
+                version=job.version,
+            )
+            self.metrics.record(
+                RequestRecord(
+                    model=job.model,
+                    timesteps=reply.timesteps,
+                    wall_ms=wall_ms + queue_ms[position],
+                    queue_ms=queue_ms[position],
+                    batch_size=len(job.requests),
+                    spikes=payload["spikes_per_inference"],
+                )
+            )
+            if not request.future.done():
+                request.future.set_result(reply)
+
+    def _error_job(self, worker: int, job_id: int, message: str) -> None:
+        job = self._pop_job(worker, job_id)
+        if job is None:
+            return
+        if job.attempts < 2 and len(self.alive_workers()) > 0:
+            # One retry — e.g. the worker's load failed or its resident copy
+            # was swept between dispatch and execution.
+            with self._state_lock:
+                self._retry.append(job)
+            return
+        self._fail_job(job, RuntimeError(f"pool worker {worker} failed the request: {message}"))

@@ -51,6 +51,9 @@ class ModelRegistry:
         # Per-key publish serialisation: concurrent publishes of the same
         # name/version would otherwise race each other's bundle swap on disk.
         self._publish_locks: Dict[Tuple[str, str], threading.Lock] = {}
+        # Desired replica count per model name (how many pool workers should
+        # hold the model resident); names without an entry default to 1.
+        self._replicas: Dict[str, int] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -80,6 +83,11 @@ class ModelRegistry:
             with self._lock:
                 self._cache.pop(key, None)
                 self._latest.pop(name, None)
+                # Second bump, after the bundle swap: a pool dispatcher that
+                # read the pre-save bump and then shared the *old* bundle
+                # (the swap hadn't landed yet) would otherwise record the
+                # final generation against stale weights and never re-share.
+                self._write_generation[key] = self._write_generation.get(key, 0) + 1
         return path
 
     def unpublish(self, name: str, version: Optional[str] = None) -> None:
@@ -119,6 +127,40 @@ class ModelRegistry:
         if not versions:
             raise ArtifactError(f"no published versions of model {name!r} under {self.root}")
         return max(versions, key=_version_sort_key)
+
+    # -- replica counts --------------------------------------------------------
+
+    def set_replicas(self, name: str, count: int) -> None:
+        """Declare how many pool workers should hold ``name`` resident.
+
+        A *desired* count, not a reservation: the
+        :class:`~repro.serve.pool.ProcessPoolServer` clamps it to its worker
+        count at load time (with a warning) and the threaded server ignores
+        it entirely.  The model does not need to be published yet — the
+        declaration applies whenever it is.
+        """
+
+        if count <= 0:
+            raise ValueError(f"replica count must be positive, got {count}")
+        with self._lock:
+            self._replicas[name] = int(count)
+
+    def replicas(self, name: str) -> int:
+        """The declared replica count for ``name`` (default 1)."""
+
+        with self._lock:
+            return self._replicas.get(name, 1)
+
+    def generation(self, name: str, version: str = DEFAULT_VERSION) -> int:
+        """Monotonic write counter for ``(name, version)``.
+
+        Bumped by every ``publish``/``unpublish`` touching the key.  Pool
+        dispatchers compare generations to decide whether a worker's
+        resident copy of a model is stale and must be re-shared.
+        """
+
+        with self._lock:
+            return self._write_generation.get((name, version), 0)
 
     # -- cached loading --------------------------------------------------------
 

@@ -5,16 +5,27 @@ A serving artifact is a directory containing
 * ``manifest.json`` — the network's structure: one entry per spiking layer
   (its ``kind`` plus all JSON-compatible configuration from
   :meth:`~repro.snn.layers.SpikingLayer.state_dict`), the input-encoder
-  configuration, and free-form metadata recorded by the exporter (norm-factor
-  strategy, per-site λ values, …);
+  configuration, free-form metadata recorded by the exporter (norm-factor
+  strategy, per-site λ values, …), and the ``flat`` offset table describing
+  ``arrays.flat``;
 * ``arrays.npz`` — every array-valued entry of every layer's state dict,
-  keyed ``layer{index}/{field}``.
+  keyed ``layer{index}/{field}`` (the compressed *interchange* form);
+* ``arrays.flat`` — the same arrays as one contiguous block, each array
+  C-contiguous and aligned to :data:`FLAT_ALIGN` bytes at the offset the
+  manifest's ``flat.arrays`` table records (the *serving* form).
 
 The split keeps the structural description human-inspectable (``repro-serve
-inspect``) while the bulk weights stay in compressed binary form.  Loading
-reverses the split and rebuilds each layer through
-:func:`~repro.snn.layers.layer_from_state`, so round-tripped networks simulate
-bit-identically to the in-memory original.
+inspect``) while the bulk weights stay in binary form.  Loading rebuilds each
+layer through :func:`~repro.snn.layers.layer_from_state`, so round-tripped
+networks simulate bit-identically to the in-memory original.
+
+The flat block exists for the serving tier: it can be memory-mapped
+(``load_artifact`` does, by default, when the block is present) so a cold
+load never double-buffers the payload through a decompression copy, and it
+can be copied *once* into :mod:`multiprocessing.shared_memory` and opened
+zero-copy by every worker of a process-pool server
+(:mod:`repro.serve.shm`).  The npz stays the durable interchange format —
+bundles written before the flat block existed load exactly as before.
 """
 
 from __future__ import annotations
@@ -37,11 +48,28 @@ from ..snn.encoding import InputEncoder, PoissonCoding, RealCoding
 from ..snn.layers import layer_from_state
 from ..snn.network import SpikingNetwork
 
-__all__ = ["FORMAT_VERSION", "ArtifactError", "LoadedArtifact", "save_artifact", "load_artifact", "read_manifest"]
+__all__ = [
+    "FORMAT_VERSION",
+    "FLAT_ALIGN",
+    "ArtifactError",
+    "LoadedArtifact",
+    "save_artifact",
+    "load_artifact",
+    "read_manifest",
+    "flat_layout",
+    "flat_block_bytes",
+    "arrays_from_buffer",
+    "network_from_manifest",
+]
 
 FORMAT_VERSION = 1
 MANIFEST_FILE = "manifest.json"
 ARRAYS_FILE = "arrays.npz"
+FLAT_FILE = "arrays.flat"
+#: Byte alignment of every array inside the flat block.  64 covers the
+#: widest vector registers numpy kernels care about and keeps rows
+#: cache-line aligned however the block is mapped (file mmap or shm).
+FLAT_ALIGN = 64
 
 
 class ArtifactError(RuntimeError):
@@ -214,6 +242,91 @@ def _encoder_from_state(state: Dict[str, object]) -> InputEncoder:
     raise ArtifactError(f"unknown encoder kind {kind!r} in artifact manifest")
 
 
+# ---------------------------------------------------------------------------
+# Flat-buffer layout: one contiguous aligned block + offset table
+# ---------------------------------------------------------------------------
+
+
+def flat_layout(arrays: Dict[str, np.ndarray]) -> Dict[str, object]:
+    """The manifest ``flat`` section for a key→array mapping.
+
+    Arrays are laid out in sorted-key order, each C-contiguous at an offset
+    rounded up to :data:`FLAT_ALIGN`; the table records offset, shape and
+    dtype (numpy ``dtype.str``, so byte order is explicit) per key, plus the
+    total block size.  Pure layout — no bytes are produced here — so the
+    same table describes the on-disk ``arrays.flat`` file and any
+    shared-memory copy of it.
+    """
+
+    table: Dict[str, Dict[str, object]] = {}
+    offset = 0
+    for key in sorted(arrays):
+        array = arrays[key]
+        offset = -(-offset // FLAT_ALIGN) * FLAT_ALIGN
+        table[key] = {
+            "offset": offset,
+            "shape": [int(dim) for dim in array.shape],
+            "dtype": array.dtype.str,
+        }
+        offset += array.nbytes
+    return {"file": FLAT_FILE, "align": FLAT_ALIGN, "size": offset, "arrays": table}
+
+
+def flat_block_bytes(arrays: Dict[str, np.ndarray], layout: Dict[str, object]) -> bytearray:
+    """Materialise the contiguous block ``layout`` describes (padding zeroed)."""
+
+    block = bytearray(int(layout["size"]))
+    for key, entry in layout["arrays"].items():
+        data = np.ascontiguousarray(arrays[key])
+        start = int(entry["offset"])
+        block[start:start + data.nbytes] = data.tobytes()
+    return block
+
+
+def arrays_from_buffer(buffer, layout: Dict[str, object], writable: bool = False) -> Dict[str, np.ndarray]:
+    """Zero-copy array views over a buffer holding a flat block.
+
+    ``buffer`` is anything exposing the buffer protocol over at least
+    ``layout["size"]`` bytes — a ``memmap`` of ``arrays.flat``, a
+    ``SharedMemory.buf`` memoryview, raw ``bytes``.  Views are marked
+    read-only unless ``writable`` (weights are read-only during simulation;
+    an accidental in-place write through a shared mapping would corrupt
+    every attached process).
+    """
+
+    views: Dict[str, np.ndarray] = {}
+    for key, entry in layout["arrays"].items():
+        dtype = np.dtype(str(entry["dtype"]))
+        shape = tuple(int(dim) for dim in entry["shape"])
+        view = np.frombuffer(buffer, dtype=dtype, count=int(np.prod(shape, dtype=np.int64)), offset=int(entry["offset"]))
+        view = view.reshape(shape)
+        view.flags.writeable = bool(writable) and view.flags.writeable
+        views[key] = view
+    return views
+
+
+def _read_flat_views(path: Path, manifest: Dict) -> Optional[Dict[str, np.ndarray]]:
+    """Memory-mapped views over the bundle's flat block, or ``None``.
+
+    ``None`` (bundle predates the flat block, or the file is missing /
+    truncated) sends the caller down the npz fallback path.
+    """
+
+    flat = manifest.get("flat")
+    if not isinstance(flat, dict) or "arrays" not in flat:
+        return None
+    flat_path = path / str(flat.get("file", FLAT_FILE))
+    if not flat_path.is_file() or flat_path.stat().st_size < int(flat.get("size", 0)):
+        return None
+    if int(flat.get("size", 0)) == 0:
+        return {}
+    # mode="r": pages fault in lazily from the file and stay clean/shared,
+    # so a cold load of a large bundle touches only what simulation reads
+    # and never holds a second decompressed copy of the payload.
+    raw = np.memmap(flat_path, dtype=np.uint8, mode="r")
+    return arrays_from_buffer(raw, flat)
+
+
 def save_artifact(
     network: SpikingNetwork,
     path: Union[str, Path],
@@ -259,11 +372,13 @@ def save_artifact(
     recorded = dict(metadata or {})
     recorded.setdefault("precision", network.policy_spec)
     recorded.setdefault("scheduler", network.scheduler_spec)
+    flat = flat_layout(arrays)
     manifest = {
         "format_version": FORMAT_VERSION,
         "name": network.name,
         "encoder": _encoder_to_state(network.encoder),
         "layers": layer_entries,
+        "flat": flat,
         "metadata": _jsonable(recorded),
     }
     retired_dirs: List[Path] = []
@@ -271,6 +386,8 @@ def save_artifact(
         with open(staging / MANIFEST_FILE, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=2, sort_keys=True)
         np.savez_compressed(staging / ARRAYS_FILE, **arrays)
+        with open(staging / FLAT_FILE, "wb") as handle:
+            handle.write(flat_block_bytes(arrays, flat))
         # Rename the old bundle aside (cheap) rather than rmtree-ing it in
         # place (slow), so the no-bundle window a concurrent reader can hit
         # is two renames wide instead of a whole recursive delete.  A
@@ -330,24 +447,32 @@ def read_manifest(path: Union[str, Path]) -> Dict:
     return manifest
 
 
-def load_artifact(path: Union[str, Path]) -> LoadedArtifact:
-    """Rebuild a :class:`~repro.snn.SpikingNetwork` from a bundle directory."""
+def network_from_manifest(
+    manifest: Dict,
+    arrays: Dict[str, np.ndarray],
+    origin: str = "bundle",
+) -> SpikingNetwork:
+    """Rebuild a :class:`~repro.snn.SpikingNetwork` from a manifest + arrays.
 
-    path = Path(path)
-    manifest = read_manifest(path)
-    arrays_path = path / ARRAYS_FILE
-    if not arrays_path.is_file():
-        raise ArtifactError(f"no serving artifact at {path}: missing {ARRAYS_FILE}")
+    ``arrays`` maps the manifest's ``layer{index}/{field}`` keys to the
+    weight arrays — eagerly decompressed from the npz, memory-mapped views
+    of the flat block, or zero-copy views over a shared-memory segment
+    (:mod:`repro.serve.shm`); the rebuild never copies a float array whose
+    dtype already matches the bundle's recorded profile, so the backing
+    buffer is genuinely shared.  Applies the recorded compute-policy
+    profile, scheduler and backend exactly as :func:`load_artifact` always
+    has (unknown names degrade with a warning naming ``origin``).
+    """
 
-    with np.load(arrays_path) as arrays:
-        layers = []
-        for index, entry in enumerate(manifest["layers"]):
-            state = dict(entry)
-            prefix = f"layer{index}/"
-            for key in arrays.files:
-                if key.startswith(prefix):
-                    state[key[len(prefix):]] = arrays[key]
-            layers.append(layer_from_state(state))
+    by_layer: Dict[int, Dict[str, np.ndarray]] = {}
+    for key, value in arrays.items():
+        layer_tag, _, field_name = key.partition("/")
+        if layer_tag.startswith("layer") and field_name:
+            try:
+                index = int(layer_tag[len("layer"):])
+            except ValueError:
+                continue
+            by_layer.setdefault(index, {})[field_name] = value
 
     metadata = manifest.get("metadata", {})
     precision = metadata.get("precision")
@@ -355,14 +480,14 @@ def load_artifact(path: Union[str, Path]) -> LoadedArtifact:
     if precision is not None:
         # The exporter's compute-policy profile travels with the bundle so a
         # served copy runs (and allocates) the way it was benchmarked.  The
-        # npz arrays already carry the right dtypes; re-applying the profile
-        # aligns the pools, encoder and kernel mode with them.
+        # stored arrays already carry the right dtypes; re-applying the
+        # profile aligns the pools, encoder and kernel mode with them.
         try:
             validate_policy_spec(str(precision))
             target = str(precision)
         except ValueError:
             warnings.warn(
-                f"artifact at {path} records unknown compute-policy profile {precision!r}; "
+                f"{origin} records unknown compute-policy profile {precision!r}; "
                 "running under 'train64' (custom ComputePolicy instances do not round-trip "
                 "through bundles — re-apply with set_policy)",
                 UserWarning,
@@ -374,6 +499,11 @@ def load_artifact(path: Union[str, Path]) -> LoadedArtifact:
     # payloads onto int8 grids, and the quantize → dequantize round trip is
     # lossy (weights come back as q·scale, not the saved bits).
     with using_policy(target if target is not None else active_policy()):
+        layers = []
+        for index, entry in enumerate(manifest["layers"]):
+            state = dict(entry)
+            state.update(by_layer.get(index, {}))
+            layers.append(layer_from_state(state))
         network = SpikingNetwork(
             layers,
             encoder=_encoder_from_state(manifest.get("encoder", {})),
@@ -392,7 +522,7 @@ def load_artifact(path: Union[str, Path]) -> LoadedArtifact:
             network.set_scheduler(str(scheduler))
         except ValueError:
             warnings.warn(
-                f"artifact at {path} records unknown execution scheduler {scheduler!r}; "
+                f"{origin} records unknown execution scheduler {scheduler!r}; "
                 "running sequentially (custom Scheduler instances do not round-trip "
                 "through bundles — re-apply with set_scheduler)",
                 UserWarning,
@@ -405,7 +535,7 @@ def load_artifact(path: Union[str, Path]) -> LoadedArtifact:
         # operator the advisory mode is from a newer writer and serving will
         # size its timestep budgets as for a standard conversion.
         warnings.warn(
-            f"artifact at {path} records unknown latency mode {latency!r}; "
+            f"{origin} records unknown latency mode {latency!r}; "
             "treating it as 'standard' (the converted weights load unchanged)",
             UserWarning,
             stacklevel=2,
@@ -421,14 +551,52 @@ def load_artifact(path: Union[str, Path]) -> LoadedArtifact:
             network.set_backend(str(backend))
         except ValueError:
             warnings.warn(
-                f"artifact at {path} records unknown simulation backend {backend!r}; running dense "
+                f"{origin} records unknown simulation backend {backend!r}; running dense "
                 "(custom Backend instances do not round-trip through bundles — re-apply with set_backend)",
                 UserWarning,
                 stacklevel=2,
             )
+    return network
+
+
+def load_artifact(path: Union[str, Path], mmap: Optional[bool] = None) -> LoadedArtifact:
+    """Rebuild a :class:`~repro.snn.SpikingNetwork` from a bundle directory.
+
+    ``mmap`` controls how the weight payload is opened:
+
+    * ``None`` (default) — memory-map the flat block when the bundle has
+      one, otherwise decompress the npz eagerly (pre-flat bundles);
+    * ``True`` — require the flat block (:class:`ArtifactError` without it);
+    * ``False`` — always decompress the npz (a private, file-independent
+      copy — e.g. before deleting the bundle from disk).
+
+    A memory-mapped load keeps weights as read-only views over the page
+    cache: cold loads stop double-buffering the payload in RAM, pages fault
+    in lazily as simulation first touches them, and every process mapping
+    the same bundle shares one physical copy.
+    """
+
+    path = Path(path)
+    manifest = read_manifest(path)
+    arrays: Optional[Dict[str, np.ndarray]] = None
+    if mmap is None or mmap:
+        arrays = _read_flat_views(path, manifest)
+        if arrays is None and mmap:
+            raise ArtifactError(
+                f"artifact at {path} has no flat block to memory-map; "
+                "re-save it with this build (or load with mmap=False)"
+            )
+    if arrays is None:
+        arrays_path = path / ARRAYS_FILE
+        if not arrays_path.is_file():
+            raise ArtifactError(f"no serving artifact at {path}: missing {ARRAYS_FILE}")
+        with np.load(arrays_path) as stored:
+            arrays = {key: stored[key] for key in stored.files}
+
+    network = network_from_manifest(manifest, arrays, origin=f"artifact at {path}")
     return LoadedArtifact(
         network=network,
-        metadata=metadata,
+        metadata=manifest.get("metadata", {}),
         manifest=manifest,
         path=path,
     )

@@ -27,12 +27,13 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..obs import active_tracer
+from .admission import AdmissionController, Overloaded
 from .batcher import InferenceRequest, MicroBatcher
 from .engine import AdaptiveConfig, AdaptiveEngine
 from .metrics import RequestRecord, ServingMetrics
 from .registry import ModelRegistry
 
-__all__ = ["InferenceReply", "InferenceServer"]
+__all__ = ["InferenceReply", "InferenceServer", "Overloaded"]
 
 _POLL_SECONDS = 0.05
 
@@ -59,6 +60,7 @@ class InferenceServer:
         batcher: Optional[MicroBatcher] = None,
         metrics: Optional[ServingMetrics] = None,
         num_workers: int = 1,
+        max_inflight: Optional[int] = None,
     ) -> None:
         if num_workers <= 0:
             raise ValueError(f"num_workers must be positive, got {num_workers}")
@@ -67,6 +69,11 @@ class InferenceServer:
         self.batcher = batcher if batcher is not None else MicroBatcher()
         self.metrics = metrics if metrics is not None else ServingMetrics()
         self.num_workers = num_workers
+        self.admission = AdmissionController(
+            max_inflight,
+            on_shed=self.metrics.record_shed,
+            on_depth=self.metrics.set_queue_depth,
+        )
         self._workers: List[threading.Thread] = []
         self._stop = threading.Event()
         self._model_locks: Dict[Tuple[str, str], threading.Lock] = defaultdict(threading.Lock)
@@ -163,14 +170,21 @@ class InferenceServer:
         workers gone the request could never be served, and enqueueing it
         would strand its future forever.  (Submitting *before* ``start()``
         is still allowed — the queue is simply drained when the workers
-        come up.)
+        come up.)  Raises :class:`~repro.serve.admission.Overloaded` when a
+        ``max_inflight`` budget is configured and exhausted — the typed
+        load-shed reply; the request was never enqueued.
         """
 
         request = InferenceRequest(image=np.asarray(image), model=model, version=version)
         with self._submit_guard:
             if self._closed:
                 raise RuntimeError("inference server has been stopped; no workers will serve this request")
-            return self.batcher.submit(request)
+            self.admission.admit()
+            future = self.batcher.submit(request)
+        # The admitted request counts against the budget until its future
+        # completes — resolution, failure, and cancellation all release.
+        future.add_done_callback(self.admission.releaser())
+        return future
 
     def infer(self, image: np.ndarray, model: str, version: Optional[str] = None, timeout: Optional[float] = None) -> InferenceReply:
         """Blocking single-sample inference."""

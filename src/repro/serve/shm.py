@@ -1,0 +1,228 @@
+"""Shared-memory artifact segments for the multi-process serving tier.
+
+A published bundle's flat block (:mod:`repro.serve.serialize`) is copied
+*once* into a :class:`multiprocessing.shared_memory.SharedMemory` segment by
+the serving parent; every worker process then attaches the segment by name
+and rebuilds its :class:`~repro.snn.SpikingNetwork` over zero-copy
+``np.frombuffer`` views of the same physical pages.  N workers serving one
+model hold one weight payload between them instead of N — for int8
+``infer8`` bundles the whole fleet shares a quarter-size block.
+
+Ownership protocol
+------------------
+* :func:`share_artifact` (parent) creates the segment and returns a
+  :class:`SharedArtifact` handle that owns it.  The parent must call
+  :meth:`SharedArtifact.close` when the model is retired or replaced;
+  close both unmaps and unlinks.  Unlinking while workers are attached is
+  safe and deliberate — POSIX keeps the pages alive until the last mapping
+  drops, so hot-swapping a model never torpedoes inflight batches.
+* :func:`attach_shared_artifact` (worker) attaches by name and returns an
+  :class:`AttachedArtifact` whose network's float weights alias the
+  segment.  The worker must call :meth:`AttachedArtifact.close` before
+  loading a replacement; close drops the network and view references
+  before unmapping (``SharedMemory.close`` raises ``BufferError`` while
+  ndarray views are alive).
+
+Every create/attach in this module pairs with ``close()``/``unlink()`` in
+a ``finally`` — the ``reprolint`` ``shm`` rule enforces the same
+discipline repo-wide.
+"""
+
+from __future__ import annotations
+
+import gc
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .serialize import (
+    ARRAYS_FILE,
+    ArtifactError,
+    FLAT_FILE,
+    arrays_from_buffer,
+    flat_block_bytes,
+    flat_layout,
+    network_from_manifest,
+    read_manifest,
+)
+
+__all__ = ["SharedArtifact", "AttachedArtifact", "share_artifact", "attach_shared_artifact"]
+
+
+def _flat_block_for(path: Path, manifest: Dict) -> tuple[Dict, memoryview]:
+    """Return ``(layout, block)`` for the bundle at ``path``.
+
+    Prefers the on-disk flat block (memory-mapped, so the copy into the
+    segment streams straight from the page cache); pre-flat bundles fall
+    back to decompressing the npz and packing a block in memory.
+    """
+
+    flat = manifest.get("flat")
+    if isinstance(flat, dict) and "arrays" in flat:
+        flat_path = path / str(flat.get("file", FLAT_FILE))
+        size = int(flat.get("size", 0))
+        if flat_path.is_file() and flat_path.stat().st_size >= size:
+            if size == 0:
+                return flat, memoryview(b"")
+            raw = np.memmap(flat_path, dtype=np.uint8, mode="r")
+            return flat, memoryview(raw)[:size]
+    arrays_path = path / ARRAYS_FILE
+    if not arrays_path.is_file():
+        raise ArtifactError(f"no serving artifact at {path}: missing {ARRAYS_FILE}")
+    with np.load(arrays_path) as stored:
+        arrays = {key: stored[key] for key in stored.files}
+    layout = flat_layout(arrays)
+    return layout, memoryview(flat_block_bytes(arrays, layout))
+
+
+class SharedArtifact:
+    """Parent-side handle owning one shared-memory weight segment."""
+
+    __slots__ = ("name", "manifest", "layout", "size", "_shm", "_closed")
+
+    def __init__(self, shm: shared_memory.SharedMemory, manifest: Dict, layout: Dict) -> None:
+        self._shm = shm
+        self.name = shm.name
+        self.manifest = manifest
+        self.layout = layout
+        self.size = int(layout.get("size", 0))
+        self._closed = False
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (idempotent).
+
+        Attached workers keep serving off the orphaned pages until they
+        drop their own mappings — this is the hot-swap path, not a fault.
+        """
+
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        finally:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # already unlinked (double-retire race)
+                pass
+
+    def __enter__(self) -> "SharedArtifact":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def share_artifact(path: Union[str, Path], manifest: Optional[Dict] = None) -> "SharedArtifact":
+    """Copy the bundle at ``path`` into a fresh shared-memory segment.
+
+    Returns the owning :class:`SharedArtifact`; the caller is responsible
+    for :meth:`SharedArtifact.close` once every worker has been told to
+    detach (or immediately on hot-swap — see the module docstring).
+    """
+
+    path = Path(path)
+    if manifest is None:
+        manifest = read_manifest(path)
+    layout, block = _flat_block_for(path, manifest)
+    # SharedMemory rejects size 0; a layer-less bundle still gets a
+    # 1-byte segment so the attach protocol stays uniform.
+    shm = shared_memory.SharedMemory(create=True, size=max(int(layout.get("size", 0)), 1))
+    installed = False
+    try:
+        size = int(layout.get("size", 0))
+        if size:
+            shm.buf[:size] = block
+        handle = SharedArtifact(shm, manifest, layout)
+        installed = True
+        return handle
+    finally:
+        if not installed:
+            shm.close()
+            shm.unlink()
+
+
+class AttachedArtifact:
+    """Worker-side handle over a segment created by :func:`share_artifact`.
+
+    ``network`` is a :class:`~repro.snn.SpikingNetwork` whose stored
+    arrays are read-only views into the segment wherever the recorded
+    compute-policy profile allows zero-copy reconstruction (matching
+    float dtypes, int8 quantized payloads).
+    """
+
+    __slots__ = ("name", "manifest", "network", "_shm", "_views", "_closed")
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        manifest: Dict,
+        network,
+        views: Dict[str, np.ndarray],
+    ) -> None:
+        self._shm = shm
+        self.name = shm.name
+        self.manifest = manifest
+        self.network = network
+        self._views = views
+        self._closed = False
+
+    def close(self) -> None:
+        """Drop the network and every view, then unmap (idempotent)."""
+
+        if self._closed:
+            return
+        self._closed = True
+        self.network = None
+        self._views = {}
+        # SharedMemory.close raises BufferError while any exported ndarray
+        # view is alive; the network's layers held the last references, so
+        # one collection pass frees them before the unmap.
+        gc.collect()
+        self._shm.close()
+
+    def __enter__(self) -> "AttachedArtifact":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def attach_shared_artifact(name: str, manifest: Dict) -> "AttachedArtifact":
+    """Attach the segment ``name`` and rebuild its network zero-copy.
+
+    ``manifest`` is the bundle manifest the parent shipped alongside the
+    segment name (it carries the flat offset table).  The caller owns the
+    returned handle and must :meth:`AttachedArtifact.close` it before
+    attaching a replacement segment for the same model.
+    """
+
+    flat = manifest.get("flat")
+    if not isinstance(flat, dict) or "arrays" not in flat:
+        raise ArtifactError(f"shared segment {name!r}: manifest has no flat offset table")
+    shm = shared_memory.SharedMemory(name=name)
+    views: Dict[str, np.ndarray] = {}
+    installed = False
+    try:
+        # CPython 3.11 registers the segment with the resource tracker on
+        # attach as well as on create.  Fork-started workers share the
+        # parent's tracker process, where the duplicate register is a
+        # set-add no-op and the parent's eventual unlink settles the books
+        # — which is why the pool pins the "fork" start method.  (Spawned
+        # children get their *own* tracker, which would unlink the segment
+        # out from under everyone at worker exit: bpo-38119.)
+        views = arrays_from_buffer(shm.buf, flat)
+        network = network_from_manifest(manifest, views, origin=f"shared segment {name!r}")
+        handle = AttachedArtifact(shm, manifest, network, views)
+        installed = True
+        return handle
+    finally:
+        if not installed:
+            views = {}
+            gc.collect()
+            try:
+                shm.close()
+            except BufferError:  # in-flight traceback still pins a view
+                pass

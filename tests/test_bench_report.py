@@ -35,9 +35,15 @@ class TestGeneration:
             for s in bench_report.SCHEDULERS
             for t in bench_report.TIMESTEPS_AXIS
         }
+        expected |= {
+            f"serve/{p}/w{n}"
+            for p in bench_report.SERVE_PRECISIONS
+            for n in bench_report.WORKERS_AXIS
+        }
         assert set(fast_report["results"]) == expected
-        # 2 backends × 3 precisions × 3 schedulers × 2 simulation budgets.
-        assert len(expected) == 36
+        # 2 backends × 3 precisions × 3 schedulers × 2 simulation budgets,
+        # plus the serving axis: 1 precision × 2 worker counts.
+        assert len(expected) == 38
 
     def test_cells_carry_sane_numbers(self, fast_report):
         for key, cell in fast_report["results"].items():
@@ -156,25 +162,48 @@ class TestDiff:
 
 
 class TestSchemaTransition:
-    """The v1 → v2 bump (T axis in cell keys) must not strand old baselines."""
+    """Schema bumps (v1 → v2 → v3) must not strand old committed baselines."""
+
+    def _as_v2(self, report):
+        """Rewrite a fast v3 report into the v2 shape (no serving axis)."""
+
+        v2 = copy.deepcopy(report)
+        v2["schema"] = bench_report.SCHEMA_V2
+        for key in ("serve_precisions", "workers", "serve_timesteps"):
+            v2["config"].pop(key, None)
+        v2["results"] = {
+            key: cell for key, cell in report["results"].items() if not key.startswith("serve/")
+        }
+        return v2
 
     def _as_v1(self, report):
-        """Rewrite a fast v2 report into the legacy v1 shape."""
+        """Rewrite a fast v3 report into the legacy v1 shape."""
 
-        v1 = copy.deepcopy(report)
+        v1 = self._as_v2(report)
         v1["schema"] = bench_report.SCHEMA_V1
         v1["config"].pop("low_latency_max_t", None)
         v1["config"]["timesteps"] = 8  # v1 recorded a single int
         suffix = f"/T{bench_report.TIMESTEPS_AXIS[0]}"
         v1["results"] = {
             key[: -len(suffix)]: cell
-            for key, cell in report["results"].items()
+            for key, cell in v1["results"].items()
             if key.endswith(suffix)
         }
         return v1
 
+    def test_v2_reports_still_validate(self, fast_report):
+        bench_report.validate_report(self._as_v2(fast_report))
+
     def test_v1_reports_still_validate(self, fast_report):
         bench_report.validate_report(self._as_v1(fast_report))
+
+    def test_v2_baseline_diffs_serving_cells_as_new_not_regression(self, fast_report, capsys):
+        v2 = self._as_v2(fast_report)
+        regressions = bench_report.diff_reports(v2, fast_report)
+        out = capsys.readouterr().out
+        assert regressions == []
+        assert "serve/infer32/w1" in out and "new cell" in out
+        assert "dropped" not in out  # the matrix itself is unchanged
 
     def test_v1_baseline_diffs_as_drift_not_regression(self, fast_report, capsys):
         v1 = self._as_v1(fast_report)
@@ -197,6 +226,12 @@ class TestTimestepsAxis:
         with pytest.raises(SystemExit):
             bench_report._parse_timesteps("")
 
+    def test_parse_workers_default_and_explicit(self):
+        assert bench_report._parse_workers(None) == bench_report.WORKERS_AXIS
+        assert bench_report._parse_workers("1,2,4") == (1, 2, 4)
+        with pytest.raises(SystemExit):
+            bench_report._parse_workers("0,2")
+
     def test_low_budgets_use_low_latency_conversions(self, fast_report):
         assert fast_report["config"]["low_latency_max_t"] == bench_report.LOW_LATENCY_MAX_T
         assert fast_report["config"]["timesteps"] == list(bench_report.TIMESTEPS_AXIS)
@@ -205,3 +240,23 @@ class TestTimestepsAxis:
         low = fast_report["results"]["dense/infer32/sequential/T8"]["wall_ms"]["best"]
         base = fast_report["results"]["dense/infer32/sequential/T32"]["wall_ms"]["best"]
         assert low < base
+
+
+class TestServingAxis:
+    def test_serving_cells_record_the_axis_config(self, fast_report):
+        config = fast_report["config"]
+        assert config["serve_precisions"] == list(bench_report.SERVE_PRECISIONS)
+        assert config["workers"] == list(bench_report.WORKERS_AXIS)
+        assert config["serve_timesteps"] == bench_report.SERVE_TIMESTEPS
+
+    def test_serving_cells_have_the_standard_shape(self, fast_report):
+        for num_workers in bench_report.WORKERS_AXIS:
+            cell = fast_report["results"][f"serve/infer32/w{num_workers}"]
+            assert cell["wall_ms"]["best"] > 0
+            assert cell["throughput"]["samples_per_s"] > 0
+
+    def test_missing_serving_cell_fails_validation(self, fast_report):
+        bad = copy.deepcopy(fast_report)
+        del bad["results"]["serve/infer32/w1"]
+        with pytest.raises(ValueError, match="missing matrix cells"):
+            bench_report.validate_report(bad)

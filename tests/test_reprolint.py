@@ -45,8 +45,8 @@ def rules_of(findings):
 
 
 class TestRegistry:
-    def test_all_five_rules_plus_suppression_meta_rule_exist(self):
-        assert set(CHECKERS) == {"layering", "dtype", "lock", "tracer", "bufferpool"}
+    def test_all_six_rules_plus_suppression_meta_rule_exist(self):
+        assert set(CHECKERS) == {"layering", "dtype", "lock", "tracer", "bufferpool", "shm"}
 
     def test_every_checker_has_a_description(self):
         for checker_cls in CHECKERS.values():
@@ -417,6 +417,146 @@ class TestBufferPool:
                 return out
             """,
             "src/repro/snn/helper.py",
+        )
+        assert findings == []
+
+
+class TestShm:
+    def test_catches_bare_unmanaged_segment(self):
+        findings = lint_source(
+            """
+            from multiprocessing import shared_memory
+
+            def leak(name):
+                shm = shared_memory.SharedMemory(name=name)
+                return shm.buf[0]
+            """,
+            "src/repro/serve/helper.py",
+        )
+        assert rules_of(findings) == ["shm"]
+        assert "no close()/unlink() in a finally" in findings[0].message
+
+    def test_catches_returned_raw_segment(self):
+        findings = lint_source(
+            """
+            from multiprocessing import shared_memory
+
+            def open_segment(name):
+                return shared_memory.SharedMemory(name=name)
+            """,
+            "src/repro/serve/helper.py",
+        )
+        assert rules_of(findings) == ["shm"]
+        assert "neither assigned for cleanup nor used as a context manager" in findings[0].message
+
+    def test_catches_self_attribute_nothing_closes(self):
+        findings = lint_source(
+            """
+            from multiprocessing import shared_memory
+
+            class Holder:
+                def __init__(self, name):
+                    self._shm = shared_memory.SharedMemory(name=name)
+
+                def read(self):
+                    return bytes(self._shm.buf)
+            """,
+            "src/repro/serve/helper.py",
+        )
+        assert rules_of(findings) == ["shm"]
+        assert "no method of the class closes it" in findings[0].message
+
+    def test_catches_close_outside_finally(self):
+        findings = lint_source(
+            """
+            from multiprocessing import shared_memory
+
+            def copy_out(name):
+                shm = shared_memory.SharedMemory(name=name)
+                data = bytes(shm.buf)
+                shm.close()  # skipped entirely if the copy raises
+                return data
+            """,
+            "src/repro/serve/helper.py",
+        )
+        assert rules_of(findings) == ["shm"]
+
+    def test_finally_paired_segment_is_fine(self):
+        findings = lint_source(
+            """
+            from multiprocessing import shared_memory
+
+            def copy_out(name):
+                shm = shared_memory.SharedMemory(name=name)
+                try:
+                    return bytes(shm.buf)
+                finally:
+                    shm.close()
+            """,
+            "src/repro/serve/helper.py",
+        )
+        assert findings == []
+
+    def test_ownership_transfer_factory_with_installed_flag_is_fine(self):
+        findings = lint_source(
+            """
+            from multiprocessing import shared_memory
+
+            def share(size):
+                shm = shared_memory.SharedMemory(create=True, size=size)
+                installed = False
+                try:
+                    handle = object()
+                    installed = True
+                    return handle
+                finally:
+                    if not installed:
+                        shm.close()
+                        shm.unlink()
+            """,
+            "src/repro/serve/helper.py",
+        )
+        assert findings == []
+
+    def test_with_statement_is_fine(self):
+        findings = lint_source(
+            """
+            from multiprocessing import shared_memory
+
+            def peek(name):
+                with shared_memory.SharedMemory(name=name) as shm:
+                    return shm.buf[0]
+            """,
+            "src/repro/serve/helper.py",
+        )
+        assert findings == []
+
+    def test_handle_class_with_close_method_is_fine(self):
+        findings = lint_source(
+            """
+            from multiprocessing import shared_memory
+
+            class Handle:
+                def __init__(self, name):
+                    self._shm = shared_memory.SharedMemory(name=name)
+
+                def close(self):
+                    self._shm.close()
+            """,
+            "src/repro/serve/helper.py",
+        )
+        assert findings == []
+
+    def test_suppression_comment_applies(self):
+        findings = lint_source(
+            """
+            from multiprocessing import shared_memory
+
+            def probe(name):
+                shm = shared_memory.SharedMemory(name=name)  # reprolint: allow[shm] -- diagnostic tool, process exit reclaims
+                return shm.size
+            """,
+            "src/repro/serve/helper.py",
         )
         assert findings == []
 

@@ -169,6 +169,74 @@ class TestModelRegistry:
         with pytest.raises(ValueError):
             ModelRegistry(tmp_path, capacity=0)
 
+    def test_replica_declarations_default_and_roundtrip(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        assert registry.replicas("anything") == 1  # undeclared models default to 1
+        registry.set_replicas("model", 3)  # may precede the publish
+        assert registry.replicas("model") == 3
+        registry.publish("model", _tiny_network(0))
+        assert registry.replicas("model") == 3
+        with pytest.raises(ValueError):
+            registry.set_replicas("model", 0)
+
+    def test_replica_declarations_survive_lru_eviction(self, tmp_path):
+        # Eviction drops cached *weights*; the replica declaration is
+        # routing policy and must outlive the cache entry.
+        registry = ModelRegistry(tmp_path, capacity=2)
+        registry.set_replicas("m0", 2)
+        for seed in range(3):
+            registry.publish(f"m{seed}", _tiny_network(seed))
+            registry.get(f"m{seed}")
+        assert registry.evictions == 1
+        assert ("m0", "v1") not in registry.cached_keys()
+        assert registry.replicas("m0") == 2
+
+    def test_generation_bumps_on_every_publish_and_unpublish(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        assert registry.generation("model") == 0
+        registry.publish("model", _tiny_network(0))
+        first = registry.generation("model")
+        assert first > 0
+        registry.publish("model", _tiny_network(1))
+        second = registry.generation("model")
+        assert second > first
+        registry.unpublish("model")
+        assert registry.generation("model") > second
+
+    def test_generation_is_per_version(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.publish("model", _tiny_network(0), version="v1")
+        registry.publish("model", _tiny_network(1), version="v2")
+        assert registry.generation("model", "v1") > 0
+        assert registry.generation("model", "v3") == 0
+
+    def test_concurrent_publish_while_getting_never_serves_stale(self, tmp_path):
+        # get() racing publish() must end with the cache holding the new
+        # bundle, never re-caching the replaced one.
+        registry = ModelRegistry(tmp_path)
+        registry.publish("model", _tiny_network(0))
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    registry.get("model")
+                except Exception as error:  # pragma: no cover - surfaced below
+                    errors.append(error)
+                    return
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for seed in range(1, 5):
+                registry.publish("model", _tiny_network(seed))
+        finally:
+            stop.set()
+            thread.join()
+        assert errors == []
+        assert registry.get("model").network.name == "tiny4"
+
 
 class TestServingMetrics:
     def test_snapshot_aggregates(self):

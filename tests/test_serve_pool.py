@@ -1,0 +1,315 @@
+"""Tests of the multi-process serving tier (`repro.serve.pool` / `.shm` / `.admission`).
+
+The pool's contract mirrors the threaded server — every future accepted by
+``submit`` completes, even across worker-process death — on top of two new
+mechanisms worth pinning independently: shared-memory artifact segments
+(one physical weight copy per model, zero-copy worker-side reconstruction)
+and admission control (typed ``Overloaded`` load shedding).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import warnings
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer, using_tracer
+from repro.serve import (
+    AdaptiveConfig,
+    AdmissionController,
+    ArtifactError,
+    MicroBatcher,
+    ModelRegistry,
+    Overloaded,
+    ProcessPoolServer,
+    ServingMetrics,
+    attach_shared_artifact,
+    load_artifact,
+    save_artifact,
+    share_artifact,
+)
+from repro.snn import SpikingLinear, SpikingNetwork, SpikingOutputLayer
+
+
+def _tiny_network(seed: int) -> SpikingNetwork:
+    rng = np.random.default_rng(seed)
+    return SpikingNetwork(
+        [
+            SpikingLinear(rng.uniform(-0.3, 0.5, (6, 4))),
+            SpikingOutputLayer(rng.uniform(-0.3, 0.5, (3, 6))),
+        ],
+        name=f"tiny{seed}",
+    )
+
+
+_CONFIG = AdaptiveConfig(max_timesteps=12, min_timesteps=4, stability_window=4)
+
+
+def _pool(registry: ModelRegistry, **kwargs) -> ProcessPoolServer:
+    kwargs.setdefault("engine_config", _CONFIG)
+    kwargs.setdefault("batcher", MicroBatcher(max_batch_size=4, max_wait_ms=2.0))
+    kwargs.setdefault("num_workers", 2)
+    return ProcessPoolServer(registry, **kwargs)
+
+
+@pytest.fixture
+def registry(tmp_path) -> ModelRegistry:
+    registry = ModelRegistry(tmp_path)
+    registry.publish("m", _tiny_network(0))
+    return registry
+
+
+class TestSharedArtifact:
+    def test_attach_is_zero_copy_and_bit_identical(self, rng, tmp_path):
+        path = save_artifact(_tiny_network(0), tmp_path / "bundle")
+        images = rng.uniform(0, 1, (4, 4))
+        reference = load_artifact(path).network.simulate(images, timesteps=10)
+
+        segment = share_artifact(path)
+        attached = attach_shared_artifact(segment.name, segment.manifest)
+        try:
+            # No locals may retain a view past close() — SharedMemory.close
+            # raises BufferError while exported ndarray views are alive.
+            assert attached.network.layers[0].weight.flags["OWNDATA"] is False
+            assert attached.network.layers[0].weight.flags["WRITEABLE"] is False
+            replay = attached.network.simulate(images, timesteps=10)
+            assert np.array_equal(reference.scores[10], replay.scores[10])
+        finally:
+            attached.close()
+            segment.close()
+
+    def test_attach_after_owner_close_fails(self, tmp_path):
+        path = save_artifact(_tiny_network(0), tmp_path / "bundle")
+        segment = share_artifact(path)
+        name, manifest = segment.name, segment.manifest
+        segment.close()
+        with pytest.raises(FileNotFoundError):
+            attach_shared_artifact(name, manifest)
+
+    def test_owner_close_is_idempotent(self, tmp_path):
+        segment = share_artifact(save_artifact(_tiny_network(0), tmp_path / "bundle"))
+        segment.close()
+        segment.close()  # second close is a no-op, not a crash
+
+    def test_unlink_while_attached_keeps_serving(self, rng, tmp_path):
+        # The hot-swap path: the parent retires the segment while a worker
+        # is still attached; POSIX keeps the pages alive until the last
+        # mapping drops, so the attached network keeps working.
+        path = save_artifact(_tiny_network(0), tmp_path / "bundle")
+        segment = share_artifact(path)
+        attached = attach_shared_artifact(segment.name, segment.manifest)
+        try:
+            segment.close()  # unmaps and unlinks in the parent
+            images = rng.uniform(0, 1, (2, 4))
+            result = attached.network.simulate(images, timesteps=8)
+            assert result.scores[8].shape == (2, 3)
+        finally:
+            attached.close()
+
+    def test_attach_requires_flat_offset_table(self, tmp_path):
+        path = save_artifact(_tiny_network(0), tmp_path / "bundle")
+        segment = share_artifact(path)
+        try:
+            manifest = {k: v for k, v in segment.manifest.items() if k != "flat"}
+            with pytest.raises(ArtifactError, match="flat offset table"):
+                attach_shared_artifact(segment.name, manifest)
+        finally:
+            segment.close()
+
+    def test_context_managers_close_both_sides(self, tmp_path):
+        path = save_artifact(_tiny_network(0), tmp_path / "bundle")
+        with share_artifact(path) as segment:
+            with attach_shared_artifact(segment.name, segment.manifest) as attached:
+                assert attached.network is not None
+            assert attached.network is None  # close() dropped the references
+        name = segment.name
+        with pytest.raises(FileNotFoundError):
+            attach_shared_artifact(name, segment.manifest)
+
+
+class TestAdmissionController:
+    def test_unbounded_by_default(self):
+        admission = AdmissionController(None)
+        for _ in range(100):
+            admission.admit()
+        assert admission.inflight == 100
+
+    def test_sheds_beyond_the_budget(self):
+        admission = AdmissionController(2)
+        admission.admit()
+        admission.admit()
+        with pytest.raises(Overloaded) as info:
+            admission.admit()
+        assert info.value.inflight == 2
+        assert info.value.limit == 2
+        assert admission.shed == 1
+        admission.release()
+        admission.admit()  # a release frees one slot
+
+    def test_releaser_is_one_shot(self):
+        admission = AdmissionController(4)
+        admission.admit()
+        release = admission.releaser()
+        release(None)
+        release(None)  # double completion must not free two slots
+        assert admission.inflight == 0
+
+    def test_hooks_observe_shed_and_depth(self):
+        sheds, depths = [], []
+        admission = AdmissionController(1, on_shed=lambda: sheds.append(1), on_depth=depths.append)
+        admission.admit()
+        with pytest.raises(Overloaded):
+            admission.admit()
+        admission.release()
+        assert sheds == [1]
+        assert depths == [1, 0]
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+
+
+class TestProcessPoolServer:
+    def test_serves_requests_across_workers(self, rng, registry):
+        images = rng.uniform(0, 1, (12, 4))
+        with _pool(registry) as server:
+            futures = [server.submit(image, "m") for image in images]
+            replies = [future.result(timeout=60) for future in futures]
+        assert all(reply.model == "m" for reply in replies)
+        assert all(0 <= reply.prediction < 3 for reply in replies)
+        assert server.metrics.count == len(images)
+        assert {reply.version for reply in replies} == {registry.latest_version("m")}
+
+    def test_stop_completes_every_accepted_future(self, rng, registry):
+        server = _pool(registry).start()
+        futures = [server.submit(rng.uniform(0, 1, 4), "m") for _ in range(10)]
+        server.stop(drain=True)
+        assert all(future.done() for future in futures)
+        assert all(future.exception() is None for future in futures)
+
+    def test_submit_after_stop_fails_fast(self, rng, registry):
+        server = _pool(registry).start()
+        server.stop()
+        with pytest.raises(RuntimeError, match="stopped"):
+            server.submit(rng.uniform(0, 1, 4), "m")
+
+    def test_pool_restarts_after_stop(self, rng, registry):
+        server = _pool(registry)
+        with server:
+            server.infer(rng.uniform(0, 1, 4), "m", timeout=60)
+        with server:
+            reply = server.infer(rng.uniform(0, 1, 4), "m", timeout=60)
+        assert reply.model == "m"
+
+    def test_unknown_model_fails_the_future(self, rng, registry):
+        with _pool(registry) as server:
+            future = server.submit(rng.uniform(0, 1, 4), "missing")
+            with pytest.raises(Exception):
+                future.result(timeout=60)
+
+    def test_publish_while_serving_picks_up_the_new_version(self, rng, registry):
+        with _pool(registry) as server:
+            first = server.infer(rng.uniform(0, 1, 4), "m", timeout=60)
+            registry.publish("m", _tiny_network(1), version="v2")
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                reply = server.infer(rng.uniform(0, 1, 4), "m", timeout=60)
+                if reply.version == "v2":
+                    break
+            assert reply.version == "v2"
+        assert first.version == "v1"
+
+    def test_kill_a_worker_drain_still_completes_everything(self, rng, registry):
+        """The fault test pinning the drain contract across process death."""
+
+        server = _pool(registry, num_workers=2).start()
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                futures = [server.submit(rng.uniform(0, 1, 4), "m") for _ in range(8)]
+                # Kill one worker mid-flight; the dispatcher's sweep retries
+                # its inflight jobs on the survivor.
+                victim = server._processes[0]
+                os.kill(victim.pid, signal.SIGKILL)
+                futures += [server.submit(rng.uniform(0, 1, 4), "m") for _ in range(8)]
+                server.stop(drain=True)
+        finally:
+            if server.running:  # pragma: no cover - cleanup on assertion failure
+                server.stop(drain=False)
+        assert all(future.done() for future in futures)
+        served = [future for future in futures if future.exception() is None]
+        # At most the one inflight batch on the killed worker may exhaust its
+        # retry; everything else must be served by the survivor.
+        assert len(served) >= len(futures) - 2
+        assert all(future.result().model == "m" for future in served)
+
+    def test_replicas_clamp_to_alive_workers_with_warning(self, rng, registry):
+        registry.set_replicas("m", 5)
+        with _pool(registry, num_workers=2) as server:
+            with pytest.warns(RuntimeWarning, match="clamping"):
+                reply = server.infer(rng.uniform(0, 1, 4), "m", timeout=60)
+        assert reply.model == "m"
+
+    def test_invalid_worker_count(self, registry):
+        with pytest.raises(ValueError):
+            _pool(registry, num_workers=0)
+
+
+class TestPoolAdmission:
+    def test_overload_sheds_with_typed_error(self, rng, registry):
+        obs = MetricsRegistry()
+        metrics = ServingMetrics(registry=obs)
+        # No started workers: nothing drains the queue, so admissions stick.
+        server = _pool(registry, metrics=metrics, max_inflight=2)
+        accepted, shed = [], 0
+        for _ in range(6):
+            try:
+                accepted.append(server.submit(rng.uniform(0, 1, 4), "m"))
+            except Overloaded as error:
+                shed += 1
+                assert error.limit == 2
+        assert len(accepted) == 2
+        assert shed == 4
+        assert metrics.sheds == 4
+        assert obs.gauge("serve.queue_depth").value == 2.0
+        server.stop()  # fails the two queued futures instead of stranding them
+        assert all(future.done() for future in accepted)
+
+    def test_budget_frees_as_futures_complete(self, rng, registry):
+        with _pool(registry, max_inflight=4) as server:
+            for _ in range(12):  # far more than the budget, sequentially
+                server.infer(rng.uniform(0, 1, 4), "m", timeout=60)
+        assert server.metrics.count == 12
+        assert server.metrics.sheds == 0
+
+
+class TestPoolTelemetry:
+    def test_worker_spans_are_adopted_into_the_parent_tracer(self, rng, registry):
+        tracer = Tracer()
+        with using_tracer(tracer):
+            with _pool(registry) as server:
+                futures = [server.submit(rng.uniform(0, 1, 4), "m") for _ in range(6)]
+                for future in futures:
+                    future.result(timeout=60)
+        names = [span.name for span in tracer.finished()]
+        assert "serve:worker-batch" in names
+        worker_spans = [span for span in tracer.finished() if span.name == "serve:worker-batch"]
+        # Worker thread ids are remapped onto pid-derived ids so Chrome
+        # trace tracks from different processes never merge.
+        assert all(span.thread_name.startswith("worker-") for span in worker_spans)
+
+    def test_worker_utilization_gauge_is_published(self, rng, registry):
+        obs = MetricsRegistry()
+        metrics = ServingMetrics(registry=obs)
+        with _pool(registry, metrics=metrics) as server:
+            for _ in range(4):
+                server.infer(rng.uniform(0, 1, 4), "m", timeout=60)
+        gauges = [name for name in obs.snapshot() if name.startswith("serve.worker.")]
+        assert gauges  # at least one worker reported a utilization fraction
+        for name in gauges:
+            assert 0.0 <= obs.gauge(name).value <= 1.0

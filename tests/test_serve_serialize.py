@@ -15,6 +15,13 @@ import pytest
 
 from repro.core import convert_ann_to_snn
 from repro.serve import ArtifactError, load_artifact, read_manifest, save_artifact
+from repro.serve.serialize import (
+    FLAT_ALIGN,
+    FLAT_FILE,
+    arrays_from_buffer,
+    flat_block_bytes,
+    flat_layout,
+)
 from repro.snn import (
     PoissonCoding,
     ResetMode,
@@ -469,6 +476,76 @@ class TestSchedulerRoundTrip:
         reference = conversion.snn.simulate(test_images, timesteps=30, scheduler="sequential")
         replay = loaded.network.simulate(test_images, timesteps=30)
         assert np.array_equal(reference.scores[30], replay.scores[30])
+
+
+class TestFlatBuffer:
+    """The memory-mappable flat weight block written beside the npz."""
+
+    def test_manifest_records_an_aligned_offset_table(self, rng, tmp_path):
+        path = save_artifact(_toy_network(rng), tmp_path / "toy")
+        flat = read_manifest(path)["flat"]
+        assert flat["file"] == FLAT_FILE
+        assert flat["align"] == FLAT_ALIGN
+        assert (path / FLAT_FILE).stat().st_size == flat["size"]
+        assert list(flat["arrays"]) == sorted(flat["arrays"])
+        end = 0
+        for entry in flat["arrays"].values():
+            assert entry["offset"] % FLAT_ALIGN == 0
+            assert entry["offset"] >= end  # blocks never overlap
+            count = int(np.prod(entry["shape"])) if entry["shape"] else 1
+            end = entry["offset"] + count * np.dtype(entry["dtype"]).itemsize
+        assert end <= flat["size"]
+
+    def test_mmap_load_is_lazy_readonly_and_bit_identical(self, rng, tmp_path):
+        path = save_artifact(_toy_network(rng), tmp_path / "toy")
+        images = rng.uniform(0, 1, (4, 3, 8, 8))
+        eager = load_artifact(path, mmap=False)
+        mapped = load_artifact(path)  # default: flat block present → mmap
+        weight = mapped.network.layers[0].weight
+        assert not weight.flags["OWNDATA"]  # a view over the page cache
+        assert not weight.flags["WRITEABLE"]
+        # The eager path hands out a private writable copy, the mapped path
+        # a read-only view — writability is the observable difference.
+        assert eager.network.layers[0].weight.flags["WRITEABLE"]
+        reference = eager.network.simulate(images, timesteps=20)
+        replay = mapped.network.simulate(images, timesteps=20)
+        assert np.array_equal(reference.scores[20], replay.scores[20])
+
+    def test_mmap_required_raises_without_flat_block(self, rng, tmp_path):
+        path = save_artifact(_toy_network(rng), tmp_path / "toy")
+        manifest = read_manifest(path)
+        del manifest["flat"]
+        with open(path / "manifest.json", "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        (path / FLAT_FILE).unlink()
+        with pytest.raises(ArtifactError, match="no flat block"):
+            load_artifact(path, mmap=True)
+        # The default degrades to the eager npz path — pre-flat bundles
+        # (and bundles whose flat file was stripped) keep loading.
+        assert load_artifact(path).network.name == "toy"
+
+    def test_truncated_flat_block_falls_back_to_npz(self, rng, tmp_path):
+        path = save_artifact(_toy_network(rng), tmp_path / "toy")
+        with open(path / FLAT_FILE, "r+b") as handle:
+            handle.truncate(8)
+        loaded = load_artifact(path)  # auto mode must not map a short file
+        assert loaded.network.layers[0].weight.flags["WRITEABLE"]
+        with pytest.raises(ArtifactError, match="no flat block"):
+            load_artifact(path, mmap=True)
+
+    def test_flat_block_round_trips_through_a_plain_buffer(self, rng):
+        arrays = {
+            "a/weight": rng.uniform(-1, 1, (3, 4)),
+            "b/bias": rng.uniform(-1, 1, 5).astype(np.float32),
+            "c/scalar": np.asarray(2.5),
+        }
+        layout = flat_layout(arrays)
+        views = arrays_from_buffer(bytes(flat_block_bytes(arrays, layout)), layout)
+        assert set(views) == set(arrays)
+        for key in arrays:
+            assert views[key].dtype == arrays[key].dtype
+            assert np.array_equal(views[key], arrays[key])
+            assert not views[key].flags["WRITEABLE"]
 
 
 class TestConversionResultExport:

@@ -2,12 +2,14 @@
 """Generate (and diff) the per-PR performance-trajectory report.
 
 The report is one JSON file — ``BENCH_<date>.json`` — covering the full
-backend × precision × scheduler matrix on the reference ConvNet-4 fixture.
-Each cell records wall-clock latency (best/mean/p50/p95/p99 over repeats),
-derived throughput (samples/s and layer-timesteps/s), and allocation stats
-(``tracemalloc`` peak and net growth), so a perf regression introduced by a
-PR shows up as a diff against the committed baseline rather than as a vague
-"it feels slower".
+backend × precision × scheduler matrix on the reference ConvNet-4 fixture,
+plus a serving axis (``serve/<precision>/w<N>``) that pushes the same
+fixture through the multi-process :class:`ProcessPoolServer` at different
+worker counts.  Each cell records wall-clock latency (best/mean/p50/p95/p99
+over repeats), derived throughput (samples/s and layer-timesteps/s), and
+allocation stats (``tracemalloc`` peak and net growth), so a perf
+regression introduced by a PR shows up as a diff against the committed
+baseline rather than as a vague "it feels slower".
 
 Workflow::
 
@@ -32,6 +34,7 @@ import datetime as _datetime
 import json
 import platform
 import sys
+import tempfile
 import time
 import tracemalloc
 from pathlib import Path
@@ -53,10 +56,13 @@ from repro.snn.executor import (  # noqa: E402
 )
 
 #: Schema tag — bump when the report layout changes incompatibly.
-SCHEMA = "repro.bench_report/v2"
-#: Previous schema, still accepted on the baseline side of ``--diff`` so the
-#: CI diff keeps working across the v1 → v2 transition (v1 cells have no T
-#: suffix; they diff as dropped/new cells, never as false regressions).
+SCHEMA = "repro.bench_report/v3"
+#: Previous schemas, still accepted on the baseline side of ``--diff`` so
+#: the CI diff keeps working across bumps.  A v2 baseline (no serving
+#: cells) diffs against a v3 current with the ``serve/…`` cells reported as
+#: new — matrix drift, never a false regression; v1 additionally lacks the
+#: T suffix on the matrix cells.
+SCHEMA_V2 = "repro.bench_report/v2"
 SCHEMA_V1 = "repro.bench_report/v1"
 
 BACKENDS = ("dense", "event")
@@ -69,6 +75,15 @@ SCHEDULERS = ("sequential", "pipelined", "sharded")
 #: passes; the T=32 cells stay on the standard conversion as the baseline.
 TIMESTEPS_AXIS = (8, 32)
 LOW_LATENCY_MAX_T = 8
+#: Serving axis: worker counts measured through the multi-process pool, and
+#: the precisions pushed through it.  One precision keeps the serving rows
+#: cheap — the per-precision compute cost is already covered by the matrix;
+#: this axis isolates the scaling of the serving tier itself.
+WORKERS_AXIS = (1, 2)
+SERVE_PRECISIONS = ("infer32",)
+#: Fixed simulation budget of the serving cells (adaptive early exit stays
+#: on, so this is a cap, not the per-sample cost).
+SERVE_TIMESTEPS = 32
 
 #: Metrics compared by ``--diff``: (json path under the cell, label, unit,
 #: +1 when larger is worse / -1 when smaller is worse).
@@ -165,8 +180,64 @@ def _measure_cell(network, images, timesteps: int, scheduler, repeats: int) -> D
     }
 
 
+def _measure_serving_cell(server, model_name: str, images, timesteps: int, layers: int, repeats: int) -> Dict:
+    """Wall clock of serving ``len(images)`` single-sample requests end to end.
+
+    Same cell shape as :func:`_measure_cell` so ``--diff`` treats serving
+    rows like any other.  The allocation section is parent-side only — the
+    workers allocate in their own processes — so it tracks the submit/
+    collect overhead of the pool, not the simulation itself.
+    """
+
+    batch = len(images)
+
+    def serve_once() -> None:
+        futures = [server.submit(image, model_name) for image in images]
+        for future in futures:
+            future.result(timeout=300)
+
+    # Warm-up: workers fault the shared weight segment in and fill backend
+    # caches, like a pool that has been serving for a while.
+    serve_once()
+    walls: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        serve_once()
+        walls.append((time.perf_counter() - started) * 1000.0)
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    serve_once()
+    after, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    arr = np.asarray(walls, dtype=np.float64)
+    best = float(arr.min())
+    return {
+        "wall_ms": {
+            "best": best,
+            "mean": float(arr.mean()),
+            "p50": float(np.percentile(arr, 50)),
+            "p95": float(np.percentile(arr, 95)),
+            "p99": float(np.percentile(arr, 99)),
+            "repeats": repeats,
+        },
+        "throughput": {
+            "samples_per_s": batch / (best / 1000.0),
+            # Budgeted upper bound (early exit retires most samples sooner);
+            # comparable across reports because the budget is pinned.
+            "timesteps_per_s": (batch * timesteps * layers) / (best / 1000.0),
+        },
+        "allocation": {
+            "peak_kb": peak / 1024.0,
+            "net_kb": (after - before) / 1024.0,
+        },
+    }
+
+
 def generate_report(
-    fast: bool = False, date: Optional[str] = None, timesteps_axis=TIMESTEPS_AXIS
+    fast: bool = False,
+    date: Optional[str] = None,
+    timesteps_axis=TIMESTEPS_AXIS,
+    workers_axis=WORKERS_AXIS,
 ) -> Dict:
     """Run the backend × precision × scheduler × T matrix and return the report."""
 
@@ -201,6 +272,39 @@ def generate_report(
                         f"peak {cells[key]['allocation']['peak_kb']:8.0f} KiB",
                         file=sys.stderr,
                     )
+    # Serving axis: the same fixture through the multi-process pool, one
+    # shared-memory artifact copy, worker count swept.  The registry lives
+    # in a temporary directory — the generator never writes artifacts into
+    # the repository.
+    from repro.serve import AdaptiveConfig, ModelRegistry, ProcessPoolServer
+
+    workers_axis = tuple(int(n) for n in workers_axis)
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as root:
+        registry = ModelRegistry(root)
+        for precision in SERVE_PRECISIONS:
+            conversion = (
+                Converter(model).strategy("tcl").precision(precision).calibrate(calibration).convert()
+            )
+            model_name = f"bench-{precision}"
+            registry.publish(model_name, conversion.snn, metadata=conversion.export_metadata())
+            layers = len(conversion.snn.layers)
+            for num_workers in workers_axis:
+                key = f"serve/{precision}/w{num_workers}"
+                server = ProcessPoolServer(
+                    registry,
+                    engine_config=AdaptiveConfig(max_timesteps=SERVE_TIMESTEPS),
+                    num_workers=num_workers,
+                )
+                with server:
+                    cells[key] = _measure_serving_cell(
+                        server, model_name, images, SERVE_TIMESTEPS, layers, repeats
+                    )
+                print(
+                    f"  {key:<36} best {cells[key]['wall_ms']['best']:8.1f} ms · "
+                    f"{cells[key]['throughput']['samples_per_s']:7.1f} samples/s · "
+                    f"peak {cells[key]['allocation']['peak_kb']:8.0f} KiB",
+                    file=sys.stderr,
+                )
     return {
         "schema": SCHEMA,
         "generated": date or _datetime.date.today().isoformat(),
@@ -211,6 +315,9 @@ def generate_report(
             "schedulers": list(SCHEDULERS),
             "timesteps": list(timesteps_axis),
             "low_latency_max_t": LOW_LATENCY_MAX_T,
+            "serve_precisions": list(SERVE_PRECISIONS),
+            "workers": list(workers_axis),
+            "serve_timesteps": SERVE_TIMESTEPS,
             "batch": len(images),
             "repeats": repeats,
         },
@@ -227,16 +334,19 @@ def generate_report(
 def validate_report(report: Dict) -> None:
     """Raise ``ValueError`` unless ``report`` is a well-formed report.
 
-    Accepts the current v2 schema (T axis in the cell keys) and the legacy
-    v1 schema (single ``timesteps`` int, no T suffix), so pre-bump committed
-    baselines keep validating on the ``--diff`` baseline side.
+    Accepts the current v3 schema (serving cells alongside the T-suffixed
+    matrix), the v2 schema (matrix only), and the legacy v1 schema (single
+    ``timesteps`` int, no T suffix), so pre-bump committed baselines keep
+    validating on the ``--diff`` baseline side.
     """
 
     if not isinstance(report, dict):
         raise ValueError(f"report must be an object, got {type(report).__name__}")
     schema = report.get("schema")
-    if schema not in (SCHEMA, SCHEMA_V1):
-        raise ValueError(f"unknown schema {schema!r} (expected {SCHEMA!r} or legacy {SCHEMA_V1!r})")
+    if schema not in (SCHEMA, SCHEMA_V2, SCHEMA_V1):
+        raise ValueError(
+            f"unknown schema {schema!r} (expected {SCHEMA!r} or legacy {SCHEMA_V2!r}/{SCHEMA_V1!r})"
+        )
     for field in ("generated", "config", "environment", "results"):
         if field not in report:
             raise ValueError(f"report is missing the {field!r} field")
@@ -259,6 +369,12 @@ def validate_report(report: Dict) -> None:
             for s in config["schedulers"]
             for t in config["timesteps"]
         }
+        if schema == SCHEMA:
+            expected |= {
+                f"serve/{p}/w{n}"
+                for p in config.get("serve_precisions", ())
+                for n in config.get("workers", ())
+            }
     missing = expected - set(results)
     if missing:
         raise ValueError(f"report is missing matrix cells: {sorted(missing)}")
@@ -321,18 +437,30 @@ def diff_reports(baseline: Dict, current: Dict, threshold: float = 0.10) -> List
     return regressions
 
 
-def _parse_timesteps(spec: Optional[str]):
-    """Parse the ``--timesteps`` axis spec ("8,32") into a tuple of ints."""
+def _parse_axis(spec: Optional[str], default, flag: str):
+    """Parse a comma-separated integer axis spec ("8,32") into a tuple."""
 
     if spec is None:
-        return TIMESTEPS_AXIS
+        return default
     try:
         axis = tuple(int(part) for part in spec.split(",") if part.strip())
     except ValueError:
-        raise SystemExit(f"--timesteps expects comma-separated integers, got {spec!r}")
+        raise SystemExit(f"{flag} expects comma-separated integers, got {spec!r}")
     if not axis or any(t <= 0 for t in axis):
-        raise SystemExit(f"--timesteps budgets must be positive integers, got {spec!r}")
+        raise SystemExit(f"{flag} values must be positive integers, got {spec!r}")
     return axis
+
+
+def _parse_timesteps(spec: Optional[str]):
+    """Parse the ``--timesteps`` axis spec ("8,32") into a tuple of ints."""
+
+    return _parse_axis(spec, TIMESTEPS_AXIS, "--timesteps")
+
+
+def _parse_workers(spec: Optional[str]):
+    """Parse the ``--workers`` axis spec ("1,2,4") into a tuple of ints."""
+
+    return _parse_axis(spec, WORKERS_AXIS, "--workers")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -345,6 +473,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             "comma-separated simulation budgets for the T axis (default "
             f"{','.join(str(t) for t in TIMESTEPS_AXIS)}); budgets ≤ {LOW_LATENCY_MAX_T} are "
             "measured on a low-latency conversion calibrated for that T"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        help=(
+            "comma-separated pool worker counts for the serving axis (default "
+            f"{','.join(str(n) for n in WORKERS_AXIS)}); each count serves the fixture through "
+            "the multi-process ProcessPoolServer over one shared-memory artifact copy"
         ),
     )
     parser.add_argument("--out", default=".", help="directory to write BENCH_<date>.json into")
@@ -374,7 +511,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             current = json.loads(Path(args.diff[1]).read_text())
         else:
             print("generating fresh --fast report for the current side …", file=sys.stderr)
-            current = generate_report(fast=True, timesteps_axis=_parse_timesteps(args.timesteps))
+            current = generate_report(
+                fast=True,
+                timesteps_axis=_parse_timesteps(args.timesteps),
+                workers_axis=_parse_workers(args.workers),
+            )
         validate_report(current)
         if baseline["config"].get("fast") != current["config"].get("fast"):
             print(
@@ -392,7 +533,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"\nno regressions beyond the ±{args.threshold:.0%} threshold")
         return 0
 
-    report = generate_report(fast=args.fast, timesteps_axis=_parse_timesteps(args.timesteps))
+    report = generate_report(
+        fast=args.fast,
+        timesteps_axis=_parse_timesteps(args.timesteps),
+        workers_axis=_parse_workers(args.workers),
+    )
     validate_report(report)
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)

@@ -1,5 +1,5 @@
 """Built-in checkers.  Importing this package registers every rule."""
 
-from . import bufferpool, dtypes, layering, locks, tracer  # noqa: F401
+from . import bufferpool, dtypes, layering, locks, shm, tracer  # noqa: F401
 
-__all__ = ["layering", "dtypes", "locks", "tracer", "bufferpool"]
+__all__ = ["layering", "dtypes", "locks", "tracer", "bufferpool", "shm"]

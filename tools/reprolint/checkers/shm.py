@@ -1,0 +1,177 @@
+"""Shared-memory lifecycle discipline.
+
+A ``multiprocessing.shared_memory.SharedMemory`` segment is an OS object:
+an unmapped handle leaks a file descriptor and mapping, and an unlinked
+*created* segment leaks named pages in ``/dev/shm`` until reboot.  The
+serving pool's whole memory story rests on segments being closed exactly
+once, so the repo convention is mechanical — every ``SharedMemory(...)``
+call (create *or* attach) must be one of:
+
+1. the context expression of a ``with`` statement (the context manager
+   unmaps on exit);
+2. assigned to a local name that some ``finally`` block in the same
+   function calls ``.close()`` (and, for owners, ``.unlink()``) on — the
+   ownership-transfer factories in :mod:`repro.serve.shm` use the
+   ``installed``-flag variant of this shape;
+3. assigned to ``self.<attr>`` in a class one of whose methods calls
+   ``self.<attr>.close()`` — the handle-object shape, where the class owns
+   the unmap.
+
+Anything else — a bare call, a return of the raw segment, an assignment
+nothing ever closes — is a finding.  Like every rule, a justified
+exception carries ``# reprolint: allow[shm] -- reason`` in the source.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..core import Checker, Finding, Module, register_checker
+
+
+def _is_shm_call(node: ast.AST) -> bool:
+    """True for ``SharedMemory(...)`` / ``shared_memory.SharedMemory(...)``."""
+
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "SharedMemory"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "SharedMemory"
+    return False
+
+
+def _closed_names_in_finally(func: ast.AST) -> Set[str]:
+    """Local names ``n`` with an ``n.close()`` or ``n.unlink()`` call inside
+    any ``finally`` block of ``func``."""
+
+    closed: Set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        for stmt in node.finalbody:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in ("close", "unlink")
+                    and isinstance(sub.func.value, ast.Name)
+                ):
+                    closed.add(sub.func.value.id)
+    return closed
+
+
+def _self_attr_target(node: ast.expr) -> str:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+def _class_closes_attr(cls: ast.ClassDef, attr: str) -> bool:
+    """True when any method of ``cls`` calls ``self.<attr>.close()``."""
+
+    for method in cls.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("close", "unlink")
+                and _self_attr_target(node.func.value) == attr
+            ):
+                return True
+    return False
+
+
+def _with_context_calls(func: ast.AST) -> Set[int]:
+    """ids of Call nodes that are ``with`` context expressions in ``func``."""
+
+    managed: Set[int] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                managed.add(id(item.context_expr))
+    return managed
+
+
+def _assignment_target(func: ast.AST, call: ast.Call) -> Tuple[Optional[str], Optional[str]]:
+    """``(local_name, self_attr)`` the call's result is bound to, if any."""
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and node.value is call and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                return target.id, None
+            attr = _self_attr_target(target)
+            if attr:
+                return None, attr
+    return None, None
+
+
+@register_checker
+class ShmChecker(Checker):
+    rule = "shm"
+    description = (
+        "every SharedMemory create/attach must pair with close()/unlink() "
+        "in a finally block, a with statement, or an owning class's close method"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        # Map every function to its (optional) enclosing class, so the
+        # self-attribute shape can consult the owning class's methods.
+        functions: List[Tuple[ast.AST, Optional[ast.ClassDef]]] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        functions.append((stmt, node))
+        class_methods = {id(func) for func, _cls in functions}
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and id(node) not in class_methods:
+                functions.append((node, None))
+
+        for func, cls in functions:
+            yield from self._check_function(module, func, cls)
+
+    def _check_function(
+        self, module: Module, func: ast.AST, cls: Optional[ast.ClassDef]
+    ) -> Iterator[Finding]:
+        calls = [
+            node
+            for node in ast.walk(func)
+            if _is_shm_call(node)
+            # Skip calls inside callables nested in this one — they are
+            # visited as their own function entries when they are methods,
+            # and a closure gets checked against its own body either way.
+        ]
+        if not calls:
+            return
+        managed = _with_context_calls(func)
+        closed_locals = _closed_names_in_finally(func)
+        for call in calls:
+            if id(call) in managed:
+                continue
+            local, attr = _assignment_target(func, call)
+            if local is not None and local in closed_locals:
+                continue
+            if attr is not None and cls is not None and _class_closes_attr(cls, attr):
+                continue
+            name = getattr(func, "name", "<module>")
+            if local is not None:
+                detail = f"assigned to {local!r} with no close()/unlink() in a finally block"
+            elif attr is not None:
+                detail = f"stored on self.{attr} but no method of the class closes it"
+            else:
+                detail = "neither assigned for cleanup nor used as a context manager"
+            yield self.finding(
+                module,
+                call,
+                f"SharedMemory segment opened in {name}() is not reliably released: {detail}",
+            )
